@@ -1,0 +1,121 @@
+//! Micro-benchmark: steady-state per-element cost of the symmetric hash
+//! join versus the symmetric nested-loops join as the live window grows —
+//! the mechanism behind the paper's Fig. 6 ordering (the SNJ falls behind
+//! at ≈17 s, the SHJ only at ≈58 s: the SNJ's probe cost grows with the
+//! window size, the SHJ's only with the number of *matches*).
+//!
+//! Elements arrive 1 µs apart, alternating sides; the sliding-window extent
+//! therefore fixes the steady-state window population, keeping state
+//! bounded across benchmark iterations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+use hmts::operators::traits::{Operator, Output};
+use hmts::prelude::*;
+
+struct Feed {
+    i: u64,
+    key_range: i64,
+}
+
+impl Feed {
+    fn next(&mut self) -> (usize, Element) {
+        self.i += 1;
+        let port = (self.i % 2) as usize;
+        let key = ((self.i.wrapping_mul(7919)) % self.key_range as u64) as i64;
+        (port, Element::new(Tuple::single(key), Timestamp::from_micros(self.i)))
+    }
+}
+
+fn steady_state<O: Operator>(join: &mut O, feed: &mut Feed, elements: u64) {
+    let mut out = Output::new();
+    for _ in 0..elements {
+        let (port, e) = feed.next();
+        join.process(port, &e, &mut out).unwrap();
+        out.clear();
+    }
+}
+
+fn join_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("join_steady_state");
+    let key_range = 10_000i64;
+
+    // Window extents in µs ≈ steady-state live elements (split over both
+    // sides). 20 000 is the practical ceiling: the SNJ's quadratic preload
+    // already costs tens of seconds there — which is the very effect the
+    // paper's Fig. 6 exploits.
+    for &w_us in &[1_000u64, 5_000, 20_000] {
+        let window = Duration::from_micros(w_us);
+        g.throughput(Throughput::Elements(1));
+
+        g.bench_with_input(BenchmarkId::new("shj", w_us), &w_us, |b, _| {
+            let mut join = SymmetricHashJoin::on_field("shj", 0, window);
+            let mut feed = Feed { i: 0, key_range };
+            steady_state(&mut join, &mut feed, w_us + w_us / 4);
+            let mut out = Output::new();
+            b.iter(|| {
+                let (port, e) = feed.next();
+                join.process(port, black_box(&e), &mut out).unwrap();
+                black_box(out.len());
+                out.clear();
+            })
+        });
+
+        g.bench_with_input(BenchmarkId::new("snj", w_us), &w_us, |b, _| {
+            let mut join = SymmetricNestedLoopsJoin::on_field("snj", 0, window);
+            let mut feed = Feed { i: 0, key_range };
+            steady_state(&mut join, &mut feed, w_us + w_us / 4);
+            let mut out = Output::new();
+            b.iter(|| {
+                let (port, e) = feed.next();
+                join.process(port, black_box(&e), &mut out).unwrap();
+                black_box(out.len());
+                out.clear();
+            })
+        });
+    }
+    g.finish();
+}
+
+fn aggregate_throughput(c: &mut Criterion) {
+    // Bonus baseline: the windowed aggregate (the paper's §5.1.1 "expensive
+    // aggregation" example) at the same steady-state sizes.
+    let mut g = c.benchmark_group("aggregate_steady_state");
+    for &w_us in &[1_000u64, 20_000] {
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::new("count_group_by", w_us), &w_us, |b, _| {
+            let mut agg = WindowAggregate::new(
+                "agg",
+                AggregateFunction::Count,
+                Duration::from_micros(w_us),
+            )
+            .group_by(Expr::field(0).rem(Expr::int(64)));
+            let mut feed = Feed { i: 0, key_range: 10_000 };
+            let mut out = Output::new();
+            for _ in 0..w_us + w_us / 4 {
+                let (_, e) = feed.next();
+                agg.process(0, &e, &mut out).unwrap();
+                out.clear();
+            }
+            b.iter(|| {
+                let (_, e) = feed.next();
+                agg.process(0, black_box(&e), &mut out).unwrap();
+                black_box(out.len());
+                out.clear();
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = join_throughput, aggregate_throughput
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Micro-benchmark: runtime of the three queue-placement algorithms as the
+//! graph grows (the paper's Fig. 11 sweep runs them up to 1000 nodes, and
+//! §5.1.3 envisions re-running placement *during* execution — so it must be
+//! cheap).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hmts::prelude::*;
+use hmts::workload::random_dag::{random_cost_graph, RandomDagConfig};
+
+fn placement_algorithms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("placement");
+    for n in [10usize, 100, 1000] {
+        let graph = random_cost_graph(&RandomDagConfig::new(n, 42));
+        g.bench_function(format!("stall_avoiding_{n}"), |b| {
+            b.iter(|| black_box(stall_avoiding(black_box(&graph))))
+        });
+        g.bench_function(format!("segment_{n}"), |b| {
+            b.iter(|| black_box(simplified_segment(black_box(&graph))))
+        });
+        g.bench_function(format!("chain_based_{n}"), |b| {
+            b.iter(|| black_box(chain_based(black_box(&graph))))
+        });
+    }
+    g.finish();
+}
+
+fn capacity_evaluation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("capacity_eval");
+    let graph = random_cost_graph(&RandomDagConfig::new(500, 42));
+    let groups = stall_avoiding(&graph);
+    g.bench_function("evaluate_500_nodes", |b| {
+        b.iter(|| black_box(evaluate(black_box(&graph), black_box(&groups))))
+    });
+    g.bench_function("rate_propagation_500_nodes", |b| {
+        b.iter(|| black_box(graph.input_rates()))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(40)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = placement_algorithms, capacity_evaluation
+}
+criterion_main!(benches);

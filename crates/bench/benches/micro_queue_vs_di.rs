@@ -1,0 +1,160 @@
+//! Micro-benchmark: the premise of virtual operators (paper §3.1) — an
+//! enqueue+dequeue pair on a decoupling queue versus a direct (DI)
+//! operator invocation. The measured ratio is what makes merging cheap
+//! operators into VOs worthwhile, and these numbers calibrate
+//! `hmts_sim::SimConfig` (`queue_op`, `di_call`).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use hmts::engine::executor::{Budget, DomainExecutor, ExecConfig, InputQueue, SlotInit, Target};
+use hmts::operators::traits::{EosTracker, WatermarkTracker};
+use hmts::prelude::*;
+use hmts::streams::element::Message;
+use hmts::streams::queue::StreamQueue;
+
+fn data(v: i64) -> Message {
+    Message::data(Tuple::single(v), Timestamp::from_micros(v as u64))
+}
+
+fn slot(i: usize, targets: Vec<Target>) -> SlotInit {
+    SlotInit {
+        node: NodeId(i),
+        op: Box::new(Filter::new(format!("f{i}"), Expr::bool(true))),
+        eos: EosTracker::new(1),
+        wm: WatermarkTracker::new(1),
+        closed: false,
+        targets,
+        stats: None,
+    }
+}
+
+fn queue_transfer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queue_vs_di");
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("queue_push_pop", |b| {
+        let q = StreamQueue::unbounded("bench");
+        b.iter(|| {
+            q.push(black_box(data(7))).unwrap();
+            black_box(q.try_pop().unwrap());
+        })
+    });
+
+    g.bench_function("queue_push_peek_pop", |b| {
+        // The executor's actual pattern: peek (strategy decision), then pop.
+        let q = StreamQueue::unbounded("bench");
+        b.iter(|| {
+            q.push(black_box(data(7))).unwrap();
+            black_box(q.peek_ts());
+            black_box(q.try_pop().unwrap());
+        })
+    });
+
+    // DI: one element through a chain of `n` pass-through filters executed
+    // inline — per-element cost divided by n approximates one DI hop plus
+    // one operator invocation.
+    for n in [1usize, 5, 10] {
+        g.bench_function(format!("di_chain_{n}"), |b| {
+            let slots = (0..n)
+                .map(|i| {
+                    let targets = if i + 1 < n {
+                        vec![Target::Inline { node: NodeId(i + 1), port: 0 }]
+                    } else {
+                        vec![]
+                    };
+                    slot(i, targets)
+                })
+                .collect();
+            let mut exec = DomainExecutor::new(
+                "bench",
+                slots,
+                vec![],
+                StrategyKind::Fifo.build(None),
+                ExecConfig { batch: 1, measure: false },
+            );
+            b.iter(|| {
+                exec.inject(NodeId(0), 0, black_box(data(7)));
+            })
+        });
+    }
+
+    // The same 5-op chain but decoupled: a queue before every operator,
+    // drained GTS-style by one executor.
+    g.bench_function("decoupled_chain_5", |b| {
+        let queues: Vec<_> =
+            (0..5).map(|i| StreamQueue::unbounded(format!("q{i}"))).collect();
+        let slots = (0..5)
+            .map(|i| {
+                let targets = if i + 1 < 5 {
+                    vec![Target::Queue { queue: queues[i + 1].clone(), wake: None }]
+                } else {
+                    vec![]
+                };
+                slot(i, targets)
+            })
+            .collect();
+        let inputs = (0..5)
+            .map(|i| InputQueue {
+                queue: queues[i].clone(),
+                node: NodeId(i),
+                port: 0,
+                exhausted: false,
+            })
+            .collect();
+        let mut exec = DomainExecutor::new(
+            "bench",
+            slots,
+            inputs,
+            StrategyKind::Fifo.build(None),
+            ExecConfig { batch: 1, measure: false },
+        );
+        let budget = Budget::unlimited();
+        b.iter_batched(
+            || queues[0].push(data(7)).unwrap(),
+            |_| {
+                exec.run_slice(black_box(&budget));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Cost of the runtime measurement itself (stats on vs off).
+    g.bench_function("di_chain_5_with_stats", |b| {
+        let stats: Vec<_> = (0..5).map(|_| hmts::stats::shared_node_stats()).collect();
+        let slots = (0..5)
+            .map(|i| {
+                let targets = if i + 1 < 5 {
+                    vec![Target::Inline { node: NodeId(i + 1), port: 0 }]
+                } else {
+                    vec![]
+                };
+                let mut s = slot(i, targets);
+                s.stats = Some(stats[i].clone());
+                s
+            })
+            .collect();
+        let mut exec = DomainExecutor::new(
+            "bench",
+            slots,
+            vec![],
+            StrategyKind::Fifo.build(None),
+            ExecConfig { batch: 1, measure: true },
+        );
+        b.iter(|| {
+            exec.inject(NodeId(0), 0, black_box(data(7)));
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(60)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = queue_transfer
+}
+criterion_main!(benches);

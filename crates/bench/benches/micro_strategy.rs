@@ -1,0 +1,86 @@
+//! Micro-benchmark: the per-decision cost of the level-2 scheduling
+//! strategies (FIFO, round-robin, longest-queue, Chain) as a function of
+//! the number of input queues. Strategy selection runs once per batch in
+//! every executor loop, so its cost bounds GTS throughput on wide graphs —
+//! this calibrates `hmts_sim::SimConfig::dispatch`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use hmts::graph::cost::CostGraph;
+use hmts::prelude::*;
+use hmts::scheduler::strategy::InputSlot;
+
+/// A fan of `n` parallel single-op chains off one source (worst case for a
+/// strategy: all consumers are distinct).
+fn fan_graph(n: usize) -> CostGraph {
+    let mut edges = Vec::new();
+    let mut cost = vec![0.0];
+    let mut sel = vec![1.0];
+    let mut src = vec![Some(1000.0)];
+    for i in 0..n {
+        edges.push((0, i + 1));
+        cost.push(1e-6 * (i + 1) as f64);
+        sel.push(0.5);
+        src.push(None);
+    }
+    CostGraph::from_parts(n + 1, edges, cost, sel, src)
+}
+
+fn slots(n: usize) -> Vec<InputSlot> {
+    (0..n)
+        .map(|i| InputSlot {
+            consumer: NodeId(i + 1),
+            len: (i * 7) % 13, // mixed fill levels incl. empty queues
+            head_ts: Some(Timestamp::from_micros(((i * 31) % 17) as u64)),
+        })
+        .collect()
+}
+
+fn strategy_select(c: &mut Criterion) {
+    let mut g = c.benchmark_group("strategy_select");
+    for n in [4usize, 16, 64, 256] {
+        let graph = fan_graph(n);
+        let view = slots(n);
+        g.throughput(Throughput::Elements(1));
+        for kind in [
+            StrategyKind::Fifo,
+            StrategyKind::RoundRobin,
+            StrategyKind::LongestQueue,
+            StrategyKind::Chain,
+        ] {
+            g.bench_function(format!("{kind:?}_{n}_queues"), |b| {
+                let mut s = kind.build(Some(&graph));
+                b.iter(|| black_box(s.select(black_box(&view))));
+            });
+        }
+    }
+    g.finish();
+}
+
+fn chain_segment_construction(c: &mut Criterion) {
+    // Building the Chain strategy includes the lower-envelope computation;
+    // this is paid once per (re-)wiring, not per element.
+    let mut g = c.benchmark_group("chain_segments_build");
+    for n in [10usize, 100, 1000] {
+        let graph = fan_graph(n);
+        g.bench_function(format!("{n}_ops"), |b| {
+            b.iter(|| {
+                black_box(hmts::scheduler::chain::compute_chain_segments(black_box(
+                    &graph,
+                )))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(60)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = strategy_select, chain_segment_construction
+}
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Adaptive re-partitioning: the measure → place → switch loop.
+//!
+//! Paper §4.2.1: HMTS "offers to dynamically adapt the number of threads
+//! and to assign them flexibly to partitions of the query graph" and §4.2.2:
+//! "we can also change the thread assignments during runtime to adapt to
+//! changing stream characteristics". The controller here closes that loop:
+//! it reads the engine's measured cost model, re-runs the stall-avoiding
+//! placement (Algorithm 1), and — when the resulting virtual operators
+//! differ from the current ones — switches the running engine to the new
+//! plan.
+
+use std::collections::BTreeSet;
+
+use hmts_graph::partition::Partitioning;
+
+use crate::engine::{Engine, EngineError};
+use crate::placement::{stall_avoiding, to_partitioning};
+use crate::plan::ExecutionPlan;
+use crate::scheduler::strategy::StrategyKind;
+
+/// Controller configuration.
+#[derive(Debug, Clone)]
+pub struct AdaptiveConfig {
+    /// Strategy for the re-planned domains.
+    pub strategy: StrategyKind,
+    /// Worker threads of the re-planned level-3 scheduler.
+    pub workers: usize,
+    /// Only adapt once every operator has processed at least this many
+    /// elements (avoids re-planning on noise).
+    pub min_samples: u64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig { strategy: StrategyKind::Fifo, workers: 2, min_samples: 100 }
+    }
+}
+
+/// The outcome of one adaptation round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Adaptation {
+    /// Not enough measurements yet.
+    InsufficientData,
+    /// The measured cost model confirms the current partitioning.
+    Unchanged,
+    /// The engine was switched to a new partitioning.
+    Switched,
+}
+
+/// Whether two partitionings contain the same groups (order-insensitive).
+pub fn same_partitioning(a: &Partitioning, b: &Partitioning) -> bool {
+    let norm = |p: &Partitioning| -> BTreeSet<Vec<usize>> {
+        p.groups()
+            .iter()
+            .map(|g| {
+                let mut ids: Vec<usize> = g.iter().map(|n| n.0).collect();
+                ids.sort_unstable();
+                ids
+            })
+            .collect()
+    };
+    norm(a) == norm(b)
+}
+
+/// Runs one adaptation round on a running engine.
+pub fn adapt_once(engine: &mut Engine, cfg: &AdaptiveConfig) -> Result<Adaptation, EngineError> {
+    let snap = engine.stats_snapshot();
+    let enough = snap
+        .nodes
+        .iter()
+        .filter(|n| !engine.topology().is_source(n.node))
+        .all(|n| n.processed >= cfg.min_samples);
+    if !enough {
+        return Ok(Adaptation::InsufficientData);
+    }
+    let cost_graph = engine.cost_graph();
+    let groups = stall_avoiding(&cost_graph);
+    let partitioning = to_partitioning(&groups);
+    if same_partitioning(&partitioning, &engine.plan().partitioning) {
+        return Ok(Adaptation::Unchanged);
+    }
+    engine.switch_plan(ExecutionPlan::hmts(partitioning, cfg.strategy, cfg.workers))?;
+    Ok(Adaptation::Switched)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmts_graph::graph::NodeId;
+
+    #[test]
+    fn partitioning_comparison_is_order_insensitive() {
+        let a = Partitioning::new(vec![vec![NodeId(1), NodeId(2)], vec![NodeId(3)]]);
+        let b = Partitioning::new(vec![vec![NodeId(3)], vec![NodeId(2), NodeId(1)]]);
+        assert!(same_partitioning(&a, &b));
+        let c = Partitioning::new(vec![vec![NodeId(1)], vec![NodeId(2), NodeId(3)]]);
+        assert!(!same_partitioning(&a, &c));
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let cfg = AdaptiveConfig::default();
+        assert!(cfg.workers >= 1);
+        assert!(cfg.min_samples > 0);
+    }
+}

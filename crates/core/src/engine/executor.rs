@@ -1,0 +1,845 @@
+//! The domain executor: levels 1 and 2 of the HMTS architecture.
+//!
+//! A [`DomainExecutor`] owns the operators of one scheduling domain (one or
+//! more virtual operators) and their input queues. Execution follows the
+//! paper's push-based model (§2.4): an element injected at an operator
+//! triggers a *chain reaction* — a depth-first traversal through all
+//! directly connected successors — realized here with an explicit LIFO work
+//! stack (no recursion, no borrow gymnastics, no stack overflow on long
+//! chains). Edges to operators outside the domain's virtual operator go
+//! through queues instead, waking the consuming domain.
+//!
+//! The executor's `run_slice` is the level-2 scheduler: a pluggable
+//! [`Strategy`] picks which input queue to service next, and a [`Budget`]
+//! bounds the slice so the level-3 thread scheduler can preempt
+//! cooperatively at operator granularity.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Instant;
+
+use hmts_graph::graph::NodeId;
+use hmts_operators::traits::{EosTracker, Operator, Output, WatermarkTracker};
+use hmts_streams::element::{Element, Message, Punctuation};
+use hmts_streams::error::StreamError;
+use hmts_streams::queue::StreamQueue;
+
+use crate::engine::sync::StopFlag;
+use crate::scheduler::strategy::{InputSlot, Strategy};
+use crate::stats::SharedNodeStats;
+
+/// Something that can wake a sleeping domain when new input arrives.
+pub trait Waker: Send + Sync {
+    /// Deliver the wake-up.
+    fn wake(&self);
+}
+
+impl Waker for crate::engine::sync::Notifier {
+    fn wake(&self) {
+        self.notify();
+    }
+}
+
+/// Where an operator's output goes.
+pub enum Target {
+    /// Direct interoperability: invoke a successor in the same domain.
+    Inline {
+        /// The successor operator.
+        node: NodeId,
+        /// Its input port fed by this edge.
+        port: usize,
+    },
+    /// A boundary queue into another (or the same) domain.
+    Queue {
+        /// The queue.
+        queue: Arc<StreamQueue>,
+        /// Wakes the consuming domain after a push.
+        wake: Option<Arc<dyn Waker>>,
+    },
+}
+
+/// Construction data for one operator slot.
+pub struct SlotInit {
+    /// The node this slot hosts.
+    pub node: NodeId,
+    /// The operator payload.
+    pub op: Box<dyn Operator>,
+    /// End-of-stream tracking state (fresh, or carried over a mode switch).
+    pub eos: EosTracker,
+    /// Watermark tracking state.
+    pub wm: WatermarkTracker,
+    /// Whether the operator already completed (carried over a switch).
+    pub closed: bool,
+    /// Output routing, one entry per out-edge.
+    pub targets: Vec<Target>,
+    /// Shared statistics cell, if measurement is enabled.
+    pub stats: Option<SharedNodeStats>,
+}
+
+/// The state extracted from a slot when a domain is torn down (runtime mode
+/// switching): everything needed to resume the operator elsewhere.
+pub struct SlotState {
+    /// The node.
+    pub node: NodeId,
+    /// The operator payload.
+    pub op: Box<dyn Operator>,
+    /// End-of-stream state.
+    pub eos: EosTracker,
+    /// Watermark state.
+    pub wm: WatermarkTracker,
+    /// Whether the operator already completed.
+    pub closed: bool,
+}
+
+struct Slot {
+    node: NodeId,
+    op: Box<dyn Operator>,
+    eos: EosTracker,
+    wm: WatermarkTracker,
+    closed: bool,
+    targets: Vec<Target>,
+    stats: Option<SharedNodeStats>,
+}
+
+/// One input queue of a domain, with the edge it implements.
+pub struct InputQueue {
+    /// The queue.
+    pub queue: Arc<StreamQueue>,
+    /// The consuming operator.
+    pub node: NodeId,
+    /// The consuming operator's input port.
+    pub port: usize,
+    /// Whether end-of-stream has been popped from this queue.
+    pub exhausted: bool,
+}
+
+/// Execution limits for one `run_slice` call.
+#[derive(Clone, Default)]
+pub struct Budget {
+    /// Stop after this many messages (0 = unlimited).
+    pub max_messages: usize,
+    /// Stop at this instant.
+    pub deadline: Option<Instant>,
+    /// Stop when this flag is raised (engine shutdown / mode switch).
+    pub stop: Option<Arc<StopFlag>>,
+    /// Stop when this flag is raised (level-3 cooperative preemption).
+    pub yield_flag: Option<Arc<AtomicBool>>,
+}
+
+impl Budget {
+    /// An unlimited budget (run until idle or finished).
+    pub fn unlimited() -> Budget {
+        Budget::default()
+    }
+
+    fn exceeded(&self, processed: usize) -> bool {
+        (self.max_messages > 0 && processed >= self.max_messages)
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
+            || self.stop.as_ref().is_some_and(|s| s.is_stopped())
+            || self
+                .yield_flag
+                .as_ref()
+                .is_some_and(|y| y.load(std::sync::atomic::Ordering::Acquire))
+    }
+}
+
+/// Why `run_slice` returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// All inputs delivered end-of-stream and every operator completed.
+    Finished,
+    /// No input available right now; wait for a wake-up.
+    Idle,
+    /// The budget was exhausted with work still pending.
+    Budget,
+}
+
+/// Executor configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecConfig {
+    /// Messages popped per strategy decision.
+    pub batch: usize,
+    /// Whether to time operator invocations for the runtime cost model.
+    pub measure: bool,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig { batch: 32, measure: true }
+    }
+}
+
+/// The executor of one scheduling domain.
+pub struct DomainExecutor {
+    name: String,
+    index: HashMap<NodeId, usize>,
+    slots: Vec<Slot>,
+    inputs: Vec<InputQueue>,
+    strategy: Box<dyn Strategy>,
+    /// Messages to re-deliver before popping queues (seeded from drained
+    /// queues during a mode switch).
+    pending: VecDeque<(NodeId, usize, Message)>,
+    /// The DI chain-reaction work stack.
+    stack: Vec<(NodeId, usize, Message)>,
+    out: Output,
+    cfg: ExecConfig,
+    /// Slots not yet closed.
+    live: usize,
+    /// First operator error, if any (elements causing errors are dropped).
+    error: Option<StreamError>,
+}
+
+impl DomainExecutor {
+    /// Builds an executor from its slots, input queues, and strategy.
+    pub fn new(
+        name: impl Into<String>,
+        slots: Vec<SlotInit>,
+        inputs: Vec<InputQueue>,
+        strategy: Box<dyn Strategy>,
+        cfg: ExecConfig,
+    ) -> DomainExecutor {
+        let mut index = HashMap::with_capacity(slots.len());
+        let slots: Vec<Slot> = slots
+            .into_iter()
+            .map(|s| Slot {
+                node: s.node,
+                op: s.op,
+                eos: s.eos,
+                wm: s.wm,
+                closed: s.closed,
+                targets: s.targets,
+                stats: s.stats,
+            })
+            .collect();
+        for (i, s) in slots.iter().enumerate() {
+            index.insert(s.node, i);
+        }
+        let live = slots.iter().filter(|s| !s.closed).count();
+        DomainExecutor {
+            name: name.into(),
+            index,
+            slots,
+            inputs,
+            strategy,
+            pending: VecDeque::new(),
+            stack: Vec::new(),
+            out: Output::new(),
+            cfg,
+            live,
+            error: None,
+        }
+    }
+
+    /// The domain's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Queues a message for delivery before normal queue consumption (used
+    /// to re-seed in-flight messages across a mode switch).
+    pub fn seed(&mut self, node: NodeId, port: usize, msg: Message) {
+        self.pending.push_back((node, port, msg));
+    }
+
+    /// Synchronously processes one message through the domain (the DI chain
+    /// reaction). Used directly by source-driven execution.
+    pub fn inject(&mut self, node: NodeId, port: usize, msg: Message) {
+        debug_assert!(self.stack.is_empty());
+        self.stack.push((node, port, msg));
+        self.drain_stack();
+    }
+
+    fn drain_stack(&mut self) {
+        while let Some((node, port, msg)) = self.stack.pop() {
+            let Some(&i) = self.index.get(&node) else {
+                // Routing bug; record once and drop.
+                if self.error.is_none() {
+                    self.error =
+                        Some(StreamError::Other(format!("no slot for node {node}")));
+                }
+                continue;
+            };
+            if self.slots[i].closed {
+                continue;
+            }
+            match msg {
+                Message::Data(el) => self.process_data(i, port, el),
+                Message::Punct(Punctuation::EndOfStream) => self.process_eos(i, port),
+                Message::Punct(Punctuation::Watermark(ts)) => {
+                    self.process_watermark(i, port, ts)
+                }
+            }
+        }
+    }
+
+    fn process_data(&mut self, i: usize, port: usize, el: Element) {
+        let measure = self.cfg.measure && self.slots[i].stats.is_some();
+        let start = measure.then(Instant::now);
+        let result = self.slots[i].op.process(port, &el, &mut self.out);
+        let cost = start.map(|t| t.elapsed());
+        match result {
+            Ok(()) => {
+                if let Some(stats) = &self.slots[i].stats {
+                    stats.lock().observe(el.ts, cost, self.out.len() as u64);
+                }
+                self.deliver_outputs(i);
+            }
+            Err(e) => {
+                self.out.clear();
+                if self.error.is_none() {
+                    self.error = Some(e);
+                }
+            }
+        }
+    }
+
+    fn process_eos(&mut self, i: usize, port: usize) {
+        if !self.slots[i].eos.close(port) {
+            return;
+        }
+        // Last port closed: flush, deliver, forward EOS, close.
+        if let Err(e) = self.slots[i].op.flush(&mut self.out) {
+            self.out.clear();
+            if self.error.is_none() {
+                self.error = Some(e);
+            }
+        }
+        self.deliver_outputs(i);
+        self.forward_punct(i, Punctuation::EndOfStream);
+        self.slots[i].closed = true;
+        self.live -= 1;
+    }
+
+    fn process_watermark(&mut self, i: usize, port: usize, ts: hmts_streams::time::Timestamp) {
+        let Some(combined) = self.slots[i].wm.observe(port, ts) else {
+            return;
+        };
+        if let Err(e) = self.slots[i].op.on_watermark(port, combined, &mut self.out) {
+            self.out.clear();
+            if self.error.is_none() {
+                self.error = Some(e);
+            }
+        }
+        self.deliver_outputs(i);
+        self.forward_punct(i, Punctuation::Watermark(combined));
+    }
+
+    /// Routes everything in `self.out` to slot `i`'s targets: queue targets
+    /// in forward order (FIFO), inline targets pushed in reverse so the
+    /// LIFO stack realizes the paper's depth-first traversal.
+    fn deliver_outputs(&mut self, i: usize) {
+        if self.out.is_empty() {
+            return;
+        }
+        let outputs: Vec<Element> = self.out.drain().collect();
+        for t in &self.slots[i].targets {
+            if let Target::Queue { queue, wake } = t {
+                for el in &outputs {
+                    // A closed queue only happens during teardown; the
+                    // element is intentionally dropped then.
+                    let _ = queue.push(Message::Data(el.clone()));
+                }
+                if let Some(w) = wake {
+                    w.wake();
+                }
+            }
+        }
+        for el in outputs.iter().rev() {
+            for t in self.slots[i].targets.iter().rev() {
+                if let Target::Inline { node, port } = t {
+                    self.stack.push((*node, *port, Message::Data(el.clone())));
+                }
+            }
+        }
+    }
+
+    fn forward_punct(&mut self, i: usize, p: Punctuation) {
+        for t in &self.slots[i].targets {
+            if let Target::Queue { queue, wake } = t {
+                let _ = queue.push(Message::Punct(p));
+                if let Some(w) = wake {
+                    w.wake();
+                }
+            }
+        }
+        for t in self.slots[i].targets.iter().rev() {
+            if let Target::Inline { node, port } = t {
+                self.stack.push((*node, *port, Message::Punct(p)));
+            }
+        }
+    }
+
+    /// Whether every input queue has delivered end-of-stream and every
+    /// operator has completed.
+    pub fn is_finished(&self) -> bool {
+        self.pending.is_empty()
+            && self.inputs.iter().all(|q| q.exhausted)
+            && self.live == 0
+    }
+
+    /// Whether any input has work pending right now.
+    pub fn has_work(&self) -> bool {
+        !self.pending.is_empty()
+            || self.inputs.iter().any(|q| !q.exhausted && !q.queue.is_empty())
+    }
+
+    /// Runs the level-2 scheduling loop until the budget is exhausted, the
+    /// inputs run dry, or the domain finishes.
+    pub fn run_slice(&mut self, budget: &Budget) -> RunOutcome {
+        let mut processed = 0usize;
+
+        while let Some((node, port, msg)) = self.pending.pop_front() {
+            self.inject(node, port, msg);
+            processed += 1;
+            if budget.exceeded(processed) {
+                return self.slice_status();
+            }
+        }
+
+        loop {
+            let view: Vec<InputSlot> = self
+                .inputs
+                .iter()
+                .map(|q| InputSlot {
+                    consumer: q.node,
+                    len: if q.exhausted { 0 } else { q.queue.len() },
+                    head_ts: q.queue.peek_ts(),
+                })
+                .collect();
+            let Some(i) = self.strategy.select(&view) else {
+                return self.slice_status();
+            };
+            for _ in 0..self.cfg.batch.max(1) {
+                let Some(msg) = self.inputs[i].queue.try_pop() else {
+                    break;
+                };
+                if msg.is_eos() {
+                    self.inputs[i].exhausted = true;
+                }
+                let (node, port) = (self.inputs[i].node, self.inputs[i].port);
+                self.inject(node, port, msg);
+                processed += 1;
+                if budget.exceeded(processed) {
+                    return self.slice_status();
+                }
+            }
+        }
+    }
+
+    fn slice_status(&self) -> RunOutcome {
+        if self.is_finished() {
+            RunOutcome::Finished
+        } else if self.has_work() {
+            RunOutcome::Budget
+        } else {
+            RunOutcome::Idle
+        }
+    }
+
+    /// The first operator error observed, if any.
+    pub fn error(&self) -> Option<&StreamError> {
+        self.error.as_ref()
+    }
+
+    /// Drains all input queues, returning the in-flight messages together
+    /// with their destination. Called during a mode switch after producers
+    /// have stopped.
+    pub fn take_input_remnants(&mut self) -> Vec<(NodeId, usize, Message)> {
+        let mut out: Vec<(NodeId, usize, Message)> =
+            std::mem::take(&mut self.pending).into_iter().collect();
+        for q in &mut self.inputs {
+            for msg in q.queue.drain() {
+                out.push((q.node, q.port, msg));
+            }
+        }
+        out
+    }
+
+    /// Extracts every slot's resume state, leaving the executor empty (used
+    /// during a mode switch, where the executor may still be referenced by
+    /// an `Arc` held elsewhere).
+    pub fn extract(&mut self) -> Vec<SlotState> {
+        self.live = 0;
+        self.index.clear();
+        std::mem::take(&mut self.slots)
+            .into_iter()
+            .map(|s| SlotState {
+                node: s.node,
+                op: s.op,
+                eos: s.eos,
+                wm: s.wm,
+                closed: s.closed,
+            })
+            .collect()
+    }
+
+    /// Tears the executor down into per-operator resume state.
+    pub fn into_slot_states(self) -> Vec<SlotState> {
+        self.slots
+            .into_iter()
+            .map(|s| SlotState {
+                node: s.node,
+                op: s.op,
+                eos: s.eos,
+                wm: s.wm,
+                closed: s.closed,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::strategy::StrategyKind;
+    use hmts_operators::expr::Expr;
+    use hmts_operators::filter::Filter;
+    use hmts_operators::sink::CollectingSink;
+    use hmts_streams::time::Timestamp;
+    use hmts_streams::tuple::Tuple;
+    use parking_lot::Mutex;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn data(v: i64, us: u64) -> Message {
+        Message::data(Tuple::single(v), Timestamp::from_micros(us))
+    }
+
+    fn slot(node: usize, op: Box<dyn Operator>, targets: Vec<Target>) -> SlotInit {
+        let arity = op.input_arity();
+        SlotInit {
+            node: NodeId(node),
+            op,
+            eos: EosTracker::new(arity),
+            wm: WatermarkTracker::new(arity),
+            closed: false,
+            targets,
+            stats: None,
+        }
+    }
+
+    /// Filter chain 1 -> 2 -> sink 3, all inline (one VO), fed by queue q.
+    fn di_chain() -> (DomainExecutor, Arc<StreamQueue>, hmts_operators::sink::SinkHandle) {
+        let (sink, handle) = CollectingSink::new("sink");
+        let q = StreamQueue::unbounded("in");
+        let slots = vec![
+            slot(
+                1,
+                Box::new(Filter::new("f1", Expr::field(0).lt(Expr::int(100)))),
+                vec![Target::Inline { node: NodeId(2), port: 0 }],
+            ),
+            slot(
+                2,
+                Box::new(Filter::new("f2", Expr::field(0).gt(Expr::int(10)))),
+                vec![Target::Inline { node: NodeId(3), port: 0 }],
+            ),
+            slot(3, Box::new(sink), vec![]),
+        ];
+        let inputs = vec![InputQueue {
+            queue: Arc::clone(&q),
+            node: NodeId(1),
+            port: 0,
+            exhausted: false,
+        }];
+        let exec = DomainExecutor::new(
+            "d",
+            slots,
+            inputs,
+            StrategyKind::Fifo.build(None),
+            ExecConfig::default(),
+        );
+        (exec, q, handle)
+    }
+
+    #[test]
+    fn di_chain_reaction_filters_and_collects() {
+        let (mut exec, q, handle) = di_chain();
+        for (i, v) in [5i64, 50, 500, 11, 99].into_iter().enumerate() {
+            q.push(data(v, i as u64)).unwrap();
+        }
+        q.push(Message::eos()).unwrap();
+        let outcome = exec.run_slice(&Budget::unlimited());
+        assert_eq!(outcome, RunOutcome::Finished);
+        let vals: Vec<i64> = handle
+            .elements()
+            .iter()
+            .map(|e| e.tuple.field(0).as_int().unwrap())
+            .collect();
+        assert_eq!(vals, vec![50, 11, 99]);
+        assert!(handle.is_done());
+        assert!(exec.error().is_none());
+        assert!(exec.is_finished());
+    }
+
+    #[test]
+    fn idle_when_no_input_yet() {
+        let (mut exec, q, _) = di_chain();
+        assert_eq!(exec.run_slice(&Budget::unlimited()), RunOutcome::Idle);
+        assert!(!exec.has_work());
+        q.push(data(50, 1)).unwrap();
+        assert!(exec.has_work());
+        assert_eq!(exec.run_slice(&Budget::unlimited()), RunOutcome::Idle);
+    }
+
+    #[test]
+    fn budget_limits_slice() {
+        let (mut exec, q, handle) = di_chain();
+        for i in 0..100 {
+            q.push(data(50, i)).unwrap();
+        }
+        let budget = Budget { max_messages: 10, ..Budget::default() };
+        assert_eq!(exec.run_slice(&budget), RunOutcome::Budget);
+        assert_eq!(handle.count(), 10);
+        // Remaining work completes on the next slices.
+        q.push(Message::eos()).unwrap();
+        while exec.run_slice(&budget) != RunOutcome::Finished {}
+        assert_eq!(handle.count(), 100);
+    }
+
+    #[test]
+    fn stop_flag_interrupts() {
+        let (mut exec, q, _) = di_chain();
+        for i in 0..10 {
+            q.push(data(50, i)).unwrap();
+        }
+        let stop = Arc::new(StopFlag::new());
+        stop.stop();
+        let budget = Budget { stop: Some(Arc::clone(&stop)), ..Budget::default() };
+        assert_eq!(exec.run_slice(&budget), RunOutcome::Budget);
+    }
+
+    #[test]
+    fn inject_runs_synchronously() {
+        let (mut exec, _q, handle) = di_chain();
+        exec.inject(NodeId(1), 0, data(42, 1));
+        assert_eq!(handle.count(), 1);
+        exec.inject(NodeId(1), 0, Message::eos());
+        assert!(handle.is_done());
+        // The domain still has an unexhausted input queue, so not finished.
+        assert!(!exec.is_finished());
+    }
+
+    #[test]
+    fn queue_targets_forward_and_wake() {
+        struct CountWaker(AtomicUsize);
+        impl Waker for CountWaker {
+            fn wake(&self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let out_q = StreamQueue::unbounded("out");
+        let waker = Arc::new(CountWaker(AtomicUsize::new(0)));
+        let slots = vec![slot(
+            1,
+            Box::new(Filter::new("f", Expr::bool(true))),
+            vec![Target::Queue {
+                queue: Arc::clone(&out_q),
+                wake: Some(Arc::clone(&waker) as Arc<dyn Waker>),
+            }],
+        )];
+        let mut exec = DomainExecutor::new(
+            "d",
+            slots,
+            vec![],
+            StrategyKind::Fifo.build(None),
+            ExecConfig::default(),
+        );
+        exec.inject(NodeId(1), 0, data(1, 1));
+        exec.inject(NodeId(1), 0, data(2, 2));
+        exec.inject(NodeId(1), 0, Message::eos());
+        assert_eq!(out_q.len(), 3); // two data + EOS
+        assert!(waker.0.load(Ordering::Relaxed) >= 3);
+        assert!(exec.is_finished()); // no inputs, slot closed
+        // FIFO order preserved through the queue.
+        assert_eq!(
+            out_q.try_pop().unwrap().as_data().unwrap().tuple.field(0).as_int().unwrap(),
+            1
+        );
+    }
+
+    #[test]
+    fn fanout_delivers_depth_first_to_both_branches() {
+        // 1 -> {2, 3} (both sinks). Depth-first: per element, branch 2
+        // before branch 3.
+        let (s2, h2) = CollectingSink::new("s2");
+        let (s3, h3) = CollectingSink::new("s3");
+        let slots = vec![
+            slot(
+                1,
+                Box::new(Filter::new("f", Expr::bool(true))),
+                vec![
+                    Target::Inline { node: NodeId(2), port: 0 },
+                    Target::Inline { node: NodeId(3), port: 0 },
+                ],
+            ),
+            slot(2, Box::new(s2), vec![]),
+            slot(3, Box::new(s3), vec![]),
+        ];
+        let mut exec = DomainExecutor::new(
+            "d",
+            slots,
+            vec![],
+            StrategyKind::Fifo.build(None),
+            ExecConfig::default(),
+        );
+        exec.inject(NodeId(1), 0, data(7, 1));
+        assert_eq!(h2.count(), 1);
+        assert_eq!(h3.count(), 1);
+        exec.inject(NodeId(1), 0, Message::eos());
+        assert!(h2.is_done() && h3.is_done());
+    }
+
+    #[test]
+    fn eos_waits_for_all_ports() {
+        // Binary union 1 <- two queues; sink 2.
+        let (sink, handle) = CollectingSink::new("s");
+        let qa = StreamQueue::unbounded("a");
+        let qb = StreamQueue::unbounded("b");
+        let slots = vec![
+            slot(
+                1,
+                Box::new(hmts_operators::union::Union::new("u", 2)),
+                vec![Target::Inline { node: NodeId(2), port: 0 }],
+            ),
+            slot(2, Box::new(sink), vec![]),
+        ];
+        let inputs = vec![
+            InputQueue { queue: Arc::clone(&qa), node: NodeId(1), port: 0, exhausted: false },
+            InputQueue { queue: Arc::clone(&qb), node: NodeId(1), port: 1, exhausted: false },
+        ];
+        let mut exec = DomainExecutor::new(
+            "d",
+            slots,
+            inputs,
+            StrategyKind::Fifo.build(None),
+            ExecConfig::default(),
+        );
+        qa.push(data(1, 1)).unwrap();
+        qa.push(Message::eos()).unwrap();
+        assert_eq!(exec.run_slice(&Budget::unlimited()), RunOutcome::Idle);
+        assert!(!handle.is_done(), "EOS only on one port");
+        qb.push(data(2, 2)).unwrap();
+        qb.push(Message::eos()).unwrap();
+        assert_eq!(exec.run_slice(&Budget::unlimited()), RunOutcome::Finished);
+        assert!(handle.is_done());
+        assert_eq!(handle.count(), 2);
+    }
+
+    #[test]
+    fn operator_error_is_recorded_and_skipped() {
+        let (sink, handle) = CollectingSink::new("s");
+        let q = StreamQueue::unbounded("in");
+        let slots = vec![
+            slot(
+                1,
+                // References field 5 of single-field tuples → error.
+                Box::new(Filter::new("bad", Expr::field(5).lt(Expr::int(1)))),
+                vec![Target::Inline { node: NodeId(2), port: 0 }],
+            ),
+            slot(2, Box::new(sink), vec![]),
+        ];
+        let inputs = vec![InputQueue {
+            queue: Arc::clone(&q),
+            node: NodeId(1),
+            port: 0,
+            exhausted: false,
+        }];
+        let mut exec = DomainExecutor::new(
+            "d",
+            slots,
+            inputs,
+            StrategyKind::Fifo.build(None),
+            ExecConfig::default(),
+        );
+        q.push(data(1, 1)).unwrap();
+        q.push(Message::eos()).unwrap();
+        assert_eq!(exec.run_slice(&Budget::unlimited()), RunOutcome::Finished);
+        assert!(matches!(exec.error(), Some(StreamError::FieldOutOfBounds { .. })));
+        assert_eq!(handle.count(), 0);
+        assert!(handle.is_done(), "EOS still flows despite the error");
+    }
+
+    #[test]
+    fn watermarks_combine_and_expire_state() {
+        use hmts_operators::join::SymmetricHashJoin;
+        use std::time::Duration;
+        let join = SymmetricHashJoin::on_field("j", 0, Duration::from_secs(10));
+        let qa = StreamQueue::unbounded("a");
+        let qb = StreamQueue::unbounded("b");
+        let (sink, _h) = CollectingSink::new("s");
+        let slots = vec![
+            slot(1, Box::new(join), vec![Target::Inline { node: NodeId(2), port: 0 }]),
+            slot(2, Box::new(sink), vec![]),
+        ];
+        let inputs = vec![
+            InputQueue { queue: Arc::clone(&qa), node: NodeId(1), port: 0, exhausted: false },
+            InputQueue { queue: Arc::clone(&qb), node: NodeId(1), port: 1, exhausted: false },
+        ];
+        let mut exec = DomainExecutor::new(
+            "d",
+            slots,
+            inputs,
+            StrategyKind::Fifo.build(None),
+            ExecConfig::default(),
+        );
+        qa.push(data(1, 0)).unwrap();
+        qb.push(data(2, 0)).unwrap();
+        // Watermark on only one port does not advance the combined mark.
+        qa.push(Message::Punct(Punctuation::Watermark(Timestamp::from_secs(100))))
+            .unwrap();
+        exec.run_slice(&Budget::unlimited());
+        qb.push(Message::Punct(Punctuation::Watermark(Timestamp::from_secs(100))))
+            .unwrap();
+        exec.run_slice(&Budget::unlimited());
+        // Combined watermark of 100 s with a 10 s window: both sides empty.
+        // (Verified indirectly: no join output for fresh matching data at
+        // ts 0 — it would be outside the window anyway; instead check via
+        // error-free completion.)
+        qa.push(Message::eos()).unwrap();
+        qb.push(Message::eos()).unwrap();
+        assert_eq!(exec.run_slice(&Budget::unlimited()), RunOutcome::Finished);
+        assert!(exec.error().is_none());
+    }
+
+    #[test]
+    fn remnants_and_slot_states_extract() {
+        let (mut exec, q, _handle) = di_chain();
+        q.push(data(50, 1)).unwrap();
+        exec.run_slice(&Budget::unlimited());
+        q.push(data(60, 2)).unwrap();
+        q.push(data(70, 3)).unwrap();
+        exec.seed(NodeId(2), 0, data(80, 4));
+        let remnants = exec.take_input_remnants();
+        assert_eq!(remnants.len(), 3);
+        assert_eq!(remnants[0].0, NodeId(2)); // pending first
+        assert_eq!(remnants[1].0, NodeId(1));
+        let states = exec.into_slot_states();
+        assert_eq!(states.len(), 3);
+        assert!(states.iter().all(|s| !s.closed));
+    }
+
+    #[test]
+    fn stats_are_recorded_when_enabled() {
+        let stats: SharedNodeStats = Arc::new(Mutex::new(crate::stats::NodeStats::default()));
+        let mut init = slot(
+            1,
+            Box::new(Filter::new("f", Expr::field(0).lt(Expr::int(5)))),
+            vec![],
+        );
+        init.stats = Some(Arc::clone(&stats));
+        let mut exec = DomainExecutor::new(
+            "d",
+            vec![init],
+            vec![],
+            StrategyKind::Fifo.build(None),
+            ExecConfig::default(),
+        );
+        for i in 0..10 {
+            exec.inject(NodeId(1), 0, data(i, i as u64 * 1000));
+        }
+        let s = stats.lock();
+        assert_eq!(s.processed, 10);
+        assert_eq!(s.selectivity.selectivity(), Some(0.5));
+        assert!(s.cost.cost().is_some());
+    }
+}

@@ -1,0 +1,434 @@
+//! Autonomous source threads.
+//!
+//! Paper §2.1: sources are autonomous — each runs in its own thread, pacing
+//! emission to its schedule. A source's *targets* are swappable at runtime
+//! (behind an `RwLock`), which is how mode switching re-wires sources
+//! without restarting their threads: into a queue (decoupled) or directly
+//! into a partition executor (direct interoperability, the paper's Fig. 6
+//! setting — where an expensive operator in the source's own thread makes
+//! the source fall behind its offered rate).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::{Mutex, RwLock};
+
+use hmts_graph::graph::NodeId;
+use hmts_operators::traits::Source;
+use hmts_streams::element::Message;
+use hmts_streams::metrics::TimeSeries;
+use hmts_streams::queue::StreamQueue;
+use hmts_streams::time::{SharedClock, Timestamp};
+use hmts_streams::tuple::Tuple;
+
+use crate::engine::executor::{Budget, DomainExecutor, Waker};
+use crate::engine::sync::{PauseGate, StopFlag};
+use crate::stats::SharedNodeStats;
+
+/// Where a source delivers its elements.
+pub enum SourceTarget {
+    /// Into a decoupling queue (the consuming domain is woken).
+    Queue {
+        /// The queue.
+        queue: Arc<StreamQueue>,
+        /// Wakes the consuming domain.
+        wake: Option<Arc<dyn Waker>>,
+        /// The consuming operator's input port (informational).
+        port: usize,
+    },
+    /// Direct interoperability: the source thread executes the consuming
+    /// domain inline (synchronized — several sources may drive one domain).
+    Direct {
+        /// The consuming domain's executor.
+        exec: Arc<Mutex<DomainExecutor>>,
+        /// The consuming operator.
+        node: NodeId,
+        /// Its input port.
+        port: usize,
+    },
+}
+
+/// State shared between a source thread and the engine.
+pub struct SourceShared {
+    /// The source's node id.
+    pub node: NodeId,
+    targets: RwLock<Vec<SourceTarget>>,
+    timeline: Mutex<TimeSeries>,
+    emitted: AtomicU64,
+    done: AtomicBool,
+}
+
+impl SourceShared {
+    /// Creates the shared state for one source.
+    pub fn new(node: NodeId, name: &str) -> Arc<SourceShared> {
+        Arc::new(SourceShared {
+            node,
+            targets: RwLock::new(Vec::new()),
+            timeline: Mutex::new(TimeSeries::new(name.to_string())),
+            emitted: AtomicU64::new(0),
+            done: AtomicBool::new(false),
+        })
+    }
+
+    /// Replaces the source's targets (mode switch; callers must have paused
+    /// the source first).
+    pub fn set_targets(&self, targets: Vec<SourceTarget>) {
+        *self.targets.write() = targets;
+    }
+
+    /// Elements emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted.load(Ordering::Acquire)
+    }
+
+    /// Whether the source has delivered everything including end-of-stream.
+    pub fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Snapshot of the source's `(wall time, cumulative emitted)` timeline.
+    /// Under direct interoperability this curve *is* the paper's Fig. 6
+    /// "input rate over time" measurement: when downstream processing stalls
+    /// the source thread, the curve's slope drops below the offered rate.
+    pub fn timeline(&self) -> TimeSeries {
+        self.timeline.lock().clone()
+    }
+}
+
+/// Configuration of one source thread.
+pub struct SourceDriverConfig {
+    /// Sleep/spin until each element's due time (false = emit as fast as
+    /// possible, for pure-throughput benchmarks).
+    pub pace: bool,
+    /// Record a timeline point every `n` elements (0 = auto from the
+    /// source's size hint).
+    pub sample_every: u64,
+    /// Emit a watermark each time stream time advances by this much (the
+    /// watermark equals the last emitted element's timestamp — valid
+    /// because sources emit in timestamp order).
+    pub watermark_interval: Option<Duration>,
+}
+
+impl Default for SourceDriverConfig {
+    fn default() -> Self {
+        SourceDriverConfig { pace: true, sample_every: 0, watermark_interval: None }
+    }
+}
+
+/// Sleeps (coarsely) then spins (finely) until `due` on `clock`. Sleeps are
+/// capped at 20 ms per round so an abort (or pause) is noticed promptly
+/// even when the emission schedule has long gaps.
+pub fn pace_until(clock: &dyn hmts_streams::time::Clock, due: Timestamp) {
+    pace_until_or_stop(clock, due, None)
+}
+
+/// Like [`pace_until`], returning early when `stop` is raised.
+pub fn pace_until_or_stop(
+    clock: &dyn hmts_streams::time::Clock,
+    due: Timestamp,
+    stop: Option<&StopFlag>,
+) {
+    loop {
+        if stop.is_some_and(|s| s.is_stopped()) {
+            return;
+        }
+        let now = clock.now();
+        if now >= due {
+            return;
+        }
+        let gap = due.since(now);
+        if gap > Duration::from_micros(500) {
+            let chunk = (gap - Duration::from_micros(200)).min(Duration::from_millis(20));
+            std::thread::sleep(chunk);
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Spawns the thread driving one source.
+#[allow(clippy::too_many_arguments)]
+pub fn spawn_source(
+    mut source: Box<dyn Source>,
+    shared: Arc<SourceShared>,
+    clock: SharedClock,
+    gate: Arc<PauseGate>,
+    stop: Arc<StopFlag>,
+    stats: Option<SharedNodeStats>,
+    cfg: SourceDriverConfig,
+) -> JoinHandle<()> {
+    gate.register();
+    let name = source.name().to_string();
+    std::thread::Builder::new()
+        .name(format!("hmts-src-{name}"))
+        .spawn(move || {
+            let sample_every = if cfg.sample_every > 0 {
+                cfg.sample_every
+            } else {
+                (source.size_hint().unwrap_or(0) / 4096).max(1)
+            };
+            let mut emitted = 0u64;
+            let mut last_watermark = Timestamp::ZERO;
+            while let Some((due, tuple)) = source.next() {
+                gate.checkpoint();
+                if stop.is_stopped() {
+                    break;
+                }
+                if cfg.pace {
+                    pace_until_or_stop(clock.as_ref(), due, Some(&stop));
+                    if stop.is_stopped() {
+                        break;
+                    }
+                }
+                if let Some(s) = &stats {
+                    s.lock().observe(due, None, 1);
+                }
+                deliver(&shared, due, tuple, &stop);
+                if let Some(interval) = cfg.watermark_interval {
+                    if due.since(last_watermark) >= interval {
+                        last_watermark = due;
+                        let wm = Message::Punct(
+                            hmts_streams::element::Punctuation::Watermark(due),
+                        );
+                        for t in shared.targets.read().iter() {
+                            send(t, wm.clone(), &stop);
+                        }
+                    }
+                }
+                emitted += 1;
+                shared.emitted.store(emitted, Ordering::Release);
+                if emitted % sample_every == 0 {
+                    shared.timeline.lock().record(clock.now(), emitted as f64);
+                }
+            }
+            // Final timeline point, then end-of-stream on every target.
+            shared.timeline.lock().record(clock.now(), emitted as f64);
+            for t in shared.targets.read().iter() {
+                send(t, Message::eos(), &stop);
+            }
+            shared.done.store(true, Ordering::Release);
+            gate.deregister();
+        })
+        .expect("spawn source thread")
+}
+
+fn deliver(shared: &SourceShared, due: Timestamp, tuple: Tuple, stop: &Arc<StopFlag>) {
+    let targets = shared.targets.read();
+    match targets.as_slice() {
+        [] => {}
+        [only] => send(only, Message::data(tuple, due), stop),
+        many => {
+            for t in many {
+                send(t, Message::data(tuple.clone(), due), stop);
+            }
+        }
+    }
+}
+
+fn send(target: &SourceTarget, msg: Message, stop: &Arc<StopFlag>) {
+    match target {
+        SourceTarget::Queue { queue, wake, .. } => {
+            let _ = queue.push(msg);
+            if let Some(w) = wake {
+                w.wake();
+            }
+        }
+        SourceTarget::Direct { exec, node, port } => {
+            // The chain reaction runs in this source thread. Afterwards,
+            // drain any queues internal to the domain so a multi-VO
+            // source-driven domain still makes progress.
+            let mut e = exec.lock();
+            e.inject(*node, *port, msg);
+            if e.has_work() {
+                let budget = Budget { stop: Some(Arc::clone(stop)), ..Budget::default() };
+                e.run_slice(&budget);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::executor::{ExecConfig, SlotInit, Target};
+    use crate::scheduler::strategy::StrategyKind;
+    use hmts_operators::expr::Expr;
+    use hmts_operators::filter::Filter;
+    use hmts_operators::sink::CollectingSink;
+    use hmts_operators::traits::{EosTracker, WatermarkTracker};
+    use hmts_streams::time::{ManualClock, SystemClock};
+    use hmts_workload::source::VecSource;
+
+    fn shared_clock() -> SharedClock {
+        Arc::new(SystemClock::new())
+    }
+
+    #[test]
+    fn source_pushes_to_queue_and_signals_eos() {
+        let q = StreamQueue::unbounded("q");
+        let shared = SourceShared::new(NodeId(0), "s");
+        shared.set_targets(vec![SourceTarget::Queue {
+            queue: Arc::clone(&q),
+            wake: None,
+            port: 0,
+        }]);
+        let src = VecSource::counting("s", 5, 1_000_000.0);
+        let gate = Arc::new(PauseGate::new());
+        let stop = Arc::new(StopFlag::new());
+        let h = spawn_source(
+            Box::new(src),
+            Arc::clone(&shared),
+            shared_clock(),
+            gate,
+            stop,
+            None,
+            SourceDriverConfig { pace: false, sample_every: 1, watermark_interval: None },
+        );
+        h.join().unwrap();
+        assert_eq!(shared.emitted(), 5);
+        assert!(shared.is_done());
+        assert_eq!(q.len(), 6); // 5 data + EOS
+        assert_eq!(shared.timeline().len(), 6); // 5 samples + final
+    }
+
+    #[test]
+    fn source_direct_drives_executor_inline() {
+        let (sink, handle) = CollectingSink::new("sink");
+        let slots = vec![
+            SlotInit {
+                node: NodeId(1),
+                op: Box::new(Filter::new("f", Expr::field(0).lt(Expr::int(3)))),
+                eos: EosTracker::new(1),
+                wm: WatermarkTracker::new(1),
+                closed: false,
+                targets: vec![Target::Inline { node: NodeId(2), port: 0 }],
+                stats: None,
+            },
+            SlotInit {
+                node: NodeId(2),
+                op: Box::new(sink),
+                eos: EosTracker::new(1),
+                wm: WatermarkTracker::new(1),
+                closed: false,
+                targets: vec![],
+                stats: None,
+            },
+        ];
+        let exec = Arc::new(Mutex::new(DomainExecutor::new(
+            "d",
+            slots,
+            vec![],
+            StrategyKind::Fifo.build(None),
+            ExecConfig::default(),
+        )));
+        let shared = SourceShared::new(NodeId(0), "s");
+        shared.set_targets(vec![SourceTarget::Direct {
+            exec: Arc::clone(&exec),
+            node: NodeId(1),
+            port: 0,
+        }]);
+        let gate = Arc::new(PauseGate::new());
+        let stop = Arc::new(StopFlag::new());
+        let h = spawn_source(
+            Box::new(VecSource::counting("s", 5, 1_000_000.0)),
+            Arc::clone(&shared),
+            shared_clock(),
+            gate,
+            stop,
+            None,
+            SourceDriverConfig { pace: false, sample_every: 0, watermark_interval: None },
+        );
+        h.join().unwrap();
+        // Values 0..5, filter keeps < 3.
+        assert_eq!(handle.count(), 3);
+        assert!(handle.is_done());
+        assert!(exec.lock().is_finished());
+    }
+
+    #[test]
+    fn pacing_respects_due_times() {
+        let clock: SharedClock = Arc::new(SystemClock::new());
+        let q = StreamQueue::unbounded("q");
+        let shared = SourceShared::new(NodeId(0), "s");
+        shared.set_targets(vec![SourceTarget::Queue {
+            queue: Arc::clone(&q),
+            wake: None,
+            port: 0,
+        }]);
+        // 5 elements at 100 el/s → at least 50 ms.
+        let src = VecSource::counting("s", 5, 100.0);
+        let gate = Arc::new(PauseGate::new());
+        let stop = Arc::new(StopFlag::new());
+        let t0 = std::time::Instant::now();
+        let h = spawn_source(
+            Box::new(src),
+            shared,
+            clock,
+            gate,
+            stop,
+            None,
+            SourceDriverConfig::default(),
+        );
+        h.join().unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(50));
+    }
+
+    #[test]
+    fn pace_until_handles_past_due_and_manual_clock() {
+        let clock = ManualClock::new();
+        clock.set(Timestamp::from_secs(10));
+        // Due in the past: returns immediately.
+        pace_until(&clock, Timestamp::from_secs(5));
+    }
+
+    #[test]
+    fn stats_record_offered_rate() {
+        let shared = SourceShared::new(NodeId(0), "s");
+        shared.set_targets(vec![]);
+        let stats: SharedNodeStats = Arc::new(Mutex::new(crate::stats::NodeStats::default()));
+        let gate = Arc::new(PauseGate::new());
+        let stop = Arc::new(StopFlag::new());
+        let h = spawn_source(
+            Box::new(VecSource::counting("s", 100, 1_000_000.0)),
+            shared,
+            shared_clock(),
+            gate,
+            stop,
+            Some(Arc::clone(&stats)),
+            SourceDriverConfig { pace: false, sample_every: 10, watermark_interval: None },
+        );
+        h.join().unwrap();
+        let s = stats.lock();
+        assert_eq!(s.processed, 100);
+        let rate = s.arrivals.rate().unwrap();
+        assert!((rate - 1_000_000.0).abs() < 100_000.0, "rate={rate}");
+    }
+
+    #[test]
+    fn stop_flag_aborts_emission() {
+        let q = StreamQueue::unbounded("q");
+        let shared = SourceShared::new(NodeId(0), "s");
+        shared.set_targets(vec![SourceTarget::Queue {
+            queue: Arc::clone(&q),
+            wake: None,
+            port: 0,
+        }]);
+        let gate = Arc::new(PauseGate::new());
+        let stop = Arc::new(StopFlag::new());
+        stop.stop();
+        let h = spawn_source(
+            Box::new(VecSource::counting("s", 1000, 10.0)), // would take 100 s
+            Arc::clone(&shared),
+            shared_clock(),
+            gate,
+            stop,
+            None,
+            SourceDriverConfig::default(),
+        );
+        h.join().unwrap();
+        assert!(shared.is_done()); // EOS still delivered
+        assert!(shared.emitted() < 1000);
+    }
+}

@@ -1,0 +1,68 @@
+//! Chain-based VO construction (after Babcock et al., SIGMOD 2003).
+//!
+//! The paper's §6.7: "an algorithm based on the chain strategy \[3\]. The
+//! latter removes queues if they belong to the same chain." Operators that
+//! share a lower-envelope *segment* of the Chain strategy's progress chart
+//! form one virtual operator. Like the segment strategy, this construction
+//! optimizes for memory (steep envelope descent), not for keeping VOs
+//! within their capacity — Fig. 11's point.
+
+use hmts_graph::cost::CostGraph;
+
+use crate::scheduler::chain::compute_chain_segments;
+
+/// Builds virtual operators from Chain envelope segments.
+pub fn chain_based(g: &CostGraph) -> Vec<Vec<usize>> {
+    compute_chain_segments(g).segments().to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(rate: f64, ops: &[(f64, f64)]) -> CostGraph {
+        let n = ops.len() + 1;
+        let mut edges = Vec::new();
+        let mut cost = vec![0.0];
+        let mut sel = vec![1.0];
+        let mut src = vec![Some(rate)];
+        for (i, &(c, s)) in ops.iter().enumerate() {
+            edges.push((i, i + 1));
+            cost.push(c);
+            sel.push(s);
+            src.push(None);
+        }
+        CostGraph::from_parts(n, edges, cost, sel, src)
+    }
+
+    #[test]
+    fn follows_envelope_segments() {
+        // Paper Fig. 9 shape: projection + cheap selective filter form one
+        // segment, the expensive filter another.
+        let g = chain(250.0, &[(2.7e-6, 1.0), (530e-9, 9e-4), (2.0, 0.3)]);
+        let groups = chain_based(&g);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0], vec![1, 2]);
+        assert_eq!(groups[1], vec![3]);
+    }
+
+    #[test]
+    fn can_produce_overloaded_vos() {
+        // A steep combined descent merges an operator pair even when the
+        // pair cannot keep pace with the input rate.
+        let g = chain(1000.0, &[(1e-4, 0.9), (8e-4, 0.001)]);
+        let groups = chain_based(&g);
+        assert_eq!(groups.len(), 1, "one envelope segment: {groups:?}");
+        let d = g.interarrival_times();
+        assert!(g.capacity(&groups[0], &d) < 0.0);
+    }
+
+    #[test]
+    fn covers_all_operators() {
+        let g = chain(10.0, &[(1e-6, 0.5), (1e-3, 1.0), (1e-6, 0.1)]);
+        let groups = chain_based(&g);
+        let mut all: Vec<usize> = groups.iter().flatten().copied().collect();
+        all.sort();
+        assert_eq!(all, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,197 @@
+//! Exhaustive optimal queue placement for tiny graphs.
+//!
+//! Solves the paper's formal problem (§5.1.2) exactly: minimize the number
+//! of partitions subject to (a) every partition being weakly connected and
+//! (b) `cap(Pᵢ) ≥ 0` for every partition — by branch-and-bound over
+//! connected set partitions. Exponential; intended as ground truth for unit
+//! and property tests of the heuristics (≈ a dozen operators at most).
+//!
+//! When even the all-singleton partitioning violates `cap ≥ 0` (some single
+//! operator cannot keep pace on its own), the instance is infeasible and
+//! `None` is returned — a heuristic must still produce *something* then,
+//! but there is no optimum to compare against.
+
+use hmts_graph::cost::CostGraph;
+
+/// Finds a minimum-cardinality feasible partitioning, or `None` if even
+/// singletons are infeasible.
+pub fn exhaustive_optimal(g: &CostGraph) -> Option<Vec<Vec<usize>>> {
+    let ops = g.operators();
+    let d = g.interarrival_times();
+    if ops.is_empty() {
+        return Some(Vec::new());
+    }
+    // Feasibility requires every singleton to be feasible (capacity is
+    // monotonically non-increasing under merging? Not in general — but a
+    // singleton with negative capacity can never be "rescued": adding nodes
+    // adds cost and arrival rate, both of which reduce capacity).
+    for &v in &ops {
+        if g.capacity(&[v], &d) < 0.0 {
+            return None;
+        }
+    }
+
+    // Branch and bound: assign operators (in a fixed order) either to an
+    // existing compatible group or to a new group.
+    struct Search<'a> {
+        g: &'a CostGraph,
+        d: &'a [f64],
+        ops: &'a [usize],
+        best: Option<Vec<Vec<usize>>>,
+    }
+
+    impl Search<'_> {
+        /// Weak connectivity of a completed group. Connectivity cannot be
+        /// enforced during construction: in a diamond `b ← a → c`, the
+        /// group `{b, c, d}` (with `b → d ← c`) only becomes connected once
+        /// `d` joins, so intermediate states may be disconnected.
+        fn connected(&self, group: &[usize]) -> bool {
+            let set: std::collections::HashSet<usize> = group.iter().copied().collect();
+            let mut visited = std::collections::HashSet::new();
+            let mut stack = vec![group[0]];
+            visited.insert(group[0]);
+            while let Some(v) = stack.pop() {
+                for &m in self.g.successors(v).iter().chain(self.g.predecessors(v)) {
+                    if set.contains(&m) && visited.insert(m) {
+                        stack.push(m);
+                    }
+                }
+            }
+            visited.len() == group.len()
+        }
+
+        /// Capacity feasibility — monotone under adding nodes (every added
+        /// node adds cost and arrival rate), so pruning mid-construction is
+        /// sound.
+        fn feasible(&self, group: &[usize]) -> bool {
+            self.g.capacity(group, self.d) >= 0.0
+        }
+
+        fn recurse(&mut self, i: usize, groups: &mut Vec<Vec<usize>>) {
+            if let Some(best) = &self.best {
+                if groups.len() >= best.len() {
+                    return; // bound: can only get worse
+                }
+            }
+            let Some(&v) = self.ops.get(i) else {
+                // All assigned and strictly better than the incumbent;
+                // accept if every group ended up connected.
+                if groups.iter().all(|g| self.connected(g)) {
+                    self.best = Some(groups.clone());
+                }
+                return;
+            };
+            for gi in 0..groups.len() {
+                groups[gi].push(v);
+                if self.feasible(&groups[gi]) {
+                    self.recurse(i + 1, groups);
+                }
+                groups[gi].pop();
+            }
+            // New group (singletons are pre-checked feasible).
+            groups.push(vec![v]);
+            self.recurse(i + 1, groups);
+            groups.pop();
+        }
+    }
+
+    // Assign in topological-ish (index) order so connectivity checks find
+    // already-placed neighbours.
+    let order = g
+        .topological_order()
+        .expect("cost graph must be acyclic")
+        .into_iter()
+        .filter(|&v| !g.is_source(v))
+        .collect::<Vec<_>>();
+    let mut search = Search { g, d: &d, ops: &order, best: None };
+    let mut groups = Vec::new();
+    search.recurse(0, &mut groups);
+    search.best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::stall_avoiding::stall_avoiding;
+
+    fn chain(rate: f64, ops: &[(f64, f64)]) -> CostGraph {
+        let n = ops.len() + 1;
+        let mut edges = Vec::new();
+        let mut cost = vec![0.0];
+        let mut sel = vec![1.0];
+        let mut src = vec![Some(rate)];
+        for (i, &(c, s)) in ops.iter().enumerate() {
+            edges.push((i, i + 1));
+            cost.push(c);
+            sel.push(s);
+            src.push(None);
+        }
+        CostGraph::from_parts(n, edges, cost, sel, src)
+    }
+
+    #[test]
+    fn cheap_chain_optimal_is_one_partition() {
+        let g = chain(100.0, &[(1e-6, 1.0), (1e-6, 1.0), (1e-6, 1.0)]);
+        let opt = exhaustive_optimal(&g).unwrap();
+        assert_eq!(opt.len(), 1);
+    }
+
+    #[test]
+    fn capacity_forces_split() {
+        // Two ops, each alone feasible, together not (see stall_avoiding
+        // tests for the arithmetic).
+        let g = chain(1000.0, &[(4e-4, 1.0), (4e-4, 1.0)]);
+        let opt = exhaustive_optimal(&g).unwrap();
+        assert_eq!(opt.len(), 2);
+    }
+
+    #[test]
+    fn infeasible_singleton_returns_none() {
+        let g = chain(1000.0, &[(0.1, 1.0)]);
+        assert!(exhaustive_optimal(&g).is_none());
+    }
+
+    #[test]
+    fn partitions_are_connected() {
+        let g = chain(100.0, &[(1e-3, 0.5); 5]);
+        let opt = exhaustive_optimal(&g).unwrap();
+        // On a chain, connected groups are contiguous index ranges.
+        for group in &opt {
+            let mut sorted = group.clone();
+            sorted.sort();
+            for w in sorted.windows(2) {
+                assert_eq!(w[1], w[0] + 1, "contiguous: {sorted:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn heuristic_never_beats_optimal() {
+        for seed in 0..5u64 {
+            // Small random-ish chains with varying feasibility.
+            let ops: Vec<(f64, f64)> = (0..6)
+                .map(|i| {
+                    let c = 1e-5 * ((seed + i as u64) % 7 + 1) as f64 * 10.0;
+                    let s = 0.3 + 0.1 * ((seed + i as u64) % 5) as f64;
+                    (c, s)
+                })
+                .collect();
+            let g = chain(200.0, &ops);
+            if let Some(opt) = exhaustive_optimal(&g) {
+                let heur = stall_avoiding(&g);
+                assert!(
+                    heur.len() >= opt.len(),
+                    "seed {seed}: heuristic {} < optimal {}",
+                    heur.len(),
+                    opt.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CostGraph::from_parts(1, vec![], vec![0.0], vec![1.0], vec![Some(1.0)]);
+        assert_eq!(exhaustive_optimal(&g), Some(vec![]));
+    }
+}

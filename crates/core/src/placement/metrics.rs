@@ -1,0 +1,119 @@
+//! Evaluation of VO constructions — the measurement behind the paper's
+//! Fig. 11.
+//!
+//! "Negative capacity means that a VO stalls incoming elements, while a
+//! positive capacity means that the VO is not fully utilized." (§6.7)
+//! Fig. 11 reports, per construction algorithm, the average capacity of the
+//! produced VOs with negative and positive parts shown separately.
+
+use hmts_graph::cost::CostGraph;
+
+/// Capacity summary of one partitioning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacityReport {
+    /// Number of virtual operators produced.
+    pub vos: usize,
+    /// VOs with negative capacity (they stall).
+    pub negative_vos: usize,
+    /// VOs with positive (or zero) capacity.
+    pub positive_vos: usize,
+    /// Mean capacity over the negative VOs, in seconds (0 if none).
+    pub avg_negative_capacity: f64,
+    /// Mean capacity over the non-negative, finite VOs, in seconds
+    /// (0 if none).
+    pub avg_positive_capacity: f64,
+    /// Mean capacity over all finite VOs, in seconds.
+    pub avg_capacity: f64,
+}
+
+/// Evaluates a partitioning's capacities on a cost graph. VOs with infinite
+/// capacity (no input at all) are counted as positive but excluded from the
+/// averages.
+pub fn evaluate(g: &CostGraph, groups: &[Vec<usize>]) -> CapacityReport {
+    let d = g.interarrival_times();
+    let mut negative = Vec::new();
+    let mut positive = Vec::new();
+    let mut positive_infinite = 0usize;
+    for group in groups {
+        let cap = g.capacity(group, &d);
+        if cap < 0.0 {
+            negative.push(cap);
+        } else if cap.is_finite() {
+            positive.push(cap);
+        } else {
+            positive_infinite += 1;
+        }
+    }
+    let mean = |xs: &[f64]| if xs.is_empty() { 0.0 } else { xs.iter().sum::<f64>() / xs.len() as f64 };
+    let finite: Vec<f64> = negative.iter().chain(positive.iter()).copied().collect();
+    CapacityReport {
+        vos: groups.len(),
+        negative_vos: negative.len(),
+        positive_vos: positive.len() + positive_infinite,
+        avg_negative_capacity: mean(&negative),
+        avg_positive_capacity: mean(&positive),
+        avg_capacity: mean(&finite),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph() -> CostGraph {
+        // src(1000/s) -> cheap(1e-4) -> expensive(2e-3), selectivity 1.
+        CostGraph::from_parts(
+            3,
+            vec![(0, 1), (1, 2)],
+            vec![0.0, 1e-4, 2e-3],
+            vec![1.0, 1.0, 1.0],
+            vec![Some(1000.0), None, None],
+        )
+    }
+
+    #[test]
+    fn classifies_positive_and_negative_vos() {
+        let g = graph();
+        // {cheap}: cap = 1e-3 - 1e-4 = 9e-4 > 0.
+        // {expensive}: cap = 1e-3 - 2e-3 = -1e-3 < 0.
+        let report = evaluate(&g, &[vec![1], vec![2]]);
+        assert_eq!(report.vos, 2);
+        assert_eq!(report.negative_vos, 1);
+        assert_eq!(report.positive_vos, 1);
+        assert!((report.avg_negative_capacity + 1e-3).abs() < 1e-12);
+        assert!((report.avg_positive_capacity - 9e-4).abs() < 1e-12);
+        assert!((report.avg_capacity - (-1e-3 + 9e-4) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merged_vo_capacity() {
+        let g = graph();
+        // {cheap, expensive}: d = 1/2000, c = 2.1e-3 → cap = -1.6e-3.
+        let report = evaluate(&g, &[vec![1, 2]]);
+        assert_eq!(report.vos, 1);
+        assert_eq!(report.negative_vos, 1);
+        assert!((report.avg_negative_capacity + 1.6e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infinite_capacity_counts_positive_but_not_in_average() {
+        // An unreachable operator (no input) has infinite capacity.
+        let g = CostGraph::from_parts(
+            3,
+            vec![(0, 1)],
+            vec![0.0, 1e-4, 1e-4],
+            vec![1.0, 1.0, 1.0],
+            vec![Some(1000.0), None, None],
+        );
+        let report = evaluate(&g, &[vec![1], vec![2]]);
+        assert_eq!(report.positive_vos, 2);
+        assert!((report.avg_positive_capacity - 9e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_partitioning() {
+        let report = evaluate(&graph(), &[]);
+        assert_eq!(report.vos, 0);
+        assert_eq!(report.avg_capacity, 0.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! The simplified segment strategy's VO construction
+//! (after Jiang & Chakravarthy, BNCOD 2004).
+//!
+//! The cited work splits each operator *path* into segments; operators
+//! within a segment share no queues, so each segment forms a virtual
+//! operator. Its construction is structural and memory-oriented: a segment
+//! grows along a path while each added operator keeps *releasing memory*
+//! (selectivity < 1); a non-reducing operator (selectivity ≥ 1) starts a
+//! new segment, as do fan-in/fan-out points (paths end there).
+//!
+//! This interpretation is documented in DESIGN.md: the key property the
+//! paper's Fig. 11 exercises is that the segment strategy ignores *rates
+//! and costs* when merging — which is exactly why it produces VOs with
+//! substantially more negative capacity than the stall-avoiding Algorithm 1.
+
+use hmts_graph::cost::CostGraph;
+
+use crate::scheduler::chain::unary_chains;
+
+/// Builds virtual operators with the simplified segment strategy.
+pub fn simplified_segment(g: &CostGraph) -> Vec<Vec<usize>> {
+    let mut groups = Vec::new();
+    for chain in unary_chains(g) {
+        let mut current: Vec<usize> = Vec::new();
+        for v in chain {
+            if current.is_empty() {
+                current.push(v);
+                continue;
+            }
+            if g.selectivity(v) < 1.0 {
+                // Still releasing memory: extend the segment.
+                current.push(v);
+            } else {
+                groups.push(std::mem::take(&mut current));
+                current.push(v);
+            }
+        }
+        if !current.is_empty() {
+            groups.push(current);
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(rate: f64, ops: &[(f64, f64)]) -> CostGraph {
+        let n = ops.len() + 1;
+        let mut edges = Vec::new();
+        let mut cost = vec![0.0];
+        let mut sel = vec![1.0];
+        let mut src = vec![Some(rate)];
+        for (i, &(c, s)) in ops.iter().enumerate() {
+            edges.push((i, i + 1));
+            cost.push(c);
+            sel.push(s);
+            src.push(None);
+        }
+        CostGraph::from_parts(n, edges, cost, sel, src)
+    }
+
+    #[test]
+    fn reducing_chain_is_one_segment() {
+        let g = chain(100.0, &[(1e-6, 0.5), (1e-6, 0.5), (1e-6, 0.5)]);
+        let groups = simplified_segment(&g);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0], vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn non_reducing_operator_starts_new_segment() {
+        // selective, selective, expanding(1.0), selective.
+        let g = chain(100.0, &[(1e-6, 0.5), (1e-6, 0.5), (1e-6, 1.0), (1e-6, 0.5)]);
+        let groups = simplified_segment(&g);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0], vec![1, 2]);
+        assert_eq!(groups[1], vec![3, 4]);
+    }
+
+    #[test]
+    fn ignores_costs_entirely() {
+        // An outrageously expensive selective operator is still merged —
+        // the structural weakness the paper's Fig. 11 exposes.
+        let g = chain(1000.0, &[(1e-6, 0.5), (10.0, 0.5)]);
+        let groups = simplified_segment(&g);
+        assert_eq!(groups.len(), 1);
+        let d = g.interarrival_times();
+        assert!(g.capacity(&groups[0], &d) < 0.0, "segment strategy stalls");
+    }
+
+    #[test]
+    fn paths_break_at_fanout() {
+        // src -> a -> {b, c}.
+        let g = CostGraph::from_parts(
+            4,
+            vec![(0, 1), (1, 2), (1, 3)],
+            vec![0.0, 1e-6, 1e-6, 1e-6],
+            vec![1.0, 0.5, 0.5, 0.5],
+            vec![Some(10.0), None, None, None],
+        );
+        let groups = simplified_segment(&g);
+        assert_eq!(groups.len(), 3);
+    }
+
+    #[test]
+    fn covers_all_operators() {
+        let g = chain(100.0, &[(1e-6, 0.5), (1e-6, 1.0), (1e-6, 0.9), (1e-6, 1.0)]);
+        let groups = simplified_segment(&g);
+        let mut all: Vec<usize> = groups.iter().flatten().copied().collect();
+        all.sort();
+        assert_eq!(all, vec![1, 2, 3, 4]);
+    }
+}

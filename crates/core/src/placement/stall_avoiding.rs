@@ -1,0 +1,245 @@
+//! The paper's Algorithm 1: stall-avoiding static queue placement.
+//!
+//! The idea (§5.1.1): grow each virtual operator as long as it "can keep
+//! pace with the input rates" — i.e. as long as its capacity
+//! `cap(P) = d(P) − c(P)` stays non-negative — and decouple (place a queue)
+//! wherever merging would turn the capacity negative.
+//!
+//! The algorithm traverses the graph bottom-up from the sources. For each
+//! node it considers the node's predecessors *in descending order of their
+//! current partition's capacity* (first-fit-decreasing — the paper notes
+//! this yields a `1 + ln |partition|` approximation per partition) and
+//! merges the predecessor's whole partition into the node's whenever the
+//! combined capacity remains non-negative. Edges to predecessors that were
+//! not merged receive queues; the final virtual operators are the connected
+//! components of queue-free edges.
+
+use std::collections::VecDeque;
+
+use hmts_graph::cost::CostGraph;
+
+/// Running capacity bookkeeping of one growing partition: capacities do not
+/// compose from `cap` values alone, so we track `(c, Σ 1/d)` exactly.
+#[derive(Debug, Clone)]
+struct PartState {
+    nodes: Vec<usize>,
+    c: f64,
+    inv_d: f64,
+}
+
+impl PartState {
+    fn cap(&self) -> f64 {
+        if self.inv_d == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / self.inv_d - self.c
+        }
+    }
+
+    fn merged_cap(&self, other: &PartState) -> f64 {
+        let inv_d = self.inv_d + other.inv_d;
+        let c = self.c + other.c;
+        if inv_d == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / inv_d - c
+        }
+    }
+}
+
+/// Runs Algorithm 1 on a cost graph, returning the virtual operators as
+/// groups of operator indices (sources are never partitioned).
+pub fn stall_avoiding(g: &CostGraph) -> Vec<Vec<usize>> {
+    let n = g.node_count();
+    let d = g.interarrival_times();
+
+    // part_of[v]: current partition id of operator v (usize::MAX = none yet).
+    let mut part_of = vec![usize::MAX; n];
+    let mut parts: Vec<Option<PartState>> = Vec::new();
+
+    let inv_d = |v: usize| if d[v].is_finite() { 1.0 / d[v] } else { 0.0 };
+
+    // Bottom-up BFS from the sources (the paper's todo/done lists).
+    let mut todo: VecDeque<usize> = g.sources().into();
+    let mut done = vec![false; n];
+    for &s in &g.sources() {
+        done[s] = true;
+    }
+    while let Some(node) = todo.pop_front() {
+        for &succ in g.successors(node) {
+            if !done[succ] {
+                done[succ] = true;
+                todo.push_back(succ);
+            }
+        }
+        if g.is_source(node) {
+            continue;
+        }
+        // Start this node's partition.
+        let pid = parts.len();
+        parts.push(Some(PartState {
+            nodes: vec![node],
+            c: g.cost(node),
+            inv_d: inv_d(node),
+        }));
+        part_of[node] = pid;
+
+        // Candidate predecessors: operator predecessors that already have a
+        // partition, sorted descending by that partition's capacity
+        // (first-fit-decreasing).
+        let mut preds: Vec<usize> = g
+            .predecessors(node)
+            .iter()
+            .copied()
+            .filter(|&p| !g.is_source(p) && part_of[p] != usize::MAX)
+            .collect();
+        preds.sort_by(|&a, &b| {
+            let ca = parts[part_of[a]].as_ref().map_or(f64::NEG_INFINITY, |p| p.cap());
+            let cb = parts[part_of[b]].as_ref().map_or(f64::NEG_INFINITY, |p| p.cap());
+            cb.partial_cmp(&ca).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for p in preds {
+            let p_pid = part_of[p];
+            let my_pid = part_of[node];
+            if p_pid == my_pid {
+                continue; // already merged via another predecessor
+            }
+            let (mine, theirs) = (
+                parts[my_pid].as_ref().expect("live partition"),
+                parts[p_pid].as_ref().expect("live partition"),
+            );
+            if mine.merged_cap(theirs) >= 0.0 {
+                // Merge the predecessor's whole partition into ours.
+                let theirs = parts[p_pid].take().expect("live partition");
+                let mine = parts[my_pid].as_mut().expect("live partition");
+                mine.c += theirs.c;
+                mine.inv_d += theirs.inv_d;
+                for &v in &theirs.nodes {
+                    part_of[v] = my_pid;
+                }
+                mine.nodes.extend(theirs.nodes);
+            }
+            // else: the edge p -> node keeps its queue (decoupled).
+        }
+    }
+
+    parts.into_iter().flatten().map(|p| p.nodes).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::metrics::evaluate;
+
+    /// src(rate) -> chain of (cost, selectivity) operators.
+    fn chain(rate: f64, ops: &[(f64, f64)]) -> CostGraph {
+        let n = ops.len() + 1;
+        let mut edges = Vec::new();
+        let mut cost = vec![0.0];
+        let mut sel = vec![1.0];
+        let mut src = vec![Some(rate)];
+        for (i, &(c, s)) in ops.iter().enumerate() {
+            edges.push((i, i + 1));
+            cost.push(c);
+            sel.push(s);
+            src.push(None);
+        }
+        CostGraph::from_parts(n, edges, cost, sel, src)
+    }
+
+    fn find_group(groups: &[Vec<usize>], v: usize) -> &[usize] {
+        groups.iter().find(|g| g.contains(&v)).expect("node covered")
+    }
+
+    #[test]
+    fn cheap_chain_merges_into_one_vo() {
+        // 100 el/s, three 1 µs selections: ample capacity everywhere.
+        let g = chain(100.0, &[(1e-6, 1.0), (1e-6, 1.0), (1e-6, 1.0)]);
+        let groups = stall_avoiding(&g);
+        assert_eq!(groups.len(), 1);
+        let mut vo = groups[0].clone();
+        vo.sort();
+        assert_eq!(vo, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn expensive_operator_is_decoupled() {
+        // The paper's §5.1.1 example shape: cheap unary chain, then an
+        // expensive aggregation that cannot keep pace when merged.
+        // 100 el/s: cheap ops 10 µs; expensive op 20 ms (cap alone:
+        // 0.01 - 0.02 < 0 — always stalls, but must still not drag the
+        // cheap chain down).
+        let g = chain(100.0, &[(1e-5, 1.0), (1e-5, 1.0), (0.02, 1.0)]);
+        let groups = stall_avoiding(&g);
+        assert_eq!(groups.len(), 2);
+        let cheap = find_group(&groups, 1);
+        assert!(cheap.contains(&2));
+        assert!(!cheap.contains(&3));
+    }
+
+    #[test]
+    fn merge_happens_only_while_capacity_stays_nonnegative() {
+        // 1000 el/s (d = 1 ms). Each op costs 0.4 ms. One op: cap = 0.6 ms.
+        // Two ops merged: d(P) = 0.5 ms, c = 0.8 ms → cap < 0. So each op
+        // must stay alone.
+        let g = chain(1000.0, &[(4e-4, 1.0), (4e-4, 1.0)]);
+        let groups = stall_avoiding(&g);
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn selectivity_reduces_downstream_load_enabling_merges() {
+        // 1000 el/s into a 0.9 ms selection with selectivity 0.01; the
+        // downstream op sees only 10 el/s, so merging stays feasible:
+        // merged: Σ1/d = 1000 + 10 = 1010 → d(P) ≈ 0.99 ms; c = 0.99 ms.
+        let g = chain(1000.0, &[(9e-4, 0.01), (9e-6, 1.0)]);
+        let groups = stall_avoiding(&g);
+        assert_eq!(groups.len(), 1, "groups: {groups:?}");
+    }
+
+    #[test]
+    fn all_operators_covered_exactly_once() {
+        let g = chain(100.0, &[(1e-5, 0.5); 6]);
+        let groups = stall_avoiding(&g);
+        let mut all: Vec<usize> = groups.iter().flatten().copied().collect();
+        all.sort();
+        assert_eq!(all, (1..=6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fanin_merges_both_branches_when_feasible() {
+        // Two sources -> two cheap filters -> union-ish cheap node.
+        let g = CostGraph::from_parts(
+            5,
+            vec![(0, 2), (1, 3), (2, 4), (3, 4)],
+            vec![0.0, 0.0, 1e-6, 1e-6, 1e-6],
+            vec![1.0, 1.0, 1.0, 1.0, 1.0],
+            vec![Some(10.0), Some(10.0), None, None, None],
+        );
+        let groups = stall_avoiding(&g);
+        // Everything is cheap: one VO spanning the fan-in — exactly what
+        // pull-based VOs cannot express (paper §3.4) and push-based can.
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 3);
+    }
+
+    #[test]
+    fn produced_vos_have_nonnegative_capacity_when_singletons_do() {
+        // If every singleton has cap ≥ 0, merging only happens when the
+        // combination keeps cap ≥ 0, so every resulting VO has cap ≥ 0.
+        let g = chain(100.0, &[(1e-3, 0.5), (1e-3, 0.5), (1e-3, 0.5), (1e-3, 0.5)]);
+        let d = g.interarrival_times();
+        for v in g.operators() {
+            assert!(g.capacity(&[v], &d) >= 0.0, "singleton {v} feasible");
+        }
+        let groups = stall_avoiding(&g);
+        let report = evaluate(&g, &groups);
+        assert_eq!(report.negative_vos, 0, "groups: {groups:?}");
+    }
+
+    #[test]
+    fn empty_operator_set_yields_no_partitions() {
+        let g = CostGraph::from_parts(1, vec![], vec![0.0], vec![1.0], vec![Some(1.0)]);
+        assert!(stall_avoiding(&g).is_empty());
+    }
+}

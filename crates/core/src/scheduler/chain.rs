@@ -1,0 +1,275 @@
+//! Chain scheduling segments (Babcock, Babu, Datar, Motwani — SIGMOD 2003).
+//!
+//! The Chain strategy partitions each operator path into *segments* along
+//! the lower envelope of the path's progress chart and always advances the
+//! tuple whose next segment has the steepest envelope slope — this is
+//! near-optimal for memory. The paper under reproduction uses Chain both as
+//! a GTS scheduling strategy (§6.6) and — via "operators in the same chain
+//! segment share a VO" — as a queue-placement baseline (§6.7).
+//!
+//! The progress chart of a path `o₁ … o_k` is the polyline through points
+//! `P₀ = (0, 1)` and `Pᵢ = (Σ_{j≤i} c(o_j), Π_{j≤i} s(o_j))`: time invested
+//! against remaining tuple "size" (survival probability). The lower envelope
+//! greedily jumps to the point minimizing the slope; each jump is one
+//! segment, whose *priority* is the steepness of its descent.
+//!
+//! Chain is defined on operator *paths*. For general DAGs we follow the
+//! standard practice of decomposing the operator subgraph into maximal
+//! unary chains (broken at fan-in, fan-out, and source boundaries) and
+//! computing the envelope per chain; see DESIGN.md.
+
+use hmts_graph::cost::CostGraph;
+
+/// The chain-segment decomposition of a cost graph.
+#[derive(Debug, Clone)]
+pub struct ChainSegments {
+    /// For each node index: the segment it belongs to (`None` for sources).
+    seg_of: Vec<Option<usize>>,
+    /// Per-segment priority: the (positive) steepness of the segment's
+    /// envelope descent; higher means schedule first.
+    priority: Vec<f64>,
+    /// Per-segment member nodes, upstream first.
+    segments: Vec<Vec<usize>>,
+}
+
+impl ChainSegments {
+    /// The segment of node `v`, if `v` is an operator.
+    pub fn segment_of(&self, v: usize) -> Option<usize> {
+        self.seg_of.get(v).copied().flatten()
+    }
+
+    /// The scheduling priority of node `v` (its segment's priority);
+    /// `f64::NEG_INFINITY` for sources.
+    pub fn priority_of(&self, v: usize) -> f64 {
+        match self.segment_of(v) {
+            Some(s) => self.priority[s],
+            None => f64::NEG_INFINITY,
+        }
+    }
+
+    /// All segments (member node indices, upstream first).
+    pub fn segments(&self) -> &[Vec<usize>] {
+        &self.segments
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether there are no segments (graph without operators).
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+}
+
+/// Decomposes the operator subgraph into maximal unary chains: a node
+/// continues its predecessor's chain iff it has exactly one operator
+/// predecessor and that predecessor has exactly one successor.
+pub fn unary_chains(g: &CostGraph) -> Vec<Vec<usize>> {
+    let mut chains: Vec<Vec<usize>> = Vec::new();
+    let order = g.topological_order().expect("cost graph must be acyclic");
+    let mut chain_of: Vec<Option<usize>> = vec![None; g.node_count()];
+    for v in order {
+        if g.is_source(v) {
+            continue;
+        }
+        let op_preds: Vec<usize> =
+            g.predecessors(v).iter().copied().filter(|&p| !g.is_source(p)).collect();
+        let extend = match op_preds.as_slice() {
+            [p] if g.successors(*p).len() == 1 && g.predecessors(v).len() == 1 => {
+                chain_of[*p]
+            }
+            _ => None,
+        };
+        match extend {
+            Some(c) => {
+                chains[c].push(v);
+                chain_of[v] = Some(c);
+            }
+            None => {
+                chain_of[v] = Some(chains.len());
+                chains.push(vec![v]);
+            }
+        }
+    }
+    chains
+}
+
+/// Computes Chain segments and priorities for a cost graph.
+pub fn compute_chain_segments(g: &CostGraph) -> ChainSegments {
+    let mut seg_of = vec![None; g.node_count()];
+    let mut priority = Vec::new();
+    let mut segments = Vec::new();
+
+    for chain in unary_chains(g) {
+        // Progress chart for this chain.
+        let mut points = Vec::with_capacity(chain.len() + 1);
+        points.push((0.0f64, 1.0f64));
+        let (mut t, mut s) = (0.0, 1.0);
+        for &v in &chain {
+            t += g.cost(v);
+            s *= g.selectivity(v);
+            points.push((t, s));
+        }
+        // Lower envelope: from anchor q, jump to the j > q with minimal
+        // slope (ties: farthest point). Zero-width descents count as
+        // infinitely steep.
+        let mut q = 0;
+        while q < chain.len() {
+            let (tq, sq) = points[q];
+            let mut best_j = q + 1;
+            let mut best_slope = slope(points[q + 1], (tq, sq));
+            for (j, &p) in points.iter().enumerate().skip(q + 2) {
+                let sl = slope(p, (tq, sq));
+                if sl <= best_slope {
+                    best_slope = sl;
+                    best_j = j;
+                }
+            }
+            let seg_id = segments.len();
+            let members: Vec<usize> = chain[q..best_j].to_vec();
+            for &v in &members {
+                seg_of[v] = Some(seg_id);
+            }
+            segments.push(members);
+            priority.push(-best_slope);
+            q = best_j;
+        }
+    }
+    ChainSegments { seg_of, priority, segments }
+}
+
+fn slope((tj, sj): (f64, f64), (tq, sq): (f64, f64)) -> f64 {
+    let dt = tj - tq;
+    let ds = sj - sq;
+    if dt <= 0.0 {
+        // A free descent (zero-cost operator): infinitely steep when the
+        // size drops, infinitely flat-but-preferable otherwise.
+        if ds < 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        ds / dt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// src(rate r) -> chain of ops with (cost, selectivity).
+    fn chain_graph(ops: &[(f64, f64)]) -> CostGraph {
+        let n = ops.len() + 1;
+        let mut edges = Vec::new();
+        let mut cost = vec![0.0];
+        let mut sel = vec![1.0];
+        let mut src = vec![Some(100.0)];
+        for (i, &(c, s)) in ops.iter().enumerate() {
+            edges.push((i, i + 1));
+            cost.push(c);
+            sel.push(s);
+            src.push(None);
+        }
+        CostGraph::from_parts(n, edges, cost, sel, src)
+    }
+
+    #[test]
+    fn single_operator_is_one_segment() {
+        let g = chain_graph(&[(1.0, 0.5)]);
+        let cs = compute_chain_segments(&g);
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs.segments()[0], vec![1]);
+        assert_eq!(cs.segment_of(1), Some(0));
+        assert_eq!(cs.segment_of(0), None); // source
+        assert!((cs.priority_of(1) - 0.5).abs() < 1e-12); // slope -0.5/1.0
+        assert_eq!(cs.priority_of(0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn selective_cheap_then_expensive_splits() {
+        // o1: cheap and selective (drops to 0.1 in 1 unit);
+        // o2: expensive and non-selective (10 units, keeps everything).
+        // Envelope: steep first segment {o1}, flat second {o2}.
+        let g = chain_graph(&[(1.0, 0.1), (10.0, 1.0)]);
+        let cs = compute_chain_segments(&g);
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs.segments()[0], vec![1]);
+        assert_eq!(cs.segments()[1], vec![2]);
+        assert!(cs.priority_of(1) > cs.priority_of(2));
+    }
+
+    #[test]
+    fn envelope_merges_when_later_point_is_steeper() {
+        // o1 barely filters (1.0, 0.9); o2 filters hard (1.0, 0.01 rel).
+        // Combined descent from start to after-o2 is steeper than after-o1
+        // alone → one segment {o1, o2}.
+        let g = chain_graph(&[(1.0, 0.9), (1.0, 0.01)]);
+        let cs = compute_chain_segments(&g);
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs.segments()[0], vec![1, 2]);
+        assert_eq!(cs.segment_of(1), cs.segment_of(2));
+    }
+
+    #[test]
+    fn paper_fig9_grouping() {
+        // §6.6: Chain "splits the graph in two groups, the first consisting
+        // of the projection and the following selection and the second
+        // consisting of the remaining selection".
+        let g = chain_graph(&[(2.7e-6, 1.0), (530e-9, 9e-4), (2.0, 0.3)]);
+        let cs = compute_chain_segments(&g);
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs.segments()[0], vec![1, 2]); // projection + cheap sel
+        assert_eq!(cs.segments()[1], vec![3]); // expensive sel
+        assert!(cs.priority_of(1) > cs.priority_of(3));
+    }
+
+    #[test]
+    fn chains_break_at_fanout_and_fanin() {
+        // src -> a -> {b, c}; b,c -> (no join; two leaves)
+        let g = CostGraph::from_parts(
+            4,
+            vec![(0, 1), (1, 2), (1, 3)],
+            vec![0.0, 1.0, 1.0, 1.0],
+            vec![1.0, 0.5, 0.5, 0.5],
+            vec![Some(10.0), None, None, None],
+        );
+        let chains = unary_chains(&g);
+        assert_eq!(chains.len(), 3); // {a}, {b}, {c}
+        let cs = compute_chain_segments(&g);
+        assert_eq!(cs.len(), 3);
+    }
+
+    #[test]
+    fn fanin_starts_new_chain() {
+        // s1 -> a, s2 -> b, {a, b} -> j -> f
+        let g = CostGraph::from_parts(
+            6,
+            vec![(0, 2), (1, 3), (2, 4), (3, 4), (4, 5)],
+            vec![0.0, 0.0, 1.0, 1.0, 1.0, 1.0],
+            vec![1.0, 1.0, 0.5, 0.5, 0.5, 0.5],
+            vec![Some(1.0), Some(1.0), None, None, None, None],
+        );
+        let chains = unary_chains(&g);
+        // {a}, {b}, {j, f}: j has two op-preds (new chain); f continues j.
+        assert_eq!(chains.len(), 3);
+        assert!(chains.contains(&vec![4, 5]));
+    }
+
+    #[test]
+    fn zero_cost_descent_is_infinitely_steep() {
+        let g = chain_graph(&[(0.0, 0.5), (1.0, 1.0)]);
+        let cs = compute_chain_segments(&g);
+        // Free filter forms (or heads) the steepest segment.
+        assert_eq!(cs.priority_of(1), f64::INFINITY);
+    }
+
+    #[test]
+    fn empty_graph_has_no_segments() {
+        let g = CostGraph::from_parts(1, vec![], vec![0.0], vec![1.0], vec![Some(1.0)]);
+        let cs = compute_chain_segments(&g);
+        assert!(cs.is_empty());
+    }
+}

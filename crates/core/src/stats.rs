@@ -1,0 +1,204 @@
+//! Runtime measurement of the scheduling metadata.
+//!
+//! The queue-placement heuristic assumes `c(v)` and `d(v)` "are meta data
+//! provided by the DSMS during runtime" (§5.1.3). The engine provides them
+//! here: every partition executor feeds per-node estimators while it
+//! processes, and the engine snapshots them into the
+//! [`hmts_graph::cost::CostInputs`] that placement and the Chain strategy
+//! consume — closing the measure → partition → re-schedule loop.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use hmts_graph::cost::CostInputs;
+use hmts_graph::graph::NodeId;
+use hmts_graph::topology::Topology;
+use hmts_streams::metrics::{CostEstimator, InterArrivalEstimator, SelectivityEstimator};
+use hmts_streams::time::Timestamp;
+
+/// Live statistics of one node.
+#[derive(Debug, Default)]
+pub struct NodeStats {
+    /// Per-element processing cost estimator (`c(v)`).
+    pub cost: CostEstimator,
+    /// Selectivity estimator (outputs per input).
+    pub selectivity: SelectivityEstimator,
+    /// Inter-arrival estimator over element stream timestamps (`d(v)`).
+    pub arrivals: InterArrivalEstimator,
+    /// Total elements processed.
+    pub processed: u64,
+}
+
+impl NodeStats {
+    /// Records one processed element.
+    pub fn observe(&mut self, ts: Timestamp, cost: Option<Duration>, outputs: u64) {
+        if let Some(c) = cost {
+            self.cost.observe(c);
+        }
+        self.selectivity.observe(outputs);
+        self.arrivals.observe(ts);
+        self.processed += 1;
+    }
+}
+
+/// Shared handle to one node's statistics (executor writes, engine reads).
+pub type SharedNodeStats = Arc<Mutex<NodeStats>>;
+
+/// Creates a fresh shared statistics cell (convenience for harnesses that
+/// drive a [`crate::engine::executor::DomainExecutor`] directly).
+pub fn shared_node_stats() -> SharedNodeStats {
+    Arc::new(Mutex::new(NodeStats::default()))
+}
+
+/// An immutable snapshot of one node's statistics.
+#[derive(Debug, Clone)]
+pub struct NodeStatsSnapshot {
+    /// The node.
+    pub node: NodeId,
+    /// The node's name.
+    pub name: String,
+    /// Measured per-element cost, if any element was processed.
+    pub cost: Option<Duration>,
+    /// Measured selectivity, if any element was processed.
+    pub selectivity: Option<f64>,
+    /// Measured input rate (elements/second of stream time), if observable.
+    pub rate: Option<f64>,
+    /// Total elements processed.
+    pub processed: u64,
+}
+
+/// Statistics for every node of a topology.
+#[derive(Debug, Clone)]
+pub struct StatsSnapshot {
+    /// Per-node snapshots, indexed by node id.
+    pub nodes: Vec<NodeStatsSnapshot>,
+}
+
+impl StatsSnapshot {
+    /// Collects a snapshot from the shared per-node stats.
+    pub fn collect(topo: &Topology, stats: &[SharedNodeStats]) -> StatsSnapshot {
+        let nodes = stats
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let s = s.lock();
+                NodeStatsSnapshot {
+                    node: NodeId(i),
+                    name: topo.name(NodeId(i)).to_string(),
+                    cost: s.cost.cost(),
+                    selectivity: s.selectivity.selectivity(),
+                    rate: s.arrivals.rate(),
+                    processed: s.processed,
+                }
+            })
+            .collect();
+        StatsSnapshot { nodes }
+    }
+
+    /// The snapshot of one node.
+    pub fn node(&self, id: NodeId) -> &NodeStatsSnapshot {
+        &self.nodes[id.0]
+    }
+
+    /// Converts measured statistics into placement inputs: measured source
+    /// rates, operator costs, and selectivities, where observed.
+    pub fn to_cost_inputs(&self, topo: &Topology) -> CostInputs {
+        let mut inputs = CostInputs::default();
+        for snap in &self.nodes {
+            if topo.is_source(snap.node) {
+                if let Some(r) = snap.rate {
+                    inputs.source_rates.insert(snap.node, r);
+                }
+            } else {
+                if let Some(c) = snap.cost {
+                    inputs.costs.insert(snap.node, c);
+                }
+                if let Some(s) = snap.selectivity {
+                    inputs.selectivities.insert(snap.node, s);
+                }
+            }
+        }
+        inputs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmts_graph::graph::QueryGraph;
+    use hmts_operators::expr::Expr;
+    use hmts_operators::filter::Filter;
+    use hmts_operators::traits::Source;
+    use hmts_streams::tuple::Tuple;
+
+    struct S;
+    impl Source for S {
+        fn name(&self) -> &str {
+            "s"
+        }
+        fn next(&mut self) -> Option<(Timestamp, Tuple)> {
+            None
+        }
+    }
+
+    fn topo() -> Topology {
+        let mut g = QueryGraph::new();
+        let s = g.add_source(Box::new(S));
+        let f = g.add_operator(Box::new(Filter::new("f", Expr::bool(true))));
+        g.connect(s, f);
+        g.decompose().0
+    }
+
+    #[test]
+    fn observe_accumulates() {
+        let mut n = NodeStats::default();
+        n.observe(Timestamp::from_millis(10), Some(Duration::from_micros(5)), 1);
+        n.observe(Timestamp::from_millis(20), Some(Duration::from_micros(5)), 0);
+        assert_eq!(n.processed, 2);
+        assert_eq!(n.selectivity.selectivity(), Some(0.5));
+        assert!(n.cost.cost().unwrap() >= Duration::from_micros(4));
+        assert!((n.arrivals.interarrival().unwrap().as_secs_f64() - 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn snapshot_collects_and_converts() {
+        let topo = topo();
+        let stats: Vec<SharedNodeStats> =
+            (0..2).map(|_| Arc::new(Mutex::new(NodeStats::default()))).collect();
+        // Source saw elements 100 ms apart (rate 10/s); filter halves.
+        for i in 0..50u64 {
+            stats[0].lock().observe(Timestamp::from_millis(i * 100), None, 1);
+            stats[1].lock().observe(
+                Timestamp::from_millis(i * 100),
+                Some(Duration::from_micros(2)),
+                i % 2,
+            );
+        }
+        let snap = StatsSnapshot::collect(&topo, &stats);
+        assert_eq!(snap.node(NodeId(1)).name, "f");
+        assert_eq!(snap.node(NodeId(1)).processed, 50);
+        let rate = snap.node(NodeId(0)).rate.unwrap();
+        assert!((rate - 10.0).abs() < 0.5, "rate={rate}");
+
+        let inputs = snap.to_cost_inputs(&topo);
+        assert!(inputs.source_rates.contains_key(&NodeId(0)));
+        assert!(inputs.costs.contains_key(&NodeId(1)));
+        let sel = inputs.selectivities[&NodeId(1)];
+        assert!((sel - 0.5).abs() < 0.05, "sel={sel}");
+    }
+
+    #[test]
+    fn empty_stats_produce_empty_inputs() {
+        let topo = topo();
+        let stats: Vec<SharedNodeStats> =
+            (0..2).map(|_| Arc::new(Mutex::new(NodeStats::default()))).collect();
+        let snap = StatsSnapshot::collect(&topo, &stats);
+        let inputs = snap.to_cost_inputs(&topo);
+        assert!(inputs.source_rates.is_empty());
+        assert!(inputs.costs.is_empty());
+        assert!(inputs.selectivities.is_empty());
+        assert_eq!(snap.node(NodeId(0)).processed, 0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Fluent construction of query graphs.
+
+use hmts_operators::traits::{Operator, Source};
+
+use crate::graph::{NodeId, QueryGraph};
+use crate::validate::{validated, ValidationError};
+
+/// A fluent builder for [`QueryGraph`]s with convenience helpers for the
+/// common shapes (chains, joins of two streams) and validation at `build`.
+///
+/// ```
+/// use hmts_graph::builder::GraphBuilder;
+/// use hmts_operators::{Expr, Filter};
+/// use hmts_operators::sink::NullSink;
+/// # use hmts_operators::traits::Source;
+/// # use hmts_streams::{Timestamp, Tuple};
+/// # struct Empty;
+/// # impl Source for Empty {
+/// #     fn name(&self) -> &str { "empty" }
+/// #     fn next(&mut self) -> Option<(Timestamp, Tuple)> { None }
+/// # }
+///
+/// let mut b = GraphBuilder::new();
+/// let src = b.source(Empty);
+/// let end = b.chain(src, vec![
+///     Box::new(Filter::new("f1", Expr::field(0).gt(Expr::int(10)))),
+///     Box::new(Filter::new("f2", Expr::field(0).lt(Expr::int(90)))),
+/// ]);
+/// b.op_after(NullSink::new("out"), end);
+/// let graph = b.build().unwrap();
+/// assert_eq!(graph.node_count(), 4);
+/// ```
+#[derive(Default)]
+pub struct GraphBuilder {
+    graph: QueryGraph,
+}
+
+impl GraphBuilder {
+    /// An empty builder.
+    pub fn new() -> GraphBuilder {
+        GraphBuilder::default()
+    }
+
+    /// Adds a source.
+    pub fn source(&mut self, s: impl Source + 'static) -> NodeId {
+        self.graph.add_source(Box::new(s))
+    }
+
+    /// Adds an unconnected operator.
+    pub fn op(&mut self, op: impl Operator + 'static) -> NodeId {
+        self.graph.add_operator(Box::new(op))
+    }
+
+    /// Adds an operator fed by `input` (next free port).
+    pub fn op_after(&mut self, op: impl Operator + 'static, input: NodeId) -> NodeId {
+        let id = self.graph.add_operator(Box::new(op));
+        self.graph.connect(input, id);
+        id
+    }
+
+    /// Adds a binary operator fed by `left` (port 0) and `right` (port 1).
+    pub fn op_after2(
+        &mut self,
+        op: impl Operator + 'static,
+        left: NodeId,
+        right: NodeId,
+    ) -> NodeId {
+        let id = self.graph.add_operator(Box::new(op));
+        self.graph.connect_port(left, id, 0);
+        self.graph.connect_port(right, id, 1);
+        id
+    }
+
+    /// Appends a chain of unary operators after `input`; returns the last
+    /// node (or `input` itself for an empty chain).
+    pub fn chain(&mut self, input: NodeId, ops: Vec<Box<dyn Operator>>) -> NodeId {
+        let mut prev = input;
+        for op in ops {
+            let id = self.graph.add_operator(op);
+            self.graph.connect(prev, id);
+            prev = id;
+        }
+        prev
+    }
+
+    /// Connects two existing nodes (next free port of `to`).
+    pub fn connect(&mut self, from: NodeId, to: NodeId) -> &mut Self {
+        self.graph.connect(from, to);
+        self
+    }
+
+    /// Connects to a specific port.
+    pub fn connect_port(&mut self, from: NodeId, to: NodeId, port: usize) -> &mut Self {
+        self.graph.connect_port(from, to, port);
+        self
+    }
+
+    /// Read access to the graph under construction.
+    pub fn graph(&self) -> &QueryGraph {
+        &self.graph
+    }
+
+    /// Validates and returns the graph.
+    pub fn build(self) -> Result<QueryGraph, Vec<ValidationError>> {
+        validated(self.graph)
+    }
+
+    /// Returns the graph without validation (for tests constructing
+    /// deliberately broken graphs).
+    pub fn build_unchecked(self) -> QueryGraph {
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmts_operators::expr::Expr;
+    use hmts_operators::filter::Filter;
+    use hmts_operators::join::SymmetricHashJoin;
+    use hmts_operators::sink::NullSink;
+    use hmts_streams::time::Timestamp;
+    use hmts_streams::tuple::Tuple;
+    use std::time::Duration;
+
+    struct S;
+    impl Source for S {
+        fn name(&self) -> &str {
+            "s"
+        }
+        fn next(&mut self) -> Option<(Timestamp, Tuple)> {
+            None
+        }
+    }
+
+    #[test]
+    fn chain_builds_linear_graph() {
+        let mut b = GraphBuilder::new();
+        let s = b.source(S);
+        let last = b.chain(
+            s,
+            vec![
+                Box::new(Filter::new("a", Expr::bool(true))),
+                Box::new(Filter::new("b", Expr::bool(true))),
+            ],
+        );
+        let sink = b.op_after(NullSink::new("out"), last);
+        let g = b.build().unwrap();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.sinks(), vec![sink]);
+    }
+
+    #[test]
+    fn empty_chain_returns_input() {
+        let mut b = GraphBuilder::new();
+        let s = b.source(S);
+        assert_eq!(b.chain(s, vec![]), s);
+    }
+
+    #[test]
+    fn join_shape() {
+        let mut b = GraphBuilder::new();
+        let l = b.source(S);
+        let r = b.source(S);
+        let j = b.op_after2(
+            SymmetricHashJoin::on_field("j", 0, Duration::from_secs(60)),
+            l,
+            r,
+        );
+        b.op_after(NullSink::new("out"), j);
+        let g = b.build().unwrap();
+        assert_eq!(g.node(j).input_arity(), 2);
+        assert_eq!(g.in_edges(j).count(), 2);
+    }
+
+    #[test]
+    fn build_reports_validation_errors() {
+        let mut b = GraphBuilder::new();
+        b.source(S); // dangling
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn build_unchecked_skips_validation() {
+        let mut b = GraphBuilder::new();
+        b.source(S);
+        let g = b.build_unchecked();
+        assert_eq!(g.node_count(), 1);
+    }
+
+    #[test]
+    fn manual_connect_and_graph_access() {
+        let mut b = GraphBuilder::new();
+        let s = b.source(S);
+        let f = b.op(Filter::new("f", Expr::bool(true)));
+        b.connect(s, f);
+        assert_eq!(b.graph().edge_count(), 1);
+        let u = b.op(hmts_operators::union::Union::new("u", 2));
+        let f2 = b.op_after(Filter::new("f2", Expr::bool(true)), f);
+        b.connect_port(f, u, 0).connect_port(f2, u, 1);
+        let g = b.build().unwrap();
+        assert_eq!(g.in_edges(u).count(), 2);
+    }
+}

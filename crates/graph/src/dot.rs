@@ -1,0 +1,147 @@
+//! Graphviz (DOT) export of query graphs and partitionings.
+
+use std::fmt::Write as _;
+
+use crate::graph::QueryGraph;
+use crate::partition::Partitioning;
+
+/// Renders the graph in DOT syntax. When a partitioning is given, each
+/// partition (virtual operator) becomes a cluster, making queue placement
+/// visible: edges between clusters are exactly the queues.
+pub fn to_dot(g: &QueryGraph, partitioning: Option<&Partitioning>) -> String {
+    let mut out = String::from("digraph query {\n  rankdir=BT;\n");
+    match partitioning {
+        None => {
+            for node in g.nodes() {
+                let _ = writeln!(out, "  {} [label=\"{}\"{}];", node.id, node.name, shape(node));
+            }
+        }
+        Some(p) => {
+            let idx = p.group_index();
+            for (i, group) in p.groups().iter().enumerate() {
+                let _ = writeln!(out, "  subgraph cluster_{i} {{");
+                let _ = writeln!(out, "    label=\"VO {i}\";");
+                for &n in group {
+                    let node = g.node(n);
+                    let _ = writeln!(
+                        out,
+                        "    {} [label=\"{}\"{}];",
+                        node.id,
+                        node.name,
+                        shape(node)
+                    );
+                }
+                let _ = writeln!(out, "  }}");
+            }
+            // Nodes outside any partition (sources).
+            for node in g.nodes() {
+                if !idx.contains_key(&node.id) {
+                    let _ = writeln!(
+                        out,
+                        "  {} [label=\"{}\"{}];",
+                        node.id,
+                        node.name,
+                        shape(node)
+                    );
+                }
+            }
+        }
+    }
+    let boundary: std::collections::HashSet<(usize, usize)> = partitioning
+        .map(|p| {
+            p.boundary_edges(g)
+                .into_iter()
+                .chain(p.source_edges(g))
+                .map(|e| (e.from.0, e.to.0))
+                .collect()
+        })
+        .unwrap_or_default();
+    for e in g.edges() {
+        let style = if boundary.contains(&(e.from.0, e.to.0)) {
+            " [style=bold, color=red, label=\"queue\"]"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  {} -> {}{};", e.from, e.to, style);
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn shape(node: &crate::graph::Node) -> &'static str {
+    if node.kind.is_source() {
+        ", shape=invtriangle"
+    } else {
+        ", shape=box"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::QueryGraph;
+    use crate::partition::Partitioning;
+    use hmts_operators::expr::Expr;
+    use hmts_operators::filter::Filter;
+    use hmts_operators::traits::Source;
+    use hmts_streams::time::Timestamp;
+    use hmts_streams::tuple::Tuple;
+
+    struct S;
+    impl Source for S {
+        fn name(&self) -> &str {
+            "src"
+        }
+        fn next(&mut self) -> Option<(Timestamp, Tuple)> {
+            None
+        }
+    }
+
+    fn graph() -> QueryGraph {
+        let mut g = QueryGraph::new();
+        let s = g.add_source(Box::new(S));
+        let a = g.add_operator(Box::new(Filter::new("a", Expr::bool(true))));
+        let b = g.add_operator(Box::new(Filter::new("b", Expr::bool(true))));
+        g.connect(s, a);
+        g.connect(a, b);
+        g
+    }
+
+    #[test]
+    fn plain_dot_contains_nodes_and_edges() {
+        let g = graph();
+        let dot = to_dot(&g, None);
+        assert!(dot.starts_with("digraph query {"));
+        assert!(dot.contains("n0 [label=\"src\", shape=invtriangle];"));
+        assert!(dot.contains("n1 [label=\"a\", shape=box];"));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn partitioned_dot_uses_clusters_and_marks_queues() {
+        let g = graph();
+        let p = Partitioning::new(vec![
+            vec![crate::graph::NodeId(1)],
+            vec![crate::graph::NodeId(2)],
+        ]);
+        let dot = to_dot(&g, Some(&p));
+        assert!(dot.contains("subgraph cluster_0"));
+        assert!(dot.contains("subgraph cluster_1"));
+        // Boundary edge a->b and source edge s->a are queue-styled.
+        assert!(dot.contains("n1 -> n2 [style=bold, color=red, label=\"queue\"];"));
+        assert!(dot.contains("n0 -> n1 [style=bold, color=red, label=\"queue\"];"));
+    }
+
+    #[test]
+    fn internal_edges_are_plain_in_partitioned_dot() {
+        let g = graph();
+        let p = Partitioning::new(vec![vec![
+            crate::graph::NodeId(1),
+            crate::graph::NodeId(2),
+        ]]);
+        let dot = to_dot(&g, Some(&p));
+        assert!(dot.contains("n1 -> n2;"));
+        assert!(!dot.contains("n1 -> n2 [style"));
+    }
+}

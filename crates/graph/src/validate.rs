@@ -1,0 +1,272 @@
+//! Structural validation of query graphs.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::graph::{NodeId, QueryGraph};
+
+/// A structural defect found in a query graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// The graph contains a cycle (query graphs must be DAGs, §2.1).
+    Cyclic,
+    /// A source node has incoming edges ("sources only deliver data").
+    SourceHasInputs(NodeId),
+    /// A source node has no consumers — its data would go nowhere.
+    DanglingSource(NodeId),
+    /// An operator's connected input count differs from its declared arity.
+    ArityMismatch {
+        /// The operator node.
+        node: NodeId,
+        /// Declared input arity.
+        expected: usize,
+        /// Number of incoming edges.
+        found: usize,
+    },
+    /// Two edges feed the same input port of the same node.
+    DuplicatePort {
+        /// The consuming node.
+        node: NodeId,
+        /// The doubly-fed port.
+        port: usize,
+    },
+    /// An edge feeds a port at or beyond the operator's arity.
+    PortOutOfRange {
+        /// The consuming node.
+        node: NodeId,
+        /// The offending port.
+        port: usize,
+        /// Declared input arity.
+        arity: usize,
+    },
+    /// An edge references a node id that does not exist in this graph.
+    UnknownNode(NodeId),
+    /// A self-loop edge.
+    SelfLoop(NodeId),
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::Cyclic => write!(f, "query graph contains a cycle"),
+            ValidationError::SourceHasInputs(n) => {
+                write!(f, "source {n} has incoming edges")
+            }
+            ValidationError::DanglingSource(n) => {
+                write!(f, "source {n} has no consumers")
+            }
+            ValidationError::ArityMismatch { node, expected, found } => write!(
+                f,
+                "operator {node} declares {expected} input(s) but has {found} incoming edge(s)"
+            ),
+            ValidationError::DuplicatePort { node, port } => {
+                write!(f, "node {node} input port {port} is fed by multiple edges")
+            }
+            ValidationError::PortOutOfRange { node, port, arity } => {
+                write!(f, "node {node} port {port} out of range for arity {arity}")
+            }
+            ValidationError::UnknownNode(n) => write!(f, "edge references unknown node {n}"),
+            ValidationError::SelfLoop(n) => write!(f, "node {n} has a self-loop"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Checks all structural invariants; returns every defect found (empty means
+/// the graph is executable).
+pub fn validate(g: &QueryGraph) -> Vec<ValidationError> {
+    let mut errors = Vec::new();
+    let n = g.node_count();
+
+    for e in g.edges() {
+        if e.from.0 >= n {
+            errors.push(ValidationError::UnknownNode(e.from));
+        }
+        if e.to.0 >= n {
+            errors.push(ValidationError::UnknownNode(e.to));
+        }
+        if e.from == e.to {
+            errors.push(ValidationError::SelfLoop(e.from));
+        }
+    }
+    if !errors.is_empty() {
+        // Remaining checks index nodes; bail on unknown ids.
+        return errors;
+    }
+
+    if !g.is_dag() {
+        errors.push(ValidationError::Cyclic);
+    }
+
+    for node in g.nodes() {
+        let in_edges: Vec<_> = g.in_edges(node.id).collect();
+        if node.kind.is_source() {
+            if !in_edges.is_empty() {
+                errors.push(ValidationError::SourceHasInputs(node.id));
+            }
+            if g.out_edges(node.id).next().is_none() {
+                errors.push(ValidationError::DanglingSource(node.id));
+            }
+            continue;
+        }
+        let arity = node.input_arity();
+        if in_edges.len() != arity {
+            errors.push(ValidationError::ArityMismatch {
+                node: node.id,
+                expected: arity,
+                found: in_edges.len(),
+            });
+        }
+        let mut ports = HashSet::new();
+        for e in &in_edges {
+            if e.to_port >= arity {
+                errors.push(ValidationError::PortOutOfRange {
+                    node: node.id,
+                    port: e.to_port,
+                    arity,
+                });
+            }
+            if !ports.insert(e.to_port) {
+                errors.push(ValidationError::DuplicatePort { node: node.id, port: e.to_port });
+            }
+        }
+    }
+    errors
+}
+
+/// Convenience wrapper returning `Err` with all defects when any exist.
+pub fn validated(g: QueryGraph) -> Result<QueryGraph, Vec<ValidationError>> {
+    let errors = validate(&g);
+    if errors.is_empty() {
+        Ok(g)
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmts_operators::expr::Expr;
+    use hmts_operators::filter::Filter;
+    use hmts_operators::join::SymmetricHashJoin;
+    use hmts_operators::traits::{Operator, Source};
+    use hmts_streams::time::Timestamp;
+    use hmts_streams::tuple::Tuple;
+    use std::time::Duration;
+
+    struct FakeSource;
+    impl Source for FakeSource {
+        fn name(&self) -> &str {
+            "src"
+        }
+        fn next(&mut self) -> Option<(Timestamp, Tuple)> {
+            None
+        }
+    }
+
+    fn filter(name: &'static str) -> Box<dyn Operator> {
+        Box::new(Filter::new(name, Expr::bool(true)))
+    }
+
+    #[test]
+    fn valid_graph_passes() {
+        let mut g = QueryGraph::new();
+        let s = g.add_source(Box::new(FakeSource));
+        let f = g.add_operator(filter("f"));
+        g.connect(s, f);
+        assert!(validate(&g).is_empty());
+        assert!(validated(g).is_ok());
+    }
+
+    #[test]
+    fn join_requires_both_ports() {
+        let mut g = QueryGraph::new();
+        let s = g.add_source(Box::new(FakeSource));
+        let j = g.add_operator(Box::new(SymmetricHashJoin::on_field(
+            "j",
+            0,
+            Duration::from_secs(1),
+        )));
+        g.connect(s, j);
+        let errs = validate(&g);
+        assert_eq!(
+            errs,
+            vec![ValidationError::ArityMismatch { node: j, expected: 2, found: 1 }]
+        );
+    }
+
+    #[test]
+    fn duplicate_port_detected() {
+        let mut g = QueryGraph::new();
+        let a = g.add_source(Box::new(FakeSource));
+        let b = g.add_source(Box::new(FakeSource));
+        let f = g.add_operator(filter("f"));
+        g.connect_port(a, f, 0);
+        g.connect_port(b, f, 0);
+        let errs = validate(&g);
+        assert!(errs.contains(&ValidationError::DuplicatePort { node: f, port: 0 }));
+        // Arity is also wrong (2 edges into arity-1 op).
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn port_out_of_range_detected() {
+        let mut g = QueryGraph::new();
+        let s = g.add_source(Box::new(FakeSource));
+        let f = g.add_operator(filter("f"));
+        g.connect_port(s, f, 3);
+        let errs = validate(&g);
+        assert!(errs.contains(&ValidationError::PortOutOfRange { node: f, port: 3, arity: 1 }));
+    }
+
+    #[test]
+    fn dangling_source_detected() {
+        let mut g = QueryGraph::new();
+        let s = g.add_source(Box::new(FakeSource));
+        assert_eq!(validate(&g), vec![ValidationError::DanglingSource(s)]);
+    }
+
+    #[test]
+    fn source_with_inputs_detected() {
+        let mut g = QueryGraph::new();
+        let s1 = g.add_source(Box::new(FakeSource));
+        let s2 = g.add_source(Box::new(FakeSource));
+        let f = g.add_operator(filter("f"));
+        g.connect(s1, s2);
+        g.connect(s2, f);
+        let errs = validate(&g);
+        assert!(errs.contains(&ValidationError::SourceHasInputs(s2)));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = QueryGraph::new();
+        let a = g.add_operator(filter("a"));
+        let b = g.add_operator(filter("b"));
+        g.connect(a, b);
+        g.connect_port(b, a, 0);
+        let errs = validate(&g);
+        assert!(errs.contains(&ValidationError::Cyclic));
+    }
+
+    #[test]
+    fn self_loop_detected() {
+        let mut g = QueryGraph::new();
+        let a = g.add_operator(filter("a"));
+        g.connect_port(a, a, 0);
+        let errs = validate(&g);
+        assert!(errs.contains(&ValidationError::SelfLoop(a)));
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(ValidationError::Cyclic.to_string(), "query graph contains a cycle");
+        assert!(ValidationError::DanglingSource(NodeId(3))
+            .to_string()
+            .contains("n3"));
+    }
+}

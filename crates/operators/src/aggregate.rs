@@ -1,0 +1,385 @@
+//! Windowed, optionally grouped aggregation.
+
+use std::collections::{BTreeMap, HashMap};
+use std::time::Duration;
+
+use hmts_streams::element::Element;
+use hmts_streams::error::{Result, StreamError};
+use hmts_streams::time::Timestamp;
+use hmts_streams::tuple::Tuple;
+use hmts_streams::value::Value;
+
+use crate::expr::Expr;
+use crate::traits::{Operator, Output};
+use crate::window::WindowBuffer;
+
+/// The aggregate to compute over the live window (per group).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregateFunction {
+    /// Number of live elements.
+    Count,
+    /// Sum of the given field.
+    Sum(usize),
+    /// Mean of the given field (emitted as `Float`).
+    Avg(usize),
+    /// Minimum of the given field.
+    Min(usize),
+    /// Maximum of the given field.
+    Max(usize),
+}
+
+impl AggregateFunction {
+    fn field(&self) -> Option<usize> {
+        match self {
+            AggregateFunction::Count => None,
+            AggregateFunction::Sum(i)
+            | AggregateFunction::Avg(i)
+            | AggregateFunction::Min(i)
+            | AggregateFunction::Max(i) => Some(*i),
+        }
+    }
+}
+
+/// Incrementally maintained state of one group.
+#[derive(Debug, Default)]
+struct GroupState {
+    count: u64,
+    /// Running sum for Sum/Avg (kept as a `Value` so integer sums stay
+    /// integers).
+    sum: Option<Value>,
+    /// Multiset of live field values for Min/Max (retraction-capable).
+    ordered: BTreeMap<Value, usize>,
+}
+
+impl GroupState {
+    fn add(&mut self, func: AggregateFunction, v: Option<&Value>) -> Result<()> {
+        self.count += 1;
+        match func {
+            AggregateFunction::Count => {}
+            AggregateFunction::Sum(_) | AggregateFunction::Avg(_) => {
+                let v = v.expect("field extracted for Sum/Avg");
+                self.sum = Some(match self.sum.take() {
+                    None => v.clone(),
+                    Some(s) => s.add(v)?,
+                });
+            }
+            AggregateFunction::Min(_) | AggregateFunction::Max(_) => {
+                let v = v.expect("field extracted for Min/Max");
+                *self.ordered.entry(v.clone()).or_insert(0) += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn remove(&mut self, func: AggregateFunction, v: Option<&Value>) -> Result<()> {
+        self.count = self.count.saturating_sub(1);
+        match func {
+            AggregateFunction::Count => {}
+            AggregateFunction::Sum(_) | AggregateFunction::Avg(_) => {
+                let v = v.expect("field extracted for Sum/Avg");
+                if let Some(s) = self.sum.take() {
+                    if self.count > 0 {
+                        self.sum = Some(s.sub(v)?);
+                    }
+                }
+            }
+            AggregateFunction::Min(_) | AggregateFunction::Max(_) => {
+                let v = v.expect("field extracted for Min/Max");
+                if let Some(n) = self.ordered.get_mut(v) {
+                    *n -= 1;
+                    if *n == 0 {
+                        self.ordered.remove(v);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn value(&self, func: AggregateFunction) -> Value {
+        match func {
+            AggregateFunction::Count => Value::Int(self.count as i64),
+            AggregateFunction::Sum(_) => self.sum.clone().unwrap_or(Value::Int(0)),
+            AggregateFunction::Avg(_) => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    let s = self.sum.as_ref().and_then(|v| v.as_float().ok()).unwrap_or(0.0);
+                    Value::Float(s / self.count as f64)
+                }
+            }
+            AggregateFunction::Min(_) => {
+                self.ordered.keys().next().cloned().unwrap_or(Value::Null)
+            }
+            AggregateFunction::Max(_) => {
+                self.ordered.keys().next_back().cloned().unwrap_or(Value::Null)
+            }
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+/// A sliding-window aggregate with optional grouping.
+///
+/// For every input element the operator (1) expires elements that left the
+/// window — retracting their contribution, (2) folds in the new element, and
+/// (3) emits the updated aggregate for the element's group:
+/// `(group_key, aggregate)` when grouped, `(aggregate,)` otherwise.
+///
+/// This is the paper's example of an *expensive* operator (§5.1.1): one that
+/// should be decoupled from a cheap unary chain by a queue so it cannot
+/// stall the chain's throughput.
+pub struct WindowAggregate {
+    name: String,
+    func: AggregateFunction,
+    group_by: Option<Expr>,
+    window: WindowBuffer,
+    groups: HashMap<Value, GroupState>,
+    cost_hint: Option<Duration>,
+}
+
+impl WindowAggregate {
+    /// An ungrouped sliding-window aggregate.
+    pub fn new(name: impl Into<String>, func: AggregateFunction, window: Duration) -> Self {
+        WindowAggregate {
+            name: name.into(),
+            func,
+            group_by: None,
+            window: WindowBuffer::new(window),
+            groups: HashMap::new(),
+            cost_hint: None,
+        }
+    }
+
+    /// Adds a grouping key.
+    pub fn group_by(mut self, key: Expr) -> Self {
+        self.group_by = Some(key);
+        self
+    }
+
+    /// Attaches an a-priori per-element cost estimate for queue placement.
+    pub fn with_cost_hint(mut self, c: Duration) -> Self {
+        self.cost_hint = Some(c);
+        self
+    }
+
+    /// Number of live (non-expired) elements in the window.
+    pub fn live_elements(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Number of currently live groups.
+    pub fn live_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    fn key_of(&self, e: &Element) -> Result<Value> {
+        match &self.group_by {
+            None => Ok(Value::Null),
+            Some(k) => k.eval(&e.tuple),
+        }
+    }
+
+    fn field_of<'a>(&self, e: &'a Element) -> Result<Option<&'a Value>> {
+        match self.func.field() {
+            None => Ok(None),
+            Some(i) => Ok(Some(e.tuple.get(i)?)),
+        }
+    }
+}
+
+impl Operator for WindowAggregate {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, port: usize, element: &Element, out: &mut Output) -> Result<()> {
+        if port != 0 {
+            return Err(StreamError::InvalidPort { port, arity: 1 });
+        }
+        // (1) Expire, retracting contributions. Collect expired elements
+        // first to keep the borrow checker happy (self.window vs self.groups).
+        let mut expired = Vec::new();
+        self.window.expire_with(element.ts, |e| expired.push(e.clone()));
+        for old in &expired {
+            let key = self.key_of(old)?;
+            let field = self.field_of(old)?.cloned();
+            if let Some(g) = self.groups.get_mut(&key) {
+                g.remove(self.func, field.as_ref())?;
+                if g.is_empty() {
+                    self.groups.remove(&key);
+                }
+            }
+        }
+        // (2) Fold in the new element.
+        let key = self.key_of(element)?;
+        let field = self.field_of(element)?.cloned();
+        let func = self.func;
+        let g = self.groups.entry(key.clone()).or_default();
+        g.add(func, field.as_ref())?;
+        let agg = g.value(func);
+        self.window.insert(element.clone());
+        // (3) Emit the updated aggregate for this group.
+        let tuple = match &self.group_by {
+            None => Tuple::new([agg]),
+            Some(_) => Tuple::new([key, agg]),
+        };
+        out.emit(tuple, element.ts);
+        Ok(())
+    }
+
+    fn on_watermark(&mut self, _port: usize, watermark: Timestamp, _out: &mut Output) -> Result<()> {
+        let mut expired = Vec::new();
+        self.window.expire_with(watermark, |e| expired.push(e.clone()));
+        for old in &expired {
+            let key = self.key_of(old)?;
+            let field = self.field_of(old)?.cloned();
+            if let Some(g) = self.groups.get_mut(&key) {
+                g.remove(self.func, field.as_ref())?;
+                if g.is_empty() {
+                    self.groups.remove(&key);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn cost_hint(&self) -> Option<Duration> {
+        self.cost_hint
+    }
+
+    fn selectivity_hint(&self) -> Option<f64> {
+        Some(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn el(v: i64, secs: u64) -> Element {
+        Element::single(v, Timestamp::from_secs(secs))
+    }
+
+    fn last_agg(out: &Output) -> Value {
+        let e = out.elements().last().unwrap();
+        e.tuple.field(e.tuple.arity() - 1).clone()
+    }
+
+    #[test]
+    fn count_over_window() {
+        let mut a = WindowAggregate::new("c", AggregateFunction::Count, Duration::from_secs(10));
+        let mut out = Output::new();
+        a.process(0, &el(1, 0), &mut out).unwrap();
+        assert_eq!(last_agg(&out), Value::Int(1));
+        a.process(0, &el(2, 5), &mut out).unwrap();
+        assert_eq!(last_agg(&out), Value::Int(2));
+        // t=20: both previous elements (t=0, t=5) are outside the 10 s window.
+        a.process(0, &el(3, 20), &mut out).unwrap();
+        assert_eq!(last_agg(&out), Value::Int(1));
+        assert_eq!(a.live_elements(), 1);
+    }
+
+    #[test]
+    fn sum_keeps_integer_type_and_retracts() {
+        let mut a =
+            WindowAggregate::new("s", AggregateFunction::Sum(0), Duration::from_secs(10));
+        let mut out = Output::new();
+        a.process(0, &el(5, 0), &mut out).unwrap();
+        a.process(0, &el(7, 1), &mut out).unwrap();
+        assert_eq!(last_agg(&out), Value::Int(12));
+        a.process(0, &el(1, 12), &mut out).unwrap(); // 0 expired, 7 kept? no: cutoff=2 → both expired
+        assert_eq!(last_agg(&out), Value::Int(1));
+    }
+
+    #[test]
+    fn avg_emits_float() {
+        let mut a =
+            WindowAggregate::new("a", AggregateFunction::Avg(0), Duration::from_secs(100));
+        let mut out = Output::new();
+        a.process(0, &el(4, 0), &mut out).unwrap();
+        a.process(0, &el(8, 1), &mut out).unwrap();
+        assert_eq!(last_agg(&out), Value::Float(6.0));
+    }
+
+    #[test]
+    fn min_max_with_retraction() {
+        let mut mn =
+            WindowAggregate::new("mn", AggregateFunction::Min(0), Duration::from_secs(10));
+        let mut mx =
+            WindowAggregate::new("mx", AggregateFunction::Max(0), Duration::from_secs(10));
+        let mut out = Output::new();
+        for (v, t) in [(5, 0), (2, 1), (9, 2)] {
+            mn.process(0, &el(v, t), &mut out).unwrap();
+        }
+        assert_eq!(last_agg(&out), Value::Int(2));
+        // Min element (2 at t=1) expires at t=12 (cutoff 2): survivors {9}.
+        mn.process(0, &el(7, 12), &mut out).unwrap();
+        assert_eq!(last_agg(&out), Value::Int(7));
+
+        out.clear();
+        for (v, t) in [(5, 0), (9, 1), (2, 2)] {
+            mx.process(0, &el(v, t), &mut out).unwrap();
+        }
+        assert_eq!(last_agg(&out), Value::Int(9));
+        mx.process(0, &el(3, 13), &mut out).unwrap(); // 5,9 expired; {2,3} live? cutoff=3 → 2@2 expired too
+        assert_eq!(last_agg(&out), Value::Int(3));
+    }
+
+    #[test]
+    fn grouped_count_emits_key_and_value() {
+        let mut a = WindowAggregate::new("g", AggregateFunction::Count, Duration::from_secs(100))
+            .group_by(Expr::field(0).rem(Expr::int(2)));
+        let mut out = Output::new();
+        a.process(0, &el(1, 0), &mut out).unwrap(); // group 1, count 1
+        a.process(0, &el(3, 1), &mut out).unwrap(); // group 1, count 2
+        a.process(0, &el(2, 2), &mut out).unwrap(); // group 0, count 1
+        let rows: Vec<(i64, i64)> = out
+            .elements()
+            .iter()
+            .map(|e| {
+                (e.tuple.field(0).as_int().unwrap(), e.tuple.field(1).as_int().unwrap())
+            })
+            .collect();
+        assert_eq!(rows, vec![(1, 1), (1, 2), (0, 1)]);
+        assert_eq!(a.live_groups(), 2);
+    }
+
+    #[test]
+    fn empty_groups_are_garbage_collected() {
+        let mut a = WindowAggregate::new("g", AggregateFunction::Count, Duration::from_secs(5))
+            .group_by(Expr::field(0));
+        let mut out = Output::new();
+        a.process(0, &el(1, 0), &mut out).unwrap();
+        a.process(0, &el(2, 100), &mut out).unwrap();
+        assert_eq!(a.live_groups(), 1);
+    }
+
+    #[test]
+    fn watermark_expires_state() {
+        let mut a = WindowAggregate::new("c", AggregateFunction::Count, Duration::from_secs(5));
+        let mut out = Output::new();
+        a.process(0, &el(1, 0), &mut out).unwrap();
+        a.on_watermark(0, Timestamp::from_secs(100), &mut out).unwrap();
+        assert_eq!(a.live_elements(), 0);
+        assert_eq!(a.live_groups(), 0);
+    }
+
+    #[test]
+    fn invalid_port_rejected() {
+        let mut a = WindowAggregate::new("c", AggregateFunction::Count, Duration::from_secs(5));
+        let mut out = Output::new();
+        assert!(a.process(1, &el(1, 0), &mut out).is_err());
+    }
+
+    #[test]
+    fn sum_field_out_of_bounds_errors() {
+        let mut a =
+            WindowAggregate::new("s", AggregateFunction::Sum(3), Duration::from_secs(5));
+        let mut out = Output::new();
+        assert!(a.process(0, &el(1, 0), &mut out).is_err());
+    }
+}

@@ -1,0 +1,125 @@
+//! Windowed duplicate elimination.
+
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+use hmts_streams::element::Element;
+use hmts_streams::error::Result;
+use hmts_streams::time::Timestamp;
+use hmts_streams::value::Value;
+
+use crate::expr::Expr;
+use crate::traits::{Operator, Output};
+
+/// Passes an element only if no element with the same key is live within the
+/// sliding window. Used by the intrusion-detection example to suppress
+/// repeated alerts for the same flow.
+pub struct Dedup {
+    name: String,
+    key: Expr,
+    window: Duration,
+    live: HashMap<Value, usize>,
+    log: VecDeque<(Timestamp, Value)>,
+}
+
+impl Dedup {
+    /// A windowed distinct on `key`.
+    pub fn new(name: impl Into<String>, key: Expr, window: Duration) -> Dedup {
+        Dedup { name: name.into(), key, window, live: HashMap::new(), log: VecDeque::new() }
+    }
+
+    fn expire(&mut self, now: Timestamp) {
+        let cutoff = now.saturating_sub(self.window);
+        while let Some((ts, _)) = self.log.front() {
+            if *ts >= cutoff {
+                break;
+            }
+            let (_, key) = self.log.pop_front().expect("front checked");
+            if let Some(n) = self.live.get_mut(&key) {
+                *n -= 1;
+                if *n == 0 {
+                    self.live.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Number of distinct keys currently suppressing duplicates.
+    pub fn live_keys(&self) -> usize {
+        self.live.len()
+    }
+}
+
+impl Operator for Dedup {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, _port: usize, element: &Element, out: &mut Output) -> Result<()> {
+        self.expire(element.ts);
+        let key = self.key.eval(&element.tuple)?;
+        let seen = self.live.contains_key(&key);
+        // Every arrival refreshes the suppression window for its key.
+        *self.live.entry(key.clone()).or_insert(0) += 1;
+        self.log.push_back((element.ts, key));
+        if !seen {
+            out.push(element.clone());
+        }
+        Ok(())
+    }
+
+    fn on_watermark(&mut self, _port: usize, watermark: Timestamp, _out: &mut Output) -> Result<()> {
+        self.expire(watermark);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn el(v: i64, secs: u64) -> Element {
+        Element::single(v, Timestamp::from_secs(secs))
+    }
+
+    #[test]
+    fn suppresses_duplicates_within_window() {
+        let mut d = Dedup::new("d", Expr::field(0), Duration::from_secs(10));
+        let mut out = Output::new();
+        d.process(0, &el(1, 0), &mut out).unwrap();
+        d.process(0, &el(1, 1), &mut out).unwrap();
+        d.process(0, &el(2, 2), &mut out).unwrap();
+        let vals: Vec<i64> =
+            out.drain().map(|e| e.tuple.field(0).as_int().unwrap()).collect();
+        assert_eq!(vals, vec![1, 2]);
+        assert_eq!(d.live_keys(), 2);
+    }
+
+    #[test]
+    fn key_passes_again_after_expiry() {
+        let mut d = Dedup::new("d", Expr::field(0), Duration::from_secs(10));
+        let mut out = Output::new();
+        d.process(0, &el(1, 0), &mut out).unwrap();
+        d.process(0, &el(1, 100), &mut out).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_refreshes_suppression() {
+        let mut d = Dedup::new("d", Expr::field(0), Duration::from_secs(10));
+        let mut out = Output::new();
+        d.process(0, &el(1, 0), &mut out).unwrap(); // emitted
+        d.process(0, &el(1, 8), &mut out).unwrap(); // suppressed, refreshes
+        d.process(0, &el(1, 15), &mut out).unwrap(); // 8 still live (cutoff 5) → suppressed
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn watermark_expires_keys() {
+        let mut d = Dedup::new("d", Expr::field(0), Duration::from_secs(10));
+        let mut out = Output::new();
+        d.process(0, &el(1, 0), &mut out).unwrap();
+        d.on_watermark(0, Timestamp::from_secs(100), &mut out).unwrap();
+        assert_eq!(d.live_keys(), 0);
+    }
+}

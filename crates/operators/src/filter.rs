@@ -1,0 +1,141 @@
+//! Selection (filter) operators.
+
+use std::time::Duration;
+
+use hmts_streams::element::Element;
+use hmts_streams::error::Result;
+
+use crate::expr::Expr;
+use crate::traits::{Operator, Output};
+
+enum Predicate {
+    Expr(Expr),
+    Fn(Box<dyn FnMut(&Element) -> bool + Send>),
+}
+
+/// A selection σ: passes an element iff its predicate holds.
+///
+/// Chains of cheap selections are the paper's canonical virtual-operator
+/// example (§3.1): placing a queue before each would cost more than the
+/// selections themselves.
+pub struct Filter {
+    name: String,
+    predicate: Predicate,
+    selectivity_hint: Option<f64>,
+    cost_hint: Option<Duration>,
+}
+
+impl Filter {
+    /// A selection with an expression predicate.
+    pub fn new(name: impl Into<String>, predicate: Expr) -> Filter {
+        Filter { name: name.into(), predicate: Predicate::Expr(predicate), selectivity_hint: None, cost_hint: None }
+    }
+
+    /// A selection with an arbitrary Rust predicate (not introspectable but
+    /// fully general).
+    pub fn from_fn(
+        name: impl Into<String>,
+        f: impl FnMut(&Element) -> bool + Send + 'static,
+    ) -> Filter {
+        Filter { name: name.into(), predicate: Predicate::Fn(Box::new(f)), selectivity_hint: None, cost_hint: None }
+    }
+
+    /// Attaches an a-priori selectivity estimate for queue placement.
+    pub fn with_selectivity_hint(mut self, s: f64) -> Filter {
+        self.selectivity_hint = Some(s.clamp(0.0, 1.0));
+        self
+    }
+
+    /// Attaches an a-priori per-element cost estimate for queue placement.
+    pub fn with_cost_hint(mut self, c: Duration) -> Filter {
+        self.cost_hint = Some(c);
+        self
+    }
+
+    /// The predicate expression, if this filter was built from one.
+    pub fn expr(&self) -> Option<&Expr> {
+        match &self.predicate {
+            Predicate::Expr(e) => Some(e),
+            Predicate::Fn(_) => None,
+        }
+    }
+}
+
+impl Operator for Filter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, _port: usize, element: &Element, out: &mut Output) -> Result<()> {
+        let pass = match &mut self.predicate {
+            Predicate::Expr(e) => e.eval_bool(&element.tuple)?,
+            Predicate::Fn(f) => f(element),
+        };
+        if pass {
+            out.push(element.clone());
+        }
+        Ok(())
+    }
+
+    fn cost_hint(&self) -> Option<Duration> {
+        self.cost_hint
+    }
+
+    fn selectivity_hint(&self) -> Option<f64> {
+        self.selectivity_hint
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmts_streams::time::Timestamp;
+    use hmts_streams::tuple::Tuple;
+
+    fn run(f: &mut Filter, values: &[i64]) -> Vec<i64> {
+        let mut out = Output::new();
+        for &v in values {
+            f.process(0, &Element::single(v, Timestamp::ZERO), &mut out).unwrap();
+        }
+        out.drain().map(|e| e.tuple.field(0).as_int().unwrap()).collect()
+    }
+
+    #[test]
+    fn expr_filter_passes_matching() {
+        let mut f = Filter::new("lt5", Expr::field(0).lt(Expr::int(5)));
+        assert_eq!(run(&mut f, &[1, 7, 4, 5, 0]), vec![1, 4, 0]);
+        assert_eq!(f.name(), "lt5");
+        assert!(f.expr().is_some());
+    }
+
+    #[test]
+    fn fn_filter_works_and_is_stateful() {
+        let mut seen = 0;
+        let mut f = Filter::from_fn("every_other", move |_| {
+            seen += 1;
+            seen % 2 == 1
+        });
+        assert_eq!(run(&mut f, &[10, 11, 12, 13]), vec![10, 12]);
+        assert!(f.expr().is_none());
+    }
+
+    #[test]
+    fn hints_are_exposed() {
+        let f = Filter::new("f", Expr::bool(true))
+            .with_selectivity_hint(0.25)
+            .with_cost_hint(Duration::from_micros(3));
+        assert_eq!(f.selectivity_hint(), Some(0.25));
+        assert_eq!(f.cost_hint(), Some(Duration::from_micros(3)));
+        // Hints clamp out-of-range selectivities.
+        let g = Filter::new("g", Expr::bool(true)).with_selectivity_hint(7.0);
+        assert_eq!(g.selectivity_hint(), Some(1.0));
+    }
+
+    #[test]
+    fn predicate_error_propagates() {
+        let mut f = Filter::new("bad", Expr::field(5).lt(Expr::int(1)));
+        let mut out = Output::new();
+        let e = Element::new(Tuple::single(1), Timestamp::ZERO);
+        assert!(f.process(0, &e, &mut out).is_err());
+    }
+}

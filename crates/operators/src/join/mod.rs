@@ -1,0 +1,125 @@
+//! Symmetric sliding-window joins.
+//!
+//! The decoupling experiment of the paper (§6.3, Fig. 6) compares a
+//! **symmetric hash join** ([`shj::SymmetricHashJoin`]) with a **symmetric
+//! nested-loops join** ([`snj::SymmetricNestedLoopsJoin`]) over two streams
+//! with a one-minute sliding window, and shows that running either via
+//! direct interoperability in the source thread makes the source fall behind
+//! its offered rate — the motivation for decoupling queues.
+//!
+//! Both joins share the window semantics defined here: elements `l` (left)
+//! and `r` (right) join iff the join condition holds **and**
+//! `|l.ts − r.ts| ≤ window`. Output tuples are `l ⧺ r` (left fields then
+//! right fields) with timestamp `max(l.ts, r.ts)`.
+
+pub mod shj;
+pub mod snj;
+
+use hmts_streams::element::Element;
+use hmts_streams::error::Result;
+use hmts_streams::time::Timestamp;
+use hmts_streams::tuple::Tuple;
+
+pub use shj::SymmetricHashJoin;
+pub use snj::SymmetricNestedLoopsJoin;
+
+/// Combines a matched pair into an output element: left fields then right
+/// fields, timestamped with the later of the two inputs.
+pub(crate) fn combine(l: &Element, r: &Element) -> Element {
+    Element::new(l.tuple.concat(&r.tuple), l.ts.max(r.ts))
+}
+
+/// Boxed theta-condition over a (left, right) tuple pair.
+pub type ThetaFn = Box<dyn Fn(&Tuple, &Tuple) -> bool + Send>;
+
+/// A join condition evaluated over a (left, right) tuple pair.
+pub enum JoinCondition {
+    /// Equality of a key expression on each side (hashable — usable by SHJ).
+    KeyEquality {
+        /// Key expression over the left tuple.
+        left: crate::expr::Expr,
+        /// Key expression over the right tuple.
+        right: crate::expr::Expr,
+    },
+    /// Arbitrary theta condition (SNJ only).
+    Theta(ThetaFn),
+}
+
+impl JoinCondition {
+    /// Natural equi-join on field `i` of both sides.
+    pub fn on_field(i: usize) -> JoinCondition {
+        JoinCondition::KeyEquality {
+            left: crate::expr::Expr::field(i),
+            right: crate::expr::Expr::field(i),
+        }
+    }
+
+    /// Evaluates the condition on a pair.
+    pub fn matches(&self, l: &Tuple, r: &Tuple) -> Result<bool> {
+        match self {
+            JoinCondition::KeyEquality { left, right } => {
+                Ok(left.eval(l)? == right.eval(r)?)
+            }
+            JoinCondition::Theta(f) => Ok(f(l, r)),
+        }
+    }
+}
+
+/// Whether two elements' timestamps lie within `window` of each other.
+pub(crate) fn within_window(a: Timestamp, b: Timestamp, window: std::time::Duration) -> bool {
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    hi.since(lo) <= window
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use std::time::Duration;
+
+    #[test]
+    fn combine_concats_and_takes_max_ts() {
+        let l = Element::new(Tuple::new([1i64, 2]), Timestamp::from_secs(5));
+        let r = Element::new(Tuple::single(9), Timestamp::from_secs(3));
+        let o = combine(&l, &r);
+        assert_eq!(o.tuple.arity(), 3);
+        assert_eq!(o.ts, Timestamp::from_secs(5));
+    }
+
+    #[test]
+    fn key_equality_condition() {
+        let c = JoinCondition::on_field(0);
+        assert!(c.matches(&Tuple::new([1i64, 5]), &Tuple::new([1i64, 9])).unwrap());
+        assert!(!c.matches(&Tuple::single(1), &Tuple::single(2)).unwrap());
+    }
+
+    #[test]
+    fn key_equality_with_expressions() {
+        // l.f0 + 1 == r.f0
+        let c = JoinCondition::KeyEquality {
+            left: Expr::field(0).add(Expr::int(1)),
+            right: Expr::field(0),
+        };
+        assert!(c.matches(&Tuple::single(4), &Tuple::single(5)).unwrap());
+        assert!(!c.matches(&Tuple::single(4), &Tuple::single(4)).unwrap());
+    }
+
+    #[test]
+    fn theta_condition() {
+        let c = JoinCondition::Theta(Box::new(|l, r| {
+            l.field(0).as_int().unwrap() < r.field(0).as_int().unwrap()
+        }));
+        assert!(c.matches(&Tuple::single(1), &Tuple::single(2)).unwrap());
+        assert!(!c.matches(&Tuple::single(2), &Tuple::single(1)).unwrap());
+    }
+
+    #[test]
+    fn window_containment_is_symmetric_and_closed() {
+        let w = Duration::from_secs(10);
+        let t = Timestamp::from_secs;
+        assert!(within_window(t(0), t(10), w));
+        assert!(within_window(t(10), t(0), w));
+        assert!(!within_window(t(0), t(11), w));
+        assert!(within_window(t(5), t(5), w));
+    }
+}

@@ -1,0 +1,294 @@
+//! Symmetric hash join over sliding time windows.
+
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+use hmts_streams::element::Element;
+use hmts_streams::error::{Result, StreamError};
+use hmts_streams::time::Timestamp;
+use hmts_streams::value::Value;
+
+use crate::expr::Expr;
+use crate::join::{combine, within_window};
+use crate::traits::{Operator, Output};
+
+/// One side's state: a hash table from key to live elements, plus an
+/// insertion-ordered log used for window expiration.
+struct Side {
+    key: Expr,
+    table: HashMap<Value, VecDeque<Element>>,
+    /// `(ts, key)` in insertion order — the element at the front of
+    /// `table[key]` is the one this entry refers to, because per-key
+    /// insertion order is preserved.
+    log: VecDeque<(Timestamp, Value)>,
+}
+
+impl Side {
+    fn new(key: Expr) -> Side {
+        Side { key, table: HashMap::new(), log: VecDeque::new() }
+    }
+
+    fn insert(&mut self, e: &Element) -> Result<()> {
+        let k = self.key.eval(&e.tuple)?;
+        self.log.push_back((e.ts, k.clone()));
+        self.table.entry(k).or_default().push_back(e.clone());
+        Ok(())
+    }
+
+    /// Removes all elements with `ts < now - window`.
+    fn expire(&mut self, now: Timestamp, window: Duration) {
+        let cutoff = now.saturating_sub(window);
+        while let Some((ts, _)) = self.log.front() {
+            if *ts >= cutoff {
+                break;
+            }
+            let (_, key) = self.log.pop_front().expect("front checked");
+            if let Some(bucket) = self.table.get_mut(&key) {
+                bucket.pop_front();
+                if bucket.is_empty() {
+                    self.table.remove(&key);
+                }
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.log.len()
+    }
+}
+
+/// A binary symmetric hash join (SHJ).
+///
+/// Each arriving element is (1) used to expire the opposite window, (2)
+/// hashed and probed against the opposite table, emitting one combined
+/// element per match inside the window, and (3) inserted into its own
+/// table. Probe cost is proportional to the number of *matching* live
+/// elements — this is why, in the paper's Fig. 6, the SHJ keeps pace with
+/// the offered rate three times longer than the nested-loops join before
+/// falling behind.
+pub struct SymmetricHashJoin {
+    name: String,
+    window: Duration,
+    left: Side,
+    right: Side,
+    cost_hint: Option<Duration>,
+    selectivity_hint: Option<f64>,
+}
+
+impl SymmetricHashJoin {
+    /// An SHJ with key expressions per side and a sliding window extent.
+    pub fn new(
+        name: impl Into<String>,
+        left_key: Expr,
+        right_key: Expr,
+        window: Duration,
+    ) -> SymmetricHashJoin {
+        SymmetricHashJoin {
+            name: name.into(),
+            window,
+            left: Side::new(left_key),
+            right: Side::new(right_key),
+            cost_hint: None,
+            selectivity_hint: None,
+        }
+    }
+
+    /// Natural equi-join on field `i` of both inputs.
+    pub fn on_field(name: impl Into<String>, i: usize, window: Duration) -> SymmetricHashJoin {
+        SymmetricHashJoin::new(name, Expr::field(i), Expr::field(i), window)
+    }
+
+    /// Attaches an a-priori per-element cost estimate for queue placement.
+    pub fn with_cost_hint(mut self, c: Duration) -> SymmetricHashJoin {
+        self.cost_hint = Some(c);
+        self
+    }
+
+    /// Attaches an a-priori selectivity (outputs per input) estimate.
+    pub fn with_selectivity_hint(mut self, s: f64) -> SymmetricHashJoin {
+        self.selectivity_hint = Some(s);
+        self
+    }
+
+    /// Number of live elements currently buffered on (left, right).
+    pub fn window_sizes(&self) -> (usize, usize) {
+        (self.left.len(), self.right.len())
+    }
+}
+
+impl Operator for SymmetricHashJoin {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn input_arity(&self) -> usize {
+        2
+    }
+
+    fn process(&mut self, port: usize, element: &Element, out: &mut Output) -> Result<()> {
+        let (own, opposite, own_is_left) = match port {
+            0 => (&mut self.left, &mut self.right, true),
+            1 => (&mut self.right, &mut self.left, false),
+            _ => return Err(StreamError::InvalidPort { port, arity: 2 }),
+        };
+        // (1) Expire the opposite window relative to this element's time.
+        opposite.expire(element.ts, self.window);
+        // (2) Probe.
+        let key = own.key.eval(&element.tuple)?;
+        if let Some(bucket) = opposite.table.get(&key) {
+            for other in bucket {
+                if within_window(element.ts, other.ts, self.window) {
+                    let combined = if own_is_left {
+                        combine(element, other)
+                    } else {
+                        combine(other, element)
+                    };
+                    out.push(combined);
+                }
+            }
+        }
+        // (3) Insert into own window.
+        own.insert(element)?;
+        Ok(())
+    }
+
+    fn on_watermark(&mut self, _port: usize, watermark: Timestamp, _out: &mut Output) -> Result<()> {
+        self.left.expire(watermark, self.window);
+        self.right.expire(watermark, self.window);
+        Ok(())
+    }
+
+    fn cost_hint(&self) -> Option<Duration> {
+        self.cost_hint
+    }
+
+    fn selectivity_hint(&self) -> Option<f64> {
+        self.selectivity_hint
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmts_streams::tuple::Tuple;
+
+    fn el(v: i64, secs: u64) -> Element {
+        Element::single(v, Timestamp::from_secs(secs))
+    }
+
+    fn results(out: &mut Output) -> Vec<(i64, i64)> {
+        out.drain()
+            .map(|e| {
+                (e.tuple.field(0).as_int().unwrap(), e.tuple.field(1).as_int().unwrap())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matching_keys_join_within_window() {
+        let mut j = SymmetricHashJoin::on_field("j", 0, Duration::from_secs(60));
+        let mut out = Output::new();
+        j.process(0, &el(1, 0), &mut out).unwrap();
+        assert!(out.is_empty());
+        j.process(1, &el(1, 10), &mut out).unwrap();
+        assert_eq!(results(&mut out), vec![(1, 1)]);
+        // Non-matching key: no output.
+        j.process(1, &el(2, 11), &mut out).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn left_fields_precede_right_fields() {
+        let mut j = SymmetricHashJoin::on_field("j", 0, Duration::from_secs(60));
+        let mut out = Output::new();
+        let l = Element::new(Tuple::new([7i64, 100]), Timestamp::from_secs(1));
+        let r = Element::new(Tuple::new([7i64, 200]), Timestamp::from_secs(2));
+        j.process(0, &l, &mut out).unwrap();
+        j.process(1, &r, &mut out).unwrap();
+        let o = &out.elements()[0];
+        assert_eq!(
+            o.tuple.values().iter().map(|v| v.as_int().unwrap()).collect::<Vec<_>>(),
+            vec![7, 100, 7, 200]
+        );
+        assert_eq!(o.ts, Timestamp::from_secs(2));
+
+        // Same pair arriving in the other order still yields left-then-right.
+        let mut j2 = SymmetricHashJoin::on_field("j", 0, Duration::from_secs(60));
+        let mut out2 = Output::new();
+        j2.process(1, &r, &mut out2).unwrap();
+        j2.process(0, &l, &mut out2).unwrap();
+        let o2 = &out2.elements()[0];
+        assert_eq!(
+            o2.tuple.values().iter().map(|v| v.as_int().unwrap()).collect::<Vec<_>>(),
+            vec![7, 100, 7, 200]
+        );
+    }
+
+    #[test]
+    fn elements_outside_window_do_not_join() {
+        let mut j = SymmetricHashJoin::on_field("j", 0, Duration::from_secs(60));
+        let mut out = Output::new();
+        j.process(0, &el(1, 0), &mut out).unwrap();
+        j.process(1, &el(1, 61), &mut out).unwrap();
+        assert!(out.is_empty());
+        // Exactly at the window boundary: joins (closed window).
+        let mut j2 = SymmetricHashJoin::on_field("j", 0, Duration::from_secs(60));
+        j2.process(0, &el(1, 0), &mut out).unwrap();
+        j2.process(1, &el(1, 60), &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn expiration_removes_stale_state() {
+        let mut j = SymmetricHashJoin::on_field("j", 0, Duration::from_secs(10));
+        let mut out = Output::new();
+        for s in 0..5 {
+            j.process(0, &el(1, s), &mut out).unwrap();
+        }
+        assert_eq!(j.window_sizes().0, 5);
+        // An element far in the future expires the whole left side.
+        j.process(1, &el(1, 100), &mut out).unwrap();
+        assert_eq!(j.window_sizes().0, 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn multiple_matches_emit_all_pairs() {
+        let mut j = SymmetricHashJoin::on_field("j", 0, Duration::from_secs(60));
+        let mut out = Output::new();
+        j.process(0, &el(1, 0), &mut out).unwrap();
+        j.process(0, &el(1, 1), &mut out).unwrap();
+        j.process(1, &el(1, 2), &mut out).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn watermark_expires_both_sides() {
+        let mut j = SymmetricHashJoin::on_field("j", 0, Duration::from_secs(10));
+        let mut out = Output::new();
+        j.process(0, &el(1, 0), &mut out).unwrap();
+        j.process(1, &el(2, 0), &mut out).unwrap();
+        j.on_watermark(0, Timestamp::from_secs(100), &mut out).unwrap();
+        assert_eq!(j.window_sizes(), (0, 0));
+    }
+
+    #[test]
+    fn invalid_port_errors() {
+        let mut j = SymmetricHashJoin::on_field("j", 0, Duration::from_secs(1));
+        let mut out = Output::new();
+        assert_eq!(
+            j.process(2, &el(1, 0), &mut out),
+            Err(StreamError::InvalidPort { port: 2, arity: 2 })
+        );
+    }
+
+    #[test]
+    fn hints() {
+        let j = SymmetricHashJoin::on_field("j", 0, Duration::from_secs(1))
+            .with_cost_hint(Duration::from_micros(5))
+            .with_selectivity_hint(0.1);
+        assert_eq!(j.cost_hint(), Some(Duration::from_micros(5)));
+        assert_eq!(j.selectivity_hint(), Some(0.1));
+        assert_eq!(j.input_arity(), 2);
+    }
+}

@@ -1,0 +1,194 @@
+//! End-to-end latency measurement.
+//!
+//! Latency is one of the two cost metrics the paper's related work
+//! optimizes for (§1: "cost metrics like latency or memory usage"); the
+//! scheduling architecture determines how long an element waits in queues
+//! before the result leaves the graph. [`LatencySink`] measures exactly
+//! that: the gap between an element's *stream* timestamp (assigned at the
+//! source) and the *wall-clock* instant its result reaches the sink, kept
+//! in a coarse logarithmic histogram so percentile queries are cheap and
+//! allocation-free at runtime.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use hmts_streams::element::Element;
+use hmts_streams::error::Result;
+use hmts_streams::time::SharedClock;
+
+use crate::traits::{Operator, Output};
+
+/// Logarithmic histogram buckets: `[1 µs, 2 µs, 4 µs, … , ~17 min]` plus an
+/// overflow bucket.
+const BUCKETS: usize = 31;
+
+/// A lock-free logarithmic latency histogram.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    counts: [AtomicU64; BUCKETS],
+    total: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            total: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    fn bucket(us: u64) -> usize {
+        // Bucket i covers [2^i, 2^(i+1)) microseconds; 0 µs lands in 0.
+        (63 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1)
+    }
+
+    /// Records one latency observation.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        self.counts[Self::bucket(us)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// The largest observed latency.
+    pub fn max(&self) -> Duration {
+        Duration::from_micros(self.max_us.load(Ordering::Relaxed))
+    }
+
+    /// An upper bound of the latency at quantile `q ∈ [0, 1]` (bucket
+    /// resolution: a factor of two), or `None` with no observations.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let target = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= target {
+                // Upper edge of bucket i.
+                return Some(Duration::from_micros(1u64 << (i + 1)));
+            }
+        }
+        Some(self.max())
+    }
+}
+
+/// A terminal sink that records result latency (wall time at arrival minus
+/// element stream timestamp) into a shared [`LatencyHistogram`].
+///
+/// The measurement is meaningful when sources are *paced* (stream time
+/// aligned with wall time, the default) — then a result's latency is the
+/// total queueing plus processing delay the scheduling architecture imposed
+/// on it.
+pub struct LatencySink {
+    name: String,
+    clock: SharedClock,
+    hist: Arc<LatencyHistogram>,
+}
+
+impl LatencySink {
+    /// Creates the sink and its shared histogram.
+    pub fn new(name: impl Into<String>, clock: SharedClock) -> (LatencySink, Arc<LatencyHistogram>) {
+        let hist = Arc::new(LatencyHistogram::default());
+        (LatencySink { name: name.into(), clock, hist: Arc::clone(&hist) }, hist)
+    }
+}
+
+impl Operator for LatencySink {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, _port: usize, element: &Element, _out: &mut Output) -> Result<()> {
+        let now = self.clock.now();
+        self.hist.record(now.since(element.ts));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmts_streams::time::{ManualClock, Timestamp};
+    use hmts_streams::tuple::Tuple;
+
+    #[test]
+    fn histogram_buckets_cover_ranges() {
+        assert_eq!(LatencyHistogram::bucket(0), 0);
+        assert_eq!(LatencyHistogram::bucket(1), 0);
+        assert_eq!(LatencyHistogram::bucket(2), 1);
+        assert_eq!(LatencyHistogram::bucket(3), 1);
+        assert_eq!(LatencyHistogram::bucket(4), 2);
+        assert_eq!(LatencyHistogram::bucket(1024), 10);
+        assert_eq!(LatencyHistogram::bucket(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_bound_observations() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile(0.5), None);
+        for ms in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 100] {
+            h.record(Duration::from_millis(ms));
+        }
+        assert_eq!(h.count(), 10);
+        // Median bucket: 1 ms lives in [1024 µs, 2048 µs).
+        let p50 = h.quantile(0.5).unwrap();
+        assert!(p50 >= Duration::from_millis(1) && p50 <= Duration::from_millis(3));
+        // p99 catches the 100 ms outlier (within a 2× bucket bound).
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 >= Duration::from_millis(100), "p99={p99:?}");
+        assert!(p99 <= Duration::from_millis(200) + Duration::from_millis(64), "p99={p99:?}");
+        assert_eq!(h.max(), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn sink_measures_clock_minus_stream_time() {
+        let clock = ManualClock::new();
+        let shared: SharedClock = Arc::new(clock.clone());
+        let (mut sink, hist) = LatencySink::new("lat", shared);
+        let mut out = Output::new();
+        // Element stamped at 10 ms, arrives at 14 ms: 4 ms latency.
+        clock.set(Timestamp::from_millis(14));
+        sink.process(
+            0,
+            &Element::new(Tuple::single(1), Timestamp::from_millis(10)),
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.max(), Duration::from_millis(4));
+        let p100 = hist.quantile(1.0).unwrap();
+        assert!(p100 >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn histogram_is_thread_safe() {
+        let h = Arc::new(LatencyHistogram::default());
+        let hs: Vec<_> = (0..4)
+            .map(|_| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(Duration::from_micros(i));
+                    }
+                })
+            })
+            .collect();
+        for handle in hs {
+            handle.join().unwrap();
+        }
+        assert_eq!(h.count(), 4000);
+    }
+}

@@ -1,0 +1,109 @@
+//! General element-to-elements mapping with an arbitrary Rust closure.
+
+use hmts_streams::element::Element;
+use hmts_streams::error::Result;
+
+use crate::traits::{Operator, Output};
+
+/// Boxed flat-map body: element in, zero or more elements out.
+pub type FlatMapFn = Box<dyn FnMut(&Element, &mut Output) -> Result<()> + Send>;
+
+/// A flat-map operator: each input element produces zero or more output
+/// elements via a user closure. Covers everything the expression language
+/// cannot, at the price of being opaque to introspection.
+pub struct Map {
+    name: String,
+    f: FlatMapFn,
+    selectivity_hint: Option<f64>,
+}
+
+impl Map {
+    /// A flat-map with full access to the output buffer.
+    pub fn new(
+        name: impl Into<String>,
+        f: impl FnMut(&Element, &mut Output) -> Result<()> + Send + 'static,
+    ) -> Map {
+        Map { name: name.into(), f: Box::new(f), selectivity_hint: None }
+    }
+
+    /// A 1:1 map from element to element.
+    pub fn one_to_one(
+        name: impl Into<String>,
+        mut f: impl FnMut(&Element) -> Element + Send + 'static,
+    ) -> Map {
+        Map {
+            name: name.into(),
+            f: Box::new(move |e, out| {
+                out.push(f(e));
+                Ok(())
+            }),
+            selectivity_hint: Some(1.0),
+        }
+    }
+
+    /// Attaches an a-priori selectivity estimate for queue placement.
+    pub fn with_selectivity_hint(mut self, s: f64) -> Map {
+        self.selectivity_hint = Some(s);
+        self
+    }
+}
+
+impl Operator for Map {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, _port: usize, element: &Element, out: &mut Output) -> Result<()> {
+        (self.f)(element, out)
+    }
+
+    fn selectivity_hint(&self) -> Option<f64> {
+        self.selectivity_hint
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmts_streams::time::Timestamp;
+    use hmts_streams::tuple::Tuple;
+
+    #[test]
+    fn flat_map_can_multiply_elements() {
+        let mut m = Map::new("dup", |e, out| {
+            out.push(e.clone());
+            out.push(e.clone());
+            Ok(())
+        });
+        let mut out = Output::new();
+        m.process(0, &Element::single(1, Timestamp::ZERO), &mut out).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(m.name(), "dup");
+    }
+
+    #[test]
+    fn flat_map_can_drop_elements() {
+        let mut m = Map::new("drop_all", |_e, _out| Ok(()));
+        let mut out = Output::new();
+        m.process(0, &Element::single(1, Timestamp::ZERO), &mut out).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn one_to_one_transforms() {
+        let mut m = Map::one_to_one("inc", |e| {
+            let v = e.tuple.field(0).as_int().unwrap();
+            Element::new(Tuple::single(v + 1), e.ts)
+        });
+        let mut out = Output::new();
+        m.process(0, &Element::single(41, Timestamp::from_secs(1)), &mut out).unwrap();
+        assert_eq!(out.elements()[0].tuple.field(0).as_int().unwrap(), 42);
+        assert_eq!(m.selectivity_hint(), Some(1.0));
+    }
+
+    #[test]
+    fn selectivity_hint_override() {
+        let m = Map::new("half", |_e, _o| Ok(())).with_selectivity_hint(0.5);
+        assert_eq!(m.selectivity_hint(), Some(0.5));
+    }
+}

@@ -1,0 +1,137 @@
+//! Projection operators: field selection and expression mapping.
+
+use std::time::Duration;
+
+use hmts_streams::element::Element;
+use hmts_streams::error::Result;
+use hmts_streams::tuple::Tuple;
+
+use crate::expr::Expr;
+use crate::traits::{Operator, Output};
+
+/// A projection π that keeps the fields at the given indices (duplicates
+/// allowed, order significant).
+pub struct Project {
+    name: String,
+    indices: Vec<usize>,
+    cost_hint: Option<Duration>,
+}
+
+impl Project {
+    /// A projection onto `indices`.
+    pub fn new(name: impl Into<String>, indices: Vec<usize>) -> Project {
+        Project { name: name.into(), indices, cost_hint: None }
+    }
+
+    /// Attaches an a-priori per-element cost estimate for queue placement.
+    pub fn with_cost_hint(mut self, c: Duration) -> Project {
+        self.cost_hint = Some(c);
+        self
+    }
+
+    /// The projected field indices.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+}
+
+impl Operator for Project {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, _port: usize, element: &Element, out: &mut Output) -> Result<()> {
+        out.emit(element.tuple.project(&self.indices)?, element.ts);
+        Ok(())
+    }
+
+    fn cost_hint(&self) -> Option<Duration> {
+        self.cost_hint
+    }
+
+    fn selectivity_hint(&self) -> Option<f64> {
+        // A projection is 1:1.
+        Some(1.0)
+    }
+}
+
+/// A generalized projection that computes each output field from an
+/// expression over the input tuple.
+pub struct MapExpr {
+    name: String,
+    exprs: Vec<Expr>,
+}
+
+impl MapExpr {
+    /// A mapping producing one output field per expression.
+    pub fn new(name: impl Into<String>, exprs: Vec<Expr>) -> MapExpr {
+        MapExpr { name: name.into(), exprs }
+    }
+}
+
+impl Operator for MapExpr {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, _port: usize, element: &Element, out: &mut Output) -> Result<()> {
+        let mut fields = Vec::with_capacity(self.exprs.len());
+        for e in &self.exprs {
+            fields.push(e.eval(&element.tuple)?);
+        }
+        out.emit(Tuple::new(fields), element.ts);
+        Ok(())
+    }
+
+    fn selectivity_hint(&self) -> Option<f64> {
+        Some(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmts_streams::time::Timestamp;
+    use hmts_streams::value::Value;
+
+    #[test]
+    fn project_reorders_fields() {
+        let mut p = Project::new("p", vec![2, 0]);
+        let mut out = Output::new();
+        let e = Element::new(Tuple::new([10i64, 20, 30]), Timestamp::from_secs(1));
+        p.process(0, &e, &mut out).unwrap();
+        let r = &out.elements()[0];
+        assert_eq!(r.tuple.values(), &[Value::Int(30), Value::Int(10)]);
+        assert_eq!(r.ts, Timestamp::from_secs(1));
+        assert_eq!(p.indices(), &[2, 0]);
+        assert_eq!(p.selectivity_hint(), Some(1.0));
+    }
+
+    #[test]
+    fn project_out_of_bounds_errors() {
+        let mut p = Project::new("p", vec![5]);
+        let mut out = Output::new();
+        assert!(p.process(0, &Element::single(1, Timestamp::ZERO), &mut out).is_err());
+    }
+
+    #[test]
+    fn project_cost_hint() {
+        let p = Project::new("p", vec![0]).with_cost_hint(Duration::from_micros(2));
+        assert_eq!(p.cost_hint(), Some(Duration::from_micros(2)));
+    }
+
+    #[test]
+    fn map_expr_computes_fields() {
+        let mut m = MapExpr::new(
+            "m",
+            vec![Expr::field(0).add(Expr::field(1)), Expr::field(0).mul(Expr::int(10))],
+        );
+        let mut out = Output::new();
+        let e = Element::new(Tuple::new([3i64, 4]), Timestamp::from_secs(2));
+        m.process(0, &e, &mut out).unwrap();
+        let r = &out.elements()[0];
+        assert_eq!(r.tuple.values(), &[Value::Int(7), Value::Int(30)]);
+        assert_eq!(r.ts, Timestamp::from_secs(2));
+        assert_eq!(m.name(), "m");
+    }
+}

@@ -1,0 +1,547 @@
+//! Pull-based (ONC) processing — the paper's §2.2 and §3.2.
+//!
+//! Before settling on push-based processing, the paper analyses the
+//! classical open-next-close (ONC) iterator model used by earlier DSMS
+//! (Aurora's boxes, STREAM): operators *pull* from their inputs through
+//! intermediate queues, and a scheduler invokes `next` on roots.
+//!
+//! Two observations from the paper are made concrete here:
+//!
+//! 1. **The `hasNext` ambiguity (§2.2).** In a DSMS, "no element" can mean
+//!    *not yet* or *never again*. The paper's fix — a special element that
+//!    only carries this information — is [`PullResult::Pending`] versus
+//!    [`PullResult::End`].
+//! 2. **Pull-based virtual operators need proxies and are limited to trees
+//!    (§3.2, §3.4).** A [`Proxy`] replaces the queue between two operators
+//!    of a VO: its `next` pulls *through* to its producer instead of
+//!    consulting a buffer. Because every pull operator owns exactly one
+//!    input per port and `next` consumes, a subgraph with *shared* results
+//!    (one producer, two consumers) cannot form a pull VO without
+//!    temporarily storing elements — which is precisely what a VO forbids.
+//!    The type structure here (each consumer owns its producer) makes the
+//!    tree restriction structural, and
+//!    `crates/operators/src/pull.rs`'s tests demonstrate the consequence.
+//!
+//! The module also provides [`PushAsPull`] (run any push operator inside a
+//! pull pipeline) so the two paradigms can be mixed, mirroring the paper's
+//! remark that VOs can be built in both worlds without changing operator
+//! implementations.
+
+use std::sync::Arc;
+
+use hmts_streams::element::{Element, Message, Punctuation};
+use hmts_streams::error::Result;
+use hmts_streams::queue::StreamQueue;
+
+use crate::expr::Expr;
+use crate::traits::{Operator, Output};
+
+/// The outcome of one `next` call on a pull operator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PullResult {
+    /// A data element.
+    Element(Element),
+    /// No element available *right now* (the paper's "special element which
+    /// only carries this information"). The scheduler should retry later.
+    Pending,
+    /// No element will ever be delivered again.
+    End,
+}
+
+/// An open-next-close operator (Graefe's iterator model, adapted to streams
+/// per the paper's §2.2).
+pub trait PullOperator: Send {
+    /// Diagnostic name.
+    fn name(&self) -> &str;
+
+    /// Prepares the operator (recursively opens inputs).
+    fn open(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    /// Produces the next element, `Pending`, or `End`.
+    fn next(&mut self) -> Result<PullResult>;
+
+    /// Releases resources (recursively closes inputs).
+    fn close(&mut self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// A pull leaf reading from a decoupling queue: `Pending` when the queue is
+/// momentarily empty, `End` once the producer's end-of-stream punctuation
+/// has been consumed. Watermarks are skipped (pull pipelines here exist to
+/// demonstrate the paradigm, not to re-implement event time).
+pub struct QueueLeaf {
+    name: String,
+    queue: Arc<StreamQueue>,
+    ended: bool,
+}
+
+impl QueueLeaf {
+    /// A leaf over `queue`.
+    pub fn new(name: impl Into<String>, queue: Arc<StreamQueue>) -> QueueLeaf {
+        QueueLeaf { name: name.into(), queue, ended: false }
+    }
+}
+
+impl PullOperator for QueueLeaf {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn next(&mut self) -> Result<PullResult> {
+        if self.ended {
+            return Ok(PullResult::End);
+        }
+        loop {
+            match self.queue.try_pop() {
+                None => return Ok(PullResult::Pending),
+                Some(Message::Data(e)) => return Ok(PullResult::Element(e)),
+                Some(Message::Punct(Punctuation::EndOfStream)) => {
+                    self.ended = true;
+                    return Ok(PullResult::End);
+                }
+                Some(Message::Punct(Punctuation::Watermark(_))) => continue,
+            }
+        }
+    }
+}
+
+/// The §3.2 *proxy*: stands where a queue used to be, but `next` pulls
+/// straight through to the producer — the pull-based realization of direct
+/// interoperability. (In this model the proxy is simply ownership of the
+/// producer; the type exists to make the construction explicit and to host
+/// the paper's terminology.)
+pub struct Proxy {
+    producer: Box<dyn PullOperator>,
+}
+
+impl Proxy {
+    /// Replaces the queue between `producer` and its consumer.
+    pub fn new(producer: Box<dyn PullOperator>) -> Proxy {
+        Proxy { producer }
+    }
+}
+
+impl PullOperator for Proxy {
+    fn name(&self) -> &str {
+        self.producer.name()
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.producer.open()
+    }
+
+    fn next(&mut self) -> Result<PullResult> {
+        // "The dequeue method of a proxy reads the next element of its
+        // source until it either reads a data element or … no element is
+        // currently available" — with typed Pending/End, one call suffices.
+        self.producer.next()
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.producer.close()
+    }
+}
+
+/// A pull selection.
+pub struct PullFilter {
+    name: String,
+    input: Proxy,
+    predicate: Expr,
+}
+
+impl PullFilter {
+    /// A selection pulling from `input`.
+    pub fn new(
+        name: impl Into<String>,
+        input: impl PullOperator + 'static,
+        predicate: Expr,
+    ) -> PullFilter {
+        PullFilter { name: name.into(), input: Proxy::new(Box::new(input)), predicate }
+    }
+}
+
+impl PullOperator for PullFilter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.input.open()
+    }
+
+    fn next(&mut self) -> Result<PullResult> {
+        loop {
+            match self.input.next()? {
+                PullResult::Element(e) => {
+                    if self.predicate.eval_bool(&e.tuple)? {
+                        return Ok(PullResult::Element(e));
+                    }
+                    // else: keep pulling — a rejected element is not Pending.
+                }
+                other => return Ok(other),
+            }
+        }
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.input.close()
+    }
+}
+
+/// A pull projection.
+pub struct PullProject {
+    name: String,
+    input: Proxy,
+    indices: Vec<usize>,
+}
+
+impl PullProject {
+    /// A projection pulling from `input`.
+    pub fn new(
+        name: impl Into<String>,
+        input: impl PullOperator + 'static,
+        indices: Vec<usize>,
+    ) -> PullProject {
+        PullProject { name: name.into(), input: Proxy::new(Box::new(input)), indices }
+    }
+}
+
+impl PullOperator for PullProject {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.input.open()
+    }
+
+    fn next(&mut self) -> Result<PullResult> {
+        match self.input.next()? {
+            PullResult::Element(e) => Ok(PullResult::Element(Element::new(
+                e.tuple.project(&self.indices)?,
+                e.ts,
+            ))),
+            other => Ok(other),
+        }
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.input.close()
+    }
+}
+
+/// Runs any push-based [`Operator`] inside a pull pipeline: each `next`
+/// pulls inputs until the wrapped operator emits, buffering multi-output
+/// invocations. This is how the two paradigms mix "without changing the
+/// operator implementation" (§3.4).
+pub struct PushAsPull {
+    name: String,
+    input: Proxy,
+    op: Box<dyn Operator>,
+    buffer: std::collections::VecDeque<Element>,
+    flushed: bool,
+    out: Output,
+}
+
+impl PushAsPull {
+    /// Wraps the unary push operator `op` over `input`.
+    pub fn new(input: impl PullOperator + 'static, op: impl Operator + 'static) -> PushAsPull {
+        PushAsPull {
+            name: op.name().to_string(),
+            input: Proxy::new(Box::new(input)),
+            op: Box::new(op),
+            buffer: std::collections::VecDeque::new(),
+            flushed: false,
+            out: Output::new(),
+        }
+    }
+}
+
+impl PullOperator for PushAsPull {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.input.open()
+    }
+
+    fn next(&mut self) -> Result<PullResult> {
+        loop {
+            if let Some(e) = self.buffer.pop_front() {
+                return Ok(PullResult::Element(e));
+            }
+            if self.flushed {
+                return Ok(PullResult::End);
+            }
+            match self.input.next()? {
+                PullResult::Pending => return Ok(PullResult::Pending),
+                PullResult::End => {
+                    self.op.flush(&mut self.out)?;
+                    self.flushed = true;
+                    self.buffer.extend(self.out.drain());
+                }
+                PullResult::Element(e) => {
+                    self.op.process(0, &e, &mut self.out)?;
+                    self.buffer.extend(self.out.drain());
+                }
+            }
+        }
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.input.close()
+    }
+}
+
+/// A minimal pull-based scheduler (the §3.2 setting: "the scheduler only
+/// calls the next method for the root of the VO"): round-robins over the
+/// roots, collecting elements, until every root reports `End`. Returns the
+/// collected elements per root.
+pub fn run_pull_roots(roots: &mut [Box<dyn PullOperator>]) -> Result<Vec<Vec<Element>>> {
+    for r in roots.iter_mut() {
+        r.open()?;
+    }
+    let mut results: Vec<Vec<Element>> = roots.iter().map(|_| Vec::new()).collect();
+    let mut ended = vec![false; roots.len()];
+    while ended.iter().any(|e| !e) {
+        let mut progressed = false;
+        for (i, r) in roots.iter_mut().enumerate() {
+            if ended[i] {
+                continue;
+            }
+            match r.next()? {
+                PullResult::Element(e) => {
+                    results[i].push(e);
+                    progressed = true;
+                }
+                PullResult::End => {
+                    ended[i] = true;
+                    progressed = true;
+                }
+                PullResult::Pending => {}
+            }
+        }
+        if !progressed {
+            // Every live root is Pending: with queue leaves fed in advance
+            // (as in tests) this means a stuck pipeline; in a real system
+            // the scheduler would block on queue wake-ups here. Yield to
+            // avoid a hot spin.
+            std::thread::yield_now();
+        }
+    }
+    for r in roots.iter_mut() {
+        r.close()?;
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmts_streams::time::Timestamp;
+    use hmts_streams::tuple::Tuple;
+
+    fn feed(q: &StreamQueue, values: &[i64], eos: bool) {
+        for (i, &v) in values.iter().enumerate() {
+            q.push(Message::data(Tuple::single(v), Timestamp::from_micros(i as u64)))
+                .unwrap();
+        }
+        if eos {
+            q.push(Message::eos()).unwrap();
+        }
+    }
+
+    fn drain(op: &mut dyn PullOperator) -> (Vec<i64>, bool) {
+        let mut vals = Vec::new();
+        loop {
+            match op.next().unwrap() {
+                PullResult::Element(e) => {
+                    vals.push(e.tuple.field(0).as_int().unwrap())
+                }
+                PullResult::Pending => return (vals, false),
+                PullResult::End => return (vals, true),
+            }
+        }
+    }
+
+    #[test]
+    fn queue_leaf_distinguishes_pending_from_end() {
+        // The §2.2 ambiguity, resolved: an empty queue is Pending, an empty
+        // queue after EOS is End.
+        let q = StreamQueue::unbounded("q");
+        let mut leaf = QueueLeaf::new("leaf", Arc::clone(&q));
+        assert_eq!(leaf.next().unwrap(), PullResult::Pending);
+        feed(&q, &[1, 2], false);
+        let (vals, ended) = drain(&mut leaf);
+        assert_eq!(vals, vec![1, 2]);
+        assert!(!ended, "still Pending — more may come");
+        feed(&q, &[3], true);
+        let (vals, ended) = drain(&mut leaf);
+        assert_eq!(vals, vec![3]);
+        assert!(ended, "after EOS: End, never Pending again");
+        assert_eq!(leaf.next().unwrap(), PullResult::End);
+    }
+
+    #[test]
+    fn pull_vo_chain_filters_through_proxies() {
+        // The §3.2 example: a chain of two selections merged into one VO —
+        // the scheduler only ever calls the root.
+        let q = StreamQueue::unbounded("q");
+        feed(&q, &[1, 5, 10, 15, 20], true);
+        let leaf = QueueLeaf::new("leaf", Arc::clone(&q));
+        let s1 = PullFilter::new("s1", leaf, Expr::field(0).gt(Expr::int(3)));
+        let mut s2 = PullFilter::new("s2", s1, Expr::field(0).lt(Expr::int(18)));
+        s2.open().unwrap();
+        let (vals, ended) = drain(&mut s2);
+        assert_eq!(vals, vec![5, 10, 15]);
+        assert!(ended);
+        s2.close().unwrap();
+    }
+
+    #[test]
+    fn rejected_elements_do_not_surface_as_pending() {
+        let q = StreamQueue::unbounded("q");
+        feed(&q, &[1, 2, 3, 4], false);
+        let leaf = QueueLeaf::new("leaf", Arc::clone(&q));
+        let mut f = PullFilter::new("f", leaf, Expr::field(0).gt(Expr::int(100)));
+        // All four elements are rejected; the filter reports Pending (the
+        // queue might still deliver a match later), not four no-ops.
+        assert_eq!(f.next().unwrap(), PullResult::Pending);
+        feed(&q, &[200], true);
+        let (vals, ended) = drain(&mut f);
+        assert_eq!(vals, vec![200]);
+        assert!(ended);
+    }
+
+    #[test]
+    fn projection_and_proxy_compose() {
+        let q = StreamQueue::unbounded("q");
+        for i in 0..3 {
+            q.push(Message::data(
+                Tuple::pair(i, i * 10),
+                Timestamp::from_micros(i as u64),
+            ))
+            .unwrap();
+        }
+        q.push(Message::eos()).unwrap();
+        let leaf = QueueLeaf::new("leaf", Arc::clone(&q));
+        let mut p = PullProject::new("p", leaf, vec![1]);
+        let (vals, ended) = drain(&mut p);
+        assert_eq!(vals, vec![0, 10, 20]);
+        assert!(ended);
+        assert_eq!(p.name(), "p");
+    }
+
+    #[test]
+    fn push_operator_runs_in_pull_pipeline() {
+        use crate::filter::Filter;
+        let q = StreamQueue::unbounded("q");
+        feed(&q, &[1, 2, 3, 4, 5, 6], true);
+        let leaf = QueueLeaf::new("leaf", Arc::clone(&q));
+        let push_filter =
+            Filter::new("even", Expr::field(0).rem(Expr::int(2)).eq(Expr::int(0)));
+        let mut adapted = PushAsPull::new(leaf, push_filter);
+        adapted.open().unwrap();
+        let (vals, ended) = drain(&mut adapted);
+        assert_eq!(vals, vec![2, 4, 6]);
+        assert!(ended);
+        assert_eq!(adapted.name(), "even");
+    }
+
+    #[test]
+    fn pull_scheduler_runs_multiple_roots() {
+        let qa = StreamQueue::unbounded("a");
+        let qb = StreamQueue::unbounded("b");
+        feed(&qa, &[1, 2, 3], true);
+        feed(&qb, &[10, 20], true);
+        let ra = PullFilter::new(
+            "ra",
+            QueueLeaf::new("la", Arc::clone(&qa)),
+            Expr::field(0).gt(Expr::int(1)),
+        );
+        let rb = PullProject::new("rb", QueueLeaf::new("lb", Arc::clone(&qb)), vec![0]);
+        let mut roots: Vec<Box<dyn PullOperator>> = vec![Box::new(ra), Box::new(rb)];
+        let results = run_pull_roots(&mut roots).unwrap();
+        let ints = |es: &[Element]| {
+            es.iter().map(|e| e.tuple.field(0).as_int().unwrap()).collect::<Vec<_>>()
+        };
+        assert_eq!(ints(&results[0]), vec![2, 3]);
+        assert_eq!(ints(&results[1]), vec![10, 20]);
+    }
+
+    #[test]
+    fn pull_matches_push_semantics_on_a_chain() {
+        // The paper's §3.4 equivalence: the same selections produce the
+        // same results under both paradigms.
+        use crate::filter::Filter;
+        use crate::traits::Operator;
+
+        let values: Vec<i64> = (0..500).map(|i| (i * 37) % 100).collect();
+
+        // Push: two chained filters.
+        let mut f1 = Filter::new("f1", Expr::field(0).ge(Expr::int(20)));
+        let mut f2 = Filter::new("f2", Expr::field(0).lt(Expr::int(80)));
+        let mut out = Output::new();
+        let mut push_results = Vec::new();
+        for (i, &v) in values.iter().enumerate() {
+            let e = Element::single(v, Timestamp::from_micros(i as u64));
+            f1.process(0, &e, &mut out).unwrap();
+            let stage: Vec<Element> = out.drain().collect();
+            for e1 in stage {
+                f2.process(0, &e1, &mut out).unwrap();
+                push_results
+                    .extend(out.drain().map(|e| e.tuple.field(0).as_int().unwrap()));
+            }
+        }
+
+        // Pull: the same chain as a VO.
+        let q = StreamQueue::unbounded("q");
+        feed(&q, &values, true);
+        let leaf = QueueLeaf::new("leaf", Arc::clone(&q));
+        let p1 = PullFilter::new("p1", leaf, Expr::field(0).ge(Expr::int(20)));
+        let mut p2 = PullFilter::new("p2", p1, Expr::field(0).lt(Expr::int(80)));
+        let (pull_results, ended) = drain(&mut p2);
+        assert!(ended);
+        assert_eq!(pull_results, push_results);
+    }
+
+    #[test]
+    fn tree_restriction_is_structural() {
+        // §3.4: pull VOs cannot share a subquery — pulling from the shared
+        // producer for one consumer *consumes* the element the other
+        // consumer needed. Demonstrate the loss with two consumers over one
+        // producer queue (each getting a disjoint subset, NOT two copies).
+        let q = StreamQueue::unbounded("shared");
+        feed(&q, &[1, 2, 3, 4], true);
+        // Both "branches" must pull from the same producer; the only way
+        // without storage is to share the queue — and then elements split
+        // rather than replicate.
+        let mut a = QueueLeaf::new("a", Arc::clone(&q));
+        let mut b = QueueLeaf::new("b", Arc::clone(&q));
+        let mut got_a = Vec::new();
+        let mut got_b = Vec::new();
+        // Note the asymmetry this setup forces: the single EOS message is
+        // itself consumed by exactly ONE of the leaves, so the loop must
+        // stop on whichever branch sees it.
+        let mut done = false;
+        while !done {
+            for (leaf, got) in [(&mut a, &mut got_a), (&mut b, &mut got_b)] {
+                match leaf.next().unwrap() {
+                    PullResult::Element(e) => {
+                        got.push(e.tuple.field(0).as_int().unwrap())
+                    }
+                    PullResult::End => done = true,
+                    PullResult::Pending => {}
+                }
+            }
+        }
+        assert_eq!(got_a.len() + got_b.len(), 4, "every element went to exactly one");
+        assert!(got_a.len() < 4, "branch A did not see the full stream");
+        // The push-based engine, by contrast, replicates fan-out outputs —
+        // see tests/engine_equivalence.rs::fanout_sharing_is_consistent.
+    }
+}

@@ -1,0 +1,140 @@
+//! Deterministic stream sampling.
+
+use hmts_streams::element::Element;
+use hmts_streams::error::Result;
+
+use crate::expr::{stable_hash, Expr};
+use crate::traits::{Operator, Output};
+
+/// How a [`Sample`] decides which elements pass.
+pub enum SamplePolicy {
+    /// Every `k`-th element (systematic sampling).
+    EveryKth(u64),
+    /// Elements whose key hashes below `probability` (per-key-deterministic
+    /// Bernoulli sampling — the same key is always kept or always dropped,
+    /// so downstream per-key state stays consistent).
+    HashProbability {
+        /// Key expression.
+        key: Expr,
+        /// Keep probability in `[0, 1]`.
+        probability: f64,
+    },
+}
+
+/// A sampling operator for load reduction, as used by DSMS under overload
+/// (the paper's §1: a DSMS must "avoid the risk of system overload").
+pub struct Sample {
+    name: String,
+    policy: SamplePolicy,
+    seen: u64,
+}
+
+impl Sample {
+    /// A sampler with the given policy.
+    pub fn new(name: impl Into<String>, policy: SamplePolicy) -> Sample {
+        let policy = match policy {
+            SamplePolicy::EveryKth(k) => SamplePolicy::EveryKth(k.max(1)),
+            p => p,
+        };
+        Sample { name: name.into(), policy, seen: 0 }
+    }
+
+    /// Systematic 1-in-`k` sampling.
+    pub fn every_kth(name: impl Into<String>, k: u64) -> Sample {
+        Sample::new(name, SamplePolicy::EveryKth(k))
+    }
+
+    /// Hash-deterministic Bernoulli sampling on `key`.
+    pub fn by_key(name: impl Into<String>, key: Expr, probability: f64) -> Sample {
+        Sample::new(
+            name,
+            SamplePolicy::HashProbability { key, probability: probability.clamp(0.0, 1.0) },
+        )
+    }
+}
+
+impl Operator for Sample {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, _port: usize, element: &Element, out: &mut Output) -> Result<()> {
+        let pass = match &self.policy {
+            SamplePolicy::EveryKth(k) => {
+                self.seen += 1;
+                self.seen % k == 1 || *k == 1
+            }
+            SamplePolicy::HashProbability { key, probability } => {
+                let v = key.eval(&element.tuple)?;
+                let h = stable_hash(&v) as f64 / u64::MAX as f64;
+                h < *probability
+            }
+        };
+        if pass {
+            out.push(element.clone());
+        }
+        Ok(())
+    }
+
+    fn selectivity_hint(&self) -> Option<f64> {
+        Some(match &self.policy {
+            SamplePolicy::EveryKth(k) => 1.0 / *k as f64,
+            SamplePolicy::HashProbability { probability, .. } => *probability,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmts_streams::time::Timestamp;
+
+    fn run(s: &mut Sample, n: i64) -> Vec<i64> {
+        let mut out = Output::new();
+        let mut kept = Vec::new();
+        for v in 0..n {
+            s.process(0, &Element::single(v, Timestamp::from_micros(v as u64)), &mut out)
+                .unwrap();
+            kept.extend(out.drain().map(|e| e.tuple.field(0).as_int().unwrap()));
+        }
+        kept
+    }
+
+    #[test]
+    fn every_kth_keeps_first_of_each_window() {
+        let mut s = Sample::every_kth("s", 3);
+        assert_eq!(run(&mut s, 9), vec![0, 3, 6]);
+        assert_eq!(s.selectivity_hint(), Some(1.0 / 3.0));
+    }
+
+    #[test]
+    fn every_first_keeps_all() {
+        let mut s = Sample::every_kth("s", 1);
+        assert_eq!(run(&mut s, 4), vec![0, 1, 2, 3]);
+        // k = 0 clamps to 1.
+        let mut z = Sample::new("z", SamplePolicy::EveryKth(0));
+        assert_eq!(run(&mut z, 3).len(), 3);
+    }
+
+    #[test]
+    fn hash_sampling_is_deterministic_per_key() {
+        let mut a = Sample::by_key("a", Expr::field(0), 0.5);
+        let mut b = Sample::by_key("b", Expr::field(0), 0.5);
+        let ka = run(&mut a, 1000);
+        let kb = run(&mut b, 1000);
+        assert_eq!(ka, kb, "same key set kept across instances");
+        let frac = ka.len() as f64 / 1000.0;
+        assert!((frac - 0.5).abs() < 0.07, "observed keep rate {frac}");
+    }
+
+    #[test]
+    fn hash_probability_bounds() {
+        let mut none = Sample::by_key("n", Expr::field(0), 0.0);
+        assert!(run(&mut none, 100).is_empty());
+        let mut all = Sample::by_key("a", Expr::field(0), 1.0);
+        assert_eq!(run(&mut all, 100).len(), 100);
+        // Out-of-range probabilities clamp.
+        let clamped = Sample::by_key("c", Expr::field(0), 7.0);
+        assert_eq!(clamped.selectivity_hint(), Some(1.0));
+    }
+}

@@ -1,0 +1,363 @@
+//! Core operator abstractions for push-based processing.
+//!
+//! Following the paper's §2.4, operators are *push-based*: an element is
+//! handed to [`Operator::process`], which appends any results to an
+//! [`Output`] buffer. The executor that owns the operator then routes those
+//! results — either by invoking successor operators directly (direct
+//! interoperability, DI) when they live in the same partition / virtual
+//! operator, or by enqueueing into a boundary [`hmts_streams::StreamQueue`].
+//! Operators themselves never know which of the two happens; that is the
+//! whole point of the paper's level-1 architecture.
+
+use std::time::Duration;
+
+use hmts_streams::element::{Element, Punctuation};
+use hmts_streams::error::Result;
+use hmts_streams::time::Timestamp;
+use hmts_streams::tuple::Tuple;
+
+/// Buffer that collects the outputs of one `process` / `on_punctuation` /
+/// `flush` invocation.
+///
+/// Keeping outputs in a buffer (instead of letting operators call successors
+/// themselves) lets the *executor* decide between DI and queueing, and keeps
+/// the depth-first chain reaction iterative rather than recursive.
+#[derive(Debug, Default)]
+pub struct Output {
+    elements: Vec<Element>,
+}
+
+impl Output {
+    /// An empty output buffer.
+    pub fn new() -> Output {
+        Output::default()
+    }
+
+    /// Emits an element.
+    pub fn push(&mut self, e: Element) {
+        self.elements.push(e);
+    }
+
+    /// Emits a tuple with the given timestamp.
+    pub fn emit(&mut self, tuple: Tuple, ts: Timestamp) {
+        self.elements.push(Element::new(tuple, ts));
+    }
+
+    /// Number of buffered elements.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Whether nothing was emitted.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Drains the buffered elements in emission order.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, Element> {
+        self.elements.drain(..)
+    }
+
+    /// Read-only view of the buffered elements.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Discards all buffered elements.
+    pub fn clear(&mut self) {
+        self.elements.clear();
+    }
+}
+
+/// A push-based continuous-query operator.
+///
+/// Implementations must be `Send` (partitions migrate between worker
+/// threads) but need not be `Sync`: the engine guarantees each operator is
+/// executed by at most one thread at a time, which is exactly the paper's
+/// level-2 atomic-execution property.
+pub trait Operator: Send {
+    /// Diagnostic name; also used in DOT dumps of the query graph.
+    fn name(&self) -> &str;
+
+    /// Number of input ports (1 for unary operators, 2 for joins, …).
+    fn input_arity(&self) -> usize {
+        1
+    }
+
+    /// Processes one element that arrived on `port`, appending results to
+    /// `out`.
+    fn process(&mut self, port: usize, element: &Element, out: &mut Output) -> Result<()>;
+
+    /// Handles a watermark on `port`: state with timestamps strictly below
+    /// the watermark may be expired. Default: nothing to expire.
+    fn on_watermark(&mut self, _port: usize, _watermark: Timestamp, _out: &mut Output) -> Result<()> {
+        Ok(())
+    }
+
+    /// Called once by the executor after *all* input ports have delivered
+    /// end-of-stream, before EOS is forwarded downstream. Stateful operators
+    /// (aggregates) emit any final results here. Default: nothing buffered.
+    fn flush(&mut self, _out: &mut Output) -> Result<()> {
+        Ok(())
+    }
+
+    /// A-priori estimate of the per-element processing cost `c(v)`, used by
+    /// queue placement before runtime measurements exist.
+    fn cost_hint(&self) -> Option<Duration> {
+        None
+    }
+
+    /// A-priori estimate of the operator's selectivity (mean outputs per
+    /// input), used to propagate rates through the graph before runtime
+    /// measurements exist.
+    fn selectivity_hint(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// A data source: the autonomous origin of a stream (paper §2.1: "sources
+/// only deliver data").
+///
+/// `next` returns the *due* emission time together with the payload. The
+/// real-time engine sleeps until the due time before injecting the element
+/// (and measures how far behind it falls — the Fig. 6 experiment); the
+/// discrete-event simulator uses the due time directly as virtual time.
+pub trait Source: Send {
+    /// Diagnostic name.
+    fn name(&self) -> &str;
+
+    /// The next element to emit: `(due_time, payload)`, or `None` when the
+    /// source is exhausted (the engine then injects end-of-stream).
+    fn next(&mut self) -> Option<(Timestamp, Tuple)>;
+
+    /// Total number of elements this source will deliver, if known in
+    /// advance (used for progress reporting in the experiment harness).
+    fn size_hint(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Blanket helper: a boxed operator is an operator.
+impl Operator for Box<dyn Operator> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn input_arity(&self) -> usize {
+        (**self).input_arity()
+    }
+
+    fn process(&mut self, port: usize, element: &Element, out: &mut Output) -> Result<()> {
+        (**self).process(port, element, out)
+    }
+
+    fn on_watermark(&mut self, port: usize, watermark: Timestamp, out: &mut Output) -> Result<()> {
+        (**self).on_watermark(port, watermark, out)
+    }
+
+    fn flush(&mut self, out: &mut Output) -> Result<()> {
+        (**self).flush(out)
+    }
+
+    fn cost_hint(&self) -> Option<Duration> {
+        (**self).cost_hint()
+    }
+
+    fn selectivity_hint(&self) -> Option<f64> {
+        (**self).selectivity_hint()
+    }
+}
+
+/// The punctuation-forwarding contract between executor and operator,
+/// shared by the real engine and the simulator. Re-exported here so both
+/// depend on one definition.
+pub use hmts_streams::element::Punctuation as Punct;
+
+/// Tracks which input ports of an operator have seen end-of-stream, so the
+/// executor knows when to call [`Operator::flush`] and forward EOS.
+#[derive(Debug, Clone)]
+pub struct EosTracker {
+    open: Vec<bool>,
+}
+
+impl EosTracker {
+    /// Tracker for an operator with `arity` input ports, all initially open.
+    pub fn new(arity: usize) -> EosTracker {
+        EosTracker { open: vec![true; arity.max(1)] }
+    }
+
+    /// Marks `port` closed; returns `true` if this closed the *last* open
+    /// port (i.e. the operator should now be flushed).
+    pub fn close(&mut self, port: usize) -> bool {
+        if let Some(slot) = self.open.get_mut(port) {
+            *slot = false;
+        }
+        self.open.iter().all(|o| !o)
+    }
+
+    /// Whether any port is still open.
+    pub fn any_open(&self) -> bool {
+        self.open.iter().any(|o| *o)
+    }
+
+    /// Whether the given port is still open.
+    pub fn is_open(&self, port: usize) -> bool {
+        self.open.get(port).copied().unwrap_or(false)
+    }
+
+    /// Reopens all ports (used when an engine is rebuilt for a new run).
+    pub fn reset(&mut self) {
+        for o in &mut self.open {
+            *o = true;
+        }
+    }
+}
+
+/// Per-port minimum-watermark tracker: an operator's effective watermark is
+/// the minimum over its input ports, and it only moves forward.
+#[derive(Debug, Clone)]
+pub struct WatermarkTracker {
+    per_port: Vec<Timestamp>,
+    emitted: Timestamp,
+}
+
+impl WatermarkTracker {
+    /// Tracker for `arity` ports, all at the stream epoch.
+    pub fn new(arity: usize) -> WatermarkTracker {
+        WatermarkTracker { per_port: vec![Timestamp::ZERO; arity.max(1)], emitted: Timestamp::ZERO }
+    }
+
+    /// Records a watermark on `port`; returns the new combined watermark if
+    /// it advanced past everything previously emitted.
+    pub fn observe(&mut self, port: usize, wm: Timestamp) -> Option<Timestamp> {
+        if let Some(slot) = self.per_port.get_mut(port) {
+            if wm > *slot {
+                *slot = wm;
+            }
+        }
+        let combined = *self.per_port.iter().min().expect("at least one port");
+        if combined > self.emitted {
+            self.emitted = combined;
+            Some(combined)
+        } else {
+            None
+        }
+    }
+
+    /// The last combined watermark that was reported.
+    pub fn current(&self) -> Timestamp {
+        self.emitted
+    }
+}
+
+/// Helper for operators and tests: classify a message into the executor's
+/// three dispatch cases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dispatch {
+    /// Route to `Operator::process`.
+    Data,
+    /// Route to EOS bookkeeping / `flush`.
+    Eos,
+    /// Route to `Operator::on_watermark`.
+    Watermark(Timestamp),
+}
+
+/// Classifies a punctuation for dispatch.
+pub fn classify(p: Punctuation) -> Dispatch {
+    match p {
+        Punctuation::EndOfStream => Dispatch::Eos,
+        Punctuation::Watermark(t) => Dispatch::Watermark(t),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmts_streams::tuple::Tuple;
+
+    struct Echo;
+    impl Operator for Echo {
+        fn name(&self) -> &str {
+            "echo"
+        }
+        fn process(&mut self, _port: usize, element: &Element, out: &mut Output) -> Result<()> {
+            out.push(element.clone());
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn output_buffer_basics() {
+        let mut out = Output::new();
+        assert!(out.is_empty());
+        out.emit(Tuple::single(1), Timestamp::from_secs(1));
+        out.push(Element::single(2, Timestamp::from_secs(2)));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.elements()[0].tuple.field(0).as_int().unwrap(), 1);
+        let drained: Vec<Element> = out.drain().collect();
+        assert_eq!(drained.len(), 2);
+        assert!(out.is_empty());
+        out.emit(Tuple::single(3), Timestamp::ZERO);
+        out.clear();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn boxed_operator_delegates() {
+        let mut op: Box<dyn Operator> = Box::new(Echo);
+        assert_eq!(op.name(), "echo");
+        assert_eq!(op.input_arity(), 1);
+        let mut out = Output::new();
+        op.process(0, &Element::single(7, Timestamp::ZERO), &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        op.flush(&mut out).unwrap();
+        op.on_watermark(0, Timestamp::ZERO, &mut out).unwrap();
+        assert_eq!(op.cost_hint(), None);
+        assert_eq!(op.selectivity_hint(), None);
+    }
+
+    #[test]
+    fn eos_tracker_reports_last_close() {
+        let mut t = EosTracker::new(2);
+        assert!(t.any_open());
+        assert!(t.is_open(0));
+        assert!(!t.close(0));
+        assert!(!t.is_open(0));
+        assert!(t.is_open(1));
+        assert!(t.close(1));
+        assert!(!t.any_open());
+        // Closing an already-closed or out-of-range port is harmless.
+        assert!(t.close(0));
+        assert!(t.close(9));
+        t.reset();
+        assert!(t.any_open());
+    }
+
+    #[test]
+    fn eos_tracker_zero_arity_treated_as_one() {
+        let mut t = EosTracker::new(0);
+        assert!(t.close(0));
+    }
+
+    #[test]
+    fn watermark_tracker_takes_min_over_ports() {
+        let mut w = WatermarkTracker::new(2);
+        // Only port 0 advanced: combined min still ZERO, nothing reported.
+        assert_eq!(w.observe(0, Timestamp::from_secs(5)), None);
+        // Port 1 advances to 3: combined = 3.
+        assert_eq!(w.observe(1, Timestamp::from_secs(3)), Some(Timestamp::from_secs(3)));
+        assert_eq!(w.current(), Timestamp::from_secs(3));
+        // Watermark regression on a port is ignored.
+        assert_eq!(w.observe(1, Timestamp::from_secs(1)), None);
+        assert_eq!(w.observe(1, Timestamp::from_secs(10)), Some(Timestamp::from_secs(5)));
+    }
+
+    #[test]
+    fn classify_punctuations() {
+        assert_eq!(classify(Punctuation::EndOfStream), Dispatch::Eos);
+        assert_eq!(
+            classify(Punctuation::Watermark(Timestamp::from_secs(2))),
+            Dispatch::Watermark(Timestamp::from_secs(2))
+        );
+    }
+}

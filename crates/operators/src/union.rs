@@ -1,0 +1,76 @@
+//! Stream union.
+
+use hmts_streams::element::Element;
+use hmts_streams::error::{Result, StreamError};
+
+use crate::traits::{Operator, Output};
+
+/// An n-ary union: forwards every element from any input port unchanged.
+/// Order across ports follows processing order (bag semantics, as usual for
+/// stream union).
+pub struct Union {
+    name: String,
+    arity: usize,
+}
+
+impl Union {
+    /// A union of `arity` input streams (at least 2).
+    pub fn new(name: impl Into<String>, arity: usize) -> Union {
+        Union { name: name.into(), arity: arity.max(2) }
+    }
+}
+
+impl Operator for Union {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn input_arity(&self) -> usize {
+        self.arity
+    }
+
+    fn process(&mut self, port: usize, element: &Element, out: &mut Output) -> Result<()> {
+        if port >= self.arity {
+            return Err(StreamError::InvalidPort { port, arity: self.arity });
+        }
+        out.push(element.clone());
+        Ok(())
+    }
+
+    fn selectivity_hint(&self) -> Option<f64> {
+        Some(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmts_streams::time::Timestamp;
+
+    #[test]
+    fn forwards_from_all_ports() {
+        let mut u = Union::new("u", 3);
+        assert_eq!(u.input_arity(), 3);
+        let mut out = Output::new();
+        for port in 0..3 {
+            u.process(port, &Element::single(port as i64, Timestamp::ZERO), &mut out).unwrap();
+        }
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn rejects_invalid_port() {
+        let mut u = Union::new("u", 2);
+        let mut out = Output::new();
+        assert_eq!(
+            u.process(5, &Element::single(0, Timestamp::ZERO), &mut out),
+            Err(StreamError::InvalidPort { port: 5, arity: 2 })
+        );
+    }
+
+    #[test]
+    fn arity_clamped_to_two() {
+        let u = Union::new("u", 0);
+        assert_eq!(u.input_arity(), 2);
+    }
+}

@@ -1,0 +1,173 @@
+//! Sliding time-window bookkeeping shared by windowed operators.
+//!
+//! The paper's joins use "a one minute sliding window" (§6.3): an element is
+//! join-able with elements of the opposite stream whose timestamps lie
+//! within the window extent of its own. This module provides the buffer that
+//! implements those semantics for joins, aggregates, and duplicate
+//! elimination.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use hmts_streams::element::Element;
+use hmts_streams::time::Timestamp;
+
+/// A time-ordered buffer of elements with sliding-window expiration.
+///
+/// Elements are expected to arrive in non-decreasing timestamp order per
+/// stream (sources emit in order); mild disorder is tolerated — expiration
+/// uses the maximum timestamp seen so far, so a late element can never
+/// resurrect expired state.
+#[derive(Debug)]
+pub struct WindowBuffer {
+    extent: Duration,
+    buf: VecDeque<Element>,
+    max_ts: Timestamp,
+}
+
+impl WindowBuffer {
+    /// A buffer with the given window extent.
+    pub fn new(extent: Duration) -> WindowBuffer {
+        WindowBuffer { extent, buf: VecDeque::new(), max_ts: Timestamp::ZERO }
+    }
+
+    /// The window extent.
+    pub fn extent(&self) -> Duration {
+        self.extent
+    }
+
+    /// Inserts an element (kept in arrival order).
+    pub fn insert(&mut self, e: Element) {
+        self.max_ts = self.max_ts.max(e.ts);
+        self.buf.push_back(e);
+    }
+
+    /// Expires and discards all elements whose timestamp lies strictly
+    /// before `now - extent`; returns how many were removed. An element with
+    /// `ts == now - extent` is still alive (closed window boundary, matching
+    /// the usual sliding-window definition).
+    pub fn expire(&mut self, now: Timestamp) -> usize {
+        let cutoff = now.saturating_sub(self.extent);
+        let mut removed = 0;
+        while let Some(front) = self.buf.front() {
+            if front.ts < cutoff {
+                self.buf.pop_front();
+                removed += 1;
+            } else {
+                break;
+            }
+        }
+        removed
+    }
+
+    /// Like [`WindowBuffer::expire`], but hands the expired elements to a
+    /// callback (aggregates need them to retract their contribution).
+    pub fn expire_with(&mut self, now: Timestamp, mut on_expired: impl FnMut(&Element)) -> usize {
+        let cutoff = now.saturating_sub(self.extent);
+        let mut removed = 0;
+        while let Some(front) = self.buf.front() {
+            if front.ts < cutoff {
+                let e = self.buf.pop_front().expect("front checked");
+                on_expired(&e);
+                removed += 1;
+            } else {
+                break;
+            }
+        }
+        removed
+    }
+
+    /// Live elements, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Element> {
+        self.buf.iter()
+    }
+
+    /// Number of live elements.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The largest timestamp ever inserted (drives expiration of the
+    /// opposite side in symmetric joins).
+    pub fn max_ts(&self) -> Timestamp {
+        self.max_ts
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn el(v: i64, secs: u64) -> Element {
+        Element::single(v, Timestamp::from_secs(secs))
+    }
+
+    #[test]
+    fn insert_and_iterate_in_order() {
+        let mut w = WindowBuffer::new(Duration::from_secs(10));
+        w.insert(el(1, 1));
+        w.insert(el(2, 2));
+        assert_eq!(w.len(), 2);
+        let vals: Vec<i64> =
+            w.iter().map(|e| e.tuple.field(0).as_int().unwrap()).collect();
+        assert_eq!(vals, vec![1, 2]);
+        assert_eq!(w.max_ts(), Timestamp::from_secs(2));
+        assert_eq!(w.extent(), Duration::from_secs(10));
+    }
+
+    #[test]
+    fn expire_removes_only_stale() {
+        let mut w = WindowBuffer::new(Duration::from_secs(60));
+        w.insert(el(1, 0));
+        w.insert(el(2, 30));
+        w.insert(el(3, 61));
+        // now=61: cutoff = 1s; element at t=0 expires, t=30 and t=61 stay.
+        assert_eq!(w.expire(Timestamp::from_secs(61)), 1);
+        assert_eq!(w.len(), 2);
+        // Boundary: element exactly at cutoff survives.
+        let mut w2 = WindowBuffer::new(Duration::from_secs(10));
+        w2.insert(el(1, 5));
+        assert_eq!(w2.expire(Timestamp::from_secs(15)), 0);
+        assert_eq!(w2.expire(Timestamp::from_micros(15_000_001)), 1);
+    }
+
+    #[test]
+    fn expire_with_reports_expired_elements() {
+        let mut w = WindowBuffer::new(Duration::from_secs(1));
+        w.insert(el(1, 0));
+        w.insert(el(2, 1));
+        let mut gone = Vec::new();
+        let n = w.expire_with(Timestamp::from_secs(3), |e| {
+            gone.push(e.tuple.field(0).as_int().unwrap())
+        });
+        assert_eq!(n, 2);
+        assert_eq!(gone, vec![1, 2]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn expire_before_window_fills_is_noop() {
+        let mut w = WindowBuffer::new(Duration::from_secs(100));
+        w.insert(el(1, 5));
+        assert_eq!(w.expire(Timestamp::from_secs(10)), 0);
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut w = WindowBuffer::new(Duration::from_secs(1));
+        w.insert(el(1, 0));
+        w.clear();
+        assert!(w.is_empty());
+    }
+}

@@ -1,0 +1,247 @@
+//! Property-based tests of the operator library.
+
+use proptest::prelude::*;
+use std::time::Duration;
+
+use hmts_operators::aggregate::{AggregateFunction, WindowAggregate};
+use hmts_operators::expr::Expr;
+use hmts_operators::filter::Filter;
+use hmts_operators::join::{SymmetricHashJoin, SymmetricNestedLoopsJoin};
+use hmts_operators::traits::{Operator, Output};
+use hmts_operators::window::WindowBuffer;
+use hmts_streams::element::Element;
+use hmts_streams::time::Timestamp;
+use hmts_streams::tuple::Tuple;
+use hmts_streams::value::Value;
+
+/// A stream of (key, payload) elements with non-decreasing timestamps.
+fn arb_stream(max_len: usize) -> impl Strategy<Value = Vec<Element>> {
+    proptest::collection::vec((0i64..8, 0u64..2_000), 0..max_len).prop_map(|items| {
+        let mut ts = 0u64;
+        items
+            .into_iter()
+            .enumerate()
+            .map(|(i, (key, gap))| {
+                ts += gap;
+                Element::new(Tuple::pair(key, i as i64), Timestamp::from_micros(ts))
+            })
+            .collect()
+    })
+}
+
+fn run_join<O: Operator>(
+    join: &mut O,
+    left: &[Element],
+    right: &[Element],
+) -> Vec<(i64, i64, i64, i64)> {
+    // Merge the two streams by timestamp (stable: left first on ties), as
+    // an engine executing in arrival order would.
+    let mut merged: Vec<(usize, &Element)> = left
+        .iter()
+        .map(|e| (0usize, e))
+        .chain(right.iter().map(|e| (1usize, e)))
+        .collect();
+    merged.sort_by_key(|(port, e)| (e.ts, *port));
+    let mut out = Output::new();
+    let mut results = Vec::new();
+    for (port, e) in merged {
+        join.process(port, e, &mut out).unwrap();
+        for r in out.drain() {
+            results.push((
+                r.tuple.field(0).as_int().unwrap(),
+                r.tuple.field(1).as_int().unwrap(),
+                r.tuple.field(2).as_int().unwrap(),
+                r.tuple.field(3).as_int().unwrap(),
+            ));
+        }
+    }
+    results.sort_unstable();
+    results
+}
+
+fn reference_join(
+    left: &[Element],
+    right: &[Element],
+    window: Duration,
+) -> Vec<(i64, i64, i64, i64)> {
+    let mut results = Vec::new();
+    for l in left {
+        for r in right {
+            let (lo, hi) = if l.ts <= r.ts { (l.ts, r.ts) } else { (r.ts, l.ts) };
+            if hi.since(lo) <= window && l.tuple.field(0) == r.tuple.field(0) {
+                results.push((
+                    l.tuple.field(0).as_int().unwrap(),
+                    l.tuple.field(1).as_int().unwrap(),
+                    r.tuple.field(0).as_int().unwrap(),
+                    r.tuple.field(1).as_int().unwrap(),
+                ));
+            }
+        }
+    }
+    results.sort_unstable();
+    results
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn shj_equals_reference(
+        left in arb_stream(60),
+        right in arb_stream(60),
+        window_us in 1u64..5_000,
+    ) {
+        let window = Duration::from_micros(window_us);
+        let mut shj = SymmetricHashJoin::on_field("shj", 0, window);
+        prop_assert_eq!(
+            run_join(&mut shj, &left, &right),
+            reference_join(&left, &right, window)
+        );
+    }
+
+    #[test]
+    fn snj_equals_reference(
+        left in arb_stream(40),
+        right in arb_stream(40),
+        window_us in 1u64..5_000,
+    ) {
+        let window = Duration::from_micros(window_us);
+        let mut snj = SymmetricNestedLoopsJoin::on_field("snj", 0, window);
+        prop_assert_eq!(
+            run_join(&mut snj, &left, &right),
+            reference_join(&left, &right, window)
+        );
+    }
+
+    #[test]
+    fn window_buffer_retains_exactly_the_live_elements(
+        gaps in proptest::collection::vec(0u64..500, 1..80),
+        extent_us in 1u64..2_000,
+    ) {
+        let extent = Duration::from_micros(extent_us);
+        let mut w = WindowBuffer::new(extent);
+        let mut ts = 0u64;
+        let mut all = Vec::new();
+        for (i, gap) in gaps.iter().enumerate() {
+            ts += gap;
+            let e = Element::single(i as i64, Timestamp::from_micros(ts));
+            all.push(e.clone());
+            w.insert(e);
+            w.expire(Timestamp::from_micros(ts));
+            // Invariant: live elements are exactly those with
+            // ts >= now - extent.
+            let cutoff = Timestamp::from_micros(ts).saturating_sub(extent);
+            let expected: Vec<i64> = all
+                .iter()
+                .filter(|e| e.ts >= cutoff)
+                .map(|e| e.tuple.field(0).as_int().unwrap())
+                .collect();
+            let live: Vec<i64> =
+                w.iter().map(|e| e.tuple.field(0).as_int().unwrap()).collect();
+            prop_assert_eq!(live, expected);
+        }
+    }
+
+    #[test]
+    fn windowed_count_matches_naive(
+        gaps in proptest::collection::vec(0u64..300, 1..80),
+        extent_us in 1u64..1_000,
+    ) {
+        let extent = Duration::from_micros(extent_us);
+        let mut agg = WindowAggregate::new("c", AggregateFunction::Count, extent);
+        let mut out = Output::new();
+        let mut ts = 0u64;
+        let mut history: Vec<u64> = Vec::new();
+        for (i, gap) in gaps.iter().enumerate() {
+            ts += gap;
+            history.push(ts);
+            agg.process(0, &Element::single(i as i64, Timestamp::from_micros(ts)), &mut out)
+                .unwrap();
+            let got = out.drain().next().unwrap().tuple.field(0).as_int().unwrap();
+            let cutoff = ts.saturating_sub(extent_us);
+            let naive = history.iter().filter(|&&t| t >= cutoff).count() as i64;
+            prop_assert_eq!(got, naive, "at ts={}", ts);
+        }
+    }
+
+    #[test]
+    fn windowed_sum_matches_naive(
+        items in proptest::collection::vec((0u64..300, -100i64..100), 1..60),
+        extent_us in 1u64..1_000,
+    ) {
+        let extent = Duration::from_micros(extent_us);
+        let mut agg = WindowAggregate::new("s", AggregateFunction::Sum(0), extent);
+        let mut out = Output::new();
+        let mut ts = 0u64;
+        let mut history: Vec<(u64, i64)> = Vec::new();
+        for (gap, v) in items {
+            ts += gap;
+            history.push((ts, v));
+            agg.process(0, &Element::single(v, Timestamp::from_micros(ts)), &mut out)
+                .unwrap();
+            let got = out.drain().next().unwrap().tuple.field(0).as_int().unwrap();
+            let cutoff = ts.saturating_sub(extent_us);
+            let naive: i64 =
+                history.iter().filter(|(t, _)| *t >= cutoff).map(|(_, v)| v).sum();
+            prop_assert_eq!(got, naive, "at ts={}", ts);
+        }
+    }
+
+    #[test]
+    fn windowed_min_matches_naive(
+        items in proptest::collection::vec((0u64..300, -50i64..50), 1..60),
+        extent_us in 1u64..800,
+    ) {
+        let extent = Duration::from_micros(extent_us);
+        let mut agg = WindowAggregate::new("m", AggregateFunction::Min(0), extent);
+        let mut out = Output::new();
+        let mut ts = 0u64;
+        let mut history: Vec<(u64, i64)> = Vec::new();
+        for (gap, v) in items {
+            ts += gap;
+            history.push((ts, v));
+            agg.process(0, &Element::single(v, Timestamp::from_micros(ts)), &mut out)
+                .unwrap();
+            let got = out.drain().next().unwrap().tuple.field(0).clone();
+            let cutoff = ts.saturating_sub(extent_us);
+            let naive = history
+                .iter()
+                .filter(|(t, _)| *t >= cutoff)
+                .map(|(_, v)| *v)
+                .min()
+                .unwrap();
+            prop_assert_eq!(got, Value::Int(naive), "at ts={}", ts);
+        }
+    }
+
+    #[test]
+    fn filter_chain_equals_conjunction(
+        values in proptest::collection::vec(-1000i64..1000, 0..100),
+        a in -1000i64..1000,
+        b in -1000i64..1000,
+    ) {
+        // The paper's §3.1: a chain of selections behaves as one virtual
+        // operator computing their conjunction.
+        let mut f1 = Filter::new("f1", Expr::field(0).ge(Expr::int(a)));
+        let mut f2 = Filter::new("f2", Expr::field(0).lt(Expr::int(b)));
+        let mut conj = Filter::new(
+            "conj",
+            Expr::field(0).ge(Expr::int(a)).and(Expr::field(0).lt(Expr::int(b))),
+        );
+        let mut out = Output::new();
+        let mut chained = Vec::new();
+        let mut direct = Vec::new();
+        for (i, &v) in values.iter().enumerate() {
+            let e = Element::single(v, Timestamp::from_micros(i as u64));
+            f1.process(0, &e, &mut out).unwrap();
+            let pass1: Vec<Element> = out.drain().collect();
+            for e1 in pass1 {
+                f2.process(0, &e1, &mut out).unwrap();
+                chained.extend(out.drain().map(|e| e.tuple.field(0).as_int().unwrap()));
+            }
+            conj.process(0, &e, &mut out).unwrap();
+            direct.extend(out.drain().map(|e| e.tuple.field(0).as_int().unwrap()));
+        }
+        prop_assert_eq!(chained, direct);
+    }
+}

@@ -1,0 +1,83 @@
+//! Simulation parameters.
+
+/// Overhead and resource parameters of the simulated machine.
+///
+/// The defaults are calibrated against this repository's micro-benchmarks
+/// (`crates/bench/benches/micro_queue_vs_di.rs`): a queue transfer costs a
+/// few hundred nanoseconds, a direct (DI) call a few tens, and an OS
+/// context switch a few microseconds. The *ratios* between these are what
+/// drive every scheduling-architecture comparison in the paper; absolute
+/// values shift curves without changing who wins.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of CPU cores of the simulated machine (the paper's testbed
+    /// had 2).
+    pub cores: usize,
+    /// Cost of switching a core to a different thread, in seconds.
+    pub ctx_switch: f64,
+    /// Additional context-switch cost per *live thread*, in seconds — the
+    /// scheduler-bookkeeping and cache-footprint penalty that grows with
+    /// the thread population. This is the effect behind the paper's claim
+    /// that "no platform can handle a large number of threads effectively"
+    /// (§1) and behind OTS's collapse in Fig. 8.
+    pub ctx_switch_per_thread: f64,
+    /// Cost of one enqueue+dequeue pair on a decoupling queue, in seconds
+    /// (charged to the producing execution).
+    pub queue_op: f64,
+    /// Cost of one direct-interoperability call between operators inside a
+    /// virtual operator, in seconds.
+    pub di_call: f64,
+    /// Cost of one scheduling decision (strategy select + batch setup), in
+    /// seconds, charged per dispatch.
+    pub dispatch: f64,
+    /// Elements a thread processes from one domain per dispatch.
+    pub batch: usize,
+    /// Seed for the selectivity coin flips.
+    pub seed: u64,
+    /// Cap on the number of points kept in the output/memory timelines
+    /// (older points are decimated 2:1 when exceeded).
+    pub timeline_cap: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            cores: 2,
+            ctx_switch: 3e-6,
+            ctx_switch_per_thread: 50e-9,
+            queue_op: 250e-9,
+            di_call: 25e-9,
+            dispatch: 100e-9,
+            batch: 16,
+            seed: 0xD15C,
+            timeline_cap: 8192,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A configuration with the given core count and defaults otherwise.
+    pub fn with_cores(cores: usize) -> SimConfig {
+        SimConfig { cores: cores.max(1), ..SimConfig::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_have_sane_ordering() {
+        let c = SimConfig::default();
+        assert!(c.di_call < c.queue_op, "DI must be cheaper than queueing");
+        assert!(c.queue_op < c.ctx_switch, "queueing cheaper than a context switch");
+        assert!(c.cores >= 1);
+        assert!(c.batch >= 1);
+    }
+
+    #[test]
+    fn with_cores_clamps() {
+        assert_eq!(SimConfig::with_cores(0).cores, 1);
+        assert_eq!(SimConfig::with_cores(4).cores, 4);
+    }
+}

@@ -1,0 +1,25 @@
+//! # `hmts-sim` — discrete-event simulation of continuous-query scheduling
+//!
+//! The paper's evaluation ran on a dual-core machine; this repository
+//! builds on a single-core host. Results that depend on *overheads*
+//! (queueing vs DI, thread context switching) reproduce natively, but
+//! results that depend on *parallel speedup* (the paper's Figs. 7, 9, 10)
+//! cannot physically occur on one core. This crate substitutes the missing
+//! hardware: a deterministic discrete-event simulator with a configurable
+//! number of virtual cores, driven by the same cost model (`c(v)`,
+//! selectivity, source schedules) the real engine measures, and executing
+//! the same policy shapes (GTS / OTS / decoupled DI / HMTS).
+//!
+//! See DESIGN.md §4 for the substitution argument and
+//! `crates/bench/benches/micro_queue_vs_di.rs` for the overhead
+//! calibration.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod policy;
+
+pub use config::SimConfig;
+pub use engine::{simulate, SimResult, SplitMix64};
+pub use policy::{SimPolicy, SimStrategy, SimThreading};

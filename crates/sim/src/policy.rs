@@ -1,0 +1,232 @@
+//! Simulated scheduling policies: the level-1/2/3 shapes as plain data.
+//!
+//! The simulator is a substrate crate (the real engine's crate depends on
+//! it, not vice versa), so policies are expressed structurally: virtual
+//! operators as index groups, level-2 domains as groups of VOs, threading as
+//! dedicated-per-domain or a worker pool, and queue-pick strategies as
+//! either FIFO or an explicit per-node priority table (the Chain strategy's
+//! envelope priorities are computed by the `hmts` crate and passed in).
+
+use hmts_graph::cost::CostGraph;
+
+/// How a domain picks among its pending input queues.
+#[derive(Debug, Clone)]
+pub enum SimStrategy {
+    /// Oldest arrival first.
+    Fifo,
+    /// Highest per-node priority first (ties: oldest arrival). The table is
+    /// indexed by node id.
+    Priority(Vec<f64>),
+}
+
+/// Threading of the simulated domains.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimThreading {
+    /// One thread per domain (GTS: one domain ⇒ one thread; OTS: one domain
+    /// per operator ⇒ one thread each).
+    Dedicated,
+    /// `workers` pool threads multiplex all domains, highest priority
+    /// first (the level-3 thread scheduler). `priorities` is per domain.
+    Pool {
+        /// Worker threads.
+        workers: usize,
+        /// Base priority per domain.
+        priorities: Vec<f64>,
+    },
+}
+
+/// A complete simulated execution policy.
+#[derive(Debug, Clone)]
+pub struct SimPolicy {
+    /// Level 1: virtual operators (groups of operator node indices).
+    pub partitions: Vec<Vec<usize>>,
+    /// Level 2: domains as groups of partition indices.
+    pub domains: Vec<Vec<usize>>,
+    /// Threading of the domains.
+    pub threading: SimThreading,
+    /// Queue-pick strategy (shared by all domains).
+    pub strategy: SimStrategy,
+}
+
+impl SimPolicy {
+    /// GTS: every operator its own VO (queues everywhere), all VOs in one
+    /// domain on one dedicated thread.
+    pub fn gts(g: &CostGraph, strategy: SimStrategy) -> SimPolicy {
+        let partitions: Vec<Vec<usize>> =
+            g.operators().into_iter().map(|v| vec![v]).collect();
+        let domains = vec![(0..partitions.len()).collect()];
+        SimPolicy { partitions, domains, threading: SimThreading::Dedicated, strategy }
+    }
+
+    /// OTS: every operator its own VO *and* its own dedicated thread.
+    pub fn ots(g: &CostGraph) -> SimPolicy {
+        let partitions: Vec<Vec<usize>> =
+            g.operators().into_iter().map(|v| vec![v]).collect();
+        let domains = (0..partitions.len()).map(|i| vec![i]).collect();
+        SimPolicy {
+            partitions,
+            domains,
+            threading: SimThreading::Dedicated,
+            strategy: SimStrategy::Fifo,
+        }
+    }
+
+    /// Decoupled DI (the paper's Fig. 7 "DI"): the whole operator graph as
+    /// one VO, one queue after each source, one dedicated thread.
+    pub fn di_decoupled(g: &CostGraph) -> SimPolicy {
+        SimPolicy {
+            partitions: vec![g.operators()],
+            domains: vec![vec![0]],
+            threading: SimThreading::Dedicated,
+            strategy: SimStrategy::Fifo,
+        }
+    }
+
+    /// HMTS with dedicated threads: the given VOs, one domain and one
+    /// thread each.
+    pub fn hmts_dedicated(partitions: Vec<Vec<usize>>, strategy: SimStrategy) -> SimPolicy {
+        let domains = (0..partitions.len()).map(|i| vec![i]).collect();
+        SimPolicy { partitions, domains, threading: SimThreading::Dedicated, strategy }
+    }
+
+    /// HMTS with a level-3 pool: the given VOs, one domain each, `workers`
+    /// pool threads, equal priorities.
+    pub fn hmts_pooled(
+        partitions: Vec<Vec<usize>>,
+        strategy: SimStrategy,
+        workers: usize,
+    ) -> SimPolicy {
+        let n = partitions.len();
+        let domains = (0..n).map(|i| vec![i]).collect();
+        SimPolicy {
+            partitions,
+            domains,
+            threading: SimThreading::Pool { workers: workers.max(1), priorities: vec![0.0; n] },
+            strategy,
+        }
+    }
+
+    /// The operator nodes of domain `d`.
+    pub fn domain_nodes(&self, d: usize) -> Vec<usize> {
+        self.domains[d]
+            .iter()
+            .flat_map(|&p| self.partitions[p].iter().copied())
+            .collect()
+    }
+
+    /// Checks structural sanity against a graph; returns human-readable
+    /// defects.
+    pub fn validate(&self, g: &CostGraph) -> Vec<String> {
+        let mut errors = Vec::new();
+        let mut seen = vec![false; g.node_count()];
+        for group in &self.partitions {
+            for &v in group {
+                if v >= g.node_count() {
+                    errors.push(format!("unknown node {v}"));
+                } else if g.is_source(v) {
+                    errors.push(format!("source {v} in a partition"));
+                } else if std::mem::replace(&mut seen[v], true) {
+                    errors.push(format!("node {v} in two partitions"));
+                }
+            }
+        }
+        for v in g.operators() {
+            if !seen[v] {
+                errors.push(format!("operator {v} uncovered"));
+            }
+        }
+        let mut claimed = vec![false; self.partitions.len()];
+        for dom in &self.domains {
+            for &p in dom {
+                if p >= self.partitions.len() {
+                    errors.push(format!("unknown partition {p}"));
+                } else if std::mem::replace(&mut claimed[p], true) {
+                    errors.push(format!("partition {p} in two domains"));
+                }
+            }
+        }
+        for (p, c) in claimed.iter().enumerate() {
+            if !c {
+                errors.push(format!("partition {p} unassigned"));
+            }
+        }
+        if let SimThreading::Pool { priorities, .. } = &self.threading {
+            if priorities.len() != self.domains.len() {
+                errors.push("pool priorities length != domain count".into());
+            }
+        }
+        errors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain3() -> CostGraph {
+        CostGraph::from_parts(
+            4,
+            vec![(0, 1), (1, 2), (2, 3)],
+            vec![0.0, 1e-6, 1e-6, 1e-6],
+            vec![1.0; 4],
+            vec![Some(100.0), None, None, None],
+        )
+    }
+
+    #[test]
+    fn gts_shape() {
+        let g = chain3();
+        let p = SimPolicy::gts(&g, SimStrategy::Fifo);
+        assert_eq!(p.partitions.len(), 3);
+        assert_eq!(p.domains, vec![vec![0, 1, 2]]);
+        assert_eq!(p.threading, SimThreading::Dedicated);
+        assert!(p.validate(&g).is_empty());
+        assert_eq!(p.domain_nodes(0), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ots_shape() {
+        let g = chain3();
+        let p = SimPolicy::ots(&g);
+        assert_eq!(p.partitions.len(), 3);
+        assert_eq!(p.domains.len(), 3);
+        assert!(p.validate(&g).is_empty());
+    }
+
+    #[test]
+    fn di_decoupled_shape() {
+        let g = chain3();
+        let p = SimPolicy::di_decoupled(&g);
+        assert_eq!(p.partitions.len(), 1);
+        assert_eq!(p.partitions[0], vec![1, 2, 3]);
+        assert!(p.validate(&g).is_empty());
+    }
+
+    #[test]
+    fn hmts_shapes() {
+        let g = chain3();
+        let d = SimPolicy::hmts_dedicated(vec![vec![1, 2], vec![3]], SimStrategy::Fifo);
+        assert!(d.validate(&g).is_empty());
+        assert_eq!(d.domains.len(), 2);
+        let p = SimPolicy::hmts_pooled(vec![vec![1, 2], vec![3]], SimStrategy::Fifo, 2);
+        assert!(p.validate(&g).is_empty());
+        assert!(matches!(p.threading, SimThreading::Pool { workers: 2, .. }));
+    }
+
+    #[test]
+    fn validation_catches_defects() {
+        let g = chain3();
+        let p = SimPolicy {
+            partitions: vec![vec![1, 1], vec![0]],
+            domains: vec![vec![0], vec![1], vec![7]],
+            threading: SimThreading::Pool { workers: 1, priorities: vec![0.0] },
+            strategy: SimStrategy::Fifo,
+        };
+        let errs = p.validate(&g);
+        assert!(errs.iter().any(|e| e.contains("two partitions")));
+        assert!(errs.iter().any(|e| e.contains("source 0")));
+        assert!(errs.iter().any(|e| e.contains("uncovered")));
+        assert!(errs.iter().any(|e| e.contains("unknown partition 7")));
+        assert!(errs.iter().any(|e| e.contains("priorities length")));
+    }
+}

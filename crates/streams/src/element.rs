@@ -1,0 +1,146 @@
+//! Stream elements and the messages that flow along query-graph edges.
+
+use std::fmt;
+
+use crate::time::Timestamp;
+use crate::tuple::Tuple;
+
+/// A data element: a [`Tuple`] payload plus its stream timestamp.
+///
+/// Timestamps are assigned by sources at emission and drive sliding-window
+/// expiration in windowed operators (joins, aggregates).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Element {
+    /// The payload.
+    pub tuple: Tuple,
+    /// Emission time at the source (stream time, not wall time).
+    pub ts: Timestamp,
+}
+
+impl Element {
+    /// Creates an element.
+    pub fn new(tuple: Tuple, ts: Timestamp) -> Self {
+        Element { tuple, ts }
+    }
+
+    /// Single-integer element, the workhorse of the paper's synthetic
+    /// streams.
+    pub fn single(v: i64, ts: Timestamp) -> Self {
+        Element { tuple: Tuple::single(v), ts }
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.tuple, self.ts)
+    }
+}
+
+/// Control signals interleaved with data on an edge.
+///
+/// The paper (§2.2) observes that the pull-based `hasNext` contract is
+/// ambiguous in a DSMS: "no element" can mean *not yet* or *never again*.
+/// Its proposed fix — a special element carrying only that information — is
+/// exactly a punctuation, which is how the push-based engine here resolves
+/// the same question.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Punctuation {
+    /// The producer of this edge will never send another element.
+    EndOfStream,
+    /// No element with timestamp below the given watermark will arrive on
+    /// this edge anymore. Windowed operators may expire state up to it.
+    Watermark(Timestamp),
+}
+
+/// A message on a query-graph edge: either data or a punctuation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Message {
+    /// A data element.
+    Data(Element),
+    /// A control punctuation.
+    Punct(Punctuation),
+}
+
+impl Message {
+    /// Shorthand for a data message.
+    pub fn data(tuple: Tuple, ts: Timestamp) -> Message {
+        Message::Data(Element::new(tuple, ts))
+    }
+
+    /// Shorthand for an end-of-stream punctuation.
+    pub fn eos() -> Message {
+        Message::Punct(Punctuation::EndOfStream)
+    }
+
+    /// The element, if this is a data message.
+    pub fn as_data(&self) -> Option<&Element> {
+        match self {
+            Message::Data(e) => Some(e),
+            Message::Punct(_) => None,
+        }
+    }
+
+    /// True iff this is an end-of-stream punctuation.
+    pub fn is_eos(&self) -> bool {
+        matches!(self, Message::Punct(Punctuation::EndOfStream))
+    }
+
+    /// The timestamp carried by the message: the element timestamp for data,
+    /// the watermark for watermarks, [`Timestamp::MAX`] for end-of-stream.
+    pub fn ts(&self) -> Timestamp {
+        match self {
+            Message::Data(e) => e.ts,
+            Message::Punct(Punctuation::Watermark(t)) => *t,
+            Message::Punct(Punctuation::EndOfStream) => Timestamp::MAX,
+        }
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Message::Data(e) => write!(f, "{e}"),
+            Message::Punct(Punctuation::EndOfStream) => write!(f, "<eos>"),
+            Message::Punct(Punctuation::Watermark(t)) => write!(f, "<wm:{t}>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_construction() {
+        let e = Element::single(5, Timestamp::from_secs(1));
+        assert_eq!(e.tuple.field(0).as_int().unwrap(), 5);
+        assert_eq!(e.ts, Timestamp::from_secs(1));
+        assert_eq!(e.to_string(), "(5)@1.000000s");
+    }
+
+    #[test]
+    fn message_accessors() {
+        let m = Message::data(Tuple::single(1), Timestamp::from_micros(10));
+        assert!(m.as_data().is_some());
+        assert!(!m.is_eos());
+        assert_eq!(m.ts(), Timestamp::from_micros(10));
+
+        let eos = Message::eos();
+        assert!(eos.is_eos());
+        assert!(eos.as_data().is_none());
+        assert_eq!(eos.ts(), Timestamp::MAX);
+
+        let wm = Message::Punct(Punctuation::Watermark(Timestamp::from_secs(3)));
+        assert_eq!(wm.ts(), Timestamp::from_secs(3));
+        assert!(!wm.is_eos());
+    }
+
+    #[test]
+    fn message_display() {
+        assert_eq!(Message::eos().to_string(), "<eos>");
+        assert_eq!(
+            Message::Punct(Punctuation::Watermark(Timestamp::from_secs(1))).to_string(),
+            "<wm:1.000000s>"
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Error types shared across the stream substrate.
+
+use std::fmt;
+
+/// Errors produced by the stream substrate and the operator/engine layers
+/// built on top of it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// An enqueue was attempted on a queue whose consumer side has been
+    /// closed, or a dequeue on a queue whose producer side signalled
+    /// end-of-stream and which has been drained.
+    QueueClosed,
+    /// A bounded queue with [`crate::queue::BackpressurePolicy::Fail`]
+    /// rejected an element because it was at capacity.
+    QueueFull,
+    /// A value had a different runtime type than an operation expected.
+    TypeMismatch {
+        /// What the operation needed (e.g. `"Int"`).
+        expected: &'static str,
+        /// What it actually found (e.g. `"Str"`).
+        found: &'static str,
+    },
+    /// A tuple field index was out of bounds.
+    FieldOutOfBounds {
+        /// The requested field index.
+        index: usize,
+        /// The tuple's arity.
+        arity: usize,
+    },
+    /// Division by zero (or by a zero-valued float) in an expression.
+    DivisionByZero,
+    /// An arithmetic operation overflowed.
+    ArithmeticOverflow,
+    /// An operator received input on a port it does not have.
+    InvalidPort {
+        /// The offending port number.
+        port: usize,
+        /// The operator's input arity.
+        arity: usize,
+    },
+    /// Any other error, with a human-readable description.
+    Other(String),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::QueueClosed => write!(f, "queue is closed"),
+            StreamError::QueueFull => write!(f, "bounded queue is full"),
+            StreamError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            StreamError::FieldOutOfBounds { index, arity } => {
+                write!(f, "field index {index} out of bounds for tuple of arity {arity}")
+            }
+            StreamError::DivisionByZero => write!(f, "division by zero"),
+            StreamError::ArithmeticOverflow => write!(f, "arithmetic overflow"),
+            StreamError::InvalidPort { port, arity } => {
+                write!(f, "input port {port} invalid for operator with {arity} input(s)")
+            }
+            StreamError::Other(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// Convenient result alias for substrate operations.
+pub type Result<T> = std::result::Result<T, StreamError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert_eq!(StreamError::QueueClosed.to_string(), "queue is closed");
+        assert_eq!(StreamError::QueueFull.to_string(), "bounded queue is full");
+        assert_eq!(
+            StreamError::TypeMismatch { expected: "Int", found: "Str" }.to_string(),
+            "type mismatch: expected Int, found Str"
+        );
+        assert_eq!(
+            StreamError::FieldOutOfBounds { index: 3, arity: 2 }.to_string(),
+            "field index 3 out of bounds for tuple of arity 2"
+        );
+        assert_eq!(
+            StreamError::InvalidPort { port: 2, arity: 1 }.to_string(),
+            "input port 2 invalid for operator with 1 input(s)"
+        );
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_e: &E) {}
+        assert_err(&StreamError::DivisionByZero);
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(StreamError::QueueClosed, StreamError::QueueClosed);
+        assert_ne!(StreamError::QueueClosed, StreamError::QueueFull);
+    }
+}

@@ -1,0 +1,29 @@
+//! # `hmts-streams` — stream substrate for the HMTS scheduling framework
+//!
+//! Foundation types shared by every layer of the HMTS reproduction
+//! (Cammert et al., *Flexible Multi-Threaded Scheduling for Continuous
+//! Queries over Data Streams*, ICDE 2007):
+//!
+//! * dynamically typed [`value::Value`]s and [`tuple::Tuple`]s,
+//! * timestamped [`element::Element`]s and in-band [`element::Punctuation`]s,
+//! * [`time::Clock`] abstractions for real and virtual time,
+//! * inter-partition [`queue::StreamQueue`]s with metrics and backpressure,
+//! * online estimators for cost `c(v)`, inter-arrival `d(v)`, and
+//!   selectivity in [`metrics`].
+
+#![warn(missing_docs)]
+
+pub mod element;
+pub mod error;
+pub mod metrics;
+pub mod queue;
+pub mod time;
+pub mod tuple;
+pub mod value;
+
+pub use element::{Element, Message, Punctuation};
+pub use error::{Result, StreamError};
+pub use queue::{BackpressurePolicy, QueueMetrics, StreamQueue};
+pub use time::{Clock, ManualClock, SharedClock, SystemClock, Timestamp};
+pub use tuple::Tuple;
+pub use value::Value;

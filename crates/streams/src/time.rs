@@ -1,0 +1,207 @@
+//! Stream time: timestamps, durations, and clock abstractions.
+//!
+//! The engine runs in two regimes. In *real* mode, timestamps come from a
+//! monotonic [`SystemClock`] anchored at engine start. In *virtual* mode (the
+//! discrete-event simulator used to reproduce the paper's dual-core
+//! experiments on this single-core host), a [`ManualClock`] is advanced by
+//! the event loop. Both regimes share the same `Timestamp` type so operators
+//! are oblivious to which one drives them.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Microseconds since the stream epoch (engine start for real clocks,
+/// simulation start for virtual ones).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The stream epoch.
+    pub const ZERO: Timestamp = Timestamp(0);
+    /// The largest representable timestamp (used as "never expires").
+    pub const MAX: Timestamp = Timestamp(u64::MAX);
+
+    /// Construct from whole microseconds.
+    pub fn from_micros(us: u64) -> Timestamp {
+        Timestamp(us)
+    }
+
+    /// Construct from whole milliseconds.
+    pub fn from_millis(ms: u64) -> Timestamp {
+        Timestamp(ms.saturating_mul(1_000))
+    }
+
+    /// Construct from whole seconds.
+    pub fn from_secs(s: u64) -> Timestamp {
+        Timestamp(s.saturating_mul(1_000_000))
+    }
+
+    /// Microseconds since the epoch.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds since the epoch (for plotting / CSV output).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// `self + d`, saturating at [`Timestamp::MAX`].
+    #[allow(clippy::should_implement_trait)] // deliberate: saturating, Duration-typed
+    pub fn add(self, d: Duration) -> Timestamp {
+        Timestamp(self.0.saturating_add(d.as_micros().min(u64::MAX as u128) as u64))
+    }
+
+    /// `self - d`, saturating at the epoch.
+    pub fn saturating_sub(self, d: Duration) -> Timestamp {
+        Timestamp(self.0.saturating_sub(d.as_micros().min(u64::MAX as u128) as u64))
+    }
+
+    /// Elapsed duration since `earlier` (zero if `earlier` is later).
+    pub fn since(self, earlier: Timestamp) -> Duration {
+        Duration::from_micros(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+/// A source of the current stream time.
+///
+/// Implementations must be cheap and thread-safe: clocks are consulted on
+/// every element in hot paths.
+pub trait Clock: Send + Sync + 'static {
+    /// Current time on this clock.
+    fn now(&self) -> Timestamp;
+}
+
+/// Monotonic wall-clock anchored at its creation instant.
+#[derive(Debug, Clone)]
+pub struct SystemClock {
+    epoch: Instant,
+}
+
+impl SystemClock {
+    /// A clock whose epoch is "now".
+    pub fn new() -> Self {
+        SystemClock { epoch: Instant::now() }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Timestamp {
+        Timestamp(self.epoch.elapsed().as_micros().min(u64::MAX as u128) as u64)
+    }
+}
+
+/// A manually advanced clock for deterministic tests and the simulator.
+///
+/// Cloning shares the underlying time cell, so a simulator can hand the same
+/// clock to every component it drives.
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock {
+    micros: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// A clock starting at the epoch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the clock to an absolute time. Callers are expected to move time
+    /// forward only; moving it backwards is allowed but will confuse rate
+    /// estimators, exactly as a real non-monotonic clock would.
+    pub fn set(&self, t: Timestamp) {
+        self.micros.store(t.0, Ordering::Release);
+    }
+
+    /// Advances the clock by `d` and returns the new time.
+    pub fn advance(&self, d: Duration) -> Timestamp {
+        let us = d.as_micros().min(u64::MAX as u128) as u64;
+        Timestamp(self.micros.fetch_add(us, Ordering::AcqRel) + us)
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Timestamp {
+        Timestamp(self.micros.load(Ordering::Acquire))
+    }
+}
+
+/// Shared, dynamically dispatched clock handle used throughout the engine.
+pub type SharedClock = Arc<dyn Clock>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_conversions() {
+        assert_eq!(Timestamp::from_secs(2).as_micros(), 2_000_000);
+        assert_eq!(Timestamp::from_millis(3).as_micros(), 3_000);
+        assert_eq!(Timestamp::from_micros(7).as_micros(), 7);
+        assert!((Timestamp::from_millis(1500).as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timestamp_arithmetic() {
+        let t = Timestamp::from_secs(1);
+        assert_eq!(t.add(Duration::from_micros(5)), Timestamp(1_000_005));
+        assert_eq!(t.saturating_sub(Duration::from_secs(2)), Timestamp::ZERO);
+        assert_eq!(
+            Timestamp::from_secs(3).since(Timestamp::from_secs(1)),
+            Duration::from_secs(2)
+        );
+        // `since` an later time saturates to zero rather than panicking.
+        assert_eq!(
+            Timestamp::from_secs(1).since(Timestamp::from_secs(3)),
+            Duration::ZERO
+        );
+        assert_eq!(Timestamp::MAX.add(Duration::from_secs(1)), Timestamp::MAX);
+    }
+
+    #[test]
+    fn timestamp_ordering_and_display() {
+        assert!(Timestamp(1) < Timestamp(2));
+        assert_eq!(Timestamp::from_millis(1500).to_string(), "1.500000s");
+    }
+
+    #[test]
+    fn system_clock_is_monotonic() {
+        let c = SystemClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_advances_and_shares_state() {
+        let c = ManualClock::new();
+        let c2 = c.clone();
+        assert_eq!(c.now(), Timestamp::ZERO);
+        c.advance(Duration::from_millis(5));
+        assert_eq!(c2.now(), Timestamp::from_millis(5));
+        c2.set(Timestamp::from_secs(10));
+        assert_eq!(c.now(), Timestamp::from_secs(10));
+        let after = c.advance(Duration::from_secs(1));
+        assert_eq!(after, Timestamp::from_secs(11));
+    }
+
+    #[test]
+    fn shared_clock_object_safety() {
+        let c: SharedClock = Arc::new(ManualClock::new());
+        assert_eq!(c.now(), Timestamp::ZERO);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests of the stream substrate.
+
+use proptest::prelude::*;
+
+use hmts_streams::element::Message;
+use hmts_streams::queue::{BackpressurePolicy, StreamQueue};
+use hmts_streams::time::Timestamp;
+use hmts_streams::tuple::Tuple;
+use hmts_streams::value::Value;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        "[a-z]{0,8}".prop_map(|s| Value::from(s.as_str())),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn value_ordering_is_total_and_consistent(
+        a in arb_value(),
+        b in arb_value(),
+        c in arb_value(),
+    ) {
+        // Antisymmetry via total order.
+        let ab = a.cmp(&b);
+        let ba = b.cmp(&a);
+        prop_assert_eq!(ab, ba.reverse());
+        // Transitivity.
+        if a <= b && b <= c {
+            prop_assert!(a <= c);
+        }
+        // Eq implies Ord-equality. (The converse does not hold across
+        // numeric variants: Int(3) and Float(3.0) compare Equal for sort
+        // stability but are not `==`.)
+        if a == b {
+            prop_assert_eq!(ab, std::cmp::Ordering::Equal);
+        }
+    }
+
+    #[test]
+    fn value_hash_consistent_with_eq(a in arb_value(), b in arb_value()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |v: &Value| {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        };
+        if a == b {
+            prop_assert_eq!(h(&a), h(&b));
+        }
+    }
+
+    #[test]
+    fn int_arithmetic_matches_i64_when_in_range(
+        a in -1_000_000i64..1_000_000,
+        b in -1_000_000i64..1_000_000,
+    ) {
+        prop_assert_eq!(Value::Int(a).add(&Value::Int(b)).unwrap(), Value::Int(a + b));
+        prop_assert_eq!(Value::Int(a).sub(&Value::Int(b)).unwrap(), Value::Int(a - b));
+        prop_assert_eq!(Value::Int(a).mul(&Value::Int(b)).unwrap(), Value::Int(a * b));
+        if b != 0 {
+            prop_assert_eq!(Value::Int(a).div(&Value::Int(b)).unwrap(), Value::Int(a / b));
+            let r = Value::Int(a).rem(&Value::Int(b)).unwrap().as_int().unwrap();
+            prop_assert!(r >= 0, "euclidean remainder is non-negative: {r}");
+        }
+    }
+
+    #[test]
+    fn tuple_projection_then_access_round_trips(
+        vals in proptest::collection::vec(any::<i64>(), 1..8),
+        idx_seed in any::<u64>(),
+    ) {
+        let t = Tuple::new(vals.clone());
+        let indices: Vec<usize> =
+            (0..vals.len()).map(|i| ((idx_seed as usize).wrapping_add(i * 7)) % vals.len()).collect();
+        let p = t.project(&indices).unwrap();
+        for (out_i, &src_i) in indices.iter().enumerate() {
+            prop_assert_eq!(p.field(out_i), &Value::Int(vals[src_i]));
+        }
+        prop_assert_eq!(p.arity(), indices.len());
+    }
+
+    #[test]
+    fn tuple_concat_preserves_both_sides(
+        a in proptest::collection::vec(any::<i64>(), 0..5),
+        b in proptest::collection::vec(any::<i64>(), 0..5),
+    ) {
+        let ta = Tuple::new(a.clone());
+        let tb = Tuple::new(b.clone());
+        let c = ta.concat(&tb);
+        prop_assert_eq!(c.arity(), a.len() + b.len());
+        for (i, v) in a.iter().chain(b.iter()).enumerate() {
+            prop_assert_eq!(c.field(i), &Value::Int(*v));
+        }
+    }
+
+    #[test]
+    fn queue_preserves_fifo_order(values in proptest::collection::vec(any::<i64>(), 1..200)) {
+        let q = StreamQueue::unbounded("prop");
+        for (i, &v) in values.iter().enumerate() {
+            q.push(Message::data(Tuple::single(v), Timestamp::from_micros(i as u64)))
+                .unwrap();
+        }
+        let mut out = Vec::new();
+        while let Some(m) = q.try_pop() {
+            out.push(m.as_data().unwrap().tuple.field(0).as_int().unwrap());
+        }
+        prop_assert_eq!(out, values);
+        prop_assert_eq!(q.len(), 0);
+        prop_assert_eq!(q.data_len(), 0);
+    }
+
+    #[test]
+    fn bounded_drop_oldest_keeps_newest_suffix(
+        values in proptest::collection::vec(any::<i64>(), 1..100),
+        cap in 1usize..20,
+    ) {
+        let q = StreamQueue::bounded("prop", cap, BackpressurePolicy::DropOldest);
+        for (i, &v) in values.iter().enumerate() {
+            q.push(Message::data(Tuple::single(v), Timestamp::from_micros(i as u64)))
+                .unwrap();
+        }
+        let expected: Vec<i64> =
+            values[values.len().saturating_sub(cap)..].to_vec();
+        let mut out = Vec::new();
+        while let Some(m) = q.try_pop() {
+            out.push(m.as_data().unwrap().tuple.field(0).as_int().unwrap());
+        }
+        prop_assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn queue_metrics_are_conserved(
+        pushes in proptest::collection::vec(any::<i64>(), 0..100),
+        pops in 0usize..120,
+    ) {
+        let q = StreamQueue::unbounded("prop");
+        for (i, &v) in pushes.iter().enumerate() {
+            q.push(Message::data(Tuple::single(v), Timestamp::from_micros(i as u64)))
+                .unwrap();
+        }
+        let mut popped = 0u64;
+        for _ in 0..pops {
+            if q.try_pop().is_some() {
+                popped += 1;
+            }
+        }
+        prop_assert_eq!(q.metrics().enqueued(), pushes.len() as u64);
+        prop_assert_eq!(q.len() as u64 + popped, pushes.len() as u64);
+        prop_assert!(q.metrics().high_water() <= pushes.len());
+    }
+}
+
+#[test]
+fn timestamp_saturation_edges() {
+    use std::time::Duration;
+    assert_eq!(Timestamp::MAX.add(Duration::from_secs(u64::MAX)), Timestamp::MAX);
+    assert_eq!(Timestamp::ZERO.saturating_sub(Duration::from_secs(u64::MAX)), Timestamp::ZERO);
+}

@@ -1,0 +1,24 @@
+//! # `hmts-workload` — synthetic workloads for the HMTS experiments
+//!
+//! Seeded, reproducible stream and graph generators:
+//!
+//! * [`arrival::ArrivalProcess`] — constant-rate, Poisson (the paper's §6.2
+//!   bursty-traffic model), and phased bursty schedules,
+//! * [`values`] — tuple payload generators,
+//! * [`source::SyntheticSource`] / [`source::VecSource`] — sources for the
+//!   engine and simulator,
+//! * [`random_dag`] — random cost-annotated DAGs (Fig. 11's workload),
+//! * [`scenarios`] — one constructor per paper experiment (Figs. 6–10).
+
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod random_dag;
+pub mod scenarios;
+pub mod source;
+pub mod values;
+
+pub use arrival::{ArrivalProcess, Phase};
+pub use random_dag::{random_cost_graph, RandomDagConfig};
+pub use source::{SyntheticSource, VecSource};
+pub use values::{FieldGen, TupleGen};

@@ -1,0 +1,218 @@
+//! Random cost-annotated DAGs — the workload of the paper's Fig. 11.
+//!
+//! The VO-construction experiment (§6.7) runs the three queue-placement
+//! algorithms "on random DAGs, varying the number of nodes from 10 to
+//! 1000". The paper does not specify the generator's distributions; this
+//! one produces layered DAGs with log-uniform costs and rates so that a
+//! realistic mix of feasible and infeasible merges arises (documented in
+//! DESIGN.md).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hmts_graph::cost::CostGraph;
+
+/// Parameters of the random-DAG generator.
+#[derive(Debug, Clone)]
+pub struct RandomDagConfig {
+    /// Total nodes, sources included (≥ 2).
+    pub nodes: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Fraction of nodes that are sources (at least one source always).
+    pub source_fraction: f64,
+    /// Maximum fan-in of an operator node.
+    pub max_fanin: usize,
+    /// Per-element operator cost, log-uniform in `[lo, hi]` seconds (used
+    /// only when `utilization_range` is `None`).
+    pub cost_range: (f64, f64),
+    /// When set, operator costs are derived from a log-uniform *singleton
+    /// utilization* `u = c(v)/d(v)` in `[lo, hi]` instead of absolute
+    /// costs. This keeps the share of infeasible singletons controlled —
+    /// the regime where placement algorithms actually differ (an operator
+    /// that cannot keep pace alone produces a stalling VO under *every*
+    /// construction, flattening the Fig. 11 comparison).
+    pub utilization_range: Option<(f64, f64)>,
+    /// Operator selectivity, uniform in `[lo, hi]`.
+    pub selectivity_range: (f64, f64),
+    /// Source emission rate, log-uniform in `[lo, hi]` elements/second.
+    pub rate_range: (f64, f64),
+}
+
+impl RandomDagConfig {
+    /// A configuration with the documented defaults for `nodes` nodes.
+    pub fn new(nodes: usize, seed: u64) -> RandomDagConfig {
+        RandomDagConfig {
+            nodes: nodes.max(2),
+            seed,
+            source_fraction: 0.2,
+            max_fanin: 2,
+            cost_range: (1e-6, 1e-2),
+            utilization_range: Some((0.01, 1.3)),
+            selectivity_range: (0.1, 1.0),
+            rate_range: (10.0, 10_000.0),
+        }
+    }
+}
+
+fn log_uniform(rng: &mut impl Rng, (lo, hi): (f64, f64)) -> f64 {
+    assert!(lo > 0.0 && hi >= lo, "log-uniform range must be positive and ordered");
+    (rng.gen_range(lo.ln()..=hi.ln())).exp()
+}
+
+/// Generates a random cost-annotated DAG.
+///
+/// Structure: nodes are indexed `0..n`; the first `k = max(1, n·f)` are
+/// sources; every operator draws `1..=max_fanin` predecessors uniformly
+/// from the lower-indexed nodes, so the result is acyclic, every operator
+/// is reachable from a source, and fan-out arises naturally when several
+/// operators pick the same predecessor.
+pub fn random_cost_graph(cfg: &RandomDagConfig) -> CostGraph {
+    let n = cfg.nodes.max(2);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let k = ((n as f64 * cfg.source_fraction) as usize).clamp(1, n - 1);
+
+    let mut cost = vec![0.0; n];
+    let mut selectivity = vec![1.0; n];
+    let mut source_rate = vec![None; n];
+    let mut edges = Vec::new();
+
+    for rate in source_rate.iter_mut().take(k) {
+        *rate = Some(log_uniform(&mut rng, cfg.rate_range));
+    }
+    for v in k..n {
+        cost[v] = log_uniform(&mut rng, cfg.cost_range);
+        selectivity[v] =
+            rng.gen_range(cfg.selectivity_range.0..=cfg.selectivity_range.1);
+        let fanin = rng.gen_range(1..=cfg.max_fanin.max(1)).min(v);
+        let mut preds: Vec<usize> = Vec::with_capacity(fanin);
+        while preds.len() < fanin {
+            let p = rng.gen_range(0..v);
+            if !preds.contains(&p) {
+                preds.push(p);
+            }
+        }
+        for p in preds {
+            edges.push((p, v));
+        }
+    }
+    let g = CostGraph::from_parts(n, edges, cost, selectivity, source_rate);
+    match cfg.utilization_range {
+        None => g,
+        Some(range) => {
+            // Re-derive costs from sampled singleton utilizations.
+            let d = g.interarrival_times();
+            let mut cost: Vec<f64> = (0..n).map(|v| g.cost(v)).collect();
+            for v in g.operators() {
+                let u = log_uniform(&mut rng, range);
+                cost[v] = if d[v].is_finite() { u * d[v] } else { u * 1e-3 };
+            }
+            CostGraph::from_parts(
+                n,
+                g.edges().to_vec(),
+                cost,
+                (0..n).map(|v| g.selectivity(v)).collect(),
+                (0..n)
+                    .map(|v| g.is_source(v).then(|| 1.0 / d[v]))
+                    .collect(),
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_graph_is_acyclic_and_sized() {
+        for &n in &[10usize, 50, 200] {
+            let g = random_cost_graph(&RandomDagConfig::new(n, 42));
+            assert_eq!(g.node_count(), n);
+            assert!(g.topological_order().is_some(), "acyclic");
+        }
+    }
+
+    #[test]
+    fn every_operator_has_a_predecessor() {
+        let g = random_cost_graph(&RandomDagConfig::new(100, 7));
+        for v in g.operators() {
+            assert!(!g.predecessors(v).is_empty(), "operator {v} unreachable");
+        }
+    }
+
+    #[test]
+    fn fanin_bounded() {
+        let mut cfg = RandomDagConfig::new(200, 3);
+        cfg.max_fanin = 3;
+        let g = random_cost_graph(&cfg);
+        for v in g.operators() {
+            assert!(g.predecessors(v).len() <= 3);
+        }
+    }
+
+    #[test]
+    fn source_count_follows_fraction() {
+        let g = random_cost_graph(&RandomDagConfig::new(100, 1));
+        assert_eq!(g.sources().len(), 20);
+        // Tiny graphs still get at least one source and one operator.
+        let g2 = random_cost_graph(&RandomDagConfig::new(2, 1));
+        assert_eq!(g2.sources().len(), 1);
+        assert_eq!(g2.operators().len(), 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = random_cost_graph(&RandomDagConfig::new(50, 9));
+        let b = random_cost_graph(&RandomDagConfig::new(50, 9));
+        assert_eq!(a.edges(), b.edges());
+        assert_eq!(a.input_rates(), b.input_rates());
+        let c = random_cost_graph(&RandomDagConfig::new(50, 10));
+        assert_ne!(a.edges(), c.edges());
+    }
+
+    #[test]
+    fn annotations_within_configured_ranges() {
+        let mut cfg = RandomDagConfig::new(100, 5);
+        cfg.utilization_range = None; // absolute-cost mode
+        let g = random_cost_graph(&cfg);
+        for v in g.operators() {
+            assert!(g.cost(v) >= cfg.cost_range.0 && g.cost(v) <= cfg.cost_range.1);
+            assert!(
+                g.selectivity(v) >= cfg.selectivity_range.0
+                    && g.selectivity(v) <= cfg.selectivity_range.1
+            );
+        }
+        let rates = g.input_rates();
+        for v in g.sources() {
+            assert!(rates[v] >= cfg.rate_range.0 && rates[v] <= cfg.rate_range.1);
+        }
+    }
+
+    #[test]
+    fn utilization_mode_bounds_singleton_utilizations() {
+        let cfg = RandomDagConfig::new(100, 5);
+        let (lo, hi) = cfg.utilization_range.unwrap();
+        let g = random_cost_graph(&cfg);
+        let d = g.interarrival_times();
+        let mut infeasible = 0;
+        for v in g.operators() {
+            let u = g.utilization(&[v], &d);
+            assert!(u >= lo * 0.99 && u <= hi * 1.01, "utilization {u}");
+            if u > 1.0 {
+                infeasible += 1;
+            }
+        }
+        // The default range straddles 1.0: a minority of singletons stall.
+        assert!(infeasible > 0, "some infeasible singletons expected");
+        assert!(infeasible < g.operators().len() / 2, "most are feasible");
+    }
+
+    #[test]
+    fn rates_are_finite_everywhere() {
+        let g = random_cost_graph(&RandomDagConfig::new(300, 11));
+        for d in g.interarrival_times().iter().skip(1) {
+            assert!(d.is_finite(), "all operators reachable → finite d(v)");
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Capacity planner — the queue-placement toolbox used offline.
+//!
+//! Generates a random continuous-query DAG (or takes `--nodes <n>` and
+//! `--seed <s>`), runs all four placement algorithms — the paper's
+//! Algorithm 1, the simplified segment strategy, the Chain-based
+//! construction, and (on small graphs) the exhaustive optimum — and prints
+//! a capacity comparison plus the DOT rendering of Algorithm 1's choice.
+//!
+//! ```text
+//! cargo run --release --example capacity_planner -- --nodes 12 --seed 7
+//! ```
+
+use hmts::prelude::*;
+use hmts::workload::random_dag::{random_cost_graph, RandomDagConfig};
+
+fn main() {
+    let mut nodes = 12usize;
+    let mut seed = 7u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--nodes" => nodes = args.next().and_then(|v| v.parse().ok()).unwrap_or(nodes),
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
+            _ => {
+                eprintln!("usage: capacity_planner [--nodes <n>] [--seed <s>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let g = random_cost_graph(&RandomDagConfig::new(nodes, seed));
+    let d = g.interarrival_times();
+    println!(
+        "random DAG: {} nodes ({} sources, {} operators), {} edges",
+        g.node_count(),
+        g.sources().len(),
+        g.operators().len(),
+        g.edges().len()
+    );
+    println!("\nper-operator cost model:");
+    println!("{:>5} {:>12} {:>12} {:>12} {:>7}", "node", "c(v)", "d(v)", "cap", "util");
+    for v in g.operators() {
+        println!(
+            "{v:>5} {:>11.2}µs {:>11.2}µs {:>+11.2}µs {:>6.2}",
+            g.cost(v) * 1e6,
+            d[v] * 1e6,
+            g.capacity(&[v], &d) * 1e6,
+            g.utilization(&[v], &d),
+        );
+    }
+
+    type Algo = (&'static str, Option<Vec<Vec<usize>>>);
+    let mut algos: Vec<Algo> = vec![
+        ("stall_avoiding (Alg. 1)", Some(stall_avoiding(&g))),
+        ("simplified_segment", Some(simplified_segment(&g))),
+        ("chain_based", Some(chain_based(&g))),
+    ];
+    if g.operators().len() <= 12 {
+        algos.push(("exhaustive optimum", exhaustive_optimal(&g)));
+    }
+
+    println!(
+        "\n{:<24} {:>4} {:>6} {:>14} {:>14}",
+        "algorithm", "VOs", "stall", "avg neg cap", "avg pos cap"
+    );
+    for (name, groups) in &algos {
+        match groups {
+            None => println!("{name:<24} {:>4} (no feasible partitioning exists)", "-"),
+            Some(groups) => {
+                let r = evaluate(&g, groups);
+                println!(
+                    "{name:<24} {:>4} {:>6} {:>12.2}µs {:>12.2}µs",
+                    r.vos,
+                    r.negative_vos,
+                    r.avg_negative_capacity * 1e6,
+                    r.avg_positive_capacity * 1e6,
+                );
+            }
+        }
+    }
+
+    let alg1 = algos[0].1.as_ref().expect("Algorithm 1 always produces a result");
+    println!("\nAlgorithm 1's virtual operators:");
+    for (i, group) in alg1.iter().enumerate() {
+        println!(
+            "  VO {i}: nodes {:?}  cap {:+.2}µs  util {:.2}",
+            group,
+            g.capacity(group, &d) * 1e6,
+            g.utilization(group, &d),
+        );
+    }
+    println!(
+        "\nqueues required: {} (of {} operator-reachable edges)",
+        queue_count(&g, alg1),
+        g.edges().len()
+    );
+}
+
+/// Number of edges that cross VO boundaries (i.e. need queues), source
+/// edges included.
+fn queue_count(g: &CostGraph, groups: &[Vec<usize>]) -> usize {
+    let mut part = vec![usize::MAX; g.node_count()];
+    for (i, grp) in groups.iter().enumerate() {
+        for &v in grp {
+            part[v] = i;
+        }
+    }
+    g.edges()
+        .iter()
+        .filter(|&&(u, v)| g.is_source(u) || part[u] != part[v])
+        .count()
+}

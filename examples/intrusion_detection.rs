@@ -1,0 +1,118 @@
+//! Network intrusion detection — the paper's second motivating application
+//! (§1).
+//!
+//! A packet-metadata stream (src_host, dst_port, size) passes a cheap
+//! filter chain; suspicious packets go through an expensive "deep
+//! inspection" stage. The example contrasts the three architectures on the
+//! same graph — GTS, OTS, and placement-driven HMTS — and prints their
+//! wall-clock times and queue overheads, a miniature of the paper's whole
+//! argument.
+//!
+//! ```text
+//! cargo run --release --example intrusion_detection
+//! ```
+
+use hmts::prelude::*;
+use std::time::Duration;
+
+fn build() -> (QueryGraph, SinkHandle) {
+    let mut b = GraphBuilder::new();
+    // (src_host, dst_port, size)
+    let packets = b.source(SyntheticSource::new(
+        "packets",
+        ArrivalProcess::poisson(30_000.0),
+        TupleGen::new(vec![
+            FieldGen::uniform_int(0, 500),    // src host
+            FieldGen::uniform_int(0, 65_536), // dst port
+            FieldGen::uniform_int(40, 1_500), // size
+        ]),
+        90_000,
+        1337,
+    ));
+    // Cheap chain: ignore well-known service ports, keep small probes.
+    let not_service = b.op_after(
+        Filter::new("not_service_port", Expr::field(1).gt(Expr::int(1_024)))
+            .with_selectivity_hint(0.98),
+        packets,
+    );
+    let small_probe = b.op_after(
+        Filter::new("small_packet", Expr::field(2).lt(Expr::int(120)))
+            .with_selectivity_hint(0.06),
+        not_service,
+    );
+    // Expensive: "deep inspection" of the suspicious minority.
+    let deep = b.op_after(
+        Costed::new(
+            Filter::new(
+                "deep_inspection",
+                Expr::field(0).hash_mod(97).lt(Expr::int(13)), // deterministic "signature hit"
+            )
+            .with_selectivity_hint(0.13),
+            CostMode::Busy(Duration::from_micros(150)),
+        ),
+        small_probe,
+    );
+    // Rate-limit alerts per source host.
+    let dedup = b.op_after(
+        Dedup::new("one_alert_per_host", Expr::field(0), Duration::from_millis(200)),
+        deep,
+    );
+    let (sink, alerts) = CollectingSink::new("alerts");
+    b.op_after(sink, dedup);
+    (b.build().expect("valid query graph"), alerts)
+}
+
+fn run(name: &str, plan_for: impl Fn(&Topology) -> ExecutionPlan) -> (f64, u64, u64) {
+    let (graph, alerts) = build();
+    let topo = Topology::of(&graph);
+    let report = Engine::run(graph, plan_for(&topo)).expect("engine runs");
+    assert!(report.errors.is_empty(), "{name}: {:?}", report.errors);
+    (report.elapsed.as_secs_f64(), alerts.count(), report.total_enqueued)
+}
+
+fn main() {
+    // HMTS plan from Algorithm 1 over the hinted cost model.
+    let (probe, _) = build();
+    let topo = Topology::of(&probe);
+    let mut inputs = CostInputs::default();
+    inputs.source_rates.insert(topo.sources()[0], 30_000.0);
+    let cost_graph = CostGraph::from_query_graph(&probe, &inputs);
+    let partitioning = to_partitioning(&stall_avoiding(&cost_graph));
+    println!("Algorithm 1 placement:");
+    for (i, group) in partitioning.groups().iter().enumerate() {
+        let names: Vec<&str> = group.iter().map(|&n| topo.name(n)).collect();
+        println!("  VO {i}: {names:?}");
+    }
+
+    println!("\nrunning the same detection query under three architectures...\n");
+    let hmts_part = partitioning.clone();
+    let results = [
+        ("GTS (1 thread, queues everywhere)", run("gts", |t| {
+            ExecutionPlan::gts(t, StrategyKind::Fifo)
+        })),
+        ("OTS (1 thread per operator)", run("ots", ExecutionPlan::ots)),
+        (
+            "HMTS (Algorithm-1 VOs, 2 workers)",
+            run("hmts", move |_| {
+                ExecutionPlan::hmts(hmts_part.clone(), StrategyKind::Fifo, 2)
+            }),
+        ),
+    ];
+
+    println!(
+        "{:<36} {:>9} {:>8} {:>16}",
+        "architecture", "time", "alerts", "queue transfers"
+    );
+    for (name, (secs, alerts, enq)) in &results {
+        println!("{name:<36} {secs:>8.2}s {alerts:>8} {enq:>16}");
+    }
+    let alert_counts: Vec<u64> = results.iter().map(|(_, r)| r.1).collect();
+    assert!(
+        alert_counts.windows(2).all(|w| w[0] == w[1]),
+        "identical alerts under every architecture: {alert_counts:?}"
+    );
+    println!(
+        "\nSame alerts everywhere — scheduling only changes *when* and *how \
+         cheaply* they are produced (paper §2.4: queues do not affect semantics)."
+    );
+}

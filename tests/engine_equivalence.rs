@@ -1,0 +1,219 @@
+//! The central correctness property of the scheduling framework: the
+//! *results* of a continuous query are independent of the scheduling
+//! architecture. DI, decoupled DI, GTS (FIFO and Chain), OTS, and HMTS
+//! (dedicated and pooled) must produce the identical output multiset —
+//! queues "do not have an impact on the semantics, but are only introduced
+//! for performance reasons" (paper §2.4).
+
+#[path = "common/mod.rs"]
+mod common;
+
+use common::{collected_values, run_unpaced, selection_chain};
+use hmts::prelude::*;
+use std::time::Duration;
+
+const COUNT: u64 = 20_000;
+const RATE: f64 = 1e9; // effectively unpaced due times
+const THRESHOLDS: &[i64] = &[18_000, 15_000, 9_999];
+
+fn expected() -> Vec<i64> {
+    (0..COUNT as i64).filter(|&v| v < 9_999).collect()
+}
+
+fn all_plans(graph: &QueryGraph) -> Vec<(&'static str, ExecutionPlan)> {
+    let topo = Topology::of(graph);
+    let ops = topo.operators();
+    // A hand-rolled HMTS partitioning: first two selections in one VO, the
+    // third selection and the sink in another.
+    let hmts_partitioning =
+        Partitioning::new(vec![vec![ops[0], ops[1]], vec![ops[2], ops[3]]]);
+    vec![
+        ("di", ExecutionPlan::di(&topo)),
+        ("di_decoupled", ExecutionPlan::di_decoupled(&topo)),
+        ("gts_fifo", ExecutionPlan::gts(&topo, StrategyKind::Fifo)),
+        ("gts_chain", ExecutionPlan::gts(&topo, StrategyKind::Chain)),
+        ("gts_rr", ExecutionPlan::gts(&topo, StrategyKind::RoundRobin)),
+        ("gts_lq", ExecutionPlan::gts(&topo, StrategyKind::LongestQueue)),
+        ("ots", ExecutionPlan::ots(&topo)),
+        (
+            "hmts_dedicated",
+            ExecutionPlan::hmts_dedicated(hmts_partitioning.clone(), StrategyKind::Fifo),
+        ),
+        ("hmts_pooled", ExecutionPlan::hmts(hmts_partitioning, StrategyKind::Chain, 2)),
+    ]
+}
+
+#[test]
+fn every_mode_produces_identical_results() {
+    let want = expected();
+    let (probe_graph, _) = selection_chain(COUNT, RATE, THRESHOLDS);
+    for (name, plan) in all_plans(&probe_graph) {
+        let (graph, handle) = selection_chain(COUNT, RATE, THRESHOLDS);
+        run_unpaced(graph, plan);
+        assert!(handle.is_done(), "{name}: sink saw EOS");
+        assert_eq!(collected_values(&handle), want, "{name}: result multiset");
+    }
+}
+
+/// Mode set that works for any graph shape (no hand-rolled partitioning).
+fn all_plans_generic(graph: &QueryGraph) -> Vec<(&'static str, ExecutionPlan)> {
+    let topo = Topology::of(graph);
+    vec![
+        ("di", ExecutionPlan::di(&topo)),
+        ("di_decoupled", ExecutionPlan::di_decoupled(&topo)),
+        ("gts_fifo", ExecutionPlan::gts(&topo, StrategyKind::Fifo)),
+        ("gts_chain", ExecutionPlan::gts(&topo, StrategyKind::Chain)),
+        ("ots", ExecutionPlan::ots(&topo)),
+    ]
+}
+
+#[test]
+fn fanout_sharing_is_consistent_across_modes() {
+    // Diamond with subquery sharing: src -> f -> {left, right} -> union.
+    let build = || {
+        let mut b = GraphBuilder::new();
+        let src = b.source(VecSource::counting("src", 5_000, RATE));
+        let f = b.op_after(Filter::new("f", Expr::field(0).lt(Expr::int(4_000))), src);
+        let l = b.op_after(
+            Filter::new("l", Expr::field(0).rem(Expr::int(2)).eq(Expr::int(0))),
+            f,
+        );
+        let r = b.op_after(
+            Filter::new("r", Expr::field(0).rem(Expr::int(3)).eq(Expr::int(0))),
+            f,
+        );
+        let u = b.op(Union::new("u", 2));
+        b.connect_port(l, u, 0).connect_port(r, u, 1);
+        let (sink, handle) = CollectingSink::new("out");
+        b.op_after(sink, u);
+        (b.build().expect("valid graph"), handle)
+    };
+    let want: Vec<i64> = {
+        let mut v: Vec<i64> = (0..4_000).filter(|v| v % 2 == 0).collect();
+        v.extend((0..4_000).filter(|v| v % 3 == 0));
+        v.sort_unstable();
+        v
+    };
+    let (probe, _) = build();
+    for (name, plan) in all_plans_generic(&probe) {
+        let (graph, handle) = build();
+        run_unpaced(graph, plan);
+        assert_eq!(collected_values(&handle), want, "{name}");
+    }
+}
+
+#[test]
+fn windowed_aggregate_is_consistent_across_modes() {
+    let build = || {
+        let mut b = GraphBuilder::new();
+        let src = b.source(VecSource::counting("src", 2_000, 1_000.0));
+        let agg = b.op_after(
+            WindowAggregate::new("cnt", AggregateFunction::Count, Duration::from_secs(1)),
+            src,
+        );
+        let (sink, handle) = CollectingSink::new("out");
+        b.op_after(sink, agg);
+        (b.build().expect("valid graph"), handle)
+    };
+    let (probe, _) = build();
+    let mut reference: Option<Vec<i64>> = None;
+    for (name, plan) in all_plans_generic(&probe) {
+        let (graph, handle) = build();
+        run_unpaced(graph, plan);
+        let counts: Vec<i64> = handle
+            .elements()
+            .iter()
+            .map(|e| e.tuple.field(0).as_int().unwrap())
+            .collect();
+        assert_eq!(counts.len(), 2_000, "{name}: one update per input");
+        match &reference {
+            None => reference = Some(counts),
+            Some(r) => assert_eq!(&counts, r, "{name}: aggregate sequence"),
+        }
+    }
+    // Sliding 1 s window over 1000 el/s: the steady-state count is ~1000.
+    let r = reference.unwrap();
+    assert!(*r.last().unwrap() >= 999, "window filled: {}", r.last().unwrap());
+}
+
+#[test]
+fn placement_driven_hmts_matches_reference() {
+    // Let Algorithm 1 derive the partitioning from hints, then execute it.
+    let build = || {
+        let mut b = GraphBuilder::new();
+        let src = b.source(VecSource::counting("src", 10_000, 1e6));
+        let cheap = b.op_after(
+            Filter::new("cheap", Expr::field(0).lt(Expr::int(8_000)))
+                .with_cost_hint(Duration::from_nanos(100))
+                .with_selectivity_hint(0.8),
+            src,
+        );
+        let heavy = b.op_after(
+            Costed::new(
+                Filter::new("heavy", Expr::field(0).rem(Expr::int(2)).eq(Expr::int(0))),
+                CostMode::Virtual(Duration::from_millis(10)),
+            ),
+            cheap,
+        );
+        let (sink, handle) = CollectingSink::new("out");
+        b.op_after(sink, heavy);
+        (b.build().expect("valid graph"), handle)
+    };
+    let (graph, handle) = build();
+    let topo = Topology::of(&graph);
+    let inputs = CostInputs {
+        source_rates: [(topo.sources()[0], 1e6)].into_iter().collect(),
+        ..CostInputs::default()
+    };
+    let cost_graph = CostGraph::from_query_graph(&graph, &inputs);
+    let groups = stall_avoiding(&cost_graph);
+    // The 10 ms operator at high rate must be decoupled from the cheap one.
+    let p = to_partitioning(&groups);
+    assert!(p.len() >= 2, "expensive operator decoupled: {groups:?}");
+    let plan = ExecutionPlan::hmts(p, StrategyKind::Fifo, 2);
+    run_unpaced(graph, plan);
+    let want: Vec<i64> = (0..8_000).filter(|v| v % 2 == 0).collect();
+    assert_eq!(collected_values(&handle), want);
+}
+
+#[test]
+fn engine_rejects_invalid_plan() {
+    let (graph, _) = selection_chain(10, RATE, &[5]);
+    let topo = Topology::of(&graph);
+    let mut plan = ExecutionPlan::gts(&topo, StrategyKind::Fifo);
+    plan.partitioning = Partitioning::new(vec![]); // covers nothing
+    assert!(matches!(Engine::new(graph, plan), Err(EngineError::InvalidPlan(_))));
+}
+
+#[test]
+fn engine_rejects_invalid_graph() {
+    let mut b = GraphBuilder::new();
+    b.source(VecSource::counting("dangling", 1, 1.0));
+    let graph = b.build_unchecked();
+    let topo = Topology::of(&graph);
+    let plan = ExecutionPlan::gts(&topo, StrategyKind::Fifo);
+    assert!(matches!(Engine::new(graph, plan), Err(EngineError::InvalidGraph(_))));
+}
+
+#[test]
+fn report_collects_overheads_and_stats() {
+    let (graph, _handle) = selection_chain(5_000, RATE, &[4_000, 3_000]);
+    let topo = Topology::of(&graph);
+    let report = run_unpaced(graph, ExecutionPlan::gts(&topo, StrategyKind::Fifo));
+    // GTS queues every edge: 5000 + 4000 + 3000 data + 3 EOS messages.
+    assert!(report.total_enqueued >= 12_000, "enqueued={}", report.total_enqueued);
+    let f0 = report.stats.nodes.iter().find(|n| n.name == "f0").unwrap();
+    assert_eq!(f0.processed, 5_000);
+    let sel = f0.selectivity.unwrap();
+    assert!((sel - 0.8).abs() < 0.01, "measured selectivity {sel}");
+    assert!(f0.cost.is_some());
+}
+
+#[test]
+fn di_avoids_queueing_entirely() {
+    let (graph, handle) = selection_chain(2_000, RATE, &[1_000]);
+    let topo = Topology::of(&graph);
+    let report = run_unpaced(graph, ExecutionPlan::di(&topo));
+    assert_eq!(report.total_enqueued, 0, "pure DI uses no queues");
+    assert_eq!(handle.count(), 1_000);
+}

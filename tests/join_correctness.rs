@@ -1,0 +1,184 @@
+//! Join correctness through the engine: the symmetric hash join and the
+//! symmetric nested-loops join must produce the same result multiset as a
+//! naive offline reference join, under every scheduling mode — including
+//! the paper's Fig. 6 setting where the join runs via DI in the source
+//! threads.
+
+#[path = "common/mod.rs"]
+mod common;
+
+use hmts::prelude::*;
+use std::time::Duration;
+
+/// Deterministic two-stream workload: interleaved timestamps, pseudo-random
+/// keys in a small range so matches are plentiful.
+type Stream = Vec<(Timestamp, Tuple)>;
+
+fn streams(count: u64, key_range: i64, seed: u64) -> (Stream, Stream) {
+    let mk = |side: u64| {
+        let mut x = seed.wrapping_add(side).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..count)
+            .map(|i| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let key = (x % key_range as u64) as i64;
+                // 1 ms apart, sides offset by 0.5 ms.
+                let ts = Timestamp::from_micros(i * 1_000 + side * 500);
+                (ts, Tuple::pair(key, (side * count + i) as i64))
+            })
+            .collect::<Vec<_>>()
+    };
+    (mk(0), mk(1))
+}
+
+/// Offline reference: all pairs with equal key and |Δts| ≤ window.
+fn reference_join(
+    left: &[(Timestamp, Tuple)],
+    right: &[(Timestamp, Tuple)],
+    window: Duration,
+) -> Vec<(i64, i64, i64)> {
+    let mut out = Vec::new();
+    for (lt, l) in left {
+        for (rt, r) in right {
+            let (lo, hi) = if lt <= rt { (lt, rt) } else { (rt, lt) };
+            if hi.since(*lo) <= window && l.field(0) == r.field(0) {
+                out.push((
+                    l.field(0).as_int().unwrap(),
+                    l.field(1).as_int().unwrap(),
+                    r.field(1).as_int().unwrap(),
+                ));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+fn engine_join(
+    left: Vec<(Timestamp, Tuple)>,
+    right: Vec<(Timestamp, Tuple)>,
+    window: Duration,
+    use_shj: bool,
+    plan_for: impl Fn(&Topology) -> ExecutionPlan,
+) -> Vec<(i64, i64, i64)> {
+    let mut b = GraphBuilder::new();
+    let l = b.source(VecSource::new("left", left));
+    let r = b.source(VecSource::new("right", right));
+    let j = if use_shj {
+        b.op_after2(SymmetricHashJoin::on_field("j", 0, window), l, r)
+    } else {
+        b.op_after2(SymmetricNestedLoopsJoin::on_field("j", 0, window), l, r)
+    };
+    let (sink, handle) = CollectingSink::new("out");
+    b.op_after(sink, j);
+    let graph = b.build().expect("valid graph");
+    let topo = Topology::of(&graph);
+    let cfg = EngineConfig { pace_sources: false, ..EngineConfig::default() };
+    let report =
+        Engine::run_with_config(graph, plan_for(&topo), cfg).expect("engine runs");
+    assert!(report.errors.is_empty(), "errors: {:?}", report.errors);
+    let mut out: Vec<(i64, i64, i64)> = handle
+        .elements()
+        .iter()
+        .map(|e| {
+            (
+                e.tuple.field(0).as_int().unwrap(),
+                e.tuple.field(1).as_int().unwrap(),
+                e.tuple.field(3).as_int().unwrap(),
+            )
+        })
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+#[test]
+fn shj_matches_reference_under_all_modes() {
+    let window = Duration::from_millis(10);
+    let (left, right) = streams(400, 20, 42);
+    let want = reference_join(&left, &right, window);
+    assert!(want.len() > 100, "workload produces matches: {}", want.len());
+    for (name, plan_for) in mode_set() {
+        let got = engine_join(left.clone(), right.clone(), window, true, plan_for);
+        assert_eq!(got, want, "SHJ under {name}");
+    }
+}
+
+#[test]
+fn snj_matches_reference_under_all_modes() {
+    let window = Duration::from_millis(10);
+    let (left, right) = streams(300, 15, 7);
+    let want = reference_join(&left, &right, window);
+    for (name, plan_for) in mode_set() {
+        let got = engine_join(left.clone(), right.clone(), window, false, plan_for);
+        assert_eq!(got, want, "SNJ under {name}");
+    }
+}
+
+type PlanFor = fn(&Topology) -> ExecutionPlan;
+
+fn mode_set() -> Vec<(&'static str, PlanFor)> {
+    vec![
+        ("di (join in source threads, Fig. 6)", |t| ExecutionPlan::di(t)),
+        ("di_decoupled", |t| ExecutionPlan::di_decoupled(t)),
+        ("gts_fifo", |t| ExecutionPlan::gts(t, StrategyKind::Fifo)),
+        ("ots", |t| ExecutionPlan::ots(t)),
+    ]
+}
+
+#[test]
+fn shj_and_snj_agree_on_random_workloads() {
+    let window = Duration::from_millis(5);
+    for seed in [1u64, 99, 12345] {
+        let (left, right) = streams(250, 10, seed);
+        let a = engine_join(left.clone(), right.clone(), window, true, |t| {
+            ExecutionPlan::di_decoupled(t)
+        });
+        let b = engine_join(left, right, window, false, |t| {
+            ExecutionPlan::di_decoupled(t)
+        });
+        assert_eq!(a, b, "seed {seed}");
+    }
+}
+
+#[test]
+fn window_boundary_is_respected_through_engine() {
+    // Two elements exactly `window` apart join; `window + 1 µs` apart do
+    // not.
+    let window = Duration::from_millis(1);
+    let l = vec![(Timestamp::from_micros(0), Tuple::pair(1, 100))];
+    let on = vec![(Timestamp::from_micros(1_000), Tuple::pair(1, 200))];
+    let off = vec![(Timestamp::from_micros(1_001), Tuple::pair(1, 200))];
+    let got_on = engine_join(l.clone(), on, window, true, ExecutionPlan::di);
+    assert_eq!(got_on.len(), 1);
+    let got_off = engine_join(l, off, window, true, ExecutionPlan::di);
+    assert!(got_off.is_empty());
+}
+
+#[test]
+fn paper_fig6_selectivity_shape() {
+    // Scaled-down Fig. 6 workload: left values in [0, 1000), right values
+    // in [0, 100) — every right element matches ≈ 1/1000 of live left
+    // elements per probe; total output ≈ count² × window_fraction / 1000.
+    use hmts_workload::scenarios::{fig6_join, Fig6Params, JoinKind};
+    let p = Fig6Params {
+        elements: 2_000,
+        rate: 1e9,
+        left_range: 1_000,
+        right_range: 100,
+        window: Duration::from_secs(60),
+        seed: 6,
+    };
+    let shj = fig6_join(JoinKind::Shj, &p);
+    let cfg = EngineConfig { pace_sources: false, ..EngineConfig::default() };
+    let topo = Topology::of(&shj.graph);
+    let report =
+        Engine::run_with_config(shj.graph, ExecutionPlan::di_decoupled(&topo), cfg)
+            .expect("engine runs");
+    assert!(report.errors.is_empty());
+    let got = shj.handle.count();
+    // Expectation: each pair matches with probability 1/1000 (all within
+    // the window at this compressed rate): 2000×2000/1000 = 4000.
+    assert!((3_000..5_200).contains(&got), "join output {got}");
+}

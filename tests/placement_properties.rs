@@ -1,0 +1,169 @@
+//! Property-based tests of the queue-placement algorithms over random
+//! cost-annotated DAGs (the paper's Fig. 11 workload shape).
+
+use hmts::prelude::*;
+use hmts::scheduler::chain::unary_chains;
+use hmts_graph::cost::CostGraph;
+use hmts_workload::random_dag::{random_cost_graph, RandomDagConfig};
+use proptest::prelude::*;
+
+/// Strategy: a random cost graph via the seeded generator (the generator is
+/// itself deterministic, so shrinking over its inputs is meaningful).
+fn arb_graph() -> impl Strategy<Value = CostGraph> {
+    (4usize..60, any::<u64>()).prop_map(|(n, seed)| {
+        random_cost_graph(&RandomDagConfig::new(n, seed))
+    })
+}
+
+/// Checks the virtual-operator invariants: disjoint, covering, connected.
+fn assert_valid_partitioning(g: &CostGraph, groups: &[Vec<usize>], algo: &str) {
+    let mut seen = vec![false; g.node_count()];
+    for group in groups {
+        assert!(!group.is_empty(), "{algo}: empty group");
+        for &v in group {
+            assert!(!g.is_source(v), "{algo}: source {v} in a VO");
+            assert!(!std::mem::replace(&mut seen[v], true), "{algo}: node {v} twice");
+        }
+        // Weak connectivity via edges inside the group.
+        let set: std::collections::HashSet<usize> = group.iter().copied().collect();
+        let mut visited = std::collections::HashSet::new();
+        let mut stack = vec![group[0]];
+        visited.insert(group[0]);
+        while let Some(v) = stack.pop() {
+            for &m in g.successors(v).iter().chain(g.predecessors(v)) {
+                if set.contains(&m) && visited.insert(m) {
+                    stack.push(m);
+                }
+            }
+        }
+        assert_eq!(visited.len(), group.len(), "{algo}: disconnected VO {group:?}");
+    }
+    for v in g.operators() {
+        assert!(seen[v], "{algo}: operator {v} uncovered");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn stall_avoiding_produces_valid_partitionings(g in arb_graph()) {
+        let groups = stall_avoiding(&g);
+        assert_valid_partitioning(&g, &groups, "stall_avoiding");
+    }
+
+    #[test]
+    fn segment_strategy_produces_valid_partitionings(g in arb_graph()) {
+        let groups = simplified_segment(&g);
+        assert_valid_partitioning(&g, &groups, "simplified_segment");
+    }
+
+    #[test]
+    fn chain_based_produces_valid_partitionings(g in arb_graph()) {
+        let groups = chain_based(&g);
+        assert_valid_partitioning(&g, &groups, "chain_based");
+    }
+
+    #[test]
+    fn stall_avoiding_never_creates_negative_vo_from_feasible_singletons(
+        g in arb_graph()
+    ) {
+        let d = g.interarrival_times();
+        let all_singletons_feasible =
+            g.operators().iter().all(|&v| g.capacity(&[v], &d) >= 0.0);
+        prop_assume!(all_singletons_feasible);
+        let groups = stall_avoiding(&g);
+        for group in &groups {
+            let cap = g.capacity(group, &d);
+            prop_assert!(cap >= -1e-12, "VO {group:?} has cap {cap}");
+        }
+    }
+
+    #[test]
+    fn stall_avoiding_merges_no_worse_than_singletons(g in arb_graph()) {
+        // The heuristic's whole point: fewer partitions than OTS-style
+        // singletons whenever merging is feasible at all; never more.
+        let groups = stall_avoiding(&g);
+        prop_assert!(groups.len() <= g.operators().len());
+    }
+
+    #[test]
+    fn chain_segments_cover_each_unary_chain(g in arb_graph()) {
+        // Every unary chain's nodes appear in chain_based VOs in chain
+        // order (a VO is a contiguous chain slice).
+        let groups = chain_based(&g);
+        for chain in unary_chains(&g) {
+            for w in chain.windows(2) {
+                let ga = groups.iter().position(|grp| grp.contains(&w[0])).unwrap();
+                let gb = groups.iter().position(|grp| grp.contains(&w[1])).unwrap();
+                if ga == gb {
+                    let grp = &groups[ga];
+                    let pa = grp.iter().position(|&v| v == w[0]).unwrap();
+                    let pb = grp.iter().position(|&v| v == w[1]).unwrap();
+                    prop_assert!(pa < pb, "chain order preserved in VO");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_evaluation_is_consistent(g in arb_graph()) {
+        for groups in [stall_avoiding(&g), simplified_segment(&g), chain_based(&g)] {
+            let report = evaluate(&g, &groups);
+            prop_assert_eq!(report.vos, groups.len());
+            prop_assert_eq!(report.negative_vos + report.positive_vos, report.vos);
+            prop_assert!(report.avg_negative_capacity <= 0.0);
+            prop_assert!(report.avg_positive_capacity >= 0.0);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn heuristic_is_at_most_optimal_count_on_small_graphs(
+        n in 4usize..10,
+        seed in any::<u64>(),
+    ) {
+        let g = random_cost_graph(&RandomDagConfig::new(n, seed));
+        if let Some(opt) = exhaustive_optimal(&g) {
+            let heur = stall_avoiding(&g);
+            prop_assert!(
+                heur.len() >= opt.len(),
+                "heuristic {} beats optimum {} — impossible",
+                heur.len(),
+                opt.len()
+            );
+            // And the optimum respects the capacity constraint.
+            let d = g.interarrival_times();
+            for group in &opt {
+                prop_assert!(g.capacity(group, &d) >= 0.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn fig11_shape_stall_avoiding_has_least_negative_capacity() {
+    // Deterministic aggregate version of the paper's Fig. 11 claim: over
+    // many random DAGs, Algorithm 1's average negative capacity is closer
+    // to zero than both baselines'.
+    let mut totals = [0.0f64; 3];
+    for seed in 0..30u64 {
+        let g = random_cost_graph(&RandomDagConfig::new(60, seed));
+        let reports = [
+            evaluate(&g, &stall_avoiding(&g)),
+            evaluate(&g, &simplified_segment(&g)),
+            evaluate(&g, &chain_based(&g)),
+        ];
+        for (t, r) in totals.iter_mut().zip(&reports) {
+            *t += r.avg_negative_capacity;
+        }
+    }
+    let [sa, seg, chain] = totals.map(|t| t / 30.0);
+    assert!(
+        sa >= seg && sa >= chain,
+        "stall-avoiding {sa} must beat segment {seg} and chain {chain}"
+    );
+}

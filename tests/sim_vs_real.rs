@@ -1,0 +1,153 @@
+//! Agreement between the discrete-event simulator and the real engine.
+//!
+//! The simulator substitutes for the paper's dual-core testbed (DESIGN.md
+//! §4), so its *semantics* must match the real engine where they overlap:
+//! identical element counts on selectivity-free graphs, statistically
+//! matching counts when selectivity is a model parameter, and matching
+//! qualitative behaviour (backlog under overload, drain on underload).
+
+use hmts::prelude::*;
+use hmts::sim::{simulate, SimConfig, SimPolicy, SimStrategy};
+use hmts_workload::scenarios::drain_schedule;
+
+/// Real run of a 2-selection chain; returns (outputs, schedule in seconds).
+fn real_chain_run(count: u64, keep: i64) -> (u64, Vec<f64>) {
+    let mut b = GraphBuilder::new();
+    let src = b.source(VecSource::counting("src", count, 1e6));
+    let f = b.op_after(Filter::new("f", Expr::field(0).lt(Expr::int(keep))), src);
+    let g2 = b.op_after(Filter::new("g", Expr::field(0).ge(Expr::int(0))), f);
+    let (sink, handle) = CollectingSink::new("out");
+    b.op_after(sink, g2);
+    let graph = b.build().expect("valid graph");
+    let topo = Topology::of(&graph);
+    let cfg = EngineConfig { pace_sources: false, ..EngineConfig::default() };
+    let report = Engine::run_with_config(graph, ExecutionPlan::gts(&topo, StrategyKind::Fifo), cfg)
+        .expect("engine runs");
+    assert!(report.errors.is_empty());
+    let schedule = {
+        let mut s = VecSource::counting("src", count, 1e6);
+        drain_schedule(&mut s).iter().map(|t| t.as_secs_f64()).collect()
+    };
+    (handle.count(), schedule)
+}
+
+/// The cost-graph mirror of the same chain, with measured selectivities.
+fn sim_chain(count: u64, sel: f64) -> hmts_graph::cost::CostGraph {
+    hmts_graph::cost::CostGraph::from_parts(
+        4,
+        vec![(0, 1), (1, 2), (2, 3)],
+        vec![0.0, 1e-7, 1e-7, 1e-8],
+        vec![1.0, sel, 1.0, 1.0],
+        vec![Some(count as f64), None, None, None],
+    )
+}
+
+#[test]
+fn counts_match_exactly_without_selectivity() {
+    let (real, schedule) = real_chain_run(5_000, i64::MAX);
+    assert_eq!(real, 5_000);
+    let g = sim_chain(5_000, 1.0);
+    for policy in [
+        SimPolicy::gts(&g, SimStrategy::Fifo),
+        SimPolicy::ots(&g),
+        SimPolicy::di_decoupled(&g),
+    ] {
+        let r = simulate(&g, std::slice::from_ref(&schedule), &policy, &SimConfig::default());
+        assert_eq!(r.outputs, real, "{:?}", policy.threading);
+    }
+}
+
+#[test]
+fn counts_match_statistically_with_selectivity() {
+    // Real run keeps exactly 2500 of 10000 (values < 2500). The simulator
+    // models selectivity 0.25 as coin flips: expect 2500 ± a few sd (~43).
+    let (real, schedule) = real_chain_run(10_000, 2_500);
+    assert_eq!(real, 2_500);
+    let g = sim_chain(10_000, 0.25);
+    let r = simulate(
+        &g,
+        &[schedule],
+        &SimPolicy::di_decoupled(&g),
+        &SimConfig::default(),
+    );
+    let diff = (r.outputs as i64 - real as i64).abs();
+    assert!(diff < 200, "sim {} vs real {real}", r.outputs);
+}
+
+#[test]
+fn sim_is_deterministic_per_seed() {
+    let g = sim_chain(10_000, 0.5);
+    let schedule: Vec<f64> = (0..10_000).map(|i| i as f64 * 1e-4).collect();
+    let cfg = SimConfig::default();
+    let a = simulate(&g, std::slice::from_ref(&schedule), &SimPolicy::gts(&g, SimStrategy::Fifo), &cfg);
+    let b = simulate(&g, std::slice::from_ref(&schedule), &SimPolicy::gts(&g, SimStrategy::Fifo), &cfg);
+    assert_eq!(a.outputs, b.outputs);
+    assert_eq!(a.completion_time, b.completion_time);
+    assert_eq!(a.ctx_switches, b.ctx_switches);
+    let c = simulate(
+        &g,
+        &[schedule],
+        &SimPolicy::gts(&g, SimStrategy::Fifo),
+        &SimConfig { seed: 999, ..SimConfig::default() },
+    );
+    assert_ne!(a.outputs, c.outputs, "different seed, different coin flips");
+}
+
+#[test]
+fn overload_builds_backlog_in_both_worlds() {
+    // Operator needs 1 ms per element; offered 10 000 el/s for 200
+    // elements. Both worlds must show a large backlog.
+    // Real engine:
+    let mut b = GraphBuilder::new();
+    let src = b.source(VecSource::counting("src", 200, 10_000.0));
+    let heavy = b.op_after(
+        Costed::new(
+            Filter::new("heavy", Expr::bool(true)),
+            CostMode::Busy(std::time::Duration::from_millis(1)),
+        ),
+        src,
+    );
+    let (sink, handle) = CollectingSink::new("out");
+    b.op_after(sink, heavy);
+    let graph = b.build().expect("valid graph");
+    let topo = Topology::of(&graph);
+    let cfg = EngineConfig {
+        memory_sample_interval: Some(std::time::Duration::from_millis(2)),
+        ..EngineConfig::default()
+    };
+    let report = Engine::run_with_config(graph, ExecutionPlan::gts(&topo, StrategyKind::Fifo), cfg)
+        .expect("engine runs");
+    assert_eq!(handle.count(), 200);
+    assert!(
+        report.peak_queue_memory > 50,
+        "real backlog {}",
+        report.peak_queue_memory
+    );
+
+    // Simulator:
+    let g = hmts_graph::cost::CostGraph::from_parts(
+        3,
+        vec![(0, 1), (1, 2)],
+        vec![0.0, 1e-3, 1e-8],
+        vec![1.0, 1.0, 1.0],
+        vec![Some(10_000.0), None, None],
+    );
+    let schedule: Vec<f64> = (1..=200).map(|i| i as f64 / 10_000.0).collect();
+    let r = simulate(&g, &[schedule], &SimPolicy::gts(&g, SimStrategy::Fifo), &SimConfig::default());
+    assert_eq!(r.outputs, 200);
+    assert!(r.peak_memory > 50, "sim backlog {}", r.peak_memory);
+    // Completion dominated by the 1 ms × 200 processing in both worlds.
+    assert!(r.completion_time > 0.19, "sim completion {}", r.completion_time);
+    assert!(report.elapsed.as_secs_f64() > 0.19, "real completion {:?}", report.elapsed);
+}
+
+#[test]
+fn underload_drains_in_both_worlds() {
+    let g = sim_chain(100, 1.0);
+    let schedule: Vec<f64> = (1..=100).map(|i| i as f64 / 100.0).collect(); // 1 s total
+    let r = simulate(&g, &[schedule], &SimPolicy::ots(&g), &SimConfig::default());
+    assert_eq!(r.outputs, 100);
+    assert!(r.peak_memory <= 2, "no backlog under light load: {}", r.peak_memory);
+    // Completion ≈ emission end (processing is negligible).
+    assert!((r.completion_time - 1.0).abs() < 0.01, "{}", r.completion_time);
+}
