@@ -1,0 +1,61 @@
+//! Observability overhead: the cost of an instrumented operator invocation
+//! with observability disabled (the default) versus enabled.
+//!
+//! The disabled path is the acceptance-critical one — an engine built
+//! without an [`Obs`] handle must pay only a `None` branch per emit guard
+//! plus a relaxed atomic per detached counter, which must stay far below
+//! the cost of even the cheapest real operator (≈500 ns for the Fig. 9
+//! cheap selection). The `hmts-obs` unit test
+//! `disabled_path_is_near_zero_cost` asserts the same bound (< 50 ns)
+//! without criterion.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hmts::obs::{Obs, SchedEvent};
+use std::hint::black_box;
+
+/// What an instrumented hot path does once per operator invocation: one
+/// journal emit guard and one counter update.
+fn instrumented_op(obs: &Obs, counter: &hmts::obs::Counter, i: usize) {
+    obs.emit_with(|| SchedEvent::Dispatch { domain: i, worker: 0, priority: 0 });
+    counter.inc();
+}
+
+fn obs_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_overhead");
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("disabled_emit_and_count", |b| {
+        let obs = Obs::disabled();
+        let counter = obs.counter("hot");
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            instrumented_op(black_box(&obs), &counter, i);
+        });
+    });
+
+    g.bench_function("enabled_emit_and_count", |b| {
+        let obs = Obs::enabled();
+        let counter = obs.counter("hot");
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            instrumented_op(black_box(&obs), &counter, i);
+        });
+    });
+
+    g.bench_function("enabled_histogram_record", |b| {
+        let obs = Obs::enabled();
+        let h = obs.histogram("lat");
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            h.record(black_box(i));
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, obs_overhead);
+criterion_main!(benches);

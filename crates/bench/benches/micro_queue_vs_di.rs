@@ -26,6 +26,7 @@ fn slot(i: usize, targets: Vec<Target>) -> SlotInit {
         closed: false,
         targets,
         stats: None,
+        latency: None,
     }
 }
 
@@ -82,8 +83,7 @@ fn queue_transfer(c: &mut Criterion) {
     // The same 5-op chain but decoupled: a queue before every operator,
     // drained GTS-style by one executor.
     g.bench_function("decoupled_chain_5", |b| {
-        let queues: Vec<_> =
-            (0..5).map(|i| StreamQueue::unbounded(format!("q{i}"))).collect();
+        let queues: Vec<_> = (0..5).map(|i| StreamQueue::unbounded(format!("q{i}"))).collect();
         let slots = (0..5)
             .map(|i| {
                 let targets = if i + 1 < 5 {

@@ -12,6 +12,63 @@ use hmts_bench::fig9::{run_all, Fig9Run};
 use hmts_bench::{emit_csv, fmt_secs, parse_args, table};
 use std::fmt::Write as _;
 
+/// Runs the Fig. 9 chain on the real engine with observability enabled,
+/// forcing one runtime GTS → HMTS placement switch, and writes the
+/// Prometheus / JSON-journal / CSV-series snapshot under `dir`.
+fn run_instrumented(dir: &std::path::Path, seed: u64) {
+    use std::time::Duration;
+    eprintln!("fig09: instrumented real-engine run (GTS -> HMTS switch) ...");
+    // Heavy time compression: the observability demo cares about the
+    // scheduler's decisions, not the paper-scale memory curve.
+    let p = Fig9Params { speedup: 2_000.0, seed, ..Fig9Params::default() };
+    let s = fig9_chain(&p);
+    let topo = Topology::of(&s.graph);
+    let obs = Obs::enabled();
+    let cfg = EngineConfig { obs: obs.clone(), stall_threshold: 500, ..EngineConfig::default() };
+    let mut engine =
+        Engine::with_config(s.graph, ExecutionPlan::gts(&topo, StrategyKind::Fifo), cfg)
+            .expect("valid graph and plan");
+    engine.start().expect("engine starts");
+    let sampler = obs.start_sampler(Duration::from_millis(2));
+    std::thread::sleep(Duration::from_millis(25));
+    // One adaptive round journals a `repartition` decision once the cost
+    // model has samples; if it did not switch, force the measured
+    // stall-avoiding placement so the journal always holds a mode switch.
+    let adaptation =
+        adapt_once(&mut engine, &AdaptiveConfig { min_samples: 1, ..AdaptiveConfig::default() })
+            .expect("adaptation round");
+    if adaptation != Adaptation::Switched {
+        let groups = stall_avoiding(&engine.cost_graph());
+        engine
+            .switch_plan(ExecutionPlan::hmts(to_partitioning(&groups), StrategyKind::Fifo, 2))
+            .expect("runtime switch");
+    }
+    let report = engine.wait();
+    drop(sampler);
+    let paths =
+        obs.write_snapshot(dir).expect("write metrics snapshot").expect("observability enabled");
+    let journal = obs.journal_snapshot();
+    let mut kinds: std::collections::BTreeMap<&str, usize> = Default::default();
+    for r in &journal {
+        *kinds.entry(r.event.kind()).or_default() += 1;
+    }
+    println!(
+        "instrumented run: {} results in {}, {} metrics, {} journal events",
+        s.handle.count(),
+        fmt_secs(report.elapsed.as_secs_f64()),
+        obs.metrics_snapshot().len(),
+        journal.len(),
+    );
+    let counts: Vec<String> = kinds.iter().map(|(k, n)| format!("{k}={n}")).collect();
+    println!("journal events: {}", counts.join(" "));
+    println!(
+        "wrote {} / {} / {}",
+        paths.metrics_prom.display(),
+        paths.events_json.display(),
+        paths.series_csv.display(),
+    );
+}
+
 fn main() {
     let args = parse_args(100.0);
     let m = if args.paper { 10 } else { 1 };
@@ -38,16 +95,17 @@ fn main() {
             ]
         })
         .collect();
-    println!(
-        "\n{}",
-        table(&["strategy", "peak_queued", "completion", "results"], &rows)
-    );
+    println!("\n{}", table(&["strategy", "peak_queued", "completion", "results"], &rows));
     println!(
         "Paper's claims to check: all curves start at ≈{} queued elements (the \
          first burst); Chain's memory stays below FIFO's; HMTS finishes at ≈162 s \
          while GTS needs ≈260 s.",
         10_000 * m
     );
+
+    if let Some(dir) = &args.metrics {
+        run_instrumented(dir, args.seed);
+    }
 
     // Optional real-engine shape check (time-compressed; single core, so
     // only the memory shape — burst to ~10 000, drain, second burst — is

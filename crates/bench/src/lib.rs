@@ -9,7 +9,10 @@
 //!   binary; `--paper` forces the paper's literal parameters),
 //! * `--out <dir>`   — results directory (default `results/`),
 //! * `--seed <n>`    — workload seed,
-//! * `--quick`       — a fast smoke configuration for CI.
+//! * `--quick`       — a fast smoke configuration for CI,
+//! * `--metrics <dir>` — run with observability enabled and write a
+//!   Prometheus metrics snapshot, a JSON scheduler-event journal, and a
+//!   CSV sampler series under `<dir>` (binaries that support it).
 
 pub mod fig9;
 
@@ -32,11 +35,21 @@ pub struct Args {
     pub out: PathBuf,
     /// Workload seed.
     pub seed: u64,
+    /// Observability snapshot directory (`--metrics <dir>`); `None`
+    /// leaves observability disabled.
+    pub metrics: Option<PathBuf>,
 }
 
 impl Default for Args {
     fn default() -> Self {
-        Args { scale: 0.0, paper: false, quick: false, out: PathBuf::from("results"), seed: 1 }
+        Args {
+            scale: 0.0,
+            paper: false,
+            quick: false,
+            out: PathBuf::from("results"),
+            seed: 1,
+            metrics: None,
+        }
     }
 }
 
@@ -61,12 +74,16 @@ pub fn parse_args(default_scale: f64) -> Args {
                     .unwrap_or_else(|| die("--seed needs an integer"))
             }
             "--out" => {
-                args.out =
-                    PathBuf::from(it.next().unwrap_or_else(|| die("--out needs a path")))
+                args.out = PathBuf::from(it.next().unwrap_or_else(|| die("--out needs a path")))
+            }
+            "--metrics" => {
+                args.metrics =
+                    Some(PathBuf::from(it.next().unwrap_or_else(|| die("--metrics needs a path"))))
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "options: --scale <k> | --paper | --quick | --seed <n> | --out <dir>"
+                    "options: --scale <k> | --paper | --quick | --seed <n> | --out <dir> \
+                     | --metrics <dir>"
                 );
                 std::process::exit(0);
             }
@@ -111,10 +128,7 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
         out.push('\n');
     };
     render(&mut out, &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
-    render(
-        &mut out,
-        &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),
-    );
+    render(&mut out, &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
     for row in rows {
         render(&mut out, row);
     }
@@ -180,10 +194,7 @@ mod tests {
     fn table_aligns_columns() {
         let t = table(
             &["mode", "time"],
-            &[
-                vec!["di".into(), "1.0s".into()],
-                vec!["gts_long_name".into(), "2.0s".into()],
-            ],
+            &[vec!["di".into(), "1.0s".into()], vec!["gts_long_name".into(), "2.0s".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

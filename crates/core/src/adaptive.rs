@@ -12,6 +12,7 @@
 use std::collections::BTreeSet;
 
 use hmts_graph::partition::Partitioning;
+use hmts_obs::SchedEvent;
 
 use crate::engine::{Engine, EngineError};
 use crate::placement::{stall_avoiding, to_partitioning};
@@ -64,6 +65,7 @@ pub fn same_partitioning(a: &Partitioning, b: &Partitioning) -> bool {
 
 /// Runs one adaptation round on a running engine.
 pub fn adapt_once(engine: &mut Engine, cfg: &AdaptiveConfig) -> Result<Adaptation, EngineError> {
+    engine.obs().counter("adaptive.rounds").inc();
     let snap = engine.stats_snapshot();
     let enough = snap
         .nodes
@@ -77,8 +79,21 @@ pub fn adapt_once(engine: &mut Engine, cfg: &AdaptiveConfig) -> Result<Adaptatio
     let groups = stall_avoiding(&cost_graph);
     let partitioning = to_partitioning(&groups);
     if same_partitioning(&partitioning, &engine.plan().partitioning) {
+        engine.obs().emit_with(|| SchedEvent::Repartition {
+            domains: partitioning.groups().len(),
+            action: "confirmed".to_string(),
+        });
         return Ok(Adaptation::Unchanged);
     }
+    engine.obs().counter("adaptive.switches").inc();
+    engine.obs().emit_with(|| SchedEvent::Repartition {
+        domains: partitioning.groups().len(),
+        action: format!(
+            "re-partitioned {} -> {} virtual operators",
+            engine.plan().partitioning.groups().len(),
+            partitioning.groups().len()
+        ),
+    });
     engine.switch_plan(ExecutionPlan::hmts(partitioning, cfg.strategy, cfg.workers))?;
     Ok(Adaptation::Switched)
 }

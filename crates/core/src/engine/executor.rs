@@ -20,6 +20,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use hmts_graph::graph::NodeId;
+use hmts_obs::Histogram;
 use hmts_operators::traits::{EosTracker, Operator, Output, WatermarkTracker};
 use hmts_streams::element::{Element, Message, Punctuation};
 use hmts_streams::error::StreamError;
@@ -75,6 +76,9 @@ pub struct SlotInit {
     pub targets: Vec<Target>,
     /// Shared statistics cell, if measurement is enabled.
     pub stats: Option<SharedNodeStats>,
+    /// Per-operator invocation latency histogram, if observability is
+    /// enabled (see `hmts_obs`). `None` keeps the hot path free of timing.
+    pub latency: Option<Histogram>,
 }
 
 /// The state extracted from a slot when a domain is torn down (runtime mode
@@ -100,6 +104,7 @@ struct Slot {
     closed: bool,
     targets: Vec<Target>,
     stats: Option<SharedNodeStats>,
+    latency: Option<Histogram>,
 }
 
 /// One input queue of a domain, with the edge it implements.
@@ -210,6 +215,7 @@ impl DomainExecutor {
                 closed: s.closed,
                 targets: s.targets,
                 stats: s.stats,
+                latency: s.latency,
             })
             .collect();
         for (i, s) in slots.iter().enumerate() {
@@ -255,8 +261,7 @@ impl DomainExecutor {
             let Some(&i) = self.index.get(&node) else {
                 // Routing bug; record once and drop.
                 if self.error.is_none() {
-                    self.error =
-                        Some(StreamError::Other(format!("no slot for node {node}")));
+                    self.error = Some(StreamError::Other(format!("no slot for node {node}")));
                 }
                 continue;
             };
@@ -266,15 +271,14 @@ impl DomainExecutor {
             match msg {
                 Message::Data(el) => self.process_data(i, port, el),
                 Message::Punct(Punctuation::EndOfStream) => self.process_eos(i, port),
-                Message::Punct(Punctuation::Watermark(ts)) => {
-                    self.process_watermark(i, port, ts)
-                }
+                Message::Punct(Punctuation::Watermark(ts)) => self.process_watermark(i, port, ts),
             }
         }
     }
 
     fn process_data(&mut self, i: usize, port: usize, el: Element) {
-        let measure = self.cfg.measure && self.slots[i].stats.is_some();
+        let measure =
+            (self.cfg.measure && self.slots[i].stats.is_some()) || self.slots[i].latency.is_some();
         let start = measure.then(Instant::now);
         let result = self.slots[i].op.process(port, &el, &mut self.out);
         let cost = start.map(|t| t.elapsed());
@@ -282,6 +286,9 @@ impl DomainExecutor {
             Ok(()) => {
                 if let Some(stats) = &self.slots[i].stats {
                     stats.lock().observe(el.ts, cost, self.out.len() as u64);
+                }
+                if let (Some(h), Some(c)) = (&self.slots[i].latency, cost) {
+                    h.record_duration(c);
                 }
                 self.deliver_outputs(i);
             }
@@ -373,15 +380,12 @@ impl DomainExecutor {
     /// Whether every input queue has delivered end-of-stream and every
     /// operator has completed.
     pub fn is_finished(&self) -> bool {
-        self.pending.is_empty()
-            && self.inputs.iter().all(|q| q.exhausted)
-            && self.live == 0
+        self.pending.is_empty() && self.inputs.iter().all(|q| q.exhausted) && self.live == 0
     }
 
     /// Whether any input has work pending right now.
     pub fn has_work(&self) -> bool {
-        !self.pending.is_empty()
-            || self.inputs.iter().any(|q| !q.exhausted && !q.queue.is_empty())
+        !self.pending.is_empty() || self.inputs.iter().any(|q| !q.exhausted && !q.queue.is_empty())
     }
 
     /// Runs the level-2 scheduling loop until the budget is exhausted, the
@@ -464,13 +468,7 @@ impl DomainExecutor {
         self.index.clear();
         std::mem::take(&mut self.slots)
             .into_iter()
-            .map(|s| SlotState {
-                node: s.node,
-                op: s.op,
-                eos: s.eos,
-                wm: s.wm,
-                closed: s.closed,
-            })
+            .map(|s| SlotState { node: s.node, op: s.op, eos: s.eos, wm: s.wm, closed: s.closed })
             .collect()
     }
 
@@ -478,13 +476,7 @@ impl DomainExecutor {
     pub fn into_slot_states(self) -> Vec<SlotState> {
         self.slots
             .into_iter()
-            .map(|s| SlotState {
-                node: s.node,
-                op: s.op,
-                eos: s.eos,
-                wm: s.wm,
-                closed: s.closed,
-            })
+            .map(|s| SlotState { node: s.node, op: s.op, eos: s.eos, wm: s.wm, closed: s.closed })
             .collect()
     }
 }
@@ -515,6 +507,7 @@ mod tests {
             closed: false,
             targets,
             stats: None,
+            latency: None,
         }
     }
 
@@ -535,12 +528,8 @@ mod tests {
             ),
             slot(3, Box::new(sink), vec![]),
         ];
-        let inputs = vec![InputQueue {
-            queue: Arc::clone(&q),
-            node: NodeId(1),
-            port: 0,
-            exhausted: false,
-        }];
+        let inputs =
+            vec![InputQueue { queue: Arc::clone(&q), node: NodeId(1), port: 0, exhausted: false }];
         let exec = DomainExecutor::new(
             "d",
             slots,
@@ -560,11 +549,8 @@ mod tests {
         q.push(Message::eos()).unwrap();
         let outcome = exec.run_slice(&Budget::unlimited());
         assert_eq!(outcome, RunOutcome::Finished);
-        let vals: Vec<i64> = handle
-            .elements()
-            .iter()
-            .map(|e| e.tuple.field(0).as_int().unwrap())
-            .collect();
+        let vals: Vec<i64> =
+            handle.elements().iter().map(|e| e.tuple.field(0).as_int().unwrap()).collect();
         assert_eq!(vals, vec![50, 11, 99]);
         assert!(handle.is_done());
         assert!(exec.error().is_none());
@@ -650,11 +636,8 @@ mod tests {
         assert_eq!(out_q.len(), 3); // two data + EOS
         assert!(waker.0.load(Ordering::Relaxed) >= 3);
         assert!(exec.is_finished()); // no inputs, slot closed
-        // FIFO order preserved through the queue.
-        assert_eq!(
-            out_q.try_pop().unwrap().as_data().unwrap().tuple.field(0).as_int().unwrap(),
-            1
-        );
+                                     // FIFO order preserved through the queue.
+        assert_eq!(out_q.try_pop().unwrap().as_data().unwrap().tuple.field(0).as_int().unwrap(), 1);
     }
 
     #[test]
@@ -738,12 +721,8 @@ mod tests {
             ),
             slot(2, Box::new(sink), vec![]),
         ];
-        let inputs = vec![InputQueue {
-            queue: Arc::clone(&q),
-            node: NodeId(1),
-            port: 0,
-            exhausted: false,
-        }];
+        let inputs =
+            vec![InputQueue { queue: Arc::clone(&q), node: NodeId(1), port: 0, exhausted: false }];
         let mut exec = DomainExecutor::new(
             "d",
             slots,
@@ -785,11 +764,9 @@ mod tests {
         qa.push(data(1, 0)).unwrap();
         qb.push(data(2, 0)).unwrap();
         // Watermark on only one port does not advance the combined mark.
-        qa.push(Message::Punct(Punctuation::Watermark(Timestamp::from_secs(100))))
-            .unwrap();
+        qa.push(Message::Punct(Punctuation::Watermark(Timestamp::from_secs(100)))).unwrap();
         exec.run_slice(&Budget::unlimited());
-        qb.push(Message::Punct(Punctuation::Watermark(Timestamp::from_secs(100))))
-            .unwrap();
+        qb.push(Message::Punct(Punctuation::Watermark(Timestamp::from_secs(100)))).unwrap();
         exec.run_slice(&Budget::unlimited());
         // Combined watermark of 100 s with a 10 s window: both sides empty.
         // (Verified indirectly: no join output for fresh matching data at
@@ -821,11 +798,7 @@ mod tests {
     #[test]
     fn stats_are_recorded_when_enabled() {
         let stats: SharedNodeStats = Arc::new(Mutex::new(crate::stats::NodeStats::default()));
-        let mut init = slot(
-            1,
-            Box::new(Filter::new("f", Expr::field(0).lt(Expr::int(5)))),
-            vec![],
-        );
+        let mut init = slot(1, Box::new(Filter::new("f", Expr::field(0).lt(Expr::int(5)))), vec![]);
         init.stats = Some(Arc::clone(&stats));
         let mut exec = DomainExecutor::new(
             "d",

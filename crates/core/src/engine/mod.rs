@@ -16,7 +16,7 @@ pub mod sync;
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -28,6 +28,7 @@ use hmts_graph::graph::{NodeId, QueryGraph};
 use hmts_graph::partition::Partitioning;
 use hmts_graph::topology::{Payload, Topology};
 use hmts_graph::validate::{validate, ValidationError};
+use hmts_obs::{Obs, SchedEvent};
 use hmts_operators::traits::{EosTracker, Operator, Source, WatermarkTracker};
 use hmts_streams::element::Message;
 use hmts_streams::error::StreamError;
@@ -38,9 +39,7 @@ use hmts_streams::time::{SharedClock, SystemClock};
 use crate::engine::executor::{
     Budget, DomainExecutor, ExecConfig, InputQueue, SlotInit, Target, Waker,
 };
-use crate::engine::source_driver::{
-    spawn_source, SourceDriverConfig, SourceShared, SourceTarget,
-};
+use crate::engine::source_driver::{spawn_source, SourceDriverConfig, SourceShared, SourceTarget};
 use crate::engine::sync::{Notifier, PauseGate, StopFlag};
 use crate::plan::{DomainExecution, ExecutionPlan, PlanError};
 use crate::scheduler::thread_scheduler::{ThreadScheduler, TsConfig, TsShared};
@@ -89,6 +88,14 @@ pub struct EngineConfig {
     pub watermark_interval: Option<Duration>,
     /// Clock override (defaults to a monotonic clock anchored at `start`).
     pub clock: Option<SharedClock>,
+    /// Observability handle. [`Obs::disabled`] (the default) keeps every
+    /// instrumented hot path to a single branch; [`Obs::enabled`] records
+    /// scheduler events, queue/operator metrics, and sampler series.
+    pub obs: Obs,
+    /// Queue occupancy at which a `stall` event is journaled for that
+    /// queue (once per excursion; re-arms once occupancy halves). Only
+    /// observed while `obs` is enabled. `0` disables stall detection.
+    pub stall_threshold: usize,
 }
 
 impl Default for EngineConfig {
@@ -104,6 +111,8 @@ impl Default for EngineConfig {
             queue_bound: None,
             watermark_interval: None,
             clock: None,
+            obs: Obs::disabled(),
+            stall_threshold: 4096,
         }
     }
 }
@@ -257,11 +266,8 @@ impl Engine {
         }
         let clock = cfg.clock.clone().unwrap_or_else(|| Arc::new(SystemClock::new()));
         let stats = (0..n).map(|_| Arc::new(Mutex::new(NodeStats::default()))).collect();
-        let source_shared = topo
-            .sources()
-            .into_iter()
-            .map(|id| SourceShared::new(id, topo.name(id)))
-            .collect();
+        let source_shared =
+            topo.sources().into_iter().map(|id| SourceShared::new(id, topo.name(id))).collect();
         Ok(Engine {
             carry: (0..n).map(|_| None).collect(),
             topo,
@@ -322,6 +328,12 @@ impl Engine {
         &self.plan
     }
 
+    /// The engine's observability handle (disabled unless one was passed
+    /// in [`EngineConfig::obs`]).
+    pub fn obs(&self) -> &Obs {
+        &self.cfg.obs
+    }
+
     /// A snapshot of the measured per-node statistics.
     pub fn stats_snapshot(&self) -> StatsSnapshot {
         StatsSnapshot::collect(&self.topo, &self.stats)
@@ -361,8 +373,7 @@ impl Engine {
         let sources = self.topo.sources();
         for (i, id) in sources.into_iter().enumerate() {
             let payload = self.sources_payload[id.0].take().expect("source payload present");
-            let stats =
-                self.cfg.measure_stats.then(|| Arc::clone(&self.stats[id.0]));
+            let stats = self.cfg.measure_stats.then(|| Arc::clone(&self.stats[id.0]));
             let h = spawn_source(
                 payload,
                 Arc::clone(&self.source_shared[i]),
@@ -389,9 +400,7 @@ impl Engine {
                     .spawn(move || {
                         while !stop.is_stopped() {
                             std::thread::sleep(interval);
-                            series
-                                .lock()
-                                .record(clock.now(), gauge.load(Ordering::Relaxed) as f64);
+                            series.lock().record(clock.now(), gauge.load(Ordering::Relaxed) as f64);
                         }
                     })
                     .expect("spawn monitor"),
@@ -411,6 +420,13 @@ impl Engine {
         if !plan_errors.is_empty() {
             return Err(EngineError::InvalidPlan(plan_errors));
         }
+        // Journal the switch before teardown so it causally precedes the
+        // queue-drain records of the outgoing wiring.
+        self.cfg.obs.emit_with(|| SchedEvent::ModeSwitch {
+            from: describe_plan(&self.plan),
+            to: describe_plan(&plan),
+        });
+        self.cfg.obs.counter("engine.plan_switches").inc();
         self.gate.pause_and_wait();
         let seeds = self.teardown_wiring();
         self.plan = plan;
@@ -443,6 +459,18 @@ impl Engine {
             // Workers observe the stop flag via their timed waits.
             ts.join();
         }
+        // Flush a final sample (queue counters advance by delta inside
+        // collectors), journal what each queue still holds, then drop the
+        // collectors that capture this wiring's queues and stats.
+        self.cfg.obs.sample_now();
+        for q in &wiring.queues {
+            let remaining = q.len();
+            self.cfg.obs.emit_with(|| SchedEvent::QueueDrain {
+                queue: q.name().to_string(),
+                drained: remaining,
+            });
+        }
+        self.cfg.obs.clear_collectors();
         let mut seeds = Vec::new();
         for exec in &wiring.executors {
             let mut e = exec.lock();
@@ -493,13 +521,14 @@ impl Engine {
         let pooled_index: HashMap<usize, usize> =
             pooled.iter().enumerate().map(|(pi, &d)| (d, pi)).collect();
         let ts_shared: Option<Arc<TsShared>> = (!pooled.is_empty()).then(|| {
-            let ts = TsShared::create(
+            let ts = TsShared::create_with_obs(
                 pooled.len(),
                 TsConfig {
                     workers: self.plan.workers.max(1),
                     slice: self.cfg.slice,
                     aging_rate: self.cfg.aging_rate,
                 },
+                self.cfg.obs.clone(),
             );
             for (pi, &d) in pooled.iter().enumerate() {
                 ts.set_priority(pi, self.plan.domains[d].priority as i64);
@@ -509,12 +538,8 @@ impl Engine {
 
         let waker_for = |d: usize| -> Option<Arc<dyn Waker>> {
             match self.plan.domains[d].execution {
-                DomainExecution::Dedicated => {
-                    Some(Arc::clone(&notifiers[d]) as Arc<dyn Waker>)
-                }
-                DomainExecution::Pooled => {
-                    ts_shared.as_ref().map(|ts| ts.waker(pooled_index[&d]))
-                }
+                DomainExecution::Dedicated => Some(Arc::clone(&notifiers[d]) as Arc<dyn Waker>),
+                DomainExecution::Pooled => ts_shared.as_ref().map(|ts| ts.waker(pooled_index[&d])),
                 DomainExecution::SourceDriven => None,
             }
         };
@@ -530,8 +555,7 @@ impl Engine {
                 part_of.get(&e.from) != part_of.get(&e.to)
             };
             if decoupled {
-                let name =
-                    format!("{}->{}", self.topo.name(e.from), self.topo.name(e.to));
+                let name = format!("{}->{}", self.topo.name(e.from), self.topo.name(e.to));
                 // A Block-bounded queue whose producer and consumer live in
                 // the same domain would deadlock the executor against
                 // itself (it is the only thread that could drain the queue
@@ -542,8 +566,7 @@ impl Engine {
                 let q = match self.cfg.queue_bound {
                     Some(b)
                         if !(same_domain
-                            && b.policy
-                                == hmts_streams::queue::BackpressurePolicy::Block) =>
+                            && b.policy == hmts_streams::queue::BackpressurePolicy::Block) =>
                     {
                         StreamQueue::bounded_with_gauge(
                             name,
@@ -552,9 +575,7 @@ impl Engine {
                             Arc::clone(&self.memory_gauge),
                         )
                     }
-                    _ => {
-                        StreamQueue::unbounded_with_gauge(name, Arc::clone(&self.memory_gauge))
-                    }
+                    _ => StreamQueue::unbounded_with_gauge(name, Arc::clone(&self.memory_gauge)),
                 };
                 queues.push(Arc::clone(&q));
                 queue_for.push(Some(q));
@@ -615,6 +636,10 @@ impl Engine {
                     closed,
                     targets,
                     stats: self.cfg.measure_stats.then(|| Arc::clone(&self.stats[n.0])),
+                    latency: self
+                        .cfg
+                        .obs
+                        .maybe_histogram(&format!("op.{}.latency_ns", self.topo.name(n))),
                 });
             }
             let strategy = spec.strategy.build(Some(&cost_graph));
@@ -683,7 +708,102 @@ impl Engine {
             ThreadScheduler::spawn(shared, pool_execs, Arc::clone(&stop))
         });
 
+        self.register_collectors(&queues);
         self.wiring = Some(Wiring { executors, notifiers, dedicated, ts, stop, queues });
+    }
+
+    /// Registers sampler collectors for the freshly built wiring: per-queue
+    /// occupancy/high-water gauges and enqueue/dequeue/drop counters (the
+    /// counters advance by delta so they accumulate across re-wirings under
+    /// the same metric names), per-node `c(v)` / `d(v)` / selectivity
+    /// gauges, and the engine-wide queued-element gauge. Collectors are
+    /// dropped again in `teardown_wiring`.
+    fn register_collectors(&self, queues: &[Arc<StreamQueue>]) {
+        let obs = &self.cfg.obs;
+        if !obs.is_enabled() {
+            return;
+        }
+        obs.gauge("engine.domains").set(self.plan.domains.len() as i64);
+        obs.gauge("engine.queues").set(queues.len() as i64);
+        {
+            let gauge = obs.gauge("engine.queued_elements");
+            let mem = Arc::clone(&self.memory_gauge);
+            obs.add_collector(move || gauge.set(mem.load(Ordering::Relaxed) as i64));
+        }
+        for q in queues {
+            let base = format!("queue.{}", q.name());
+            let occupancy = obs.gauge(&format!("{base}.occupancy"));
+            let high_water = obs.gauge(&format!("{base}.high_water"));
+            let enqueued = obs.counter(&format!("{base}.enqueued"));
+            let dequeued = obs.counter(&format!("{base}.dequeued"));
+            let dropped = obs.counter(&format!("{base}.dropped"));
+            let last = (AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0));
+            let stalled = AtomicBool::new(false);
+            let threshold = self.stall_threshold_effective();
+            let q = Arc::clone(q);
+            let obs2 = obs.clone();
+            obs.add_collector(move || {
+                let len = q.len();
+                occupancy.set(len as i64);
+                let m = q.metrics();
+                high_water.set_max(m.high_water() as i64);
+                let (e, d, r) = (m.enqueued(), m.dequeued(), m.dropped());
+                enqueued.add(e - last.0.swap(e, Ordering::Relaxed));
+                dequeued.add(d - last.1.swap(d, Ordering::Relaxed));
+                dropped.add(r - last.2.swap(r, Ordering::Relaxed));
+                if threshold > 0 && len >= threshold {
+                    if !stalled.swap(true, Ordering::Relaxed) {
+                        obs2.emit_with(|| SchedEvent::StallDetected {
+                            queue: q.name().to_string(),
+                            occupancy: len,
+                        });
+                    }
+                } else if len < threshold / 2 {
+                    stalled.store(false, Ordering::Relaxed);
+                }
+            });
+        }
+        if self.cfg.measure_stats {
+            let mut nodes = Vec::new();
+            for i in 0..self.topo.node_count() {
+                let id = NodeId(i);
+                if self.topo.is_source(id) {
+                    continue;
+                }
+                let name = self.topo.name(id);
+                nodes.push((
+                    Arc::clone(&self.stats[i]),
+                    obs.gauge(&format!("node.{name}.cost_ns")),
+                    obs.gauge(&format!("node.{name}.selectivity_ppm")),
+                    obs.gauge(&format!("node.{name}.rate")),
+                    obs.gauge(&format!("node.{name}.processed")),
+                ));
+            }
+            obs.add_collector(move || {
+                for (stats, cost, sel, rate, processed) in &nodes {
+                    let s = stats.lock();
+                    if let Some(c) = s.cost.cost() {
+                        cost.set(c.as_nanos().min(i64::MAX as u128) as i64);
+                    }
+                    if let Some(x) = s.selectivity.selectivity() {
+                        sel.set((x * 1e6) as i64);
+                    }
+                    if let Some(r) = s.arrivals.rate() {
+                        rate.set(r as i64);
+                    }
+                    processed.set(s.processed as i64);
+                }
+            });
+        }
+    }
+
+    fn stall_threshold_effective(&self) -> usize {
+        // A bounded queue can never reach a threshold beyond its capacity;
+        // clamp so stalls are still observable near saturation.
+        match self.cfg.queue_bound {
+            Some(b) => self.cfg.stall_threshold.min(b.capacity),
+            None => self.cfg.stall_threshold,
+        }
     }
 
     /// Inserts a decoupling queue on the edge `from → to` of a running
@@ -744,6 +864,9 @@ impl Engine {
         for &v in &group {
             groups[comp[&v]].push(v);
         }
+        self.cfg.obs.emit_with(|| SchedEvent::QueueInsert {
+            queue: format!("{}->{}", self.topo.name(from), self.topo.name(to)),
+        });
         let mut new_groups: Vec<Vec<NodeId>> = self
             .plan
             .partitioning
@@ -782,17 +905,15 @@ impl Engine {
             }
         }
         new_groups.push(merged);
+        self.cfg.obs.emit_with(|| SchedEvent::QueueRemove {
+            queue: format!("{}->{}", self.topo.name(from), self.topo.name(to)),
+        });
         self.replan(Partitioning::new(new_groups))?;
         Ok(true)
     }
 
     fn replan(&mut self, partitioning: Partitioning) -> Result<(), EngineError> {
-        let strategy = self
-            .plan
-            .domains
-            .first()
-            .map(|d| d.strategy)
-            .unwrap_or_default();
+        let strategy = self.plan.domains.first().map(|d| d.strategy).unwrap_or_default();
         let workers = self.plan.workers.max(2);
         self.switch_plan(ExecutionPlan::hmts(partitioning, strategy, workers))
     }
@@ -850,6 +971,10 @@ impl Engine {
             for q in &wiring.queues {
                 self.total_enqueued += q.metrics().enqueued();
             }
+            // Final flush so queue counters and gauges reflect the finished
+            // run in any snapshot exported after `wait`.
+            self.cfg.obs.sample_now();
+            self.cfg.obs.clear_collectors();
         }
         let elapsed = self.started_at.map(|t| t.elapsed()).unwrap_or_default();
         self.stop_engine.stop();
@@ -884,7 +1009,11 @@ impl Engine {
     }
 }
 
-fn dedicated_loop(exec: &Arc<Mutex<DomainExecutor>>, notifier: &Arc<Notifier>, stop: &Arc<StopFlag>) {
+fn dedicated_loop(
+    exec: &Arc<Mutex<DomainExecutor>>,
+    notifier: &Arc<Notifier>,
+    stop: &Arc<StopFlag>,
+) {
     let budget = Budget { stop: Some(Arc::clone(stop)), ..Budget::default() };
     loop {
         let outcome = exec.lock().run_slice(&budget);
@@ -900,12 +1029,42 @@ fn dedicated_loop(exec: &Arc<Mutex<DomainExecutor>>, notifier: &Arc<Notifier>, s
     }
 }
 
+/// A compact human-readable shape of an execution plan, used in
+/// `mode-switch` journal events: domain count, execution-kind breakdown,
+/// and worker count, e.g. `"3 domains (3 pooled) x2 workers"`.
+pub fn describe_plan(plan: &ExecutionPlan) -> String {
+    let mut dedicated = 0usize;
+    let mut pooled = 0usize;
+    let mut source_driven = 0usize;
+    for d in &plan.domains {
+        match d.execution {
+            DomainExecution::Dedicated => dedicated += 1,
+            DomainExecution::Pooled => pooled += 1,
+            DomainExecution::SourceDriven => source_driven += 1,
+        }
+    }
+    let mut kinds = Vec::new();
+    if dedicated > 0 {
+        kinds.push(format!("{dedicated} dedicated"));
+    }
+    if pooled > 0 {
+        kinds.push(format!("{pooled} pooled"));
+    }
+    if source_driven > 0 {
+        kinds.push(format!("{source_driven} source-driven"));
+    }
+    let mut out = format!("{} domains ({})", plan.domains.len(), kinds.join(", "));
+    if pooled > 0 {
+        out.push_str(&format!(" x{} workers", plan.workers));
+    }
+    out
+}
+
 /// Builds a cost graph from a topology and explicit inputs (defaults:
 /// 1 el/s source rate, 1 µs cost, selectivity 1).
 pub fn cost_graph_from_topology(topo: &Topology, inputs: &CostInputs) -> CostGraph {
     let default_rate = inputs.default_source_rate.unwrap_or(1.0);
-    let default_cost =
-        inputs.default_cost.unwrap_or(Duration::from_micros(1)).as_secs_f64();
+    let default_cost = inputs.default_cost.unwrap_or(Duration::from_micros(1)).as_secs_f64();
     let default_sel = inputs.default_selectivity.unwrap_or(1.0);
     let n = topo.node_count();
     let mut cost = vec![0.0; n];
@@ -916,11 +1075,7 @@ pub fn cost_graph_from_topology(topo: &Topology, inputs: &CostInputs) -> CostGra
         if topo.is_source(id) {
             src[i] = Some(inputs.source_rates.get(&id).copied().unwrap_or(default_rate));
         } else {
-            cost[i] = inputs
-                .costs
-                .get(&id)
-                .map(|d| d.as_secs_f64())
-                .unwrap_or(default_cost);
+            cost[i] = inputs.costs.get(&id).map(|d| d.as_secs_f64()).unwrap_or(default_cost);
             sel[i] = inputs.selectivities.get(&id).copied().unwrap_or(default_sel);
         }
     }

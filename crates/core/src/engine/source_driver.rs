@@ -189,9 +189,7 @@ pub fn spawn_source(
                 if let Some(interval) = cfg.watermark_interval {
                     if due.since(last_watermark) >= interval {
                         last_watermark = due;
-                        let wm = Message::Punct(
-                            hmts_streams::element::Punctuation::Watermark(due),
-                        );
+                        let wm = Message::Punct(hmts_streams::element::Punctuation::Watermark(due));
                         for t in shared.targets.read().iter() {
                             send(t, wm.clone(), &stop);
                         }
@@ -305,6 +303,7 @@ mod tests {
                 closed: false,
                 targets: vec![Target::Inline { node: NodeId(2), port: 0 }],
                 stats: None,
+                latency: None,
             },
             SlotInit {
                 node: NodeId(2),
@@ -314,6 +313,7 @@ mod tests {
                 closed: false,
                 targets: vec![],
                 stats: None,
+                latency: None,
             },
         ];
         let exec = Arc::new(Mutex::new(DomainExecutor::new(

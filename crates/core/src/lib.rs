@@ -59,7 +59,9 @@
 //! * [`adaptive`] — the measure → place → switch loop.
 //!
 //! The substrate crates are re-exported: [`hmts_streams`],
-//! [`hmts_operators`], [`hmts_graph`], [`hmts_workload`], [`hmts_sim`].
+//! [`hmts_operators`], [`hmts_graph`], [`hmts_workload`], [`hmts_sim`],
+//! and the observability substrate [`hmts_obs`] (enable it by passing an
+//! `Obs::enabled()` handle in [`EngineConfig`]).
 
 #![warn(missing_docs)]
 
@@ -71,12 +73,15 @@ pub mod scheduler;
 pub mod stats;
 
 pub use hmts_graph as graph;
+pub use hmts_obs as obs;
 pub use hmts_operators as operators;
 pub use hmts_sim as sim;
 pub use hmts_streams as streams;
 pub use hmts_workload as workload;
 
-pub use engine::{cost_graph_from_topology, Engine, EngineConfig, EngineError, EngineReport};
+pub use engine::{
+    cost_graph_from_topology, describe_plan, Engine, EngineConfig, EngineError, EngineReport,
+};
 pub use plan::{DomainExecution, DomainSpec, ExecutionPlan, PlanError};
 pub use scheduler::strategy::StrategyKind;
 
@@ -84,10 +89,9 @@ pub use scheduler::strategy::StrategyKind;
 pub mod prelude {
     pub use crate::adaptive::{adapt_once, Adaptation, AdaptiveConfig};
     pub use crate::engine::{
-        cost_graph_from_topology, Engine, EngineConfig, EngineError, EngineReport,
+        cost_graph_from_topology, describe_plan, Engine, EngineConfig, EngineError, EngineReport,
         QueueBound,
     };
-    pub use hmts_streams::queue::BackpressurePolicy;
     pub use crate::placement::{
         chain_based, evaluate, exhaustive_optimal, simplified_segment, stall_avoiding,
         suggest_workers, to_partitioning, CapacityReport,
@@ -95,6 +99,9 @@ pub mod prelude {
     pub use crate::plan::{DomainExecution, DomainSpec, ExecutionPlan, PlanError};
     pub use crate::scheduler::strategy::StrategyKind;
     pub use crate::stats::{NodeStatsSnapshot, StatsSnapshot};
+    pub use hmts_streams::queue::BackpressurePolicy;
+
+    pub use hmts_obs::{EventRecord, MetricValue, Obs, ObsConfig, SchedEvent};
 
     pub use hmts_graph::builder::GraphBuilder;
     pub use hmts_graph::cost::{CostGraph, CostInputs};
@@ -108,9 +115,7 @@ pub mod prelude {
     pub use hmts_operators::dedup::Dedup;
     pub use hmts_operators::expr::Expr;
     pub use hmts_operators::filter::Filter;
-    pub use hmts_operators::join::{
-        JoinCondition, SymmetricHashJoin, SymmetricNestedLoopsJoin,
-    };
+    pub use hmts_operators::join::{JoinCondition, SymmetricHashJoin, SymmetricNestedLoopsJoin};
     pub use hmts_operators::map::Map;
     pub use hmts_operators::project::{MapExpr, Project};
     pub use hmts_operators::sink::{

@@ -27,6 +27,7 @@ use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use hmts_obs::{Counter, Obs, SchedEvent};
 use parking_lot::{Condvar, Mutex};
 
 use crate::engine::executor::{Budget, DomainExecutor, RunOutcome, Waker};
@@ -75,6 +76,9 @@ pub struct TsShared {
     yield_flags: Vec<Arc<AtomicBool>>,
     stop: StopFlag,
     cfg: TsConfig,
+    obs: Obs,
+    dispatches: Counter,
+    preemptions: Counter,
 }
 
 impl TsShared {
@@ -83,7 +87,14 @@ impl TsShared {
     /// targets inside them can hold [`TsWaker`]s; workers are spawned
     /// afterwards with [`ThreadScheduler::spawn`].
     pub fn create(domains: usize, cfg: TsConfig) -> Arc<TsShared> {
-        let shared = Arc::new(TsShared::new(domains, cfg));
+        TsShared::create_with_obs(domains, cfg, Obs::disabled())
+    }
+
+    /// [`TsShared::create`] with an observability handle: every dispatch,
+    /// yield, cooperative preemption, and aging-driven pick is journaled,
+    /// and `ts.dispatches` / `ts.preemptions` counters are maintained.
+    pub fn create_with_obs(domains: usize, cfg: TsConfig, obs: Obs) -> Arc<TsShared> {
+        let shared = Arc::new(TsShared::new(domains, cfg, obs));
         {
             let mut inner = shared.inner.lock();
             for d in 0..domains {
@@ -99,7 +110,9 @@ impl TsShared {
         Arc::new(TsWaker { shared: Arc::clone(self), domain: d })
     }
 
-    fn new(domains: usize, cfg: TsConfig) -> TsShared {
+    fn new(domains: usize, cfg: TsConfig, obs: Obs) -> TsShared {
+        let dispatches = obs.counter("ts.dispatches");
+        let preemptions = obs.counter("ts.preemptions");
         TsShared {
             inner: Mutex::new(TsInner {
                 queued: vec![false; domains],
@@ -114,6 +127,9 @@ impl TsShared {
             yield_flags: (0..domains).map(|_| Arc::new(AtomicBool::new(false))).collect(),
             stop: StopFlag::new(),
             cfg,
+            obs,
+            dispatches,
+            preemptions,
         }
     }
 
@@ -138,9 +154,8 @@ impl TsShared {
         // domain outranks the weakest running one, ask that one to yield.
         if inner.running_count >= self.cfg.workers {
             let woken_p = self.effective_priority(d, &inner);
-            let weakest = (0..inner.running.len())
-                .filter(|&r| inner.running[r])
-                .min_by(|&a, &b| {
+            let weakest =
+                (0..inner.running.len()).filter(|&r| inner.running[r]).min_by(|&a, &b| {
                     self.priorities[a]
                         .load(Ordering::Relaxed)
                         .cmp(&self.priorities[b].load(Ordering::Relaxed))
@@ -148,6 +163,8 @@ impl TsShared {
             if let Some(w) = weakest {
                 if (self.priorities[w].load(Ordering::Relaxed) as f64) < woken_p {
                     self.yield_flags[w].store(true, Ordering::Release);
+                    self.preemptions.inc();
+                    self.obs.emit_with(|| SchedEvent::Preempt { domain: d, victim: w });
                 }
             }
         }
@@ -171,6 +188,7 @@ impl TsShared {
 
     fn pick_best(&self, inner: &mut TsInner) -> Option<usize> {
         let mut best: Option<(usize, f64)> = None;
+        let mut best_base: Option<i64> = None;
         for d in 0..inner.queued.len() {
             if !inner.queued[d] {
                 continue;
@@ -179,8 +197,16 @@ impl TsShared {
             if best.map_or(true, |(_, bp)| p > bp) {
                 best = Some((d, p));
             }
+            let base = self.priorities[d].load(Ordering::Relaxed);
+            best_base = Some(best_base.map_or(base, |b: i64| b.max(base)));
         }
-        let (d, _) = best?;
+        let (d, eff) = best?;
+        // Aging changed the decision: a domain below the top base priority
+        // won on waiting time alone.
+        if self.priorities[d].load(Ordering::Relaxed) < best_base.unwrap_or(i64::MIN) {
+            self.obs
+                .emit_with(|| SchedEvent::AgingBoost { domain: d, effective_priority: eff as i64 });
+        }
         inner.queued[d] = false;
         inner.running[d] = true;
         inner.running_count += 1;
@@ -234,7 +260,7 @@ impl ThreadScheduler {
                 let stop = Arc::clone(&stop);
                 std::thread::Builder::new()
                     .name(format!("hmts-ts-worker-{w}"))
-                    .spawn(move || worker_loop(&shared, &executors, &stop))
+                    .spawn(move || worker_loop(&shared, &executors, &stop, w))
                     .expect("spawn TS worker")
             })
             .collect();
@@ -264,6 +290,7 @@ fn worker_loop(
     shared: &Arc<TsShared>,
     executors: &Arc<Vec<Arc<Mutex<DomainExecutor>>>>,
     stop: &Arc<StopFlag>,
+    worker: usize,
 ) {
     loop {
         let d = {
@@ -281,6 +308,12 @@ fn worker_loop(
                 shared.cv.wait_for(&mut inner, Duration::from_millis(20));
             }
         };
+        shared.dispatches.inc();
+        shared.obs.emit_with(|| SchedEvent::Dispatch {
+            domain: d,
+            worker,
+            priority: shared.priorities[d].load(Ordering::Relaxed),
+        });
         let yield_flag = Arc::clone(&shared.yield_flags[d]);
         yield_flag.store(false, Ordering::Release);
         let budget = Budget {
@@ -290,6 +323,14 @@ fn worker_loop(
             yield_flag: Some(Arc::clone(&yield_flag)),
         };
         let outcome = executors[d].lock().run_slice(&budget);
+        shared.obs.emit_with(|| SchedEvent::Yield {
+            domain: d,
+            outcome: match outcome {
+                RunOutcome::Finished => "finished",
+                RunOutcome::Budget => "budget",
+                RunOutcome::Idle => "idle",
+            },
+        });
         let mut inner = shared.inner.lock();
         inner.running[d] = false;
         inner.running_count -= 1;
@@ -333,9 +374,7 @@ mod tests {
     use hmts_streams::tuple::Tuple;
 
     /// One domain: queue -> filter(true) -> sink.
-    fn simple_domain(
-        qname: &str,
-    ) -> (Arc<Mutex<DomainExecutor>>, Arc<StreamQueue>, SinkHandle) {
+    fn simple_domain(qname: &str) -> (Arc<Mutex<DomainExecutor>>, Arc<StreamQueue>, SinkHandle) {
         let q = StreamQueue::unbounded(qname);
         let (sink, handle) = CollectingSink::new("sink");
         let slots = vec![
@@ -347,6 +386,7 @@ mod tests {
                 closed: false,
                 targets: vec![Target::Inline { node: NodeId(2), port: 0 }],
                 stats: None,
+                latency: None,
             },
             SlotInit {
                 node: NodeId(2),
@@ -356,14 +396,11 @@ mod tests {
                 closed: false,
                 targets: vec![],
                 stats: None,
+                latency: None,
             },
         ];
-        let inputs = vec![InputQueue {
-            queue: Arc::clone(&q),
-            node: NodeId(1),
-            port: 0,
-            exhausted: false,
-        }];
+        let inputs =
+            vec![InputQueue { queue: Arc::clone(&q), node: NodeId(1), port: 0, exhausted: false }];
         let exec = DomainExecutor::new(
             qname,
             slots,
@@ -376,8 +413,7 @@ mod tests {
 
     fn push_n(q: &StreamQueue, n: u64) {
         for i in 0..n {
-            q.push(Message::data(Tuple::single(i as i64), Timestamp::from_micros(i)))
-                .unwrap();
+            q.push(Message::data(Tuple::single(i as i64), Timestamp::from_micros(i))).unwrap();
         }
         q.push(Message::eos()).unwrap();
     }
@@ -429,8 +465,7 @@ mod tests {
     fn wake_after_idle_resumes_domain() {
         let (e, q, h) = simple_domain("a");
         let stop = Arc::new(StopFlag::new());
-        let ts =
-            ThreadScheduler::start(vec![e], TsConfig::default(), Arc::clone(&stop));
+        let ts = ThreadScheduler::start(vec![e], TsConfig::default(), Arc::clone(&stop));
         let shared = ts.shared();
         // Let the domain go idle first.
         std::thread::sleep(Duration::from_millis(30));
@@ -446,8 +481,7 @@ mod tests {
         let stop = Arc::new(StopFlag::new());
         // Endless input (no EOS): domain would never finish.
         for i in 0..100 {
-            q.push(Message::data(Tuple::single(i), Timestamp::from_micros(i as u64)))
-                .unwrap();
+            q.push(Message::data(Tuple::single(i), Timestamp::from_micros(i as u64))).unwrap();
         }
         let ts = ThreadScheduler::start(vec![e], TsConfig::default(), Arc::clone(&stop));
         let shared = ts.shared();

@@ -1,0 +1,276 @@
+//! Exporters: Prometheus text exposition, JSON event journal, CSV series.
+//!
+//! All output is hand-rolled (no serde in the dependency tree). Metric
+//! names are sanitised to the Prometheus charset; JSON strings are escaped
+//! per RFC 8259.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::journal::{EventRecord, SchedEvent};
+use crate::registry::MetricValue;
+use crate::sampler::SamplePoint;
+
+/// Renders a registry snapshot in Prometheus text exposition format.
+///
+/// Counters get a `_total` suffix, histograms emit cumulative
+/// `_bucket{le="..."}` lines plus `_sum` and `_count`, matching what a
+/// Prometheus scrape endpoint would serve.
+pub fn prometheus_text(snapshot: &[(String, MetricValue)]) -> String {
+    let mut out = String::new();
+    for (name, value) in snapshot {
+        let name = sanitize_metric_name(name);
+        match value {
+            MetricValue::Counter(v) => {
+                out.push_str(&format!("# TYPE {name}_total counter\n"));
+                out.push_str(&format!("{name}_total {v}\n"));
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str(&format!("# TYPE {name} gauge\n"));
+                out.push_str(&format!("{name} {v}\n"));
+            }
+            MetricValue::Histogram(count, sum, buckets) => {
+                out.push_str(&format!("# TYPE {name} histogram\n"));
+                for (le, cum) in buckets {
+                    out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cum}\n"));
+                }
+                out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {count}\n"));
+                out.push_str(&format!("{name}_sum {sum}\n"));
+                out.push_str(&format!("{name}_count {count}\n"));
+            }
+        }
+    }
+    out
+}
+
+/// Maps arbitrary metric names onto `[a-zA-Z0-9_:]` as Prometheus requires
+/// (queue names like `"src->filter"` become `src__filter`).
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a string for inclusion in JSON output.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn event_fields(event: &SchedEvent) -> Vec<(&'static str, String)> {
+    match event {
+        SchedEvent::Dispatch { domain, worker, priority } => vec![
+            ("domain", domain.to_string()),
+            ("worker", worker.to_string()),
+            ("priority", priority.to_string()),
+        ],
+        SchedEvent::Yield { domain, outcome } => vec![
+            ("domain", domain.to_string()),
+            ("outcome", format!("\"{}\"", json_escape(outcome))),
+        ],
+        SchedEvent::Preempt { domain, victim } => {
+            vec![("domain", domain.to_string()), ("victim", victim.to_string())]
+        }
+        SchedEvent::AgingBoost { domain, effective_priority } => vec![
+            ("domain", domain.to_string()),
+            ("effective_priority", effective_priority.to_string()),
+        ],
+        SchedEvent::ModeSwitch { from, to } => vec![
+            ("from", format!("\"{}\"", json_escape(from))),
+            ("to", format!("\"{}\"", json_escape(to))),
+        ],
+        SchedEvent::QueueInsert { queue } => {
+            vec![("queue", format!("\"{}\"", json_escape(queue)))]
+        }
+        SchedEvent::QueueRemove { queue } => {
+            vec![("queue", format!("\"{}\"", json_escape(queue)))]
+        }
+        SchedEvent::QueueDrain { queue, drained } => {
+            vec![("queue", format!("\"{}\"", json_escape(queue))), ("drained", drained.to_string())]
+        }
+        SchedEvent::StallDetected { queue, occupancy } => vec![
+            ("queue", format!("\"{}\"", json_escape(queue))),
+            ("occupancy", occupancy.to_string()),
+        ],
+        SchedEvent::Repartition { domains, action } => vec![
+            ("domains", domains.to_string()),
+            ("action", format!("\"{}\"", json_escape(action))),
+        ],
+    }
+}
+
+/// Renders journal records as a JSON array (one object per event).
+pub fn events_json(records: &[EventRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "  {{\"seq\": {}, \"thread\": {}, \"elapsed_ns\": {}, \"kind\": \"{}\"",
+            r.seq,
+            r.thread,
+            r.elapsed_ns,
+            r.event.kind()
+        ));
+        for (key, value) in event_fields(&r.event) {
+            out.push_str(&format!(", \"{key}\": {value}"));
+        }
+        out.push('}');
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Renders a sampled time series as CSV: one row per tick, one column per
+/// metric (histograms export their mean). The column set is the union of
+/// metric names across all samples, so late-registered metrics appear with
+/// empty leading cells.
+pub fn series_csv(series: &[SamplePoint]) -> String {
+    let mut columns: Vec<String> = Vec::new();
+    for point in series {
+        for (name, _) in &point.metrics {
+            if !columns.contains(name) {
+                columns.push(name.clone());
+            }
+        }
+    }
+    columns.sort();
+
+    let mut out = String::from("elapsed_ms");
+    for c in &columns {
+        out.push(',');
+        // CSV-quote names containing separators (queue names may hold '>').
+        if c.contains(',') || c.contains('"') {
+            out.push('"');
+            out.push_str(&c.replace('"', "\"\""));
+            out.push('"');
+        } else {
+            out.push_str(c);
+        }
+    }
+    out.push('\n');
+
+    for point in series {
+        out.push_str(&format!("{:.3}", point.elapsed.as_secs_f64() * 1e3));
+        for c in &columns {
+            out.push(',');
+            if let Some((_, v)) = point.metrics.iter().find(|(n, _)| n == c) {
+                out.push_str(&format!("{}", v.as_f64()));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Paths produced by [`write_snapshot_files`].
+#[derive(Debug, Clone)]
+pub struct SnapshotPaths {
+    pub metrics_prom: PathBuf,
+    pub events_json: PathBuf,
+    pub series_csv: PathBuf,
+}
+
+/// Writes `metrics.prom`, `events.json`, and `series.csv` under `dir`
+/// (created if missing) from the given snapshot pieces.
+pub fn write_snapshot_files(
+    dir: &Path,
+    snapshot: &[(String, MetricValue)],
+    events: &[EventRecord],
+    series: &[SamplePoint],
+) -> io::Result<SnapshotPaths> {
+    std::fs::create_dir_all(dir)?;
+    let paths = SnapshotPaths {
+        metrics_prom: dir.join("metrics.prom"),
+        events_json: dir.join("events.json"),
+        series_csv: dir.join("series.csv"),
+    };
+    std::fs::write(&paths.metrics_prom, prometheus_text(snapshot))?;
+    std::fs::write(&paths.events_json, events_json(events))?;
+    std::fs::write(&paths.series_csv, series_csv(series))?;
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn prometheus_counters_gauges_histograms() {
+        let snapshot = vec![
+            ("queue.src->map.enqueued".to_string(), MetricValue::Counter(10)),
+            ("sched/occupancy".to_string(), MetricValue::Gauge(-3)),
+            ("op_latency_ns".to_string(), MetricValue::Histogram(3, 300, vec![(64, 1), (128, 3)])),
+        ];
+        let text = prometheus_text(&snapshot);
+        assert!(text.contains("queue_src__map_enqueued_total 10"));
+        assert!(text.contains("# TYPE sched_occupancy gauge"));
+        assert!(text.contains("sched_occupancy -3"));
+        assert!(text.contains("op_latency_ns_bucket{le=\"64\"} 1"));
+        assert!(text.contains("op_latency_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("op_latency_ns_sum 300"));
+        assert!(text.contains("op_latency_ns_count 3"));
+    }
+
+    #[test]
+    fn json_escapes_and_structures_events() {
+        let records = vec![EventRecord {
+            seq: 0,
+            thread: 1,
+            elapsed_ns: 99,
+            event: SchedEvent::ModeSwitch { from: "gts \"g\"".into(), to: "hmts".into() },
+        }];
+        let json = events_json(&records);
+        assert!(json.starts_with('['));
+        assert!(json.contains("\"kind\": \"mode-switch\""));
+        assert!(json.contains("\\\"g\\\""));
+        assert!(json.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn csv_unions_columns_across_samples() {
+        let series = vec![
+            SamplePoint {
+                elapsed: Duration::from_millis(1),
+                metrics: vec![("a".into(), MetricValue::Counter(1))],
+            },
+            SamplePoint {
+                elapsed: Duration::from_millis(2),
+                metrics: vec![
+                    ("a".into(), MetricValue::Counter(2)),
+                    ("b".into(), MetricValue::Gauge(5)),
+                ],
+            },
+        ];
+        let csv = series_csv(&series);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "elapsed_ms,a,b");
+        assert_eq!(lines.next().unwrap(), "1.000,1,");
+        assert_eq!(lines.next().unwrap(), "2.000,2,5");
+    }
+}

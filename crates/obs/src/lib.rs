@@ -1,0 +1,292 @@
+//! `hmts-obs`: observability substrate for the HMTS runtime.
+//!
+//! Three pieces, all reachable through the cheap [`Obs`] facade:
+//!
+//! * a [`MetricsRegistry`] of named counters, gauges, and log-bucketed
+//!   latency histograms with lock-free typed handles,
+//! * a bounded [`EventJournal`] recording structured scheduler decisions
+//!   ([`SchedEvent`]) with per-thread attribution and relative timestamps,
+//! * a background [`Sampler`] snapshotting the registry into a time
+//!   series, and exporters for Prometheus text exposition, JSON event
+//!   dumps, and CSV series ([`export`]).
+//!
+//! [`Obs`] is a nullable `Arc`: a disabled handle is a `None` and every
+//! operation on it short-circuits on one branch, so instrumented hot
+//! paths cost nothing measurable when observability is off (see the
+//! `disabled_path_is_near_zero_cost` test).
+
+pub mod export;
+pub mod journal;
+pub mod registry;
+pub mod sampler;
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+pub use journal::{EventJournal, EventRecord, SchedEvent};
+pub use registry::{Counter, Gauge, Histogram, Metric, MetricValue, MetricsRegistry};
+pub use sampler::{SamplePoint, SampleStore, Sampler};
+
+/// Configuration for an enabled [`Obs`] handle.
+#[derive(Clone, Debug)]
+pub struct ObsConfig {
+    /// Ring capacity of the event journal.
+    pub journal_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> ObsConfig {
+        ObsConfig { journal_capacity: 4096 }
+    }
+}
+
+/// Shared state behind an enabled [`Obs`] handle.
+#[derive(Debug)]
+pub struct ObsCore {
+    registry: Arc<MetricsRegistry>,
+    journal: EventJournal,
+    samples: Arc<SampleStore>,
+    start: Instant,
+}
+
+/// Cloneable observability handle: either disabled (free) or an `Arc` to
+/// shared registry + journal + sample state.
+#[derive(Clone, Debug, Default)]
+pub struct Obs(Option<Arc<ObsCore>>);
+
+impl Obs {
+    /// A handle on which every operation is a no-op.
+    pub fn disabled() -> Obs {
+        Obs(None)
+    }
+
+    /// An active handle with default configuration.
+    pub fn enabled() -> Obs {
+        Obs::with_config(ObsConfig::default())
+    }
+
+    /// An active handle with the given configuration.
+    pub fn with_config(cfg: ObsConfig) -> Obs {
+        Obs(Some(Arc::new(ObsCore {
+            registry: Arc::new(MetricsRegistry::new()),
+            journal: EventJournal::new(cfg.journal_capacity),
+            samples: Arc::new(SampleStore::default()),
+            start: Instant::now(),
+        })))
+    }
+
+    /// Whether this handle records anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Appends a scheduler event to the journal. The closure is only
+    /// evaluated when enabled, so callers can build event payloads
+    /// (strings, plan shapes) without cost on the disabled path.
+    #[inline]
+    pub fn emit_with(&self, make: impl FnOnce() -> SchedEvent) {
+        if let Some(core) = &self.0 {
+            core.journal.push(make());
+        }
+    }
+
+    /// Appends an already-built scheduler event.
+    #[inline]
+    pub fn emit(&self, event: SchedEvent) {
+        if let Some(core) = &self.0 {
+            core.journal.push(event);
+        }
+    }
+
+    /// Counter handle for `name`; detached (unregistered) when disabled.
+    pub fn counter(&self, name: &str) -> Counter {
+        match &self.0 {
+            Some(core) => core.registry.counter(name),
+            None => Counter::detached(),
+        }
+    }
+
+    /// Gauge handle for `name`; detached when disabled.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match &self.0 {
+            Some(core) => core.registry.gauge(name),
+            None => Gauge::detached(),
+        }
+    }
+
+    /// Histogram handle for `name`; detached when disabled.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match &self.0 {
+            Some(core) => core.registry.histogram(name),
+            None => Histogram::detached(),
+        }
+    }
+
+    /// Histogram handle only when enabled — lets hot paths keep an
+    /// `Option<Histogram>` and skip `Instant::now()` entirely when off.
+    pub fn maybe_histogram(&self, name: &str) -> Option<Histogram> {
+        self.0.as_ref().map(|core| core.registry.histogram(name))
+    }
+
+    /// Registers a collector run before every sample (no-op when
+    /// disabled).
+    pub fn add_collector(&self, f: impl Fn() + Send + Sync + 'static) {
+        if let Some(core) = &self.0 {
+            core.samples.add_collector(f);
+        }
+    }
+
+    /// Drops all registered collectors.
+    pub fn clear_collectors(&self) {
+        if let Some(core) = &self.0 {
+            core.samples.clear_collectors();
+        }
+    }
+
+    /// Takes one sample immediately (collectors + registry snapshot).
+    pub fn sample_now(&self) {
+        if let Some(core) = &self.0 {
+            core.samples.sample_now(&core.registry, core.start.elapsed());
+        }
+    }
+
+    /// Starts a background sampler; returns `None` when disabled.
+    pub fn start_sampler(&self, interval: Duration) -> Option<Sampler> {
+        self.0.as_ref().map(|core| {
+            Sampler::start(
+                Arc::clone(&core.registry),
+                Arc::clone(&core.samples),
+                core.start,
+                interval,
+            )
+        })
+    }
+
+    /// Point-in-time values of all registered metrics (empty if disabled).
+    pub fn metrics_snapshot(&self) -> Vec<(String, MetricValue)> {
+        match &self.0 {
+            Some(core) => core.registry.snapshot(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Retained journal records, oldest first (empty if disabled).
+    pub fn journal_snapshot(&self) -> Vec<EventRecord> {
+        match &self.0 {
+            Some(core) => core.journal.snapshot(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Accumulated sampler series (empty if disabled).
+    pub fn sample_series(&self) -> Vec<SamplePoint> {
+        match &self.0 {
+            Some(core) => core.samples.series(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Elapsed time since this handle was enabled (zero if disabled).
+    pub fn elapsed(&self) -> Duration {
+        match &self.0 {
+            Some(core) => core.start.elapsed(),
+            None => Duration::ZERO,
+        }
+    }
+
+    /// Writes `metrics.prom`, `events.json`, and `series.csv` under `dir`.
+    /// Returns `Ok(None)` when disabled.
+    pub fn write_snapshot(&self, dir: &Path) -> std::io::Result<Option<export::SnapshotPaths>> {
+        match &self.0 {
+            Some(_) => export::write_snapshot_files(
+                dir,
+                &self.metrics_snapshot(),
+                &self.journal_snapshot(),
+                &self.sample_series(),
+            )
+            .map(Some),
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let obs = Obs::disabled();
+        assert!(!obs.is_enabled());
+        obs.emit(SchedEvent::QueueInsert { queue: "a->b".into() });
+        obs.emit_with(|| unreachable!("closure must not run when disabled"));
+        obs.counter("c").inc();
+        obs.gauge("g").set(3);
+        obs.histogram("h").record(5);
+        assert!(obs.maybe_histogram("h").is_none());
+        obs.sample_now();
+        assert!(obs.metrics_snapshot().is_empty());
+        assert!(obs.journal_snapshot().is_empty());
+        assert!(obs.sample_series().is_empty());
+        assert!(obs.start_sampler(Duration::from_millis(1)).is_none());
+    }
+
+    #[test]
+    fn enabled_handle_records_and_exports() {
+        let obs = Obs::enabled();
+        obs.counter("elements").add(12);
+        obs.gauge("depth").set(4);
+        obs.histogram("lat").record(100);
+        obs.emit(SchedEvent::ModeSwitch { from: "gts".into(), to: "hmts".into() });
+        obs.sample_now();
+
+        assert_eq!(obs.metrics_snapshot().len(), 3);
+        let journal = obs.journal_snapshot();
+        assert_eq!(journal.len(), 1);
+        assert_eq!(journal[0].event.kind(), "mode-switch");
+        assert_eq!(obs.sample_series().len(), 1);
+
+        let dir = std::env::temp_dir().join(format!(
+            "hmts-obs-test-{}-{}",
+            std::process::id(),
+            obs.elapsed().as_nanos()
+        ));
+        let paths = obs.write_snapshot(&dir).unwrap().unwrap();
+        let prom = std::fs::read_to_string(&paths.metrics_prom).unwrap();
+        assert!(prom.contains("elements_total 12"));
+        let json = std::fs::read_to_string(&paths.events_json).unwrap();
+        assert!(json.contains("mode-switch"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let obs = Obs::enabled();
+        let clone = obs.clone();
+        clone.counter("n").inc();
+        assert_eq!(obs.counter("n").get(), 1);
+    }
+
+    /// Acceptance guard: the disabled observability path must stay under
+    /// 50 ns per instrumented operation. The disabled ops here are a
+    /// `None` branch check (and an atomic add for detached handles), which
+    /// is well under 10 ns on any modern core; the 50 ns bound leaves slack
+    /// for CI-grade machines.
+    #[test]
+    fn disabled_path_is_near_zero_cost() {
+        let obs = Obs::disabled();
+        let counter = obs.counter("hot");
+        let iters: u32 = 2_000_000;
+        let start = Instant::now();
+        for i in 0..iters {
+            // What an instrumented operator invocation does when obs is off:
+            // one emit guard plus one counter update on a detached handle.
+            obs.emit_with(|| SchedEvent::Dispatch { domain: i as usize, worker: 0, priority: 0 });
+            counter.inc();
+        }
+        let per_op = start.elapsed().as_nanos() / iters as u128;
+        assert!(per_op < 50, "disabled obs path cost {per_op} ns/op, budget 50 ns");
+    }
+}

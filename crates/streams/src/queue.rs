@@ -230,13 +230,19 @@ impl StreamQueue {
         self.metrics.note_len(new_len);
     }
 
-    fn on_removed(&self, msg: &Message, new_len: usize) {
+    /// `consumed` distinguishes a consumer pop (counted as dequeued) from
+    /// a backpressure eviction (counted as dropped by the caller), so that
+    /// `enqueued == dequeued + dropped + len` always holds.
+    fn on_removed(&self, msg: &Message, new_len: usize, consumed: bool) {
         self.len.store(new_len, Ordering::Relaxed);
         if msg.as_data().is_some() {
             self.data_len.fetch_sub(1, Ordering::Relaxed);
             if let Some(g) = &self.memory_gauge {
                 g.fetch_sub(1, Ordering::Relaxed);
             }
+        }
+        if consumed {
+            self.metrics.dequeued.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -272,7 +278,7 @@ impl StreamQueue {
                     BackpressurePolicy::DropOldest => {
                         if let Some(old) = buf.pop_front() {
                             let new_len = buf.len();
-                            self.on_removed(&old, new_len);
+                            self.on_removed(&old, new_len, false);
                             self.metrics.dropped.fetch_add(1, Ordering::Relaxed);
                         }
                     }
@@ -299,7 +305,7 @@ impl StreamQueue {
         let mut buf = self.shared.buf.lock();
         let msg = buf.pop_front()?;
         let new_len = buf.len();
-        self.on_removed(&msg, new_len);
+        self.on_removed(&msg, new_len, true);
         drop(buf);
         self.shared.not_full.notify_one();
         Some(msg)
@@ -312,7 +318,7 @@ impl StreamQueue {
         loop {
             if let Some(msg) = buf.pop_front() {
                 let new_len = buf.len();
-                self.on_removed(&msg, new_len);
+                self.on_removed(&msg, new_len, true);
                 drop(buf);
                 self.shared.not_full.notify_one();
                 return Some(msg);
@@ -332,7 +338,7 @@ impl StreamQueue {
         loop {
             if let Some(msg) = buf.pop_front() {
                 let new_len = buf.len();
-                self.on_removed(&msg, new_len);
+                self.on_removed(&msg, new_len, true);
                 drop(buf);
                 self.shared.not_full.notify_one();
                 return Some(msg);
@@ -359,6 +365,9 @@ impl StreamQueue {
         if let Some(g) = &self.memory_gauge {
             g.fetch_sub(data, Ordering::Relaxed);
         }
+        // Drained remnants leave the queue to be replayed downstream, so
+        // they count as dequeued for metric conservation.
+        self.metrics.dequeued.fetch_add(msgs.len() as u64, Ordering::Relaxed);
         drop(buf);
         self.shared.not_full.notify_all();
         msgs
@@ -431,8 +440,52 @@ mod tests {
         q.push(data(2)).unwrap();
         q.try_pop().unwrap();
         assert_eq!(q.metrics().enqueued(), 2);
+        assert_eq!(q.metrics().dequeued(), 1);
         assert_eq!(q.metrics().high_water(), 2);
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn dequeued_counts_every_pop_variant() {
+        let q = StreamQueue::unbounded("q");
+        for i in 0..4 {
+            q.push(data(i)).unwrap();
+        }
+        q.try_pop().unwrap();
+        q.pop_blocking().unwrap();
+        q.pop_timeout(Duration::from_millis(10)).unwrap();
+        assert_eq!(q.metrics().dequeued(), 3);
+        // Drained remnants also count as dequeued.
+        assert_eq!(q.drain().len(), 1);
+        assert_eq!(q.metrics().dequeued(), 4);
+        assert_eq!(q.metrics().enqueued(), 4);
+    }
+
+    #[test]
+    fn metrics_conservation_under_drop_oldest() {
+        let q = StreamQueue::bounded("q", 2, BackpressurePolicy::DropOldest);
+        for i in 0..5 {
+            q.push(data(i)).unwrap();
+        }
+        q.try_pop().unwrap();
+        let m = q.metrics();
+        // Evictions are drops, not dequeues; everything pushed is accounted
+        // for exactly once.
+        assert_eq!(m.enqueued(), 5);
+        assert_eq!(m.dropped(), 3);
+        assert_eq!(m.dequeued(), 1);
+        assert_eq!(m.enqueued(), m.dequeued() + m.dropped() + q.len() as u64);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_not_current() {
+        let q = StreamQueue::unbounded("q");
+        for i in 0..6 {
+            q.push(data(i)).unwrap();
+        }
+        while q.try_pop().is_some() {}
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.metrics().high_water(), 6);
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Live observability over the adaptive-switching scenario: the engine
+//! from `adaptive_switching` runs with an enabled [`Obs`] handle and a
+//! background sampler, and this example prints a live metrics snapshot
+//! every second — queue occupancies, measured per-node `c(v)` and
+//! selectivity, dispatch counters — while the adaptive controller decides
+//! when to re-partition. At the end it dumps the scheduler-event journal
+//! summary (what the scheduler *did*, not just what it measured).
+//!
+//! ```text
+//! cargo run --release --example observability
+//! ```
+
+use hmts::adaptive::{adapt_once, Adaptation, AdaptiveConfig};
+use hmts::prelude::*;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let mut b = GraphBuilder::new();
+    let src = b.source(SyntheticSource::new(
+        "events",
+        ArrivalProcess::constant(2_000.0),
+        TupleGen::new(vec![FieldGen::sequence(0)]),
+        16_000, // 8 s of stream
+        3,
+    ));
+    let parse = b.op_after(Filter::new("parse", Expr::bool(true)), src);
+    // Cost changes at runtime: cheap for the first 4000 elements, then
+    // expensive — the phase change the adaptive controller must catch.
+    let mut seen = 0u64;
+    let classify = b.op_after(
+        Map::new("classify", move |e, out| {
+            seen += 1;
+            if seen > 4_000 {
+                hmts::operators::cost::spin_for(Duration::from_micros(350));
+            }
+            out.push(e.clone());
+            Ok(())
+        }),
+        parse,
+    );
+    let (sink, results) = CollectingSink::new("out");
+    b.op_after(sink, classify);
+    let graph = b.build().expect("valid query graph");
+    let topo = Topology::of(&graph);
+
+    let obs = Obs::enabled();
+    let cfg = EngineConfig { obs: obs.clone(), ..EngineConfig::default() };
+    let mut engine =
+        Engine::with_config(graph, ExecutionPlan::di_decoupled(&topo), cfg).expect("engine builds");
+    engine.start().expect("engine starts");
+    let _sampler = obs.start_sampler(Duration::from_millis(100));
+    println!("started with {} VO(s), observability on", engine.plan().partitioning.len());
+
+    let adaptive = AdaptiveConfig { strategy: StrategyKind::Fifo, workers: 2, min_samples: 500 };
+    let mut switches = 0;
+    let mut last_print = Instant::now();
+    while !engine.is_complete() {
+        std::thread::sleep(Duration::from_millis(250));
+        if adapt_once(&mut engine, &adaptive).expect("adaptation runs") == Adaptation::Switched {
+            switches += 1;
+            println!("  >> re-partitioned: now {} VO(s)", engine.plan().partitioning.len());
+        }
+        if last_print.elapsed() >= Duration::from_secs(1) {
+            last_print = Instant::now();
+            print_snapshot(&obs);
+        }
+    }
+    let report = engine.wait();
+    assert!(report.errors.is_empty(), "errors: {:?}", report.errors);
+
+    println!("\n--- final metrics ---");
+    print_snapshot(&obs);
+    let journal = obs.journal_snapshot();
+    let mut kinds: std::collections::BTreeMap<&str, usize> = Default::default();
+    for r in &journal {
+        *kinds.entry(r.event.kind()).or_default() += 1;
+    }
+    println!("\n--- journal ({} events retained) ---", journal.len());
+    for (kind, n) in &kinds {
+        println!("  {kind:<14} {n}");
+    }
+    println!(
+        "\ncompleted in {:.2?} with {} adaptive switch(es); {} results, {} sampler points.",
+        report.elapsed,
+        switches,
+        results.count(),
+        obs.sample_series().len(),
+    );
+}
+
+/// Prints the registry snapshot: one line per metric, histograms as
+/// `count/mean`.
+fn print_snapshot(obs: &Obs) {
+    println!("[t={:>6.2?}] metrics snapshot:", obs.elapsed());
+    for (name, value) in obs.metrics_snapshot() {
+        match value {
+            MetricValue::Counter(v) => println!("  {name:<32} {v}"),
+            MetricValue::Gauge(v) => println!("  {name:<32} {v}"),
+            MetricValue::Histogram(count, _, _) => {
+                println!("  {name:<32} n={count} mean={:.0}ns", value.as_f64())
+            }
+        }
+    }
+}

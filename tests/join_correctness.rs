@@ -75,8 +75,7 @@ fn engine_join(
     let graph = b.build().expect("valid graph");
     let topo = Topology::of(&graph);
     let cfg = EngineConfig { pace_sources: false, ..EngineConfig::default() };
-    let report =
-        Engine::run_with_config(graph, plan_for(&topo), cfg).expect("engine runs");
+    let report = Engine::run_with_config(graph, plan_for(&topo), cfg).expect("engine runs");
     assert!(report.errors.is_empty(), "errors: {:?}", report.errors);
     let mut out: Vec<(i64, i64, i64)> = handle
         .elements()
@@ -132,12 +131,8 @@ fn shj_and_snj_agree_on_random_workloads() {
     let window = Duration::from_millis(5);
     for seed in [1u64, 99, 12345] {
         let (left, right) = streams(250, 10, seed);
-        let a = engine_join(left.clone(), right.clone(), window, true, |t| {
-            ExecutionPlan::di_decoupled(t)
-        });
-        let b = engine_join(left, right, window, false, |t| {
-            ExecutionPlan::di_decoupled(t)
-        });
+        let a = engine_join(left.clone(), right.clone(), window, true, ExecutionPlan::di_decoupled);
+        let b = engine_join(left, right, window, false, ExecutionPlan::di_decoupled);
         assert_eq!(a, b, "seed {seed}");
     }
 }
@@ -173,9 +168,8 @@ fn paper_fig6_selectivity_shape() {
     let shj = fig6_join(JoinKind::Shj, &p);
     let cfg = EngineConfig { pace_sources: false, ..EngineConfig::default() };
     let topo = Topology::of(&shj.graph);
-    let report =
-        Engine::run_with_config(shj.graph, ExecutionPlan::di_decoupled(&topo), cfg)
-            .expect("engine runs");
+    let report = Engine::run_with_config(shj.graph, ExecutionPlan::di_decoupled(&topo), cfg)
+        .expect("engine runs");
     assert!(report.errors.is_empty());
     let got = shj.handle.count();
     // Expectation: each pair matches with probability 1/1000 (all within

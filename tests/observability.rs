@@ -1,0 +1,117 @@
+//! End-to-end observability: a small query runs through a runtime
+//! GTS → HMTS switch with an enabled [`Obs`] handle, and the test checks
+//! the two acceptance properties of the observability layer:
+//!
+//! * the scheduler-event journal holds the switch in causal order —
+//!   the `mode-switch` record precedes the `queue-drain` records of the
+//!   torn-down wiring, which precede the first pooled `dispatch` (under
+//!   GTS all domains are dedicated, so dispatches can only come from the
+//!   thread scheduler after the switch),
+//! * per-operator latency histograms count exactly the elements each
+//!   operator processed (cross-checked against the engine's own stats).
+
+#[path = "common/mod.rs"]
+mod common;
+
+use common::collected_values;
+use hmts::prelude::*;
+use std::time::Duration;
+
+fn paced_graph(count: u64, rate: f64) -> (QueryGraph, SinkHandle) {
+    let mut b = GraphBuilder::new();
+    let src = b.source(VecSource::counting("src", count, rate));
+    let f1 = b
+        .op_after(Filter::new("keep_even", Expr::field(0).rem(Expr::int(2)).eq(Expr::int(0))), src);
+    let f2 = b.op_after(Filter::new("pass", Expr::bool(true)), f1);
+    let (sink, handle) = CollectingSink::new("out");
+    b.op_after(sink, f2);
+    (b.build().expect("valid graph"), handle)
+}
+
+#[test]
+fn journal_orders_switch_causally_and_histograms_match_stats() {
+    const COUNT: u64 = 6_000;
+    let (graph, handle) = paced_graph(COUNT, 20_000.0);
+    let topo = Topology::of(&graph);
+    // A large ring so the post-switch dispatch/yield flood cannot evict
+    // the one mode-switch record this test is about.
+    let obs = Obs::with_config(ObsConfig { journal_capacity: 1 << 17 });
+    let cfg = EngineConfig { obs: obs.clone(), ..EngineConfig::default() };
+    let mut engine = Engine::with_config(graph, ExecutionPlan::gts(&topo, StrategyKind::Fifo), cfg)
+        .expect("engine builds");
+    engine.start().expect("engine starts");
+
+    // Let GTS process part of the stream, then switch the running engine
+    // to a two-VO HMTS plan on two pooled workers.
+    std::thread::sleep(Duration::from_millis(80));
+    let ops = topo.operators();
+    let part = Partitioning::new(vec![vec![ops[0]], vec![ops[1], ops[2]]]);
+    engine.switch_plan(ExecutionPlan::hmts(part, StrategyKind::Fifo, 2)).expect("runtime switch");
+    let report = engine.wait();
+    assert!(report.errors.is_empty(), "errors: {:?}", report.errors);
+    let want: Vec<i64> = (0..COUNT as i64).filter(|v| v % 2 == 0).collect();
+    assert_eq!(collected_values(&handle), want, "exactly-once across the switch");
+
+    // --- causal order in the journal -----------------------------------
+    let journal = obs.journal_snapshot();
+    let switch_seq = journal
+        .iter()
+        .find(|r| r.event.kind() == "mode-switch")
+        .map(|r| r.seq)
+        .expect("journal records the mode switch");
+    let drain_seq = journal
+        .iter()
+        .filter(|r| r.event.kind() == "queue-drain")
+        .map(|r| r.seq)
+        .find(|&s| s > switch_seq)
+        .expect("the switch drains the old wiring's queues");
+    let dispatch_seq = journal
+        .iter()
+        .find(|r| r.event.kind() == "dispatch")
+        .map(|r| r.seq)
+        .expect("pooled HMTS domains go through the thread scheduler");
+    assert!(
+        switch_seq < drain_seq && drain_seq < dispatch_seq,
+        "causal order violated: mode-switch seq {switch_seq}, queue-drain seq \
+         {drain_seq}, first dispatch seq {dispatch_seq}"
+    );
+    // Dedicated GTS never dispatches, so *every* dispatch postdates the
+    // switch, not just the first.
+    assert!(
+        journal.iter().filter(|r| r.event.kind() == "dispatch").all(|r| r.seq > switch_seq),
+        "no dispatch may precede the GTS -> HMTS switch"
+    );
+
+    // --- histogram counts == elements processed ------------------------
+    let stats = &report.stats;
+    let metrics = obs.metrics_snapshot();
+    for &op in &ops {
+        let name = topo.name(op);
+        let node = stats.nodes.iter().find(|n| n.name == name).expect("stats cover every operator");
+        assert!(node.processed > 0, "operator {name} saw elements");
+        let metric = format!("op.{name}.latency_ns");
+        let count = metrics
+            .iter()
+            .find_map(|(n, v)| match v {
+                MetricValue::Histogram(count, _, _) if n == &metric => Some(*count),
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("latency histogram {metric} registered"));
+        assert_eq!(
+            count, node.processed,
+            "histogram {metric} counts every element {name} processed"
+        );
+    }
+}
+
+#[test]
+fn default_engine_config_keeps_observability_off() {
+    let (graph, handle) = paced_graph(500, 1e9);
+    let topo = Topology::of(&graph);
+    let cfg = EngineConfig { pace_sources: false, ..EngineConfig::default() };
+    assert!(!cfg.obs.is_enabled(), "observability is opt-in");
+    let report = Engine::run_with_config(graph, ExecutionPlan::gts(&topo, StrategyKind::Fifo), cfg)
+        .expect("engine runs");
+    assert!(report.errors.is_empty());
+    assert_eq!(handle.count(), 250);
+}

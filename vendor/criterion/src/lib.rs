@@ -1,0 +1,337 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! A minimal wall-clock benchmark harness exposing the API subset this
+//! workspace's benches use: [`Criterion`] with the consuming config
+//! builders, [`BenchmarkGroup`] (`throughput` / `bench_function` /
+//! `bench_with_input` / `finish`), [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BenchmarkId`], [`Throughput`],
+//! [`BatchSize`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. It calibrates an iteration count during warm-up, takes
+//! `sample_size` timed samples spread over `measurement_time`, and prints
+//! mean / best per-iteration times (no statistics, plots, or baselines).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level harness state and default per-benchmark configuration.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the total time budget for the timed samples.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the calibration/warm-up budget.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let cfg = self.clone();
+        run_benchmark(&cfg, &id.to_string(), None, f);
+        self
+    }
+}
+
+/// Units for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortises setup; the shim times each batch
+/// individually, so this only exists for signature compatibility.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A `function_name/parameter` benchmark identifier.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to report rates for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let cfg = self.criterion.clone();
+        run_benchmark(&cfg, &full, self.throughput, f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let cfg = self.criterion.clone();
+        run_benchmark(&cfg, &full, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (reporting happens eagerly; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Timer handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this sample's iteration count.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` with per-batch `setup` excluded from the timing.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_benchmark<F>(cfg: &Criterion, id: &str, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+
+    // Warm up and calibrate: grow the per-sample iteration count until one
+    // sample is long enough to time reliably or the warm-up budget is spent.
+    let warm_start = Instant::now();
+    loop {
+        f(&mut b);
+        let long_enough = b.elapsed >= Duration::from_millis(5);
+        if long_enough || warm_start.elapsed() >= cfg.warm_up_time {
+            break;
+        }
+        b.iters = b.iters.saturating_mul(2);
+    }
+    let per_iter_ns = (b.elapsed.as_nanos() / b.iters as u128).max(1);
+
+    // Spread `sample_size` samples across the measurement budget.
+    let sample_budget_ns =
+        (cfg.measurement_time.as_nanos() / cfg.sample_size.max(1) as u128).max(1);
+    let iters = (sample_budget_ns / per_iter_ns).clamp(1, u64::MAX as u128) as u64;
+
+    let mut total_ns = 0u128;
+    let mut total_iters = 0u128;
+    let mut best_ns = u128::MAX;
+    for _ in 0..cfg.sample_size {
+        b.iters = iters;
+        f(&mut b);
+        let ns = b.elapsed.as_nanos();
+        total_ns += ns;
+        total_iters += iters as u128;
+        best_ns = best_ns.min(ns / iters as u128);
+    }
+    let mean_ns = total_ns / total_iters.max(1);
+
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {} elem/s", fmt_rate(n as u128, mean_ns))
+        }
+        Some(Throughput::Bytes(n)) => format!("  {} B/s", fmt_rate(n as u128, mean_ns)),
+        None => String::new(),
+    };
+    println!("{id:<56} time: [mean {:>10}  best {:>10}]{rate}", fmt_ns(mean_ns), fmt_ns(best_ns));
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn fmt_rate(per_iter: u128, mean_ns: u128) -> String {
+    let rate = per_iter as f64 * 1e9 / mean_ns.max(1) as f64;
+    if rate >= 1e6 {
+        format!("{:.2}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2}K", rate / 1e3)
+    } else {
+        format!("{rate:.1}")
+    }
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` running the given groups (CLI flags from `cargo bench`
+/// are accepted and ignored).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes flags like `--bench`; nothing to parse.
+            let _ = std::env::args();
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut n = 0u64;
+        {
+            let mut c = quick();
+            let mut g = c.benchmark_group("shim");
+            g.throughput(Throughput::Elements(1));
+            g.bench_function("count", |b| b.iter(|| n += 1));
+            g.finish();
+        }
+        assert!(n > 0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("shim");
+        g.bench_with_input(BenchmarkId::new("vec", 8), &8usize, |b, &n| {
+            b.iter_batched(|| vec![0u8; n], |v| v.len(), BatchSize::SmallInput);
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+    }
+}

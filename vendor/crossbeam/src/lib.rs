@@ -1,0 +1,3 @@
+//! Placeholder for the `crossbeam` dependency declared by the seed
+//! workspace. Nothing in the codebase currently uses it; this empty crate
+//! satisfies dependency resolution in the offline build environment.

@@ -1,0 +1,550 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! Implements the subset of the API this workspace's property tests use:
+//! the [`proptest!`] macro family, [`Strategy`] with `prop_map`/`boxed`,
+//! `any::<T>()`, range and tuple strategies, [`Just`], [`prop_oneof!`],
+//! `collection::vec`, a mini regex string strategy (`"[a-z]{0,8}"` style),
+//! and [`test_runner::Config`]. Failing inputs are reported but **not
+//! shrunk** — on failure, re-run locally with the real crate for minimal
+//! counterexamples. Case generation is deterministic per test name.
+
+use rand::prelude::*;
+
+pub mod test_runner {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    use rand::prelude::*;
+
+    /// Deterministic RNG handed to strategies while generating cases.
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// Seeds from the test name (stable across runs) unless
+        /// `PROPTEST_SEED` overrides it.
+        pub fn for_test(name: &str) -> TestRng {
+            let seed = match std::env::var("PROPTEST_SEED") {
+                Ok(s) => s.parse().unwrap_or(0),
+                Err(_) => {
+                    let mut h = DefaultHasher::new();
+                    name.hash(&mut h);
+                    h.finish()
+                }
+            };
+            TestRng(StdRng::seed_from_u64(seed))
+        }
+    }
+
+    impl rand::RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// Per-test configuration (`ProptestConfig` in the prelude).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases, other settings default.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// Input rejected by `prop_assume!`; retried without counting.
+        Reject(String),
+        /// Assertion failure; aborts the test.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+
+        pub fn reject(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Drives `f` until `cfg.cases` cases pass, panicking on the first
+    /// failure. Used by the `proptest!` macro expansion.
+    pub fn run_cases<F>(cfg: &Config, name: &str, mut f: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let mut rng = TestRng::for_test(name);
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < cfg.cases {
+            match f(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(why)) => {
+                    rejected += 1;
+                    if rejected > cfg.cases.saturating_mul(16) + 1024 {
+                        panic!(
+                            "proptest {name}: too many prop_assume! rejections \
+                             ({rejected}); last: {why}"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("proptest {name}: case {} failed: {msg}", passed + 1);
+                }
+            }
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A generator of random values of type `Value`.
+///
+/// Unlike the real crate there is no value tree or shrinking; `generate`
+/// directly produces a value.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the strategy type (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(std::rc::Rc::new(self))
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Type-erased strategy.
+pub struct BoxedStrategy<V>(std::rc::Rc<dyn Strategy<Value = V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(std::rc::Rc::clone(&self.0))
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate(rng)
+    }
+}
+
+/// Strategy that always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<V: Clone>(pub V);
+
+impl<V: Clone> Strategy for Just<V> {
+    type Value = V;
+    fn generate(&self, _rng: &mut TestRng) -> V {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed alternatives (`prop_oneof!` backend).
+pub struct Union<V>(Vec<BoxedStrategy<V>>);
+
+impl<V> Union<V> {
+    pub fn new(alternatives: Vec<BoxedStrategy<V>>) -> Union<V> {
+        assert!(!alternatives.is_empty(), "prop_oneof! needs at least one arm");
+        Union(alternatives)
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.gen_range(0..self.0.len());
+        self.0[i].generate(rng)
+    }
+}
+
+/// Types with a canonical `any::<T>()` strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u64, i64, u32, i32, u16, i16, u8, i8, usize, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Any finite f64 (the real crate's default `any::<f64>()` likewise
+    /// excludes NaN and the infinities).
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        loop {
+            let x = f64::from_bits(rng.next_u64());
+            if x.is_finite() {
+                return x;
+            }
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        loop {
+            let x = f32::from_bits(rng.next_u32());
+            if x.is_finite() {
+                return x;
+            }
+        }
+    }
+}
+
+/// The canonical strategy for `T` (`any::<u64>()`, `any::<bool>()`, ...).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Output of [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl<T> Strategy for std::ops::Range<T>
+where
+    T: Clone,
+    std::ops::Range<T>: rand::SampleRange<T>,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for std::ops::RangeInclusive<T>
+where
+    T: Clone,
+    std::ops::RangeInclusive<T>: rand::SampleRange<T>,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+}
+
+/// Mini regex string strategy: supports literal characters, `[a-z0-9_]`
+/// style classes (ranges and singletons), and `{n}` / `{m,n}` repetition —
+/// enough for patterns like `"[a-z]{0,8}"`.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // One atom: a char class or a literal character.
+        let alphabet: Vec<char> = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+            let mut set = Vec::new();
+            let mut j = i + 1;
+            while j < close {
+                if j + 2 < close && chars[j + 1] == '-' {
+                    let (lo, hi) = (chars[j], chars[j + 2]);
+                    for c in lo..=hi {
+                        set.push(c);
+                    }
+                    j += 3;
+                } else {
+                    set.push(chars[j]);
+                    j += 1;
+                }
+            }
+            i = close + 1;
+            set
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+        // Optional repetition suffix.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => {
+                    (m.trim().parse::<usize>().unwrap_or(0), n.trim().parse::<usize>().unwrap_or(0))
+                }
+                None => {
+                    let n = body.trim().parse::<usize>().unwrap_or(1);
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(!alphabet.is_empty(), "empty char class in pattern {pattern:?}");
+        let count = rng.gen_range(min..=max);
+        for _ in 0..count {
+            out.push(alphabet[rng.gen_range(0..alphabet.len())]);
+        }
+    }
+    out
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy for a `Vec` whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Output of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Declares property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and `fn name(arg in strategy, ...) { body }`
+/// items carrying their own attributes (typically `#[test]`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(
+            <$crate::test_runner::Config as ::std::default::Default>::default();
+            $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::Config = $cfg;
+            $crate::test_runner::run_cases(&__cfg, stringify!($name), |__rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), __rng);)*
+                #[allow(unreachable_code)]
+                let __case = move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                __case()
+            });
+        }
+    )*};
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`\n {}",
+            __l,
+            __r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Rejects the current case (retried with fresh inputs, not a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Any, BoxedStrategy,
+        Just, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn pattern_strategy_matches_shape() {
+        let mut rng = crate::test_runner::TestRng::for_test("pattern");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z]{0,8}", &mut rng);
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+        let fixed = Strategy::generate(&"ab[0-1]{2}", &mut rng);
+        assert_eq!(fixed.len(), 4);
+        assert!(fixed.starts_with("ab"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_vecs(
+            x in 3i64..9,
+            v in crate::collection::vec(any::<u64>(), 1..5),
+            s in prop_oneof![Just(0u8), 1u8..4],
+        ) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(s < 4);
+        }
+
+        #[test]
+        fn assume_rejects_and_retries(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0, "n was {}", n);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn tuple_and_map(pair in (0usize..4, any::<bool>()).prop_map(|(a, b)| (a * 2, b))) {
+            prop_assert!(pair.0 % 2 == 0 && pair.0 < 8);
+        }
+    }
+}
