@@ -86,12 +86,9 @@ fn aggregate_throughput(c: &mut Criterion) {
     for &w_us in &[1_000u64, 20_000] {
         g.throughput(Throughput::Elements(1));
         g.bench_with_input(BenchmarkId::new("count_group_by", w_us), &w_us, |b, _| {
-            let mut agg = WindowAggregate::new(
-                "agg",
-                AggregateFunction::Count,
-                Duration::from_micros(w_us),
-            )
-            .group_by(Expr::field(0).rem(Expr::int(64)));
+            let mut agg =
+                WindowAggregate::new("agg", AggregateFunction::Count, Duration::from_micros(w_us))
+                    .group_by(Expr::field(0).rem(Expr::int(64)));
             let mut feed = Feed { i: 0, key_range: 10_000 };
             let mut out = Output::new();
             for _ in 0..w_us + w_us / 4 {

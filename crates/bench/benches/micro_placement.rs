@@ -33,9 +33,7 @@ fn capacity_evaluation(c: &mut Criterion) {
     g.bench_function("evaluate_500_nodes", |b| {
         b.iter(|| black_box(evaluate(black_box(&graph), black_box(&groups))))
     });
-    g.bench_function("rate_propagation_500_nodes", |b| {
-        b.iter(|| black_box(graph.input_rates()))
-    });
+    g.bench_function("rate_propagation_500_nodes", |b| b.iter(|| black_box(graph.input_rates())));
     g.finish();
 }
 

@@ -65,11 +65,7 @@ fn chain_segment_construction(c: &mut Criterion) {
     for n in [10usize, 100, 1000] {
         let graph = fan_graph(n);
         g.bench_function(format!("{n}_ops"), |b| {
-            b.iter(|| {
-                black_box(hmts::scheduler::chain::compute_chain_segments(black_box(
-                    &graph,
-                )))
-            })
+            b.iter(|| black_box(hmts::scheduler::chain::compute_chain_segments(black_box(&graph))))
         });
     }
     g.finish();

@@ -24,8 +24,8 @@ fn running_engine(ops: usize) -> Engine {
     b.op_after(sink, prev);
     let graph = b.build().expect("valid graph");
     let topo = Topology::of(&graph);
-    let mut engine = Engine::new(graph, ExecutionPlan::gts(&topo, StrategyKind::Fifo))
-        .expect("engine builds");
+    let mut engine =
+        Engine::new(graph, ExecutionPlan::gts(&topo, StrategyKind::Fifo)).expect("engine builds");
     engine.start().expect("engine starts");
     engine
 }

@@ -38,7 +38,12 @@ fn ablation_batch(csv: &mut String) -> Vec<Vec<String>> {
     let mut rows = Vec::new();
     for batch in [1usize, 4, 16, 64, 256] {
         let cfg = SimConfig { batch, ..fig9::pipes_config(1) };
-        let r = simulate(&g, std::slice::from_ref(&sched), &SimPolicy::gts(&g, SimStrategy::Fifo), &cfg);
+        let r = simulate(
+            &g,
+            std::slice::from_ref(&sched),
+            &SimPolicy::gts(&g, SimStrategy::Fifo),
+            &cfg,
+        );
         let _ = writeln!(csv, "batch,{batch},{},{}", r.completion_time, r.peak_memory);
         rows.push(vec![
             batch.to_string(),
@@ -70,8 +75,7 @@ fn ablation_workers(csv: &mut String) -> Vec<Vec<String>> {
     let g = hmts::graph::cost::CostGraph::from_parts(n, edges, cost, sel, src);
     let schedules: Vec<Vec<f64>> =
         (0..chains).map(|_| (1..=2_000).map(|i| i as f64 / 1_000.0).collect()).collect();
-    let partitions: Vec<Vec<usize>> =
-        (0..chains).map(|c| vec![c * 3 + 1, c * 3 + 2]).collect();
+    let partitions: Vec<Vec<usize>> = (0..chains).map(|c| vec![c * 3 + 1, c * 3 + 2]).collect();
     let mut rows = Vec::new();
     for workers in [1usize, 2, 3, 4, 6] {
         let policy = SimPolicy {
@@ -141,8 +145,7 @@ fn ablation_strategy(csv: &mut String) -> Vec<Vec<String>> {
     let sched = fig9::schedule(1);
     let cfg = fig9::pipes_config(1);
     let segments = compute_chain_segments(&g);
-    let chain_prio: Vec<f64> =
-        (0..g.node_count()).map(|v| segments.priority_of(v)).collect();
+    let chain_prio: Vec<f64> = (0..g.node_count()).map(|v| segments.priority_of(v)).collect();
     // Longest-queue / round-robin are not native sim strategies; FIFO and
     // Chain (priority) are the paper's pair, plus a reversed-priority
     // strawman showing how bad an inverted schedule gets.
@@ -186,7 +189,16 @@ fn main() {
     println!(
         "{}",
         table(
-            &["placement", "VOs", "workers", "completion", "transfers", "peak", "avg_mem", "outputs"],
+            &[
+                "placement",
+                "VOs",
+                "workers",
+                "completion",
+                "transfers",
+                "peak",
+                "avg_mem",
+                "outputs"
+            ],
             &rows
         )
     );

@@ -15,8 +15,8 @@
 //! `--paper` runs the literal 2 × 180 s experiment.
 
 use hmts::prelude::*;
-use hmts_bench::{emit_csv, fmt_secs, parse_args, rate_series, table};
 use hmts::workload::scenarios::{fig6_join, Fig6Params, JoinKind};
+use hmts_bench::{emit_csv, fmt_secs, parse_args, rate_series, table};
 
 fn main() {
     let args = parse_args(10.0);
@@ -32,7 +32,10 @@ fn main() {
     let duration = p.elements as f64 / p.rate;
     eprintln!(
         "fig06: {} elements/source at {} el/s (offered duration {}), window {:?}",
-        p.elements, p.rate, fmt_secs(duration), p.window
+        p.elements,
+        p.rate,
+        fmt_secs(duration),
+        p.window
     );
 
     let mut rows: Vec<Vec<String>> = Vec::new();
@@ -96,10 +99,7 @@ fn main() {
     emit_csv(&args.out, "fig06_decoupling.csv", &csv);
     println!(
         "\n{}",
-        table(
-            &["join", "falls_behind_at", "emission_end", "offered_end", "join_inputs"],
-            &rows
-        )
+        table(&["join", "falls_behind_at", "emission_end", "offered_end", "join_inputs"], &rows)
     );
     println!(
         "Paper's claim to check: both joins fall behind the offered rate, and the \

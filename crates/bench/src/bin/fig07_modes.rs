@@ -15,8 +15,8 @@
 
 use hmts::prelude::*;
 use hmts::sim::{simulate, SimConfig, SimPolicy, SimStrategy};
-use hmts_bench::{csv_from_rows, emit_csv, fmt_secs, parse_args, table};
 use hmts::workload::scenarios::{fig7_chain, Fig7Params};
+use hmts_bench::{csv_from_rows, emit_csv, fmt_secs, parse_args, table};
 
 fn real_elapsed(p: &Fig7Params, plan_for: fn(&Topology) -> ExecutionPlan) -> f64 {
     let s = fig7_chain(p);
@@ -101,9 +101,7 @@ fn main() {
             fmt_secs(sim_gts),
             fmt_secs(sim_ots),
         ]);
-        csv_rows.push(vec![
-            m as f64, di, gts_chain, gts_fifo, ots, sim_di, sim_gts, sim_ots,
-        ]);
+        csv_rows.push(vec![m as f64, di, gts_chain, gts_fifo, ots, sim_di, sim_gts, sim_ots]);
     }
 
     emit_csv(

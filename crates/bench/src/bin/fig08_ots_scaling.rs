@@ -13,22 +13,14 @@
 
 use hmts::prelude::*;
 use hmts::sim::{simulate, SimConfig, SimPolicy};
-use hmts_bench::{csv_from_rows, emit_csv, fmt_secs, parse_args, table};
 use hmts::workload::scenarios::{fig8_multi_chain, Fig7Params};
+use hmts_bench::{csv_from_rows, emit_csv, fmt_secs, parse_args, table};
 
 fn real_elapsed(q: usize, p: &Fig7Params, ots: bool) -> f64 {
     let m = fig8_multi_chain(q, p);
     let topo = Topology::of(&m.graph);
-    let plan = if ots {
-        ExecutionPlan::ots(&topo)
-    } else {
-        ExecutionPlan::di_decoupled(&topo)
-    };
-    let cfg = EngineConfig {
-        pace_sources: false,
-        measure_stats: false,
-        ..EngineConfig::default()
-    };
+    let plan = if ots { ExecutionPlan::ots(&topo) } else { ExecutionPlan::di_decoupled(&topo) };
+    let cfg = EngineConfig { pace_sources: false, measure_stats: false, ..EngineConfig::default() };
     let report = Engine::run_with_config(m.graph, plan, cfg).expect("engine runs");
     assert!(report.errors.is_empty(), "errors: {:?}", report.errors);
     report.elapsed.as_secs_f64()
@@ -62,11 +54,8 @@ fn sim_elapsed(q: usize, p: &Fig7Params, ots: bool) -> f64 {
 
 fn main() {
     let args = parse_args(1.0);
-    let qs: Vec<usize> = if args.quick {
-        vec![1, 10, 50]
-    } else {
-        vec![1, 5, 10, 25, 50, 100, 200]
-    };
+    let qs: Vec<usize> =
+        if args.quick { vec![1, 10, 50] } else { vec![1, 5, 10, 25, 50, 100, 200] };
     let elements = if args.paper { 100_000 } else { 10_000 };
 
     let mut rows = Vec::new();

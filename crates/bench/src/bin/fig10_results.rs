@@ -50,10 +50,7 @@ fn main() {
         .collect();
     println!(
         "\n{}",
-        table(
-            &["strategy", "results", "t(25%)", "t(50%)", "t(75%)", "completion"],
-            &rows
-        )
+        table(&["strategy", "results", "t(25%)", "t(50%)", "t(75%)", "completion"], &rows)
     );
     println!(
         "Paper's claims to check: identical final result counts; HMTS reaches every \

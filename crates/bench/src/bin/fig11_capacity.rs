@@ -14,11 +14,8 @@ use hmts_bench::{csv_from_rows, emit_csv, parse_args, table};
 
 fn main() {
     let args = parse_args(1.0);
-    let sizes: Vec<usize> = if args.quick {
-        vec![10, 50, 100]
-    } else {
-        vec![10, 20, 50, 100, 200, 500, 1000]
-    };
+    let sizes: Vec<usize> =
+        if args.quick { vec![10, 50, 100] } else { vec![10, 20, 50, 100, 200, 500, 1000] };
     let graphs_per_size = if args.quick { 5 } else { 20 };
 
     type Algo = (&'static str, fn(&CostGraph) -> Vec<Vec<usize>>);
@@ -52,10 +49,8 @@ fn main() {
             }
         }
         csv_rows.push(vec![
-            n as f64,
-            acc[0][0], acc[0][1], acc[0][2],
-            acc[1][0], acc[1][1], acc[1][2],
-            acc[2][0], acc[2][1], acc[2][2],
+            n as f64, acc[0][0], acc[0][1], acc[0][2], acc[1][0], acc[1][1], acc[1][2], acc[2][0],
+            acc[2][1], acc[2][2],
         ]);
         rows.push(vec![
             n.to_string(),
@@ -67,8 +62,10 @@ fn main() {
             format!("{:.4}", acc[2][1]),
             format!("{:.0}/{:.0}/{:.0}", acc[0][2], acc[1][2], acc[2][2]),
         ]);
-        eprintln!("n={n}: avg negative capacity — alg1 {:.4}, segment {:.4}, chain {:.4}",
-            acc[0][0], acc[1][0], acc[2][0]);
+        eprintln!(
+            "n={n}: avg negative capacity — alg1 {:.4}, segment {:.4}, chain {:.4}",
+            acc[0][0], acc[1][0], acc[2][0]
+        );
     }
 
     emit_csv(

@@ -19,9 +19,9 @@
 //! overheads are ~3 orders of magnitude smaller; `--real` runs the real
 //! engine at `--scale`× compression to confirm the memory *shape*.
 
+use hmts::graph::cost::CostGraph;
 use hmts::scheduler::chain::compute_chain_segments;
 use hmts::sim::{simulate, SimConfig, SimPolicy, SimResult, SimStrategy};
-use hmts::graph::cost::CostGraph;
 
 /// One strategy's simulated run.
 pub struct Fig9Run {
@@ -85,8 +85,7 @@ pub fn run_all(m: u64, seed: u64) -> Vec<Fig9Run> {
     let cfg = pipes_config(seed);
 
     let segments = compute_chain_segments(&g);
-    let priorities: Vec<f64> =
-        (0..g.node_count()).map(|v| segments.priority_of(v)).collect();
+    let priorities: Vec<f64> = (0..g.node_count()).map(|v| segments.priority_of(v)).collect();
 
     // The paper's HMTS setting: "we decoupled the data flow twice: between
     // the source and the first filter as well as between the filters. We
@@ -97,7 +96,12 @@ pub fn run_all(m: u64, seed: u64) -> Vec<Fig9Run> {
     vec![
         Fig9Run {
             name: "gts_fifo",
-            result: simulate(&g, std::slice::from_ref(&sched), &SimPolicy::gts(&g, SimStrategy::Fifo), &cfg),
+            result: simulate(
+                &g,
+                std::slice::from_ref(&sched),
+                &SimPolicy::gts(&g, SimStrategy::Fifo),
+                &cfg,
+            ),
         },
         Fig9Run {
             name: "gts_chain",
@@ -137,9 +141,8 @@ mod tests {
         // 1/10 element scale with rates kept: emission ≈ 16 s; the ordering
         // (HMTS first, both GTS later) must already hold.
         let runs = run_all(1, 9); // full scale is still fast in virtual time
-        let find = |n: &str| {
-            runs.iter().find(|r| r.name == n).map(|r| r.result.completion_time).unwrap()
-        };
+        let find =
+            |n: &str| runs.iter().find(|r| r.name == n).map(|r| r.result.completion_time).unwrap();
         let hmts = find("hmts");
         let fifo = find("gts_fifo");
         let chain = find("gts_chain");

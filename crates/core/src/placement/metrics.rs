@@ -44,7 +44,8 @@ pub fn evaluate(g: &CostGraph, groups: &[Vec<usize>]) -> CapacityReport {
             positive_infinite += 1;
         }
     }
-    let mean = |xs: &[f64]| if xs.is_empty() { 0.0 } else { xs.iter().sum::<f64>() / xs.len() as f64 };
+    let mean =
+        |xs: &[f64]| if xs.is_empty() { 0.0 } else { xs.iter().sum::<f64>() / xs.len() as f64 };
     let finite: Vec<f64> = negative.iter().chain(positive.iter()).copied().collect();
     CapacityReport {
         vos: groups.len(),

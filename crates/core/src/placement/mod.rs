@@ -64,9 +64,7 @@ pub fn suggest_workers(g: &hmts_graph::cost::CostGraph, groups: &[Vec<usize>]) -
 /// node ids, which [`hmts_graph::cost::CostGraph::from_query_graph`] and
 /// [`crate::engine::cost_graph_from_topology`] guarantee).
 pub fn to_partitioning(groups: &[Vec<usize>]) -> Partitioning {
-    Partitioning::new(
-        groups.iter().map(|g| g.iter().map(|&v| NodeId(v)).collect()).collect(),
-    )
+    Partitioning::new(groups.iter().map(|g| g.iter().map(|&v| NodeId(v)).collect()).collect())
 }
 
 #[cfg(test)]

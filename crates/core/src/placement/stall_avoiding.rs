@@ -77,11 +77,7 @@ pub fn stall_avoiding(g: &CostGraph) -> Vec<Vec<usize>> {
         }
         // Start this node's partition.
         let pid = parts.len();
-        parts.push(Some(PartState {
-            nodes: vec![node],
-            c: g.cost(node),
-            inv_d: inv_d(node),
-        }));
+        parts.push(Some(PartState { nodes: vec![node], c: g.cost(node), inv_d: inv_d(node) }));
         part_of[node] = pid;
 
         // Candidate predecessors: operator predecessors that already have a

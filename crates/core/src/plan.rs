@@ -282,10 +282,7 @@ impl ExecutionPlan {
         }
 
         // Level 3: pooled domains need workers.
-        let pooled = self
-            .domains
-            .iter()
-            .any(|d| d.execution == DomainExecution::Pooled);
+        let pooled = self.domains.iter().any(|d| d.execution == DomainExecution::Pooled);
         if pooled && self.workers == 0 {
             errors.push(PlanError::NoWorkers);
         }
@@ -436,7 +433,9 @@ mod tests {
             workers: 0,
         };
         let errs = plan.validate(&t);
-        assert!(errs.iter().any(|e| matches!(e, PlanError::Partitioning(m) if m.contains("uncovered"))));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, PlanError::Partitioning(m) if m.contains("uncovered"))));
     }
 
     #[test]

@@ -77,9 +77,7 @@ pub fn unary_chains(g: &CostGraph) -> Vec<Vec<usize>> {
         let op_preds: Vec<usize> =
             g.predecessors(v).iter().copied().filter(|&p| !g.is_source(p)).collect();
         let extend = match op_preds.as_slice() {
-            [p] if g.successors(*p).len() == 1 && g.predecessors(v).len() == 1 => {
-                chain_of[*p]
-            }
+            [p] if g.successors(*p).len() == 1 && g.predecessors(v).len() == 1 => chain_of[*p],
             _ => None,
         };
         match extend {

@@ -63,8 +63,7 @@ impl StrategyKind {
             StrategyKind::Chain => match costs {
                 Some(g) => {
                     let segments = compute_chain_segments(g);
-                    let priority =
-                        (0..g.node_count()).map(|v| segments.priority_of(v)).collect();
+                    let priority = (0..g.node_count()).map(|v| segments.priority_of(v)).collect();
                     Box::new(ChainStrategy { priority })
                 }
                 None => Box::new(Fifo),
@@ -133,9 +132,7 @@ impl Strategy for LongestQueue {
             .max_by(|(_, a), (_, b)| {
                 a.len.cmp(&b.len).then_with(|| {
                     // Older head (smaller ts) wins a tie, so reverse.
-                    b.head_ts
-                        .unwrap_or(Timestamp::MAX)
-                        .cmp(&a.head_ts.unwrap_or(Timestamp::MAX))
+                    b.head_ts.unwrap_or(Timestamp::MAX).cmp(&a.head_ts.unwrap_or(Timestamp::MAX))
                 })
             })
             .map(|(i, _)| i)

@@ -162,11 +162,7 @@ mod tests {
         let mut b = GraphBuilder::new();
         let l = b.source(S);
         let r = b.source(S);
-        let j = b.op_after2(
-            SymmetricHashJoin::on_field("j", 0, Duration::from_secs(60)),
-            l,
-            r,
-        );
+        let j = b.op_after2(SymmetricHashJoin::on_field("j", 0, Duration::from_secs(60)), l, r);
         b.op_after(NullSink::new("out"), j);
         let g = b.build().unwrap();
         assert_eq!(g.node(j).input_arity(), 2);

@@ -23,26 +23,16 @@ pub fn to_dot(g: &QueryGraph, partitioning: Option<&Partitioning>) -> String {
                 let _ = writeln!(out, "    label=\"VO {i}\";");
                 for &n in group {
                     let node = g.node(n);
-                    let _ = writeln!(
-                        out,
-                        "    {} [label=\"{}\"{}];",
-                        node.id,
-                        node.name,
-                        shape(node)
-                    );
+                    let _ =
+                        writeln!(out, "    {} [label=\"{}\"{}];", node.id, node.name, shape(node));
                 }
                 let _ = writeln!(out, "  }}");
             }
             // Nodes outside any partition (sources).
             for node in g.nodes() {
                 if !idx.contains_key(&node.id) {
-                    let _ = writeln!(
-                        out,
-                        "  {} [label=\"{}\"{}];",
-                        node.id,
-                        node.name,
-                        shape(node)
-                    );
+                    let _ =
+                        writeln!(out, "  {} [label=\"{}\"{}];", node.id, node.name, shape(node));
                 }
             }
         }
@@ -121,10 +111,8 @@ mod tests {
     #[test]
     fn partitioned_dot_uses_clusters_and_marks_queues() {
         let g = graph();
-        let p = Partitioning::new(vec![
-            vec![crate::graph::NodeId(1)],
-            vec![crate::graph::NodeId(2)],
-        ]);
+        let p =
+            Partitioning::new(vec![vec![crate::graph::NodeId(1)], vec![crate::graph::NodeId(2)]]);
         let dot = to_dot(&g, Some(&p));
         assert!(dot.contains("subgraph cluster_0"));
         assert!(dot.contains("subgraph cluster_1"));
@@ -136,10 +124,7 @@ mod tests {
     #[test]
     fn internal_edges_are_plain_in_partitioned_dot() {
         let g = graph();
-        let p = Partitioning::new(vec![vec![
-            crate::graph::NodeId(1),
-            crate::graph::NodeId(2),
-        ]]);
+        let p = Partitioning::new(vec![vec![crate::graph::NodeId(1), crate::graph::NodeId(2)]]);
         let dot = to_dot(&g, Some(&p));
         assert!(dot.contains("n1 -> n2;"));
         assert!(!dot.contains("n1 -> n2 [style"));

@@ -129,11 +129,7 @@ impl Partitioning {
 
     /// Edges of `g` from a source node into a partition.
     pub fn source_edges(&self, g: &QueryGraph) -> Vec<Edge> {
-        g.edges()
-            .iter()
-            .filter(|e| g.node(e.from).kind.is_source())
-            .copied()
-            .collect()
+        g.edges().iter().filter(|e| g.node(e.from).kind.is_source()).copied().collect()
     }
 
     /// Edges internal to a group (the DI connections inside a VO).
@@ -199,10 +195,7 @@ fn is_weakly_connected(g: &QueryGraph, group: &[NodeId]) -> bool {
     queue.push_back(group[0]);
     visited.insert(group[0]);
     while let Some(n) = queue.pop_front() {
-        let neighbours = g
-            .out_edges(n)
-            .map(|e| e.to)
-            .chain(g.in_edges(n).map(|e| e.from));
+        let neighbours = g.out_edges(n).map(|e| e.to).chain(g.in_edges(n).map(|e| e.from));
         for m in neighbours {
             if set.contains(&m) && visited.insert(m) {
                 queue.push_back(m);

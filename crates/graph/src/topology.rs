@@ -117,10 +117,7 @@ impl Topology {
 
     /// Ids of all sink nodes (operators with no outgoing edges).
     pub fn sinks(&self) -> Vec<NodeId> {
-        self.operators()
-            .into_iter()
-            .filter(|&id| self.out_edges(id).next().is_none())
-            .collect()
+        self.operators().into_iter().filter(|&id| self.out_edges(id).next().is_none()).collect()
     }
 
     /// Edges that cross partition boundaries (where inter-VO queues go).
@@ -130,9 +127,7 @@ impl Topology {
         let idx = p.group_index();
         self.edges
             .iter()
-            .filter(|e| {
-                matches!((idx.get(&e.from), idx.get(&e.to)), (Some(a), Some(b)) if a != b)
-            })
+            .filter(|e| matches!((idx.get(&e.from), idx.get(&e.to)), (Some(a), Some(b)) if a != b))
             .copied()
             .collect()
     }
@@ -236,11 +231,8 @@ mod tests {
         let mut g = QueryGraph::new();
         let a = g.add_source(Box::new(S));
         let b = g.add_source(Box::new(S));
-        let j = g.add_operator(Box::new(SymmetricHashJoin::on_field(
-            "j",
-            0,
-            Duration::from_secs(1),
-        )));
+        let j =
+            g.add_operator(Box::new(SymmetricHashJoin::on_field("j", 0, Duration::from_secs(1))));
         let f = g.add_operator(Box::new(Filter::new("f", Expr::bool(true))));
         g.connect_port(a, j, 0);
         g.connect_port(b, j, 1);

@@ -184,17 +184,11 @@ mod tests {
     fn join_requires_both_ports() {
         let mut g = QueryGraph::new();
         let s = g.add_source(Box::new(FakeSource));
-        let j = g.add_operator(Box::new(SymmetricHashJoin::on_field(
-            "j",
-            0,
-            Duration::from_secs(1),
-        )));
+        let j =
+            g.add_operator(Box::new(SymmetricHashJoin::on_field("j", 0, Duration::from_secs(1))));
         g.connect(s, j);
         let errs = validate(&g);
-        assert_eq!(
-            errs,
-            vec![ValidationError::ArityMismatch { node: j, expected: 2, found: 1 }]
-        );
+        assert_eq!(errs, vec![ValidationError::ArityMismatch { node: j, expected: 2, found: 1 }]);
     }
 
     #[test]
@@ -208,9 +202,7 @@ mod tests {
         let errs = validate(&g);
         assert!(errs.contains(&ValidationError::DuplicatePort { node: f, port: 0 }));
         // Arity is also wrong (2 edges into arity-1 op).
-        assert!(errs
-            .iter()
-            .any(|e| matches!(e, ValidationError::ArityMismatch { .. })));
+        assert!(errs.iter().any(|e| matches!(e, ValidationError::ArityMismatch { .. })));
     }
 
     #[test]
@@ -265,8 +257,6 @@ mod tests {
     #[test]
     fn error_display() {
         assert_eq!(ValidationError::Cyclic.to_string(), "query graph contains a cycle");
-        assert!(ValidationError::DanglingSource(NodeId(3))
-            .to_string()
-            .contains("n3"));
+        assert!(ValidationError::DanglingSource(NodeId(3)).to_string().contains("n3"));
     }
 }

@@ -108,9 +108,7 @@ impl GroupState {
                     Value::Float(s / self.count as f64)
                 }
             }
-            AggregateFunction::Min(_) => {
-                self.ordered.keys().next().cloned().unwrap_or(Value::Null)
-            }
+            AggregateFunction::Min(_) => self.ordered.keys().next().cloned().unwrap_or(Value::Null),
             AggregateFunction::Max(_) => {
                 self.ordered.keys().next_back().cloned().unwrap_or(Value::Null)
             }
@@ -231,7 +229,12 @@ impl Operator for WindowAggregate {
         Ok(())
     }
 
-    fn on_watermark(&mut self, _port: usize, watermark: Timestamp, _out: &mut Output) -> Result<()> {
+    fn on_watermark(
+        &mut self,
+        _port: usize,
+        watermark: Timestamp,
+        _out: &mut Output,
+    ) -> Result<()> {
         let mut expired = Vec::new();
         self.window.expire_with(watermark, |e| expired.push(e.clone()));
         for old in &expired {
@@ -285,8 +288,7 @@ mod tests {
 
     #[test]
     fn sum_keeps_integer_type_and_retracts() {
-        let mut a =
-            WindowAggregate::new("s", AggregateFunction::Sum(0), Duration::from_secs(10));
+        let mut a = WindowAggregate::new("s", AggregateFunction::Sum(0), Duration::from_secs(10));
         let mut out = Output::new();
         a.process(0, &el(5, 0), &mut out).unwrap();
         a.process(0, &el(7, 1), &mut out).unwrap();
@@ -297,8 +299,7 @@ mod tests {
 
     #[test]
     fn avg_emits_float() {
-        let mut a =
-            WindowAggregate::new("a", AggregateFunction::Avg(0), Duration::from_secs(100));
+        let mut a = WindowAggregate::new("a", AggregateFunction::Avg(0), Duration::from_secs(100));
         let mut out = Output::new();
         a.process(0, &el(4, 0), &mut out).unwrap();
         a.process(0, &el(8, 1), &mut out).unwrap();
@@ -307,10 +308,8 @@ mod tests {
 
     #[test]
     fn min_max_with_retraction() {
-        let mut mn =
-            WindowAggregate::new("mn", AggregateFunction::Min(0), Duration::from_secs(10));
-        let mut mx =
-            WindowAggregate::new("mx", AggregateFunction::Max(0), Duration::from_secs(10));
+        let mut mn = WindowAggregate::new("mn", AggregateFunction::Min(0), Duration::from_secs(10));
+        let mut mx = WindowAggregate::new("mx", AggregateFunction::Max(0), Duration::from_secs(10));
         let mut out = Output::new();
         for (v, t) in [(5, 0), (2, 1), (9, 2)] {
             mn.process(0, &el(v, t), &mut out).unwrap();
@@ -340,9 +339,7 @@ mod tests {
         let rows: Vec<(i64, i64)> = out
             .elements()
             .iter()
-            .map(|e| {
-                (e.tuple.field(0).as_int().unwrap(), e.tuple.field(1).as_int().unwrap())
-            })
+            .map(|e| (e.tuple.field(0).as_int().unwrap(), e.tuple.field(1).as_int().unwrap()))
             .collect();
         assert_eq!(rows, vec![(1, 1), (1, 2), (0, 1)]);
         assert_eq!(a.live_groups(), 2);
@@ -377,8 +374,7 @@ mod tests {
 
     #[test]
     fn sum_field_out_of_bounds_errors() {
-        let mut a =
-            WindowAggregate::new("s", AggregateFunction::Sum(3), Duration::from_secs(5));
+        let mut a = WindowAggregate::new("s", AggregateFunction::Sum(3), Duration::from_secs(5));
         let mut out = Output::new();
         assert!(a.process(0, &el(1, 0), &mut out).is_err());
     }

@@ -68,7 +68,12 @@ impl Operator for Dedup {
         Ok(())
     }
 
-    fn on_watermark(&mut self, _port: usize, watermark: Timestamp, _out: &mut Output) -> Result<()> {
+    fn on_watermark(
+        &mut self,
+        _port: usize,
+        watermark: Timestamp,
+        _out: &mut Output,
+    ) -> Result<()> {
         self.expire(watermark);
         Ok(())
     }
@@ -89,8 +94,7 @@ mod tests {
         d.process(0, &el(1, 0), &mut out).unwrap();
         d.process(0, &el(1, 1), &mut out).unwrap();
         d.process(0, &el(2, 2), &mut out).unwrap();
-        let vals: Vec<i64> =
-            out.drain().map(|e| e.tuple.field(0).as_int().unwrap()).collect();
+        let vals: Vec<i64> = out.drain().map(|e| e.tuple.field(0).as_int().unwrap()).collect();
         assert_eq!(vals, vec![1, 2]);
         assert_eq!(d.live_keys(), 2);
     }

@@ -321,10 +321,7 @@ mod tests {
         assert_eq!(Expr::field(0).mul(Expr::int(2)).eval(&tup).unwrap(), Value::Int(20));
         assert_eq!(Expr::field(0).div(Expr::field(1)).eval(&tup).unwrap(), Value::Int(3));
         assert_eq!(Expr::field(0).rem(Expr::field(1)).eval(&tup).unwrap(), Value::Int(1));
-        assert_eq!(
-            Expr::field(0).div(Expr::int(0)).eval(&tup),
-            Err(StreamError::DivisionByZero)
-        );
+        assert_eq!(Expr::field(0).div(Expr::int(0)).eval(&tup), Err(StreamError::DivisionByZero));
     }
 
     #[test]

@@ -28,7 +28,12 @@ pub struct Filter {
 impl Filter {
     /// A selection with an expression predicate.
     pub fn new(name: impl Into<String>, predicate: Expr) -> Filter {
-        Filter { name: name.into(), predicate: Predicate::Expr(predicate), selectivity_hint: None, cost_hint: None }
+        Filter {
+            name: name.into(),
+            predicate: Predicate::Expr(predicate),
+            selectivity_hint: None,
+            cost_hint: None,
+        }
     }
 
     /// A selection with an arbitrary Rust predicate (not introspectable but
@@ -37,7 +42,12 @@ impl Filter {
         name: impl Into<String>,
         f: impl FnMut(&Element) -> bool + Send + 'static,
     ) -> Filter {
-        Filter { name: name.into(), predicate: Predicate::Fn(Box::new(f)), selectivity_hint: None, cost_hint: None }
+        Filter {
+            name: name.into(),
+            predicate: Predicate::Fn(Box::new(f)),
+            selectivity_hint: None,
+            cost_hint: None,
+        }
     }
 
     /// Attaches an a-priori selectivity estimate for queue placement.

@@ -57,9 +57,7 @@ impl JoinCondition {
     /// Evaluates the condition on a pair.
     pub fn matches(&self, l: &Tuple, r: &Tuple) -> Result<bool> {
         match self {
-            JoinCondition::KeyEquality { left, right } => {
-                Ok(left.eval(l)? == right.eval(r)?)
-            }
+            JoinCondition::KeyEquality { left, right } => Ok(left.eval(l)? == right.eval(r)?),
             JoinCondition::Theta(f) => Ok(f(l, r)),
         }
     }

@@ -138,11 +138,8 @@ impl Operator for SymmetricHashJoin {
         if let Some(bucket) = opposite.table.get(&key) {
             for other in bucket {
                 if within_window(element.ts, other.ts, self.window) {
-                    let combined = if own_is_left {
-                        combine(element, other)
-                    } else {
-                        combine(other, element)
-                    };
+                    let combined =
+                        if own_is_left { combine(element, other) } else { combine(other, element) };
                     out.push(combined);
                 }
             }
@@ -152,7 +149,12 @@ impl Operator for SymmetricHashJoin {
         Ok(())
     }
 
-    fn on_watermark(&mut self, _port: usize, watermark: Timestamp, _out: &mut Output) -> Result<()> {
+    fn on_watermark(
+        &mut self,
+        _port: usize,
+        watermark: Timestamp,
+        _out: &mut Output,
+    ) -> Result<()> {
         self.left.expire(watermark, self.window);
         self.right.expire(watermark, self.window);
         Ok(())
@@ -178,9 +180,7 @@ mod tests {
 
     fn results(out: &mut Output) -> Vec<(i64, i64)> {
         out.drain()
-            .map(|e| {
-                (e.tuple.field(0).as_int().unwrap(), e.tuple.field(1).as_int().unwrap())
-            })
+            .map(|e| (e.tuple.field(0).as_int().unwrap(), e.tuple.field(1).as_int().unwrap()))
             .collect()
     }
 

@@ -111,7 +111,12 @@ impl Operator for SymmetricNestedLoopsJoin {
         Ok(())
     }
 
-    fn on_watermark(&mut self, _port: usize, watermark: Timestamp, _out: &mut Output) -> Result<()> {
+    fn on_watermark(
+        &mut self,
+        _port: usize,
+        watermark: Timestamp,
+        _out: &mut Output,
+    ) -> Result<()> {
         self.left.expire(watermark);
         self.right.expire(watermark);
         Ok(())

@@ -100,7 +100,10 @@ pub struct LatencySink {
 
 impl LatencySink {
     /// Creates the sink and its shared histogram.
-    pub fn new(name: impl Into<String>, clock: SharedClock) -> (LatencySink, Arc<LatencyHistogram>) {
+    pub fn new(
+        name: impl Into<String>,
+        clock: SharedClock,
+    ) -> (LatencySink, Arc<LatencyHistogram>) {
         let hist = Arc::new(LatencyHistogram::default());
         (LatencySink { name: name.into(), clock, hist: Arc::clone(&hist) }, hist)
     }
@@ -161,12 +164,8 @@ mod tests {
         let mut out = Output::new();
         // Element stamped at 10 ms, arrives at 14 ms: 4 ms latency.
         clock.set(Timestamp::from_millis(14));
-        sink.process(
-            0,
-            &Element::new(Tuple::single(1), Timestamp::from_millis(10)),
-            &mut out,
-        )
-        .unwrap();
+        sink.process(0, &Element::new(Tuple::single(1), Timestamp::from_millis(10)), &mut out)
+            .unwrap();
         assert_eq!(hist.count(), 1);
         assert_eq!(hist.max(), Duration::from_millis(4));
         let p100 = hist.quantile(1.0).unwrap();

@@ -52,8 +52,7 @@ pub use project::{MapExpr, Project};
 pub use pull::{PullFilter, PullOperator, PullProject, PullResult, PushAsPull, QueueLeaf};
 pub use sample::{Sample, SamplePolicy};
 pub use sink::{
-    CallbackSink, CollectingSink, CountingSink, NullSink, SinkHandle, TimelineHandle,
-    TimelineSink,
+    CallbackSink, CollectingSink, CountingSink, NullSink, SinkHandle, TimelineHandle, TimelineSink,
 };
 pub use traits::{EosTracker, Operator, Output, Source, WatermarkTracker};
 pub use union::Union;

@@ -220,10 +220,9 @@ impl PullOperator for PullProject {
 
     fn next(&mut self) -> Result<PullResult> {
         match self.input.next()? {
-            PullResult::Element(e) => Ok(PullResult::Element(Element::new(
-                e.tuple.project(&self.indices)?,
-                e.ts,
-            ))),
+            PullResult::Element(e) => {
+                Ok(PullResult::Element(Element::new(e.tuple.project(&self.indices)?, e.ts)))
+            }
             other => Ok(other),
         }
     }
@@ -347,8 +346,7 @@ mod tests {
 
     fn feed(q: &StreamQueue, values: &[i64], eos: bool) {
         for (i, &v) in values.iter().enumerate() {
-            q.push(Message::data(Tuple::single(v), Timestamp::from_micros(i as u64)))
-                .unwrap();
+            q.push(Message::data(Tuple::single(v), Timestamp::from_micros(i as u64))).unwrap();
         }
         if eos {
             q.push(Message::eos()).unwrap();
@@ -359,9 +357,7 @@ mod tests {
         let mut vals = Vec::new();
         loop {
             match op.next().unwrap() {
-                PullResult::Element(e) => {
-                    vals.push(e.tuple.field(0).as_int().unwrap())
-                }
+                PullResult::Element(e) => vals.push(e.tuple.field(0).as_int().unwrap()),
                 PullResult::Pending => return (vals, false),
                 PullResult::End => return (vals, true),
             }
@@ -421,11 +417,8 @@ mod tests {
     fn projection_and_proxy_compose() {
         let q = StreamQueue::unbounded("q");
         for i in 0..3 {
-            q.push(Message::data(
-                Tuple::pair(i, i * 10),
-                Timestamp::from_micros(i as u64),
-            ))
-            .unwrap();
+            q.push(Message::data(Tuple::pair(i, i * 10), Timestamp::from_micros(i as u64)))
+                .unwrap();
         }
         q.push(Message::eos()).unwrap();
         let leaf = QueueLeaf::new("leaf", Arc::clone(&q));
@@ -442,8 +435,7 @@ mod tests {
         let q = StreamQueue::unbounded("q");
         feed(&q, &[1, 2, 3, 4, 5, 6], true);
         let leaf = QueueLeaf::new("leaf", Arc::clone(&q));
-        let push_filter =
-            Filter::new("even", Expr::field(0).rem(Expr::int(2)).eq(Expr::int(0)));
+        let push_filter = Filter::new("even", Expr::field(0).rem(Expr::int(2)).eq(Expr::int(0)));
         let mut adapted = PushAsPull::new(leaf, push_filter);
         adapted.open().unwrap();
         let (vals, ended) = drain(&mut adapted);
@@ -493,8 +485,7 @@ mod tests {
             let stage: Vec<Element> = out.drain().collect();
             for e1 in stage {
                 f2.process(0, &e1, &mut out).unwrap();
-                push_results
-                    .extend(out.drain().map(|e| e.tuple.field(0).as_int().unwrap()));
+                push_results.extend(out.drain().map(|e| e.tuple.field(0).as_int().unwrap()));
             }
         }
 
@@ -531,9 +522,7 @@ mod tests {
         while !done {
             for (leaf, got) in [(&mut a, &mut got_a), (&mut b, &mut got_b)] {
                 match leaf.next().unwrap() {
-                    PullResult::Element(e) => {
-                        got.push(e.tuple.field(0).as_int().unwrap())
-                    }
+                    PullResult::Element(e) => got.push(e.tuple.field(0).as_int().unwrap()),
                     PullResult::End => done = true,
                     PullResult::Pending => {}
                 }

@@ -93,8 +93,7 @@ mod tests {
         let mut out = Output::new();
         let mut kept = Vec::new();
         for v in 0..n {
-            s.process(0, &Element::single(v, Timestamp::from_micros(v as u64)), &mut out)
-                .unwrap();
+            s.process(0, &Element::single(v, Timestamp::from_micros(v as u64)), &mut out).unwrap();
             kept.extend(out.drain().map(|e| e.tuple.field(0).as_int().unwrap()));
         }
         kept

@@ -63,10 +63,7 @@ impl CollectingSink {
     /// Creates the sink and its observation handle.
     pub fn new(name: impl Into<String>) -> (CollectingSink, SinkHandle) {
         let state = Arc::new(SinkState::default());
-        (
-            CollectingSink { name: name.into(), state: Arc::clone(&state) },
-            SinkHandle { state },
-        )
+        (CollectingSink { name: name.into(), state: Arc::clone(&state) }, SinkHandle { state })
     }
 }
 
@@ -99,10 +96,7 @@ impl CountingSink {
     /// Creates the sink and its observation handle.
     pub fn new(name: impl Into<String>) -> (CountingSink, SinkHandle) {
         let state = Arc::new(SinkState::default());
-        (
-            CountingSink { name: name.into(), state: Arc::clone(&state) },
-            SinkHandle { state },
-        )
+        (CountingSink { name: name.into(), state: Arc::clone(&state) }, SinkHandle { state })
     }
 }
 

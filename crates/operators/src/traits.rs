@@ -90,7 +90,12 @@ pub trait Operator: Send {
 
     /// Handles a watermark on `port`: state with timestamps strictly below
     /// the watermark may be expired. Default: nothing to expire.
-    fn on_watermark(&mut self, _port: usize, _watermark: Timestamp, _out: &mut Output) -> Result<()> {
+    fn on_watermark(
+        &mut self,
+        _port: usize,
+        _watermark: Timestamp,
+        _out: &mut Output,
+    ) -> Result<()> {
         Ok(())
     }
 

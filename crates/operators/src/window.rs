@@ -118,8 +118,7 @@ mod tests {
         w.insert(el(1, 1));
         w.insert(el(2, 2));
         assert_eq!(w.len(), 2);
-        let vals: Vec<i64> =
-            w.iter().map(|e| e.tuple.field(0).as_int().unwrap()).collect();
+        let vals: Vec<i64> = w.iter().map(|e| e.tuple.field(0).as_int().unwrap()).collect();
         assert_eq!(vals, vec![1, 2]);
         assert_eq!(w.max_ts(), Timestamp::from_secs(2));
         assert_eq!(w.extent(), Duration::from_secs(10));

@@ -36,11 +36,8 @@ fn run_join<O: Operator>(
 ) -> Vec<(i64, i64, i64, i64)> {
     // Merge the two streams by timestamp (stable: left first on ties), as
     // an engine executing in arrival order would.
-    let mut merged: Vec<(usize, &Element)> = left
-        .iter()
-        .map(|e| (0usize, e))
-        .chain(right.iter().map(|e| (1usize, e)))
-        .collect();
+    let mut merged: Vec<(usize, &Element)> =
+        left.iter().map(|e| (0usize, e)).chain(right.iter().map(|e| (1usize, e))).collect();
     merged.sort_by_key(|(port, e)| (e.ts, *port));
     let mut out = Output::new();
     let mut results = Vec::new();

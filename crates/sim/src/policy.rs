@@ -52,16 +52,14 @@ impl SimPolicy {
     /// GTS: every operator its own VO (queues everywhere), all VOs in one
     /// domain on one dedicated thread.
     pub fn gts(g: &CostGraph, strategy: SimStrategy) -> SimPolicy {
-        let partitions: Vec<Vec<usize>> =
-            g.operators().into_iter().map(|v| vec![v]).collect();
+        let partitions: Vec<Vec<usize>> = g.operators().into_iter().map(|v| vec![v]).collect();
         let domains = vec![(0..partitions.len()).collect()];
         SimPolicy { partitions, domains, threading: SimThreading::Dedicated, strategy }
     }
 
     /// OTS: every operator its own VO *and* its own dedicated thread.
     pub fn ots(g: &CostGraph) -> SimPolicy {
-        let partitions: Vec<Vec<usize>> =
-            g.operators().into_iter().map(|v| vec![v]).collect();
+        let partitions: Vec<Vec<usize>> = g.operators().into_iter().map(|v| vec![v]).collect();
         let domains = (0..partitions.len()).map(|i| vec![i]).collect();
         SimPolicy {
             partitions,
@@ -108,10 +106,7 @@ impl SimPolicy {
 
     /// The operator nodes of domain `d`.
     pub fn domain_nodes(&self, d: usize) -> Vec<usize> {
-        self.domains[d]
-            .iter()
-            .flat_map(|&p| self.partitions[p].iter().copied())
-            .collect()
+        self.domains[d].iter().flat_map(|&p| self.partitions[p].iter().copied()).collect()
     }
 
     /// Checks structural sanity against a graph; returns human-readable

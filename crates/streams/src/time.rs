@@ -160,15 +160,9 @@ mod tests {
         let t = Timestamp::from_secs(1);
         assert_eq!(t.add(Duration::from_micros(5)), Timestamp(1_000_005));
         assert_eq!(t.saturating_sub(Duration::from_secs(2)), Timestamp::ZERO);
-        assert_eq!(
-            Timestamp::from_secs(3).since(Timestamp::from_secs(1)),
-            Duration::from_secs(2)
-        );
+        assert_eq!(Timestamp::from_secs(3).since(Timestamp::from_secs(1)), Duration::from_secs(2));
         // `since` an later time saturates to zero rather than panicking.
-        assert_eq!(
-            Timestamp::from_secs(1).since(Timestamp::from_secs(3)),
-            Duration::ZERO
-        );
+        assert_eq!(Timestamp::from_secs(1).since(Timestamp::from_secs(3)), Duration::ZERO);
         assert_eq!(Timestamp::MAX.add(Duration::from_secs(1)), Timestamp::MAX);
     }
 

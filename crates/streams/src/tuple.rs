@@ -135,10 +135,7 @@ mod tests {
         assert!(!t.is_empty());
         assert_eq!(t.get(0).unwrap(), &Value::Int(1));
         assert_eq!(t.field(1), &Value::from("a"));
-        assert_eq!(
-            t.get(3),
-            Err(StreamError::FieldOutOfBounds { index: 3, arity: 3 })
-        );
+        assert_eq!(t.get(3), Err(StreamError::FieldOutOfBounds { index: 3, arity: 3 }));
     }
 
     #[test]

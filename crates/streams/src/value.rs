@@ -66,9 +66,7 @@ impl Value {
         match self {
             Value::Float(f) => Ok(*f),
             Value::Int(i) => Ok(*i as f64),
-            other => {
-                Err(StreamError::TypeMismatch { expected: "Float", found: other.type_name() })
-            }
+            other => Err(StreamError::TypeMismatch { expected: "Float", found: other.type_name() }),
         }
     }
 
@@ -124,10 +122,9 @@ impl Value {
     /// Numeric addition with `Int`/`Float` coercion.
     pub fn add(&self, other: &Value) -> Result<Value, StreamError> {
         match (self, other) {
-            (Value::Int(a), Value::Int(b)) => a
-                .checked_add(*b)
-                .map(Value::Int)
-                .ok_or(StreamError::ArithmeticOverflow),
+            (Value::Int(a), Value::Int(b)) => {
+                a.checked_add(*b).map(Value::Int).ok_or(StreamError::ArithmeticOverflow)
+            }
             _ => Ok(Value::Float(self.as_float()? + other.as_float()?)),
         }
     }
@@ -135,10 +132,9 @@ impl Value {
     /// Numeric subtraction with `Int`/`Float` coercion.
     pub fn sub(&self, other: &Value) -> Result<Value, StreamError> {
         match (self, other) {
-            (Value::Int(a), Value::Int(b)) => a
-                .checked_sub(*b)
-                .map(Value::Int)
-                .ok_or(StreamError::ArithmeticOverflow),
+            (Value::Int(a), Value::Int(b)) => {
+                a.checked_sub(*b).map(Value::Int).ok_or(StreamError::ArithmeticOverflow)
+            }
             _ => Ok(Value::Float(self.as_float()? - other.as_float()?)),
         }
     }
@@ -146,10 +142,9 @@ impl Value {
     /// Numeric multiplication with `Int`/`Float` coercion.
     pub fn mul(&self, other: &Value) -> Result<Value, StreamError> {
         match (self, other) {
-            (Value::Int(a), Value::Int(b)) => a
-                .checked_mul(*b)
-                .map(Value::Int)
-                .ok_or(StreamError::ArithmeticOverflow),
+            (Value::Int(a), Value::Int(b)) => {
+                a.checked_mul(*b).map(Value::Int).ok_or(StreamError::ArithmeticOverflow)
+            }
             _ => Ok(Value::Float(self.as_float()? * other.as_float()?)),
         }
     }
@@ -231,12 +226,8 @@ impl Ord for Value {
                 Self::canonical_float(*a).total_cmp(&Self::canonical_float(*b))
             }
             // Cross-numeric comparison: compare as floats so Int(1) < Float(1.5).
-            (Value::Int(a), Value::Float(b)) => {
-                (*a as f64).total_cmp(&Self::canonical_float(*b))
-            }
-            (Value::Float(a), Value::Int(b)) => {
-                Self::canonical_float(*a).total_cmp(&(*b as f64))
-            }
+            (Value::Int(a), Value::Float(b)) => (*a as f64).total_cmp(&Self::canonical_float(*b)),
+            (Value::Float(a), Value::Int(b)) => Self::canonical_float(*a).total_cmp(&(*b as f64)),
             (Value::Str(a), Value::Str(b)) => a.cmp(b),
             _ => self.type_rank().cmp(&other.type_rank()),
         }
@@ -362,14 +353,8 @@ mod tests {
         assert_eq!(Value::Int(1).div(&Value::Int(0)), Err(StreamError::DivisionByZero));
         assert_eq!(Value::Float(1.0).div(&Value::Float(0.0)), Err(StreamError::DivisionByZero));
         assert_eq!(Value::Int(1).rem(&Value::Int(0)), Err(StreamError::DivisionByZero));
-        assert_eq!(
-            Value::Int(i64::MAX).add(&Value::Int(1)),
-            Err(StreamError::ArithmeticOverflow)
-        );
-        assert_eq!(
-            Value::Int(i64::MIN).sub(&Value::Int(1)),
-            Err(StreamError::ArithmeticOverflow)
-        );
+        assert_eq!(Value::Int(i64::MAX).add(&Value::Int(1)), Err(StreamError::ArithmeticOverflow));
+        assert_eq!(Value::Int(i64::MIN).sub(&Value::Int(1)), Err(StreamError::ArithmeticOverflow));
         assert!(Value::from("x").add(&Value::Int(1)).is_err());
     }
 

@@ -97,9 +97,7 @@ impl ArrivalProcess {
     /// (`Bursty` sums its phases; the others are unbounded).
     pub fn scheduled_count(&self) -> Option<u64> {
         match self {
-            ArrivalProcess::Bursty { phases, .. } => {
-                Some(phases.iter().map(|p| p.count).sum())
-            }
+            ArrivalProcess::Bursty { phases, .. } => Some(phases.iter().map(|p| p.count).sum()),
             _ => None,
         }
     }
@@ -151,8 +149,7 @@ mod tests {
 
     #[test]
     fn bursty_phases_advance() {
-        let mut a =
-            ArrivalProcess::bursty(vec![Phase::new(2, 1000.0), Phase::new(2, 10.0)]);
+        let mut a = ArrivalProcess::bursty(vec![Phase::new(2, 1000.0), Phase::new(2, 10.0)]);
         let mut rng = StdRng::seed_from_u64(1);
         let gaps: Vec<Duration> = (0..5).map(|_| a.next_gap(&mut rng)).collect();
         assert_eq!(gaps[0], Duration::from_millis(1));

@@ -82,8 +82,7 @@ pub fn random_cost_graph(cfg: &RandomDagConfig) -> CostGraph {
     }
     for v in k..n {
         cost[v] = log_uniform(&mut rng, cfg.cost_range);
-        selectivity[v] =
-            rng.gen_range(cfg.selectivity_range.0..=cfg.selectivity_range.1);
+        selectivity[v] = rng.gen_range(cfg.selectivity_range.0..=cfg.selectivity_range.1);
         let fanin = rng.gen_range(1..=cfg.max_fanin.max(1)).min(v);
         let mut preds: Vec<usize> = Vec::with_capacity(fanin);
         while preds.len() < fanin {
@@ -112,9 +111,7 @@ pub fn random_cost_graph(cfg: &RandomDagConfig) -> CostGraph {
                 g.edges().to_vec(),
                 cost,
                 (0..n).map(|v| g.selectivity(v)).collect(),
-                (0..n)
-                    .map(|v| g.is_source(v).then(|| 1.0 / d[v]))
-                    .collect(),
+                (0..n).map(|v| g.is_source(v).then(|| 1.0 / d[v])).collect(),
             )
         }
     }

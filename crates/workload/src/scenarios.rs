@@ -189,11 +189,8 @@ pub fn fig7_chain_into(
     for (i, &s) in p.selectivities.iter().enumerate() {
         cumulative *= s;
         let threshold = (p.value_range as f64 * cumulative).round() as i64;
-        let f = Filter::new(
-            format!("sel{instance}_{i}"),
-            Expr::field(0).lt(Expr::int(threshold)),
-        )
-        .with_selectivity_hint(s);
+        let f = Filter::new(format!("sel{instance}_{i}"), Expr::field(0).lt(Expr::int(threshold)))
+            .with_selectivity_hint(s);
         let id = graph.add_operator(Box::new(f));
         graph.connect(prev, id);
         selections.push(id);
@@ -224,8 +221,7 @@ pub struct MultiChainScenario {
 /// Builds the Fig. 8 workload: the Fig. 7 query replicated `q` times.
 pub fn fig8_multi_chain(q: usize, p: &Fig7Params) -> MultiChainScenario {
     let mut graph = QueryGraph::new();
-    let queries =
-        (0..q as u64).map(|i| fig7_chain_into(&mut graph, p, i)).collect();
+    let queries = (0..q as u64).map(|i| fig7_chain_into(&mut graph, p, i)).collect();
     MultiChainScenario { graph, queries }
 }
 
@@ -327,13 +323,10 @@ pub fn fig9_chain(p: &Fig9Params) -> Fig9Scenario {
         total,
         p.seed,
     )));
-    let projection = graph.add_operator(Box::new(Costed::new(
-        Project::new("proj", vec![0]),
-        p.mode(c_proj),
-    )));
+    let projection =
+        graph.add_operator(Box::new(Costed::new(Project::new("proj", vec![0]), p.mode(c_proj))));
     let cheap_selection = graph.add_operator(Box::new(Costed::new(
-        Filter::new("sel_cheap", Expr::field(0).le(Expr::int(9_000)))
-            .with_selectivity_hint(9e-4),
+        Filter::new("sel_cheap", Expr::field(0).le(Expr::int(9_000))).with_selectivity_hint(9e-4),
         p.mode(c_cheap),
     )));
     let expensive_selection = graph.add_operator(Box::new(Costed::new(
@@ -347,15 +340,7 @@ pub fn fig9_chain(p: &Fig9Params) -> Fig9Scenario {
     graph.connect(projection, cheap_selection);
     graph.connect(cheap_selection, expensive_selection);
     graph.connect(expensive_selection, sink);
-    Fig9Scenario {
-        graph,
-        source,
-        projection,
-        cheap_selection,
-        expensive_selection,
-        sink,
-        handle,
-    }
+    Fig9Scenario { graph, source, projection, cheap_selection, expensive_selection, sink, handle }
 }
 
 /// Drains a source into its schedule of due times (used to feed the
@@ -446,10 +431,7 @@ mod tests {
         let p = Fig9Params { virtual_costs: true, ..Fig9Params::default() };
         let s = fig9_chain(&p);
         assert!(validate(&s.graph).is_empty());
-        assert_eq!(
-            s.graph.successors(s.projection).collect::<Vec<_>>(),
-            vec![s.cheap_selection]
-        );
+        assert_eq!(s.graph.successors(s.projection).collect::<Vec<_>>(), vec![s.cheap_selection]);
         assert_eq!(s.graph.sinks(), vec![s.sink]);
         // Cost hints flow through the Costed wrapper for placement.
         if let hmts_graph::graph::NodeKind::Operator(op) = &s.graph.node(s.expensive_selection).kind
@@ -467,11 +449,7 @@ mod tests {
         let sched = drain_schedule(&mut s);
         assert_eq!(
             sched,
-            vec![
-                Timestamp::from_secs(1),
-                Timestamp::from_secs(2),
-                Timestamp::from_secs(3)
-            ]
+            vec![Timestamp::from_secs(1), Timestamp::from_secs(2), Timestamp::from_secs(3)]
         );
     }
 }

@@ -48,8 +48,7 @@ fn main() {
     let topo = Topology::of(&graph);
 
     // Start with everything fused: one VO, one thread.
-    let mut engine =
-        Engine::new(graph, ExecutionPlan::di_decoupled(&topo)).expect("engine builds");
+    let mut engine = Engine::new(graph, ExecutionPlan::di_decoupled(&topo)).expect("engine builds");
     engine.start().expect("engine starts");
     println!(
         "started with {} VO(s): {:?}",
@@ -59,11 +58,7 @@ fn main() {
 
     // The controller loop: observe, re-place, switch when the measured cost
     // model disagrees with the current partitioning.
-    let cfg = AdaptiveConfig {
-        strategy: StrategyKind::Fifo,
-        workers: 2,
-        min_samples: 500,
-    };
+    let cfg = AdaptiveConfig { strategy: StrategyKind::Fifo, workers: 2, min_samples: 500 };
     let mut switches = 0;
     while !engine.is_complete() {
         std::thread::sleep(Duration::from_millis(250));

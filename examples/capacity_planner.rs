@@ -105,8 +105,5 @@ fn queue_count(g: &CostGraph, groups: &[Vec<usize>]) -> usize {
             part[v] = i;
         }
     }
-    g.edges()
-        .iter()
-        .filter(|&&(u, v)| g.is_source(u) || part[u] != part[v])
-        .count()
+    g.edges().iter().filter(|&&(u, v)| g.is_source(u) || part[u] != part[v]).count()
 }

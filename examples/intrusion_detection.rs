@@ -36,8 +36,7 @@ fn build() -> (QueryGraph, SinkHandle) {
         packets,
     );
     let small_probe = b.op_after(
-        Filter::new("small_packet", Expr::field(2).lt(Expr::int(120)))
-            .with_selectivity_hint(0.06),
+        Filter::new("small_packet", Expr::field(2).lt(Expr::int(120))).with_selectivity_hint(0.06),
         not_service,
     );
     // Expensive: "deep inspection" of the suspicious minority.
@@ -87,22 +86,18 @@ fn main() {
     println!("\nrunning the same detection query under three architectures...\n");
     let hmts_part = partitioning.clone();
     let results = [
-        ("GTS (1 thread, queues everywhere)", run("gts", |t| {
-            ExecutionPlan::gts(t, StrategyKind::Fifo)
-        })),
+        (
+            "GTS (1 thread, queues everywhere)",
+            run("gts", |t| ExecutionPlan::gts(t, StrategyKind::Fifo)),
+        ),
         ("OTS (1 thread per operator)", run("ots", ExecutionPlan::ots)),
         (
             "HMTS (Algorithm-1 VOs, 2 workers)",
-            run("hmts", move |_| {
-                ExecutionPlan::hmts(hmts_part.clone(), StrategyKind::Fifo, 2)
-            }),
+            run("hmts", move |_| ExecutionPlan::hmts(hmts_part.clone(), StrategyKind::Fifo, 2)),
         ),
     ];
 
-    println!(
-        "{:<36} {:>9} {:>8} {:>16}",
-        "architecture", "time", "alerts", "queue transfers"
-    );
+    println!("{:<36} {:>9} {:>8} {:>16}", "architecture", "time", "alerts", "queue transfers");
     for (name, (secs, alerts, enq)) in &results {
         println!("{name:<36} {secs:>8.2}s {alerts:>8} {enq:>16}");
     }

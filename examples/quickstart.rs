@@ -20,8 +20,7 @@ fn main() {
         42,
     ));
     let in_range = b.op_after(
-        Filter::new("in_range", Expr::field(0).lt(Expr::int(900)))
-            .with_selectivity_hint(0.9),
+        Filter::new("in_range", Expr::field(0).lt(Expr::int(900))).with_selectivity_hint(0.9),
         src,
     );
     let interesting = b.op_after(
@@ -54,11 +53,7 @@ fn main() {
     for (i, group) in partitioning.groups().iter().enumerate() {
         let names: Vec<&str> = group.iter().map(|&n| topo.name(n)).collect();
         let idx: Vec<usize> = group.iter().map(|n| n.0).collect();
-        println!(
-            "  VO {i}: {:?}  (capacity {:+.6} s)",
-            names,
-            cost_graph.capacity(&idx, &d)
-        );
+        println!("  VO {i}: {:?}  (capacity {:+.6} s)", names, cost_graph.capacity(&idx, &d));
     }
 
     // 3. Execute under HMTS: each VO is a pooled domain on 2 workers.
@@ -80,10 +75,6 @@ fn main() {
     println!(
         "\n{} results; first three: {}",
         out.len(),
-        out.iter()
-            .take(3)
-            .map(|e| e.tuple.to_string())
-            .collect::<Vec<_>>()
-            .join(", ")
+        out.iter().take(3).map(|e| e.tuple.to_string()).collect::<Vec<_>>().join(", ")
     );
 }

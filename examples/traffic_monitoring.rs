@@ -28,10 +28,7 @@ fn main() {
     let speed_src = b.source(SyntheticSource::new(
         "speed_sensors",
         ArrivalProcess::poisson(8_000.0),
-        TupleGen::new(vec![
-            FieldGen::uniform_int(0, SEGMENTS),
-            FieldGen::uniform_int(5, 130),
-        ]),
+        TupleGen::new(vec![FieldGen::uniform_int(0, SEGMENTS), FieldGen::uniform_int(5, 130)]),
         40_000,
         7,
     ));
@@ -43,10 +40,7 @@ fn main() {
             Phase::new(5_000, 2_000.0),
             Phase::new(10_000, 12_000.0),
         ]),
-        TupleGen::new(vec![
-            FieldGen::uniform_int(0, SEGMENTS),
-            FieldGen::uniform_int(0, 40),
-        ]),
+        TupleGen::new(vec![FieldGen::uniform_int(0, SEGMENTS), FieldGen::uniform_int(0, 40)]),
         25_000,
         8,
     ));
@@ -64,8 +58,7 @@ fn main() {
         plausible,
     );
     let busy = b.op_after(
-        Filter::new("busy_segment", Expr::field(1).ge(Expr::int(25)))
-            .with_selectivity_hint(0.4),
+        Filter::new("busy_segment", Expr::field(1).ge(Expr::int(25))).with_selectivity_hint(0.4),
         volume_src,
     );
 
@@ -79,10 +72,8 @@ fn main() {
         busy,
     );
     // Congested: average speed below 40 on a busy segment.
-    let congested = b.op_after(
-        Filter::new("congested", Expr::field(1).lt(Expr::float(40.0))),
-        join,
-    );
+    let congested =
+        b.op_after(Filter::new("congested", Expr::field(1).lt(Expr::float(40.0))), join);
     let dedup = b.op_after(
         Dedup::new("alert_once_per_segment", Expr::field(0), Duration::from_millis(500)),
         congested,

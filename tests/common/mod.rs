@@ -6,19 +6,12 @@ use hmts::prelude::*;
 /// Builds the standard test query: one deterministic source (values
 /// `0..count` at `rate` el/s) through a chain of selections into a
 /// collecting sink. Returns the graph and the sink handle.
-pub fn selection_chain(
-    count: u64,
-    rate: f64,
-    thresholds: &[i64],
-) -> (QueryGraph, SinkHandle) {
+pub fn selection_chain(count: u64, rate: f64, thresholds: &[i64]) -> (QueryGraph, SinkHandle) {
     let mut b = GraphBuilder::new();
     let src = b.source(VecSource::counting("src", count, rate));
     let mut prev = src;
     for (i, &t) in thresholds.iter().enumerate() {
-        prev = b.op_after(
-            Filter::new(format!("f{i}"), Expr::field(0).lt(Expr::int(t))),
-            prev,
-        );
+        prev = b.op_after(Filter::new(format!("f{i}"), Expr::field(0).lt(Expr::int(t))), prev);
     }
     let (sink, handle) = CollectingSink::new("out");
     b.op_after(sink, prev);
@@ -27,11 +20,8 @@ pub fn selection_chain(
 
 /// The sorted integer payloads a sink collected.
 pub fn collected_values(handle: &SinkHandle) -> Vec<i64> {
-    let mut vals: Vec<i64> = handle
-        .elements()
-        .iter()
-        .map(|e| e.tuple.field(0).as_int().unwrap())
-        .collect();
+    let mut vals: Vec<i64> =
+        handle.elements().iter().map(|e| e.tuple.field(0).as_int().unwrap()).collect();
     vals.sort_unstable();
     vals
 }

@@ -67,13 +67,9 @@ fn fig7_di_beats_gts_in_real_engine() {
     let run = |plan_for: fn(&Topology) -> ExecutionPlan| -> f64 {
         let s = fig7_chain(&p);
         let topo = Topology::of(&s.graph);
-        let cfg = EngineConfig {
-            pace_sources: false,
-            measure_stats: false,
-            ..EngineConfig::default()
-        };
-        let report =
-            Engine::run_with_config(s.graph, plan_for(&topo), cfg).expect("engine runs");
+        let cfg =
+            EngineConfig { pace_sources: false, measure_stats: false, ..EngineConfig::default() };
+        let report = Engine::run_with_config(s.graph, plan_for(&topo), cfg).expect("engine runs");
         assert!(report.errors.is_empty());
         report.elapsed.as_secs_f64()
     };
@@ -85,10 +81,7 @@ fn fig7_di_beats_gts_in_real_engine() {
     };
     let di = median(ExecutionPlan::di_decoupled);
     let gts = median(|t| ExecutionPlan::gts(t, StrategyKind::Fifo));
-    assert!(
-        di < gts,
-        "DI ({di:.3}s) must beat GTS ({gts:.3}s) — queueing overhead is real"
-    );
+    assert!(di < gts, "DI ({di:.3}s) must beat GTS ({gts:.3}s) — queueing overhead is real");
 }
 
 /// The Fig. 9 cost graph: src -> projection -> cheap selective -> expensive
@@ -140,23 +133,17 @@ fn pipes_sim_config() -> SimConfig {
 fn fig9_hmts_beats_gts_on_two_simulated_cores() {
     // 1/5 of paper scale: 14 000 elements, slow phases of 16 s each.
     let g = fig9_cost_graph(250.0);
-    let schedule = bursty_schedule(&[
-        (2_000, 500_000.0),
-        (4_000, 250.0),
-        (4_000, 500_000.0),
-        (4_000, 250.0),
-    ]);
+    let schedule =
+        bursty_schedule(&[(2_000, 500_000.0), (4_000, 250.0), (4_000, 500_000.0), (4_000, 250.0)]);
     let emission_end = *schedule.last().unwrap(); // ≈ 32 s
     let cfg = pipes_sim_config();
 
-    let gts = simulate(&g, std::slice::from_ref(&schedule), &SimPolicy::gts(&g, SimStrategy::Fifo), &cfg);
+    let gts =
+        simulate(&g, std::slice::from_ref(&schedule), &SimPolicy::gts(&g, SimStrategy::Fifo), &cfg);
     // The paper's HMTS setting: decoupled "twice: between the source and
     // the first filter as well as between the filters" — projection+cheap
     // in one VO, expensive selection (and sink) in the other, two threads.
-    let hmts = SimPolicy::hmts_dedicated(
-        vec![vec![1, 2], vec![3, 4]],
-        SimStrategy::Fifo,
-    );
+    let hmts = SimPolicy::hmts_dedicated(vec![vec![1, 2], vec![3, 4]], SimStrategy::Fifo);
     let h = simulate(&g, &[schedule], &hmts, &cfg);
 
     assert_eq!(gts.outputs, h.outputs, "same results regardless of scheduling");
@@ -177,24 +164,16 @@ fn fig9_hmts_beats_gts_on_two_simulated_cores() {
 #[test]
 fn fig9_chain_has_lower_memory_than_fifo() {
     let g = fig9_cost_graph(250.0);
-    let schedule = bursty_schedule(&[
-        (2_000, 500_000.0),
-        (4_000, 250.0),
-        (4_000, 500_000.0),
-        (4_000, 250.0),
-    ]);
+    let schedule =
+        bursty_schedule(&[(2_000, 500_000.0), (4_000, 250.0), (4_000, 500_000.0), (4_000, 250.0)]);
     let cfg = pipes_sim_config();
 
     let segments = compute_chain_segments(&g);
-    let priorities: Vec<f64> =
-        (0..g.node_count()).map(|v| segments.priority_of(v)).collect();
-    let fifo = simulate(&g, std::slice::from_ref(&schedule), &SimPolicy::gts(&g, SimStrategy::Fifo), &cfg);
-    let chain = simulate(
-        &g,
-        &[schedule],
-        &SimPolicy::gts(&g, SimStrategy::Priority(priorities)),
-        &cfg,
-    );
+    let priorities: Vec<f64> = (0..g.node_count()).map(|v| segments.priority_of(v)).collect();
+    let fifo =
+        simulate(&g, std::slice::from_ref(&schedule), &SimPolicy::gts(&g, SimStrategy::Fifo), &cfg);
+    let chain =
+        simulate(&g, &[schedule], &SimPolicy::gts(&g, SimStrategy::Priority(priorities)), &cfg);
 
     // Fig. 9's claim: Chain's memory curve sits below FIFO's. Compare the
     // time-weighted average occupancy.
@@ -207,10 +186,7 @@ fn fig9_chain_has_lower_memory_than_fifo() {
     };
     let f_avg = avg(&fifo.memory_timeline);
     let c_avg = avg(&chain.memory_timeline);
-    assert!(
-        c_avg <= f_avg * 1.05,
-        "Chain memory ({c_avg:.0}) must not exceed FIFO's ({f_avg:.0})"
-    );
+    assert!(c_avg <= f_avg * 1.05, "Chain memory ({c_avg:.0}) must not exceed FIFO's ({f_avg:.0})");
     // Fig. 10's claim: FIFO produces results continuously and *earlier*.
     let first_out = |tl: &[(f64, u64)]| tl.first().map(|p| p.0).unwrap_or(f64::MAX);
     assert!(
@@ -241,9 +217,7 @@ fn fig8_ots_degrades_with_many_queries_in_sim() {
                 sel[base + i + 1] = 0.998;
             }
         }
-        let schedules = (0..q)
-            .map(|_| (1..=2_000).map(|i| i as f64 * 1e-6).collect())
-            .collect();
+        let schedules = (0..q).map(|_| (1..=2_000).map(|i| i as f64 * 1e-6).collect()).collect();
         (CostGraph::from_parts(n, edges, cost, sel, src), schedules)
     };
     let cfg = SimConfig::with_cores(2);
@@ -256,10 +230,7 @@ fn fig8_ots_degrades_with_many_queries_in_sim() {
     };
     let r1 = ratio(1);
     let r20 = ratio(20);
-    assert!(
-        r20 > r1,
-        "OTS/DI ratio must grow with query count: {r1:.2} -> {r20:.2}"
-    );
+    assert!(r20 > r1, "OTS/DI ratio must grow with query count: {r1:.2} -> {r20:.2}");
     assert!(r20 > 1.5, "OTS clearly behind at 20 queries: {r20:.2}");
 }
 
@@ -283,8 +254,7 @@ fn adaptive_controller_discovers_expensive_operator() {
     let graph = b.build().expect("valid graph");
     let topo = Topology::of(&graph);
 
-    let mut engine =
-        Engine::new(graph, ExecutionPlan::di_decoupled(&topo)).expect("engine builds");
+    let mut engine = Engine::new(graph, ExecutionPlan::di_decoupled(&topo)).expect("engine builds");
     engine.start().expect("engine starts");
     let cfg = AdaptiveConfig { min_samples: 300, ..AdaptiveConfig::default() };
     let mut adaptation = Adaptation::InsufficientData;

@@ -25,8 +25,7 @@ fn all_plans(graph: &QueryGraph) -> Vec<(&'static str, ExecutionPlan)> {
     let ops = topo.operators();
     // A hand-rolled HMTS partitioning: first two selections in one VO, the
     // third selection and the sink in another.
-    let hmts_partitioning =
-        Partitioning::new(vec![vec![ops[0], ops[1]], vec![ops[2], ops[3]]]);
+    let hmts_partitioning = Partitioning::new(vec![vec![ops[0], ops[1]], vec![ops[2], ops[3]]]);
     vec![
         ("di", ExecutionPlan::di(&topo)),
         ("di_decoupled", ExecutionPlan::di_decoupled(&topo)),
@@ -74,14 +73,8 @@ fn fanout_sharing_is_consistent_across_modes() {
         let mut b = GraphBuilder::new();
         let src = b.source(VecSource::counting("src", 5_000, RATE));
         let f = b.op_after(Filter::new("f", Expr::field(0).lt(Expr::int(4_000))), src);
-        let l = b.op_after(
-            Filter::new("l", Expr::field(0).rem(Expr::int(2)).eq(Expr::int(0))),
-            f,
-        );
-        let r = b.op_after(
-            Filter::new("r", Expr::field(0).rem(Expr::int(3)).eq(Expr::int(0))),
-            f,
-        );
+        let l = b.op_after(Filter::new("l", Expr::field(0).rem(Expr::int(2)).eq(Expr::int(0))), f);
+        let r = b.op_after(Filter::new("r", Expr::field(0).rem(Expr::int(3)).eq(Expr::int(0))), f);
         let u = b.op(Union::new("u", 2));
         b.connect_port(l, u, 0).connect_port(r, u, 1);
         let (sink, handle) = CollectingSink::new("out");
@@ -120,11 +113,8 @@ fn windowed_aggregate_is_consistent_across_modes() {
     for (name, plan) in all_plans_generic(&probe) {
         let (graph, handle) = build();
         run_unpaced(graph, plan);
-        let counts: Vec<i64> = handle
-            .elements()
-            .iter()
-            .map(|e| e.tuple.field(0).as_int().unwrap())
-            .collect();
+        let counts: Vec<i64> =
+            handle.elements().iter().map(|e| e.tuple.field(0).as_int().unwrap()).collect();
         assert_eq!(counts.len(), 2_000, "{name}: one update per input");
         match &reference {
             None => reference = Some(counts),

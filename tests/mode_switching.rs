@@ -16,14 +16,9 @@ use std::time::Duration;
 fn paced_graph(count: u64, rate: f64) -> (QueryGraph, SinkHandle) {
     let mut b = GraphBuilder::new();
     let src = b.source(VecSource::counting("src", count, rate));
-    let f1 = b.op_after(
-        Filter::new("keep_even", Expr::field(0).rem(Expr::int(2)).eq(Expr::int(0))),
-        src,
-    );
-    let f2 = b.op_after(
-        Filter::new("keep_lt", Expr::field(0).lt(Expr::int(i64::MAX))),
-        f1,
-    );
+    let f1 = b
+        .op_after(Filter::new("keep_even", Expr::field(0).rem(Expr::int(2)).eq(Expr::int(0))), src);
+    let f2 = b.op_after(Filter::new("keep_lt", Expr::field(0).lt(Expr::int(i64::MAX))), f1);
     let (sink, handle) = CollectingSink::new("out");
     b.op_after(sink, f2);
     (b.build().expect("valid graph"), handle)
@@ -55,12 +50,7 @@ fn run_with_switches(count: u64, rate: f64, interval: Duration, plans: Vec<Execu
 fn gts_to_ots_mid_stream() {
     let (g, _) = paced_graph(1, 1.0);
     let topo = Topology::of(&g);
-    run_with_switches(
-        3_000,
-        10_000.0,
-        Duration::from_millis(60),
-        vec![ExecutionPlan::ots(&topo)],
-    );
+    run_with_switches(3_000, 10_000.0, Duration::from_millis(60), vec![ExecutionPlan::ots(&topo)]);
 }
 
 #[test]
@@ -122,9 +112,8 @@ fn queue_drain_on_switch_loses_nothing() {
         batch: 4,
         ..EngineConfig::default()
     };
-    let mut engine =
-        Engine::with_config(graph, ExecutionPlan::gts(&topo, StrategyKind::Fifo), cfg)
-            .expect("engine builds");
+    let mut engine = Engine::with_config(graph, ExecutionPlan::gts(&topo, StrategyKind::Fifo), cfg)
+        .expect("engine builds");
     engine.start().expect("engine starts");
     std::thread::sleep(Duration::from_millis(5));
     engine.switch_plan(ExecutionPlan::di_decoupled(&topo)).expect("switch");
@@ -138,9 +127,8 @@ fn switch_after_completion_is_safe() {
     let (graph, handle) = paced_graph(100, 1e9);
     let topo = Topology::of(&graph);
     let cfg = EngineConfig { pace_sources: false, ..EngineConfig::default() };
-    let mut engine =
-        Engine::with_config(graph, ExecutionPlan::gts(&topo, StrategyKind::Fifo), cfg)
-            .expect("engine builds");
+    let mut engine = Engine::with_config(graph, ExecutionPlan::gts(&topo, StrategyKind::Fifo), cfg)
+        .expect("engine builds");
     engine.start().expect("engine starts");
     // Let the tiny stream finish entirely.
     while !engine.is_complete() {
@@ -157,15 +145,12 @@ fn switch_after_completion_is_safe() {
 fn switch_rejects_invalid_plan_and_keeps_running() {
     let (graph, handle) = paced_graph(2_000, 20_000.0);
     let topo = Topology::of(&graph);
-    let mut engine = Engine::new(graph, ExecutionPlan::gts(&topo, StrategyKind::Fifo))
-        .expect("engine builds");
+    let mut engine =
+        Engine::new(graph, ExecutionPlan::gts(&topo, StrategyKind::Fifo)).expect("engine builds");
     engine.start().expect("engine starts");
     let mut bad = ExecutionPlan::ots(&topo);
     bad.partitioning = Partitioning::new(vec![]);
-    assert!(matches!(
-        engine.switch_plan(bad),
-        Err(EngineError::InvalidPlan(_))
-    ));
+    assert!(matches!(engine.switch_plan(bad), Err(EngineError::InvalidPlan(_))));
     let report = engine.wait();
     assert!(report.errors.is_empty());
     assert_eq!(collected_values(&handle), expected_evens(2_000));
@@ -175,12 +160,9 @@ fn switch_rejects_invalid_plan_and_keeps_running() {
 fn switch_before_start_is_rejected() {
     let (graph, _) = paced_graph(10, 1e9);
     let topo = Topology::of(&graph);
-    let mut engine = Engine::new(graph, ExecutionPlan::gts(&topo, StrategyKind::Fifo))
-        .expect("engine builds");
-    assert!(matches!(
-        engine.switch_plan(ExecutionPlan::ots(&topo)),
-        Err(EngineError::NotStarted)
-    ));
+    let mut engine =
+        Engine::new(graph, ExecutionPlan::gts(&topo, StrategyKind::Fifo)).expect("engine builds");
+    assert!(matches!(engine.switch_plan(ExecutionPlan::ots(&topo)), Err(EngineError::NotStarted)));
 }
 
 #[test]
@@ -203,8 +185,8 @@ fn priorities_adjust_at_runtime() {
 fn abort_stops_early() {
     let (graph, handle) = paced_graph(1_000_000, 1_000.0); // would take ~17 min
     let topo = Topology::of(&graph);
-    let mut engine = Engine::new(graph, ExecutionPlan::gts(&topo, StrategyKind::Fifo))
-        .expect("engine builds");
+    let mut engine =
+        Engine::new(graph, ExecutionPlan::gts(&topo, StrategyKind::Fifo)).expect("engine builds");
     engine.start().expect("engine starts");
     std::thread::sleep(Duration::from_millis(100));
     let t0 = std::time::Instant::now();
@@ -228,8 +210,8 @@ fn many_operator_rapid_switching() {
     b.op_after(sink, prev);
     let graph = b.build().expect("valid graph");
     let topo = Topology::of(&graph);
-    let mut engine = Engine::new(graph, ExecutionPlan::gts(&topo, StrategyKind::Fifo))
-        .expect("engine builds");
+    let mut engine =
+        Engine::new(graph, ExecutionPlan::gts(&topo, StrategyKind::Fifo)).expect("engine builds");
     engine.start().expect("engine starts");
     for i in 0..40 {
         let plan = if i % 2 == 0 {

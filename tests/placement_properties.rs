@@ -10,9 +10,8 @@ use proptest::prelude::*;
 /// Strategy: a random cost graph via the seeded generator (the generator is
 /// itself deterministic, so shrinking over its inputs is meaningful).
 fn arb_graph() -> impl Strategy<Value = CostGraph> {
-    (4usize..60, any::<u64>()).prop_map(|(n, seed)| {
-        random_cost_graph(&RandomDagConfig::new(n, seed))
-    })
+    (4usize..60, any::<u64>())
+        .prop_map(|(n, seed)| random_cost_graph(&RandomDagConfig::new(n, seed)))
 }
 
 /// Checks the virtual-operator invariants: disjoint, covering, connected.

@@ -47,11 +47,9 @@ fn counts_match_exactly_without_selectivity() {
     let (real, schedule) = real_chain_run(5_000, i64::MAX);
     assert_eq!(real, 5_000);
     let g = sim_chain(5_000, 1.0);
-    for policy in [
-        SimPolicy::gts(&g, SimStrategy::Fifo),
-        SimPolicy::ots(&g),
-        SimPolicy::di_decoupled(&g),
-    ] {
+    for policy in
+        [SimPolicy::gts(&g, SimStrategy::Fifo), SimPolicy::ots(&g), SimPolicy::di_decoupled(&g)]
+    {
         let r = simulate(&g, std::slice::from_ref(&schedule), &policy, &SimConfig::default());
         assert_eq!(r.outputs, real, "{:?}", policy.threading);
     }
@@ -64,12 +62,7 @@ fn counts_match_statistically_with_selectivity() {
     let (real, schedule) = real_chain_run(10_000, 2_500);
     assert_eq!(real, 2_500);
     let g = sim_chain(10_000, 0.25);
-    let r = simulate(
-        &g,
-        &[schedule],
-        &SimPolicy::di_decoupled(&g),
-        &SimConfig::default(),
-    );
+    let r = simulate(&g, &[schedule], &SimPolicy::di_decoupled(&g), &SimConfig::default());
     let diff = (r.outputs as i64 - real as i64).abs();
     assert!(diff < 200, "sim {} vs real {real}", r.outputs);
 }
@@ -79,8 +72,10 @@ fn sim_is_deterministic_per_seed() {
     let g = sim_chain(10_000, 0.5);
     let schedule: Vec<f64> = (0..10_000).map(|i| i as f64 * 1e-4).collect();
     let cfg = SimConfig::default();
-    let a = simulate(&g, std::slice::from_ref(&schedule), &SimPolicy::gts(&g, SimStrategy::Fifo), &cfg);
-    let b = simulate(&g, std::slice::from_ref(&schedule), &SimPolicy::gts(&g, SimStrategy::Fifo), &cfg);
+    let a =
+        simulate(&g, std::slice::from_ref(&schedule), &SimPolicy::gts(&g, SimStrategy::Fifo), &cfg);
+    let b =
+        simulate(&g, std::slice::from_ref(&schedule), &SimPolicy::gts(&g, SimStrategy::Fifo), &cfg);
     assert_eq!(a.outputs, b.outputs);
     assert_eq!(a.completion_time, b.completion_time);
     assert_eq!(a.ctx_switches, b.ctx_switches);
@@ -118,11 +113,7 @@ fn overload_builds_backlog_in_both_worlds() {
     let report = Engine::run_with_config(graph, ExecutionPlan::gts(&topo, StrategyKind::Fifo), cfg)
         .expect("engine runs");
     assert_eq!(handle.count(), 200);
-    assert!(
-        report.peak_queue_memory > 50,
-        "real backlog {}",
-        report.peak_queue_memory
-    );
+    assert!(report.peak_queue_memory > 50, "real backlog {}", report.peak_queue_memory);
 
     // Simulator:
     let g = hmts_graph::cost::CostGraph::from_parts(
@@ -133,7 +124,8 @@ fn overload_builds_backlog_in_both_worlds() {
         vec![Some(10_000.0), None, None],
     );
     let schedule: Vec<f64> = (1..=200).map(|i| i as f64 / 10_000.0).collect();
-    let r = simulate(&g, &[schedule], &SimPolicy::gts(&g, SimStrategy::Fifo), &SimConfig::default());
+    let r =
+        simulate(&g, &[schedule], &SimPolicy::gts(&g, SimStrategy::Fifo), &SimConfig::default());
     assert_eq!(r.outputs, 200);
     assert!(r.peak_memory > 50, "sim backlog {}", r.peak_memory);
     // Completion dominated by the 1 ms × 200 processing in both worlds.
