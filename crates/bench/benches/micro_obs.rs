@@ -1,23 +1,109 @@
 //! Observability overhead: the cost of an instrumented operator invocation
-//! with observability disabled (the default) versus enabled.
+//! with observability disabled (the default) versus enabled, and the cost
+//! of the per-tuple trace hook in its three states — disabled (no tracer),
+//! unsampled (tracer installed, tuple not sampled), and sampled (a span is
+//! recorded).
 //!
-//! The disabled path is the acceptance-critical one — an engine built
+//! The disabled paths are the acceptance-critical ones — an engine built
 //! without an [`Obs`] handle must pay only a `None` branch per emit guard
-//! plus a relaxed atomic per detached counter, which must stay far below
-//! the cost of even the cheapest real operator (≈500 ns for the Fig. 9
-//! cheap selection). The `hmts-obs` unit test
-//! `disabled_path_is_near_zero_cost` asserts the same bound (< 50 ns)
-//! without criterion.
+//! plus a relaxed atomic per detached counter, and the executor's trace
+//! hook must cost one tag test when the tuple is untraced. Before the
+//! timed benches run, `main` uses a counting global allocator to assert
+//! the disabled and unsampled hook paths perform **zero allocations** —
+//! the acceptance bound of the tracing tentpole. The `hmts-obs` unit test
+//! `disabled_path_is_near_zero_cost` asserts the journal-side bound
+//! (< 50 ns) without criterion.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use hmts::obs::{Obs, SchedEvent};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, Criterion, Throughput};
+use hmts::obs::{HopKind, Obs, SchedEvent, TraceConfig, Tracer};
+use hmts::streams::element::TraceTag;
+
+/// A pass-through allocator that counts allocation calls so the harness
+/// can prove the untraced hot path never touches the heap.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter is a relaxed atomic
+// with no other side effects.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
 
 /// What an instrumented hot path does once per operator invocation: one
 /// journal emit guard and one counter update.
 fn instrumented_op(obs: &Obs, counter: &hmts::obs::Counter, i: usize) {
     obs.emit_with(|| SchedEvent::Dispatch { domain: i, worker: 0, priority: 0 });
     counter.inc();
+}
+
+/// The executor's per-element trace hook, verbatim: a tag test, an
+/// `Option` branch, and — only for sampled tuples — a span record against
+/// a pre-interned site name.
+#[inline]
+fn trace_hook(tag: TraceTag, tracer: &Option<Arc<Tracer>>, site: &Arc<str>) {
+    if tag.is_sampled() {
+        if let Some(t) = tracer {
+            t.record(tag.id(), HopKind::ProcessStart, site, 0);
+        }
+    }
+}
+
+fn sampling_tracer(sample_every: u64) -> Option<Arc<Tracer>> {
+    let cfg = TraceConfig { sample_every, seed: 1, buffer_capacity: 1 << 10 };
+    Some(Arc::new(Tracer::new(cfg, Instant::now())))
+}
+
+/// Asserts the acceptance bound of the tracing tentpole: with tracing
+/// disabled or the tuple unsampled, the hook performs zero heap
+/// allocations per element.
+fn assert_untraced_hook_allocates_nothing() {
+    const N: u64 = 100_000;
+    let site: Arc<str> = Arc::from("sel_cheap");
+
+    let disabled: Option<Arc<Tracer>> = None;
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    for _ in 0..N {
+        trace_hook(black_box(TraceTag::NONE), black_box(&disabled), &site);
+    }
+    let disabled_allocs = ALLOC_CALLS.load(Ordering::Relaxed) - before;
+
+    let unsampled = sampling_tracer(u64::MAX);
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    for _ in 0..N {
+        trace_hook(black_box(TraceTag::NONE), black_box(&unsampled), &site);
+    }
+    let unsampled_allocs = ALLOC_CALLS.load(Ordering::Relaxed) - before;
+
+    assert_eq!(disabled_allocs, 0, "disabled trace hook must not allocate");
+    assert_eq!(unsampled_allocs, 0, "unsampled trace hook must not allocate");
+    assert_eq!(
+        unsampled.as_ref().map(|t| t.recorded()),
+        Some(0),
+        "unsampled tuples record no spans"
+    );
+    println!("untraced hot path: 0 allocations over {N} disabled and {N} unsampled elements\n");
 }
 
 fn obs_overhead(c: &mut Criterion) {
@@ -57,5 +143,38 @@ fn obs_overhead(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, obs_overhead);
-criterion_main!(benches);
+fn trace_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_hook");
+    g.throughput(Throughput::Elements(1));
+    let site: Arc<str> = Arc::from("sel_cheap");
+
+    g.bench_function("disabled", |b| {
+        let tracer: Option<Arc<Tracer>> = None;
+        b.iter(|| trace_hook(black_box(TraceTag::NONE), black_box(&tracer), &site));
+    });
+
+    g.bench_function("unsampled", |b| {
+        let tracer = sampling_tracer(u64::MAX);
+        b.iter(|| trace_hook(black_box(TraceTag::NONE), black_box(&tracer), &site));
+    });
+
+    g.bench_function("sampled_record", |b| {
+        let tracer = sampling_tracer(1);
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            trace_hook(black_box(TraceTag::new(seq)), black_box(&tracer), &site);
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, obs_overhead, trace_overhead);
+
+fn main() {
+    // `cargo bench` passes flags like `--bench`; nothing to parse.
+    let _ = std::env::args();
+    assert_untraced_hook_allocates_nothing();
+    benches();
+}

@@ -57,4 +57,11 @@ fn main() {
          fraction earliest; FIFO reaches them earlier than Chain; completion ≈162 s \
          (HMTS) vs ≈260 s (GTS)."
     );
+
+    // `--trace <dir>`: re-run the same chain on the real engine under the
+    // two-partition HMTS plan with sampled per-tuple tracing, writing a
+    // Perfetto timeline plus the queue-wait/processing attribution.
+    if let Some(dir) = &args.trace {
+        hmts_bench::traced::run_traced(dir, args.seed);
+    }
 }

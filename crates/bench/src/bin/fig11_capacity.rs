@@ -97,4 +97,11 @@ fn main() {
          (VOs are not fully utilized), but Algorithm 1's average negative capacity \
          is much closer to zero than the segment and chain constructions'."
     );
+
+    // `--trace <dir>`: the capacity sweep itself never executes a query, so
+    // the traced run replays the Fig. 9/10 chain under the two-VO HMTS
+    // placement and writes the Perfetto timeline + latency attribution.
+    if let Some(dir) = &args.trace {
+        hmts_bench::traced::run_traced(dir, args.seed);
+    }
 }

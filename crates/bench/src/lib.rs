@@ -15,6 +15,7 @@
 //!   CSV sampler series under `<dir>` (binaries that support it).
 
 pub mod fig9;
+pub mod traced;
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -38,6 +39,11 @@ pub struct Args {
     /// Observability snapshot directory (`--metrics <dir>`); `None`
     /// leaves observability disabled.
     pub metrics: Option<PathBuf>,
+    /// Tuple-trace output directory (`--trace <dir>`); `None` leaves
+    /// per-tuple tracing disabled. Binaries that support it run the
+    /// workload with sampled tracing and write a Chrome/Perfetto
+    /// `trace.json` plus a per-operator `latency_breakdown.csv` there.
+    pub trace: Option<PathBuf>,
 }
 
 impl Default for Args {
@@ -49,6 +55,7 @@ impl Default for Args {
             out: PathBuf::from("results"),
             seed: 1,
             metrics: None,
+            trace: None,
         }
     }
 }
@@ -80,10 +87,14 @@ pub fn parse_args(default_scale: f64) -> Args {
                 args.metrics =
                     Some(PathBuf::from(it.next().unwrap_or_else(|| die("--metrics needs a path"))))
             }
+            "--trace" => {
+                args.trace =
+                    Some(PathBuf::from(it.next().unwrap_or_else(|| die("--trace needs a path"))))
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "options: --scale <k> | --paper | --quick | --seed <n> | --out <dir> \
-                     | --metrics <dir>"
+                     | --metrics <dir> | --trace <dir>"
                 );
                 std::process::exit(0);
             }

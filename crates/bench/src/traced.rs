@@ -1,0 +1,90 @@
+//! Shared `--trace <dir>` runner for the figure binaries.
+//!
+//! Replays the Fig. 9/10 chain on the *real* engine under a two-partition
+//! HMTS plan with per-tuple trace sampling enabled, then writes the
+//! Chrome/Perfetto timeline (`trace.json`) and the per-operator
+//! queue-wait/processing breakdown (`latency_breakdown.csv`) under the
+//! requested directory. The run is heavily time-compressed: the point is
+//! latency *attribution* under the paper's bursty workload, not the
+//! paper-scale completion gap.
+
+use std::path::Path;
+
+use hmts::obs::export::{latency_breakdown, OpLatency};
+use hmts::prelude::*;
+use hmts::workload::scenarios::{fig9_chain, Fig9Params};
+
+use crate::{fmt_secs, table};
+
+/// Tuple-trace sampling rate used by the `--trace` runs: with ≈70 000
+/// source elements, 1-in-16 keeps the span buffer comfortably inside its
+/// ring while still giving every operator thousands of samples.
+pub const TRACE_SAMPLE_EVERY: u64 = 16;
+
+/// Runs the traced Fig. 9/10 experiment and writes `trace.json` +
+/// `latency_breakdown.csv` under `dir`. Returns the per-operator rows so
+/// callers can fold them into their own summaries.
+pub fn run_traced(dir: &Path, seed: u64) -> Vec<OpLatency> {
+    eprintln!("trace: real-engine HMTS run with 1-in-{TRACE_SAMPLE_EVERY} tuple sampling...");
+    let p = Fig9Params { speedup: 2_000.0, seed, ..Fig9Params::default() };
+    let s = fig9_chain(&p);
+    let obs = Obs::with_config(ObsConfig {
+        journal_capacity: 1 << 16,
+        trace: Some(TraceConfig {
+            sample_every: TRACE_SAMPLE_EVERY,
+            seed,
+            buffer_capacity: 1 << 18,
+        }),
+    });
+    // The paper's Fig. 9 placement: {projection, cheap selection} and
+    // {expensive selection, sink} as two virtual operators on a two-worker
+    // pool, so the trace shows both intra-partition DI hops and the
+    // decoupling queue between the partitions.
+    let part = Partitioning::new(vec![
+        vec![s.projection, s.cheap_selection],
+        vec![s.expensive_selection, s.sink],
+    ]);
+    let cfg = EngineConfig { obs: obs.clone(), ..EngineConfig::default() };
+    let report =
+        Engine::run_with_config(s.graph, ExecutionPlan::hmts(part, StrategyKind::Fifo, 2), cfg)
+            .expect("engine runs");
+    assert!(report.errors.is_empty(), "errors: {:?}", report.errors);
+
+    let spans = obs.trace_snapshot();
+    let paths = obs.write_trace(dir).expect("write trace files").expect("tracing was enabled");
+    let rows = latency_breakdown(&spans);
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.site.to_string(),
+                if r.partition == u32::MAX { "-".into() } else { r.partition.to_string() },
+                r.processed.to_string(),
+                fmt_secs(r.processing_ns[0] as f64 * 1e-9),
+                fmt_secs(r.processing_ns[2] as f64 * 1e-9),
+                fmt_secs(r.queue_wait_ns[0] as f64 * 1e-9),
+                fmt_secs(r.queue_wait_ns[2] as f64 * 1e-9),
+            ]
+        })
+        .collect();
+    println!(
+        "\ntraced run: {} results in {}, {} spans recorded ({} dropped)",
+        s.handle.count(),
+        fmt_secs(report.elapsed.as_secs_f64()),
+        spans.len(),
+        obs.tracer().map(|t| t.dropped()).unwrap_or(0),
+    );
+    println!(
+        "{}",
+        table(
+            &["operator", "part", "tuples", "proc p50", "proc p99", "wait p50", "wait p99"],
+            &rendered,
+        )
+    );
+    println!(
+        "wrote {} (open in ui.perfetto.dev or chrome://tracing) and {}",
+        paths.trace_json.display(),
+        paths.breakdown_csv.display(),
+    );
+    rows
+}

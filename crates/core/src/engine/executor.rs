@@ -20,7 +20,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use hmts_graph::graph::NodeId;
-use hmts_obs::Histogram;
+use hmts_obs::{Histogram, HopKind, Tracer};
 use hmts_operators::traits::{EosTracker, Operator, Output, WatermarkTracker};
 use hmts_streams::element::{Element, Message, Punctuation};
 use hmts_streams::error::StreamError;
@@ -175,6 +175,19 @@ impl Default for ExecConfig {
     }
 }
 
+/// Per-domain tuple-tracing context: the shared span recorder plus
+/// interned site names, so recording a hop for a sampled tuple never
+/// allocates for operator sites and the unsampled path is one branch.
+struct TraceCtx {
+    tracer: Arc<Tracer>,
+    /// Partition (domain index) for span attribution.
+    partition: u32,
+    /// Operator name per slot, parallel to `slots`.
+    slot_sites: Vec<Arc<str>>,
+    /// Queue name per input, parallel to `inputs`.
+    input_sites: Vec<Arc<str>>,
+}
+
 /// The executor of one scheduling domain.
 pub struct DomainExecutor {
     name: String,
@@ -193,6 +206,8 @@ pub struct DomainExecutor {
     live: usize,
     /// First operator error, if any (elements causing errors are dropped).
     error: Option<StreamError>,
+    /// Tuple tracing, when the engine's `Obs` handle has it configured.
+    trace: Option<TraceCtx>,
 }
 
 impl DomainExecutor {
@@ -234,12 +249,22 @@ impl DomainExecutor {
             cfg,
             live,
             error: None,
+            trace: None,
         }
     }
 
     /// The domain's name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Attaches the per-tuple span recorder, attributing this domain's
+    /// hops to `partition`. Site names (operator and input-queue names)
+    /// are interned once here so the recording fast path never allocates.
+    pub fn set_tracer(&mut self, tracer: Arc<Tracer>, partition: u32) {
+        let slot_sites = self.slots.iter().map(|s| Arc::from(s.op.name())).collect();
+        let input_sites = self.inputs.iter().map(|q| Arc::from(q.queue.name())).collect();
+        self.trace = Some(TraceCtx { tracer, partition, slot_sites, input_sites });
     }
 
     /// Queues a message for delivery before normal queue consumption (used
@@ -279,9 +304,21 @@ impl DomainExecutor {
     fn process_data(&mut self, i: usize, port: usize, el: Element) {
         let measure =
             (self.cfg.measure && self.slots[i].stats.is_some()) || self.slots[i].latency.is_some();
+        // One non-zero branch for unsampled tuples; span recording (and
+        // its site clone) happens only for the sampled 1-in-N.
+        let tag = el.trace;
+        let traced = tag.is_sampled() && self.trace.is_some();
+        if traced {
+            let tc = self.trace.as_ref().expect("checked above");
+            tc.tracer.record(tag.id(), HopKind::ProcessStart, &tc.slot_sites[i], tc.partition);
+        }
         let start = measure.then(Instant::now);
         let result = self.slots[i].op.process(port, &el, &mut self.out);
         let cost = start.map(|t| t.elapsed());
+        if traced {
+            let tc = self.trace.as_ref().expect("checked above");
+            tc.tracer.record(tag.id(), HopKind::ProcessEnd, &tc.slot_sites[i], tc.partition);
+        }
         match result {
             Ok(()) => {
                 if let Some(stats) = &self.slots[i].stats {
@@ -289,6 +326,11 @@ impl DomainExecutor {
                 }
                 if let (Some(h), Some(c)) = (&self.slots[i].latency, cost) {
                     h.record_duration(c);
+                }
+                if traced {
+                    // Results constructed inside the operator (projections,
+                    // joins) inherit the input's trace context.
+                    self.out.stamp_trace(tag);
                 }
                 self.deliver_outputs(i);
             }
@@ -343,6 +385,16 @@ impl DomainExecutor {
         for t in &self.slots[i].targets {
             if let Target::Queue { queue, wake } = t {
                 for el in &outputs {
+                    if el.trace.is_sampled() {
+                        if let Some(tc) = &self.trace {
+                            tc.tracer.record_site(
+                                el.trace.id(),
+                                HopKind::QueueEnter,
+                                queue.name(),
+                                tc.partition,
+                            );
+                        }
+                    }
                     // A closed queue only happens during teardown; the
                     // element is intentionally dropped then.
                     let _ = queue.push(Message::Data(el.clone()));
@@ -418,6 +470,18 @@ impl DomainExecutor {
                 let Some(msg) = self.inputs[i].queue.try_pop() else {
                     break;
                 };
+                if let Message::Data(el) = &msg {
+                    if el.trace.is_sampled() {
+                        if let Some(tc) = &self.trace {
+                            tc.tracer.record(
+                                el.trace.id(),
+                                HopKind::QueueExit,
+                                &tc.input_sites[i],
+                                tc.partition,
+                            );
+                        }
+                    }
+                }
                 if msg.is_eos() {
                     self.inputs[i].exhausted = true;
                 }

@@ -39,7 +39,9 @@ use hmts_streams::time::{SharedClock, SystemClock};
 use crate::engine::executor::{
     Budget, DomainExecutor, ExecConfig, InputQueue, SlotInit, Target, Waker,
 };
-use crate::engine::source_driver::{spawn_source, SourceDriverConfig, SourceShared, SourceTarget};
+use crate::engine::source_driver::{
+    spawn_source, SourceDriverConfig, SourceShared, SourceTarget, SourceTrace,
+};
 use crate::engine::sync::{Notifier, PauseGate, StopFlag};
 use crate::plan::{DomainExecution, ExecutionPlan, PlanError};
 use crate::scheduler::thread_scheduler::{ThreadScheduler, TsConfig, TsShared};
@@ -385,6 +387,11 @@ impl Engine {
                     pace: self.cfg.pace_sources,
                     sample_every: self.cfg.timeline_sample_every,
                     watermark_interval: self.cfg.watermark_interval,
+                    trace: self
+                        .cfg
+                        .obs
+                        .tracer()
+                        .map(|t| SourceTrace { tracer: t, source: id.0 as u32 }),
                 },
             );
             self.source_threads.push(h);
@@ -643,13 +650,16 @@ impl Engine {
                 });
             }
             let strategy = spec.strategy.build(Some(&cost_graph));
-            let exec = DomainExecutor::new(
+            let mut exec = DomainExecutor::new(
                 spec.name.clone(),
                 slots,
                 inputs,
                 strategy,
                 ExecConfig { batch: self.cfg.batch, measure: self.cfg.measure_stats },
             );
+            if let Some(tracer) = self.cfg.obs.tracer() {
+                exec.set_tracer(tracer, d as u32);
+            }
             executors.push(Arc::new(Mutex::new(exec)));
         }
 

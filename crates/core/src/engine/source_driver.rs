@@ -16,8 +16,10 @@ use std::time::Duration;
 use parking_lot::{Mutex, RwLock};
 
 use hmts_graph::graph::NodeId;
+use hmts_obs::trace::{trace_id, NO_PARTITION};
+use hmts_obs::{HopKind, Tracer};
 use hmts_operators::traits::Source;
-use hmts_streams::element::Message;
+use hmts_streams::element::{Element, Message, TraceTag};
 use hmts_streams::metrics::TimeSeries;
 use hmts_streams::queue::StreamQueue;
 use hmts_streams::time::{SharedClock, Timestamp};
@@ -97,6 +99,15 @@ impl SourceShared {
     }
 }
 
+/// Tuple-tracing context of one source: the shared span recorder plus the
+/// source's node id, from which sampled elements get their trace ids.
+pub struct SourceTrace {
+    /// The span recorder (from the engine's `Obs` handle).
+    pub tracer: Arc<Tracer>,
+    /// The source's node id (high bits of every trace id it assigns).
+    pub source: u32,
+}
+
 /// Configuration of one source thread.
 pub struct SourceDriverConfig {
     /// Sleep/spin until each element's due time (false = emit as fast as
@@ -109,11 +120,14 @@ pub struct SourceDriverConfig {
     /// watermark equals the last emitted element's timestamp — valid
     /// because sources emit in timestamp order).
     pub watermark_interval: Option<Duration>,
+    /// Per-tuple trace sampling (`None` = tracing off; the emission loop
+    /// then never touches trace state).
+    pub trace: Option<SourceTrace>,
 }
 
 impl Default for SourceDriverConfig {
     fn default() -> Self {
-        SourceDriverConfig { pace: true, sample_every: 0, watermark_interval: None }
+        SourceDriverConfig { pace: true, sample_every: 0, watermark_interval: None, trace: None }
     }
 }
 
@@ -185,13 +199,22 @@ pub fn spawn_source(
                 if let Some(s) = &stats {
                     s.lock().observe(due, None, 1);
                 }
-                deliver(&shared, due, tuple, &stop);
+                // Deterministic 1-in-N sampling keyed off the source-local
+                // sequence number: untraced elements carry TraceTag::NONE
+                // and cost one branch here.
+                let tag = match &cfg.trace {
+                    Some(st) if st.tracer.sampled(emitted) => {
+                        TraceTag::new(trace_id(st.source, emitted))
+                    }
+                    _ => TraceTag::NONE,
+                };
+                deliver(&shared, due, tuple, tag, cfg.trace.as_ref(), &stop);
                 if let Some(interval) = cfg.watermark_interval {
                     if due.since(last_watermark) >= interval {
                         last_watermark = due;
                         let wm = Message::Punct(hmts_streams::element::Punctuation::Watermark(due));
                         for t in shared.targets.read().iter() {
-                            send(t, wm.clone(), &stop);
+                            send(t, wm.clone(), None, &stop);
                         }
                     }
                 }
@@ -204,7 +227,7 @@ pub fn spawn_source(
             // Final timeline point, then end-of-stream on every target.
             shared.timeline.lock().record(clock.now(), emitted as f64);
             for t in shared.targets.read().iter() {
-                send(t, Message::eos(), &stop);
+                send(t, Message::eos(), None, &stop);
             }
             shared.done.store(true, Ordering::Release);
             gate.deregister();
@@ -212,22 +235,40 @@ pub fn spawn_source(
         .expect("spawn source thread")
 }
 
-fn deliver(shared: &SourceShared, due: Timestamp, tuple: Tuple, stop: &Arc<StopFlag>) {
+fn deliver(
+    shared: &SourceShared,
+    due: Timestamp,
+    tuple: Tuple,
+    tag: TraceTag,
+    trace: Option<&SourceTrace>,
+    stop: &Arc<StopFlag>,
+) {
     let targets = shared.targets.read();
+    let msg = |t: Tuple| Message::Data(Element::new(t, due).with_trace(tag));
     match targets.as_slice() {
         [] => {}
-        [only] => send(only, Message::data(tuple, due), stop),
+        [only] => send(only, msg(tuple), trace, stop),
         many => {
             for t in many {
-                send(t, Message::data(tuple.clone(), due), stop);
+                send(t, msg(tuple.clone()), trace, stop);
             }
         }
     }
 }
 
-fn send(target: &SourceTarget, msg: Message, stop: &Arc<StopFlag>) {
+fn send(target: &SourceTarget, msg: Message, trace: Option<&SourceTrace>, stop: &Arc<StopFlag>) {
     match target {
         SourceTarget::Queue { queue, wake, .. } => {
+            if let (Some(st), Message::Data(el)) = (trace, &msg) {
+                if el.trace.is_sampled() {
+                    st.tracer.record_site(
+                        el.trace.id(),
+                        HopKind::QueueEnter,
+                        queue.name(),
+                        NO_PARTITION,
+                    );
+                }
+            }
             let _ = queue.push(msg);
             if let Some(w) = wake {
                 w.wake();
@@ -282,7 +323,7 @@ mod tests {
             gate,
             stop,
             None,
-            SourceDriverConfig { pace: false, sample_every: 1, watermark_interval: None },
+            SourceDriverConfig { pace: false, sample_every: 1, ..SourceDriverConfig::default() },
         );
         h.join().unwrap();
         assert_eq!(shared.emitted(), 5);
@@ -338,7 +379,7 @@ mod tests {
             gate,
             stop,
             None,
-            SourceDriverConfig { pace: false, sample_every: 0, watermark_interval: None },
+            SourceDriverConfig { pace: false, sample_every: 0, ..SourceDriverConfig::default() },
         );
         h.join().unwrap();
         // Values 0..5, filter keeps < 3.
@@ -397,7 +438,7 @@ mod tests {
             gate,
             stop,
             Some(Arc::clone(&stats)),
-            SourceDriverConfig { pace: false, sample_every: 10, watermark_interval: None },
+            SourceDriverConfig { pace: false, sample_every: 10, ..SourceDriverConfig::default() },
         );
         h.join().unwrap();
         let s = stats.lock();

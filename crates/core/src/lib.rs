@@ -101,7 +101,11 @@ pub mod prelude {
     pub use crate::stats::{NodeStatsSnapshot, StatsSnapshot};
     pub use hmts_streams::queue::BackpressurePolicy;
 
-    pub use hmts_obs::{EventRecord, MetricValue, Obs, ObsConfig, SchedEvent};
+    pub use hmts_obs::{
+        EventRecord, HopKind, MetricValue, Obs, ObsConfig, SchedEvent, SpanEvent, TraceConfig,
+        Tracer,
+    };
+    pub use hmts_streams::element::TraceTag;
 
     pub use hmts_graph::builder::GraphBuilder;
     pub use hmts_graph::cost::{CostGraph, CostInputs};

@@ -1,21 +1,26 @@
-//! Exporters: Prometheus text exposition, JSON event journal, CSV series.
+//! Exporters: Prometheus text exposition, JSON event journal, CSV series,
+//! Chrome/Perfetto `trace_event` timelines, and per-operator latency
+//! breakdowns from tuple trace spans.
 //!
 //! All output is hand-rolled (no serde in the dependency tree). Metric
 //! names are sanitised to the Prometheus charset; JSON strings are escaped
 //! per RFC 8259.
 
+use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::journal::{EventRecord, SchedEvent};
-use crate::registry::MetricValue;
+use crate::registry::{quantile_from_cumulative, MetricValue};
 use crate::sampler::SamplePoint;
+use crate::trace::{HopKind, SpanEvent, NO_PARTITION};
 
 /// Renders a registry snapshot in Prometheus text exposition format.
 ///
 /// Counters get a `_total` suffix, histograms emit cumulative
-/// `_bucket{le="..."}` lines plus `_sum` and `_count`, matching what a
-/// Prometheus scrape endpoint would serve.
+/// `_bucket{le="..."}` lines plus `_sum` and `_count` plus estimated
+/// `{quantile="..."}` gauges for p50/p95/p99, matching what a Prometheus
+/// scrape endpoint would serve.
 pub fn prometheus_text(snapshot: &[(String, MetricValue)]) -> String {
     let mut out = String::new();
     for (name, value) in snapshot {
@@ -37,6 +42,13 @@ pub fn prometheus_text(snapshot: &[(String, MetricValue)]) -> String {
                 out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {count}\n"));
                 out.push_str(&format!("{name}_sum {sum}\n"));
                 out.push_str(&format!("{name}_count {count}\n"));
+                // Bucket-resolution quantile estimates, exposed as a
+                // summary-style gauge family next to the histogram.
+                out.push_str(&format!("# TYPE {name}_quantile gauge\n"));
+                for (q, label) in [(0.50, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+                    let v = quantile_from_cumulative(*count, buckets, q);
+                    out.push_str(&format!("{name}_quantile{{quantile=\"{label}\"}} {v}\n"));
+                }
             }
         }
     }
@@ -215,6 +227,343 @@ pub fn write_snapshot_files(
     Ok(paths)
 }
 
+// ---------------------------------------------------------------------------
+// Chrome/Perfetto trace_event export
+// ---------------------------------------------------------------------------
+
+fn ts_us(t_ns: u64) -> String {
+    format!("{:.3}", t_ns as f64 / 1000.0)
+}
+
+fn partition_arg(partition: u32) -> i64 {
+    if partition == NO_PARTITION {
+        -1
+    } else {
+        partition as i64
+    }
+}
+
+/// Renders tuple trace spans merged with the scheduler event journal as
+/// Chrome `trace_event`-format JSON (the legacy format Perfetto's
+/// ui.perfetto.dev and `chrome://tracing` both open).
+///
+/// Track model: one track per engine thread (worker, dedicated-domain, or
+/// source thread), identified by the shared per-thread token. On those
+/// tracks:
+///
+/// * `ph:"X"` complete events for each operator-processing span of a
+///   sampled tuple (`cat:"tuple"`) and for each dispatch→yield executor
+///   slice paired from the journal (`cat:"sched"`),
+/// * `ph:"b"`/`ph:"e"` async events (`cat:"queue"`, id = trace id) for
+///   queue residency, which Perfetto draws as arrows/flows across the
+///   producer and consumer threads,
+/// * `ph:"i"` instant events for the remaining scheduler decisions
+///   (dispatch, preempt, aging-boost, mode-switch, stalls, queue
+///   lifecycle).
+pub fn chrome_trace_json(spans: &[SpanEvent], journal: &[EventRecord]) -> String {
+    let mut events: Vec<String> = Vec::new();
+
+    // Thread metadata: name every referenced track.
+    let mut threads: Vec<u64> =
+        spans.iter().map(|s| s.thread).chain(journal.iter().map(|r| r.thread)).collect();
+    threads.sort_unstable();
+    threads.dedup();
+    events.push(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{\"name\":\"hmts\"}}"
+            .to_string(),
+    );
+    for t in &threads {
+        events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{t},\
+             \"args\":{{\"name\":\"engine thread {t}\"}}}}"
+        ));
+    }
+
+    // Tuple spans: pair process-start/process-end per trace into complete
+    // events; queue enter/exit become async begin/end keyed by trace id.
+    let mut by_trace: BTreeMap<u64, Vec<&SpanEvent>> = BTreeMap::new();
+    for s in spans {
+        by_trace.entry(s.trace_id).or_default().push(s);
+    }
+    for hops in by_trace.values_mut() {
+        hops.sort_by_key(|s| (s.t_ns, s.seq));
+        let mut open: Option<&SpanEvent> = None;
+        for h in hops.iter() {
+            match h.kind {
+                HopKind::ProcessStart => open = Some(h),
+                HopKind::ProcessEnd => {
+                    if let Some(start) = open.take() {
+                        if start.site == h.site {
+                            events.push(format!(
+                                "{{\"name\":\"{}\",\"cat\":\"tuple\",\"ph\":\"X\",\
+                                 \"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\
+                                 \"args\":{{\"trace_id\":{},\"partition\":{}}}}}",
+                                json_escape(&h.site),
+                                ts_us(start.t_ns),
+                                ts_us(h.t_ns.saturating_sub(start.t_ns)),
+                                h.thread,
+                                h.trace_id,
+                                partition_arg(h.partition),
+                            ));
+                        }
+                    }
+                }
+                HopKind::QueueEnter | HopKind::QueueExit => {
+                    let ph = if h.kind == HopKind::QueueEnter { "b" } else { "e" };
+                    events.push(format!(
+                        "{{\"name\":\"{}\",\"cat\":\"queue\",\"ph\":\"{ph}\",\
+                         \"id\":{},\"ts\":{},\"pid\":1,\"tid\":{},\
+                         \"args\":{{\"partition\":{}}}}}",
+                        json_escape(&h.site),
+                        h.trace_id,
+                        ts_us(h.t_ns),
+                        h.thread,
+                        partition_arg(h.partition),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Scheduler timeline: dispatch→yield pairs become per-thread slices,
+    // everything is also visible as instants.
+    let mut sorted: Vec<&EventRecord> = journal.iter().collect();
+    sorted.sort_by_key(|r| r.seq);
+    let mut open_dispatch: BTreeMap<u64, (&EventRecord, usize)> = BTreeMap::new();
+    for r in &sorted {
+        match &r.event {
+            SchedEvent::Dispatch { domain, .. } => {
+                open_dispatch.insert(r.thread, (r, *domain));
+            }
+            SchedEvent::Yield { domain, outcome } => {
+                if let Some((start, d)) = open_dispatch.remove(&r.thread) {
+                    if d == *domain {
+                        events.push(format!(
+                            "{{\"name\":\"run d{domain}\",\"cat\":\"sched\",\"ph\":\"X\",\
+                             \"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\
+                             \"args\":{{\"outcome\":\"{}\"}}}}",
+                            ts_us(start.elapsed_ns),
+                            ts_us(r.elapsed_ns.saturating_sub(start.elapsed_ns)),
+                            r.thread,
+                            json_escape(outcome),
+                        ));
+                    }
+                }
+            }
+            event => {
+                let name = match event {
+                    SchedEvent::Preempt { domain, victim } => {
+                        format!("preempt d{domain} over d{victim}")
+                    }
+                    SchedEvent::AgingBoost { domain, effective_priority } => {
+                        format!("aging-boost d{domain} to {effective_priority}")
+                    }
+                    SchedEvent::ModeSwitch { from, to } => format!("mode-switch {from} to {to}"),
+                    SchedEvent::QueueInsert { queue } => format!("queue-insert {queue}"),
+                    SchedEvent::QueueRemove { queue } => format!("queue-remove {queue}"),
+                    SchedEvent::QueueDrain { queue, drained } => {
+                        format!("queue-drain {queue} ({drained})")
+                    }
+                    SchedEvent::StallDetected { queue, occupancy } => {
+                        format!("stall {queue} ({occupancy})")
+                    }
+                    SchedEvent::Repartition { domains, action } => {
+                        format!("repartition {action} ({domains} domains)")
+                    }
+                    SchedEvent::Dispatch { .. } | SchedEvent::Yield { .. } => unreachable!(),
+                };
+                events.push(format!(
+                    "{{\"name\":\"{}\",\"cat\":\"sched\",\"ph\":\"i\",\"s\":\"t\",\
+                     \"ts\":{},\"pid\":1,\"tid\":{}}}",
+                    json_escape(&name),
+                    ts_us(r.elapsed_ns),
+                    r.thread,
+                ));
+            }
+        }
+    }
+    // Unpaired dispatches (slice still running at snapshot time) surface
+    // as instants so they are not silently invisible.
+    for (start, domain) in open_dispatch.values() {
+        events.push(format!(
+            "{{\"name\":\"dispatch d{domain}\",\"cat\":\"sched\",\"ph\":\"i\",\"s\":\"t\",\
+             \"ts\":{},\"pid\":1,\"tid\":{}}}",
+            ts_us(start.elapsed_ns),
+            start.thread,
+        ));
+    }
+
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(e);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Per-operator latency breakdown
+// ---------------------------------------------------------------------------
+
+/// Queue-wait vs processing latency of one operator in one partition,
+/// aggregated over all sampled tuples (exact quantiles over the sample).
+#[derive(Clone, Debug)]
+pub struct OpLatency {
+    /// Operator name.
+    pub site: String,
+    /// Executor partition (domain index), or [`NO_PARTITION`].
+    pub partition: u32,
+    /// Number of measured processing spans.
+    pub processed: u64,
+    /// `[p50, p95, p99]` processing time in nanoseconds.
+    pub processing_ns: [u64; 3],
+    /// Number of measured queue waits attributed to this operator.
+    pub queue_waits: u64,
+    /// `[p50, p95, p99]` queue-wait time in nanoseconds.
+    pub queue_wait_ns: [u64; 3],
+}
+
+fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = (q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Reassembles raw spans into per-(operator, partition) latency
+/// attribution: how long sampled tuples waited in the operator's inbound
+/// queue versus how long the operator spent processing them.
+///
+/// A queue wait is attributed to the operator whose processing span
+/// immediately follows the dequeue in the tuple's hop chain — i.e. the
+/// consumer that the paper's cost model charges the wait to. Tuples that
+/// stay inside one partition (direct interoperability) have processing
+/// spans but no queue waits, which is exactly the effect queue placement
+/// is supposed to have.
+pub fn latency_breakdown(spans: &[SpanEvent]) -> Vec<OpLatency> {
+    #[derive(Default)]
+    struct Agg {
+        waits: Vec<u64>,
+        procs: Vec<u64>,
+    }
+    let mut by_trace: BTreeMap<u64, Vec<&SpanEvent>> = BTreeMap::new();
+    for s in spans {
+        by_trace.entry(s.trace_id).or_default().push(s);
+    }
+    let mut agg: BTreeMap<(String, u32), Agg> = BTreeMap::new();
+    for hops in by_trace.values_mut() {
+        hops.sort_by_key(|s| (s.t_ns, s.seq));
+        let mut enters: BTreeMap<&str, u64> = BTreeMap::new();
+        let mut pending_wait: Option<u64> = None;
+        let mut open: Option<(&SpanEvent, Option<u64>)> = None;
+        for h in hops.iter() {
+            match h.kind {
+                HopKind::QueueEnter => {
+                    enters.insert(&h.site, h.t_ns);
+                }
+                HopKind::QueueExit => {
+                    if let Some(t0) = enters.remove(&*h.site) {
+                        pending_wait = Some(h.t_ns.saturating_sub(t0));
+                    }
+                }
+                HopKind::ProcessStart => {
+                    open = Some((h, pending_wait.take()));
+                }
+                HopKind::ProcessEnd => {
+                    if let Some((start, wait)) = open.take() {
+                        if start.site == h.site {
+                            let e = agg.entry((h.site.to_string(), h.partition)).or_default();
+                            e.procs.push(h.t_ns.saturating_sub(start.t_ns));
+                            if let Some(w) = wait {
+                                e.waits.push(w);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    agg.into_iter()
+        .map(|((site, partition), mut a)| {
+            a.waits.sort_unstable();
+            a.procs.sort_unstable();
+            OpLatency {
+                site,
+                partition,
+                processed: a.procs.len() as u64,
+                processing_ns: [
+                    exact_percentile(&a.procs, 0.50),
+                    exact_percentile(&a.procs, 0.95),
+                    exact_percentile(&a.procs, 0.99),
+                ],
+                queue_waits: a.waits.len() as u64,
+                queue_wait_ns: [
+                    exact_percentile(&a.waits, 0.50),
+                    exact_percentile(&a.waits, 0.95),
+                    exact_percentile(&a.waits, 0.99),
+                ],
+            }
+        })
+        .collect()
+}
+
+/// Renders a latency breakdown as CSV (one row per operator × partition).
+pub fn latency_breakdown_csv(rows: &[OpLatency]) -> String {
+    let mut out = String::from(
+        "operator,partition,processed,proc_p50_ns,proc_p95_ns,proc_p99_ns,\
+         queue_waits,wait_p50_ns,wait_p95_ns,wait_p99_ns\n",
+    );
+    for r in rows {
+        let partition =
+            if r.partition == NO_PARTITION { "-".to_string() } else { r.partition.to_string() };
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{}\n",
+            r.site,
+            partition,
+            r.processed,
+            r.processing_ns[0],
+            r.processing_ns[1],
+            r.processing_ns[2],
+            r.queue_waits,
+            r.queue_wait_ns[0],
+            r.queue_wait_ns[1],
+            r.queue_wait_ns[2],
+        ));
+    }
+    out
+}
+
+/// Paths produced by [`write_trace_files`].
+#[derive(Debug, Clone)]
+pub struct TracePaths {
+    /// Chrome/Perfetto `trace_event` JSON (open in ui.perfetto.dev).
+    pub trace_json: PathBuf,
+    /// Per-operator queue-wait vs processing breakdown CSV.
+    pub breakdown_csv: PathBuf,
+}
+
+/// Writes `trace.json` (Chrome/Perfetto timeline) and
+/// `latency_breakdown.csv` under `dir` (created if missing).
+pub fn write_trace_files(
+    dir: &Path,
+    spans: &[SpanEvent],
+    journal: &[EventRecord],
+) -> io::Result<TracePaths> {
+    std::fs::create_dir_all(dir)?;
+    let paths = TracePaths {
+        trace_json: dir.join("trace.json"),
+        breakdown_csv: dir.join("latency_breakdown.csv"),
+    };
+    std::fs::write(&paths.trace_json, chrome_trace_json(spans, journal))?;
+    std::fs::write(&paths.breakdown_csv, latency_breakdown_csv(&latency_breakdown(spans)))?;
+    Ok(paths)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,6 +584,129 @@ mod tests {
         assert!(text.contains("op_latency_ns_bucket{le=\"+Inf\"} 3"));
         assert!(text.contains("op_latency_ns_sum 300"));
         assert!(text.contains("op_latency_ns_count 3"));
+        // Quantile gauges: rank walk over (64,1),(128,3) with count 3 —
+        // p50 rank 2 -> 128, p95/p99 rank 3 -> 128.
+        assert!(text.contains("# TYPE op_latency_ns_quantile gauge"));
+        assert!(text.contains("op_latency_ns_quantile{quantile=\"0.5\"} 128"));
+        assert!(text.contains("op_latency_ns_quantile{quantile=\"0.95\"} 128"));
+        assert!(text.contains("op_latency_ns_quantile{quantile=\"0.99\"} 128"));
+    }
+
+    fn span(
+        seq: u64,
+        trace_id: u64,
+        kind: HopKind,
+        site: &str,
+        partition: u32,
+        thread: u64,
+        t_ns: u64,
+    ) -> SpanEvent {
+        SpanEvent { seq, trace_id, kind, site: site.into(), partition, thread, t_ns }
+    }
+
+    /// One tuple through: queue q (1000 ns wait), op f (500 ns), then
+    /// queue r (2000 ns wait) into op g (100 ns) on another partition.
+    fn two_hop_spans() -> Vec<SpanEvent> {
+        vec![
+            span(0, 7, HopKind::QueueEnter, "q", NO_PARTITION, 1, 1_000),
+            span(1, 7, HopKind::QueueExit, "q", 0, 2, 2_000),
+            span(2, 7, HopKind::ProcessStart, "f", 0, 2, 2_100),
+            span(3, 7, HopKind::ProcessEnd, "f", 0, 2, 2_600),
+            span(4, 7, HopKind::QueueEnter, "r", 0, 2, 2_700),
+            span(5, 7, HopKind::QueueExit, "r", 1, 3, 4_700),
+            span(6, 7, HopKind::ProcessStart, "g", 1, 3, 4_800),
+            span(7, 7, HopKind::ProcessEnd, "g", 1, 3, 4_900),
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_pairs_spans_and_merges_journal() {
+        let journal = vec![
+            EventRecord {
+                seq: 0,
+                thread: 2,
+                elapsed_ns: 1_500,
+                event: SchedEvent::Dispatch { domain: 0, worker: 0, priority: 3 },
+            },
+            EventRecord {
+                seq: 1,
+                thread: 2,
+                elapsed_ns: 3_000,
+                event: SchedEvent::Yield { domain: 0, outcome: "budget" },
+            },
+            EventRecord {
+                seq: 2,
+                thread: 4,
+                elapsed_ns: 3_500,
+                event: SchedEvent::ModeSwitch { from: "gts".into(), to: "hmts".into() },
+            },
+        ];
+        let json = chrome_trace_json(&two_hop_spans(), &journal);
+        // Tuple processing spans became complete events with µs timestamps.
+        assert!(json
+            .contains("{\"name\":\"f\",\"cat\":\"tuple\",\"ph\":\"X\",\"ts\":2.100,\"dur\":0.500"));
+        // Queue residency became async begin/end keyed by trace id.
+        assert!(json.contains("\"cat\":\"queue\",\"ph\":\"b\",\"id\":7,\"ts\":1.000"));
+        assert!(json.contains("\"cat\":\"queue\",\"ph\":\"e\",\"id\":7,\"ts\":2.000"));
+        // Dispatch/yield paired into an executor slice on thread 2.
+        assert!(json.contains(
+            "{\"name\":\"run d0\",\"cat\":\"sched\",\"ph\":\"X\",\"ts\":1.500,\"dur\":1.500"
+        ));
+        // Mode switch is an instant, threads are named.
+        assert!(json.contains("\"name\":\"mode-switch gts to hmts\""));
+        assert!(json.contains("\"name\":\"thread_name\""));
+        // And the whole thing parses as one JSON document.
+        let doc = crate::json::parse(&json).expect("exporter emits valid JSON");
+        assert!(!doc.get("traceEvents").unwrap().as_arr().unwrap().is_empty());
+    }
+
+    #[test]
+    fn latency_breakdown_attributes_waits_to_consumers() {
+        let rows = latency_breakdown(&two_hop_spans());
+        assert_eq!(rows.len(), 2);
+        let f = rows.iter().find(|r| r.site == "f").unwrap();
+        assert_eq!(f.partition, 0);
+        assert_eq!(f.processed, 1);
+        assert_eq!(f.processing_ns, [500, 500, 500]);
+        assert_eq!(f.queue_waits, 1);
+        assert_eq!(f.queue_wait_ns, [1_000, 1_000, 1_000]);
+        let g = rows.iter().find(|r| r.site == "g").unwrap();
+        assert_eq!(g.partition, 1);
+        assert_eq!(g.processing_ns[0], 100);
+        assert_eq!(g.queue_wait_ns[0], 2_000);
+
+        let csv = latency_breakdown_csv(&rows);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "operator,partition,processed,proc_p50_ns,proc_p95_ns,proc_p99_ns,\
+             queue_waits,wait_p50_ns,wait_p95_ns,wait_p99_ns"
+        );
+        assert!(csv.contains("f,0,1,500,500,500,1,1000,1000,1000"));
+        assert!(csv.contains("g,1,1,100,100,100,1,2000,2000,2000"));
+    }
+
+    #[test]
+    fn breakdown_without_queue_hops_has_no_waits() {
+        let spans = vec![
+            span(0, 9, HopKind::ProcessStart, "inline", 0, 1, 100),
+            span(1, 9, HopKind::ProcessEnd, "inline", 0, 1, 300),
+        ];
+        let rows = latency_breakdown(&spans);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].processed, 1);
+        assert_eq!(rows[0].queue_waits, 0);
+        assert_eq!(rows[0].queue_wait_ns, [0, 0, 0]);
+    }
+
+    #[test]
+    fn exact_percentile_picks_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(exact_percentile(&v, 0.50), 51);
+        assert_eq!(exact_percentile(&v, 0.95), 95);
+        assert_eq!(exact_percentile(&v, 0.99), 99);
+        assert_eq!(exact_percentile(&v, 1.0), 100);
+        assert_eq!(exact_percentile(&[], 0.5), 0);
     }
 
     #[test]

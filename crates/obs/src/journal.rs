@@ -81,12 +81,20 @@ pub struct EventJournal {
 impl EventJournal {
     /// Creates a journal holding at most `capacity` records.
     pub fn new(capacity: usize) -> EventJournal {
+        EventJournal::with_epoch(capacity, Instant::now())
+    }
+
+    /// Creates a journal whose `elapsed_ns` timestamps are relative to the
+    /// given epoch, so journal records and tuple trace spans recorded by
+    /// the same [`crate::Obs`] handle share one clock and can be merged
+    /// onto one exported timeline.
+    pub fn with_epoch(capacity: usize, epoch: Instant) -> EventJournal {
         let capacity = capacity.max(1);
         EventJournal {
             slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
             cursor: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
-            start: Instant::now(),
+            start: epoch,
         }
     }
 
@@ -118,6 +126,19 @@ impl EventJournal {
         self.dropped.load(Ordering::Relaxed)
     }
 
+    /// Ring capacity in records.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// High-water mark: the most slots ever occupied at once. For an
+    /// overwrite-oldest ring this is `min(pushed, capacity)` — once the
+    /// ring wraps it stays pinned at capacity, which is exactly the
+    /// saturation signal the registry metric wants to surface.
+    pub fn high_water(&self) -> u64 {
+        self.pushed().min(self.slots.len() as u64)
+    }
+
     /// The retained records, oldest first (by global sequence number).
     pub fn snapshot(&self) -> Vec<EventRecord> {
         let mut out: Vec<EventRecord> =
@@ -128,7 +149,9 @@ impl EventJournal {
 }
 
 /// A small stable-per-thread token, cheaper to record than a thread name.
-fn thread_token() -> u64 {
+/// Shared with the trace span recorder so journal records and tuple spans
+/// attribute work to the same per-thread track ids.
+pub(crate) fn thread_token() -> u64 {
     use std::cell::Cell;
     static NEXT: AtomicU64 = AtomicU64::new(1);
     thread_local! {

@@ -17,8 +17,10 @@
 
 pub mod export;
 pub mod journal;
+pub mod json;
 pub mod registry;
 pub mod sampler;
+pub mod trace;
 
 use std::path::Path;
 use std::sync::Arc;
@@ -27,17 +29,26 @@ use std::time::{Duration, Instant};
 pub use journal::{EventJournal, EventRecord, SchedEvent};
 pub use registry::{Counter, Gauge, Histogram, Metric, MetricValue, MetricsRegistry};
 pub use sampler::{SamplePoint, SampleStore, Sampler};
+pub use trace::{HopKind, SpanEvent, TraceConfig, Tracer};
 
 /// Configuration for an enabled [`Obs`] handle.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct ObsConfig {
-    /// Ring capacity of the event journal.
+    /// Ring capacity of the event journal (0 uses the default of 4096).
     pub journal_capacity: usize,
+    /// Per-tuple trace sampling; `None` (the default) disables tracing
+    /// entirely, keeping the engine's per-element cost at one `Option`
+    /// branch.
+    pub trace: Option<TraceConfig>,
 }
 
-impl Default for ObsConfig {
-    fn default() -> ObsConfig {
-        ObsConfig { journal_capacity: 4096 }
+impl ObsConfig {
+    fn journal_capacity(&self) -> usize {
+        if self.journal_capacity == 0 {
+            4096
+        } else {
+            self.journal_capacity
+        }
     }
 }
 
@@ -46,8 +57,27 @@ impl Default for ObsConfig {
 pub struct ObsCore {
     registry: Arc<MetricsRegistry>,
     journal: EventJournal,
+    tracer: Option<Arc<Tracer>>,
     samples: Arc<SampleStore>,
     start: Instant,
+}
+
+impl ObsCore {
+    /// Refreshes the self-observability gauges (journal and span-buffer
+    /// saturation) so ring overflow is visible in every snapshot instead
+    /// of silent. Done on snapshot/sample rather than via a registered
+    /// collector because the engine clears collectors on teardown, and
+    /// these gauges must survive that.
+    fn refresh_runtime_metrics(&self) {
+        self.registry.gauge("journal.dropped").set(self.journal.dropped() as i64);
+        self.registry.gauge("journal.high_water").set(self.journal.high_water() as i64);
+        self.registry.gauge("journal.capacity").set(self.journal.capacity() as i64);
+        if let Some(t) = &self.tracer {
+            self.registry.gauge("trace.spans_recorded").set(t.recorded() as i64);
+            self.registry.gauge("trace.spans_dropped").set(t.dropped() as i64);
+            self.registry.gauge("trace.buffer_high_water").set(t.high_water() as i64);
+        }
+    }
 }
 
 /// Cloneable observability handle: either disabled (free) or an `Arc` to
@@ -68,11 +98,15 @@ impl Obs {
 
     /// An active handle with the given configuration.
     pub fn with_config(cfg: ObsConfig) -> Obs {
+        // One epoch shared by the journal, the tracer, and the sampler, so
+        // scheduler events and tuple spans merge onto a single timeline.
+        let start = Instant::now();
         Obs(Some(Arc::new(ObsCore {
             registry: Arc::new(MetricsRegistry::new()),
-            journal: EventJournal::new(cfg.journal_capacity),
+            journal: EventJournal::with_epoch(cfg.journal_capacity(), start),
+            tracer: cfg.trace.as_ref().map(|t| Arc::new(Tracer::new(t.clone(), start))),
             samples: Arc::new(SampleStore::default()),
-            start: Instant::now(),
+            start,
         })))
     }
 
@@ -80,6 +114,22 @@ impl Obs {
     #[inline]
     pub fn is_enabled(&self) -> bool {
         self.0.is_some()
+    }
+
+    /// The per-tuple span recorder, when this handle was configured with
+    /// tracing. Engine components hold the returned `Arc` directly so the
+    /// per-element cost is one `Option` check, not a facade call.
+    pub fn tracer(&self) -> Option<Arc<Tracer>> {
+        self.0.as_ref().and_then(|core| core.tracer.clone())
+    }
+
+    /// Retained tuple trace spans, oldest first (empty when disabled or
+    /// tracing is off).
+    pub fn trace_snapshot(&self) -> Vec<SpanEvent> {
+        match self.tracer() {
+            Some(t) => t.snapshot(),
+            None => Vec::new(),
+        }
     }
 
     /// Appends a scheduler event to the journal. The closure is only
@@ -148,6 +198,7 @@ impl Obs {
     /// Takes one sample immediately (collectors + registry snapshot).
     pub fn sample_now(&self) {
         if let Some(core) = &self.0 {
+            core.refresh_runtime_metrics();
             core.samples.sample_now(&core.registry, core.start.elapsed());
         }
     }
@@ -165,9 +216,14 @@ impl Obs {
     }
 
     /// Point-in-time values of all registered metrics (empty if disabled).
+    /// Journal/span-buffer saturation gauges are refreshed first, so every
+    /// snapshot reports ring drops and high-water marks.
     pub fn metrics_snapshot(&self) -> Vec<(String, MetricValue)> {
         match &self.0 {
-            Some(core) => core.registry.snapshot(),
+            Some(core) => {
+                core.refresh_runtime_metrics();
+                core.registry.snapshot()
+            }
             None => Vec::new(),
         }
     }
@@ -210,6 +266,18 @@ impl Obs {
             None => Ok(None),
         }
     }
+
+    /// Writes `trace.json` (Chrome/Perfetto timeline merging tuple spans
+    /// with the scheduler journal) and `latency_breakdown.csv` under
+    /// `dir`. Returns `Ok(None)` when disabled or tracing is off.
+    pub fn write_trace(&self, dir: &Path) -> std::io::Result<Option<export::TracePaths>> {
+        match self.tracer() {
+            Some(t) => {
+                export::write_trace_files(dir, &t.snapshot(), &self.journal_snapshot()).map(Some)
+            }
+            None => Ok(None),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -231,6 +299,9 @@ mod tests {
         assert!(obs.journal_snapshot().is_empty());
         assert!(obs.sample_series().is_empty());
         assert!(obs.start_sampler(Duration::from_millis(1)).is_none());
+        assert!(obs.tracer().is_none());
+        assert!(obs.trace_snapshot().is_empty());
+        assert!(obs.write_trace(Path::new("/nonexistent")).unwrap().is_none());
     }
 
     #[test]
@@ -242,7 +313,22 @@ mod tests {
         obs.emit(SchedEvent::ModeSwitch { from: "gts".into(), to: "hmts".into() });
         obs.sample_now();
 
-        assert_eq!(obs.metrics_snapshot().len(), 3);
+        // The three explicit metrics plus the self-observability gauges
+        // (journal capacity / dropped / high-water).
+        let metrics = obs.metrics_snapshot();
+        assert_eq!(metrics.len(), 6);
+        let gauge = |name: &str| {
+            metrics
+                .iter()
+                .find_map(|(n, v)| match v {
+                    MetricValue::Gauge(g) if n == name => Some(*g),
+                    _ => None,
+                })
+                .unwrap_or_else(|| panic!("gauge {name} registered"))
+        };
+        assert_eq!(gauge("journal.capacity"), 4096);
+        assert_eq!(gauge("journal.dropped"), 0);
+        assert_eq!(gauge("journal.high_water"), 1);
         let journal = obs.journal_snapshot();
         assert_eq!(journal.len(), 1);
         assert_eq!(journal[0].event.kind(), "mode-switch");
@@ -258,6 +344,44 @@ mod tests {
         assert!(prom.contains("elements_total 12"));
         let json = std::fs::read_to_string(&paths.events_json).unwrap();
         assert!(json.contains("mode-switch"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tracing_is_opt_in_and_saturation_is_metered() {
+        // Default config: no tracer.
+        assert!(Obs::enabled().tracer().is_none());
+
+        let obs = Obs::with_config(ObsConfig {
+            trace: Some(TraceConfig { sample_every: 2, seed: 0, buffer_capacity: 4 }),
+            ..ObsConfig::default()
+        });
+        let tracer = obs.tracer().expect("tracing configured");
+        assert!(tracer.sampled(0) && !tracer.sampled(1));
+        for seq in 0..6u64 {
+            tracer.record_site(trace::trace_id(0, seq), HopKind::QueueEnter, "q", 0);
+        }
+        assert_eq!(obs.trace_snapshot().len(), 4);
+        let metrics = obs.metrics_snapshot();
+        let gauge = |name: &str| {
+            metrics.iter().find_map(|(n, v)| match v {
+                MetricValue::Gauge(g) if n == name => Some(*g),
+                _ => None,
+            })
+        };
+        assert_eq!(gauge("trace.spans_recorded"), Some(6));
+        assert_eq!(gauge("trace.spans_dropped"), Some(2));
+        assert_eq!(gauge("trace.buffer_high_water"), Some(4));
+
+        let dir = std::env::temp_dir().join(format!(
+            "hmts-obs-trace-test-{}-{}",
+            std::process::id(),
+            obs.elapsed().as_nanos()
+        ));
+        let paths = obs.write_trace(&dir).unwrap().expect("tracing on");
+        let json = std::fs::read_to_string(&paths.trace_json).unwrap();
+        crate::json::parse(&json).expect("valid trace JSON");
+        assert!(paths.breakdown_csv.exists());
         std::fs::remove_dir_all(&dir).ok();
     }
 

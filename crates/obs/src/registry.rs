@@ -153,6 +153,21 @@ impl Histogram {
         Histogram::bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
     }
 
+    /// Median estimate (bucket upper bound); see [`Histogram::quantile`].
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate (bucket upper bound).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate (bucket upper bound).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
     /// Inclusive upper bound of bucket `i`.
     pub fn bucket_upper_bound(i: usize) -> u64 {
         if i >= 63 {
@@ -287,6 +302,23 @@ impl MetricsRegistry {
     }
 }
 
+/// Quantile estimate from a snapshot's cumulative `(upper_bound,
+/// cumulative_count)` pairs — the same rank walk as
+/// [`Histogram::quantile`], usable by exporters that only hold a
+/// [`MetricValue::Histogram`] rather than a live handle.
+pub fn quantile_from_cumulative(count: u64, buckets: &[(u64, u64)], q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+    for &(bound, cum) in buckets {
+        if cum >= rank {
+            return bound;
+        }
+    }
+    buckets.last().map(|&(bound, _)| bound).unwrap_or(0)
+}
+
 fn kind_of(m: &Metric) -> &'static str {
     match m {
         Metric::Counter(_) => "counter",
@@ -332,6 +364,18 @@ mod tests {
         assert_eq!(buckets, vec![(1, 2), (2, 3), (4, 4), (1024, 5)]);
         assert!(h.quantile(0.5) <= 4);
         assert_eq!(h.quantile(1.0), 1024);
+        assert_eq!(h.p50(), h.quantile(0.50));
+        assert_eq!(h.p95(), h.quantile(0.95));
+        assert_eq!(h.p99(), h.quantile(0.99));
+        // The snapshot-based walk agrees with the live handle.
+        for q in [0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(quantile_from_cumulative(h.count(), &buckets, q), h.quantile(q));
+        }
+    }
+
+    #[test]
+    fn quantile_from_cumulative_empty_is_zero() {
+        assert_eq!(quantile_from_cumulative(0, &[], 0.99), 0);
     }
 
     #[test]

@@ -67,6 +67,18 @@ impl Output {
     pub fn clear(&mut self) {
         self.elements.clear();
     }
+
+    /// Stamps every buffered element with the given trace tag.
+    ///
+    /// Called by the executor after a traced input element was processed,
+    /// so results constructed from scratch inside an operator (projections,
+    /// join combinations, aggregates) inherit the trace context of the
+    /// input that produced them.
+    pub fn stamp_trace(&mut self, trace: hmts_streams::element::TraceTag) {
+        for e in &mut self.elements {
+            e.trace = trace;
+        }
+    }
 }
 
 /// A push-based continuous-query operator.

@@ -1,32 +1,95 @@
 //! Stream elements and the messages that flow along query-graph edges.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 use crate::time::Timestamp;
 use crate::tuple::Tuple;
+
+/// A per-tuple trace-context tag carried by [`Element`]s.
+///
+/// `0` means *untraced* (the overwhelmingly common case); any other value
+/// is the globally unique trace id of a sampled tuple, assigned at the
+/// source and propagated hop by hop through queues and operators. The tag
+/// is one `u64` copy per element and one non-zero branch per check, so
+/// threading it through the engine costs nothing measurable when tracing
+/// is off — the invariant the `hmts-obs` disabled-path tests pin down.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct TraceTag(u64);
+
+impl TraceTag {
+    /// The untraced tag (the default for every constructed element).
+    pub const NONE: TraceTag = TraceTag(0);
+
+    /// A tag carrying the given trace id (`0` is equivalent to
+    /// [`TraceTag::NONE`]).
+    pub fn new(id: u64) -> TraceTag {
+        TraceTag(id)
+    }
+
+    /// Whether this element was selected for tracing.
+    #[inline]
+    pub fn is_sampled(&self) -> bool {
+        self.0 != 0
+    }
+
+    /// The trace id (0 when untraced).
+    #[inline]
+    pub fn id(&self) -> u64 {
+        self.0
+    }
+}
 
 /// A data element: a [`Tuple`] payload plus its stream timestamp.
 ///
 /// Timestamps are assigned by sources at emission and drive sliding-window
 /// expiration in windowed operators (joins, aggregates).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone)]
 pub struct Element {
     /// The payload.
     pub tuple: Tuple,
     /// Emission time at the source (stream time, not wall time).
     pub ts: Timestamp,
+    /// Trace-context tag (diagnostic metadata; excluded from equality and
+    /// hashing so tracing never changes operator semantics — dedup, joins,
+    /// and result comparisons see only payload and timestamp).
+    pub trace: TraceTag,
+}
+
+// Equality and hashing intentionally ignore `trace`: two elements with the
+// same payload and timestamp are the same element to every operator,
+// whether or not one of them happens to be sampled.
+impl PartialEq for Element {
+    fn eq(&self, other: &Element) -> bool {
+        self.tuple == other.tuple && self.ts == other.ts
+    }
+}
+
+impl Eq for Element {}
+
+impl Hash for Element {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.tuple.hash(state);
+        self.ts.hash(state);
+    }
 }
 
 impl Element {
-    /// Creates an element.
+    /// Creates an (untraced) element.
     pub fn new(tuple: Tuple, ts: Timestamp) -> Self {
-        Element { tuple, ts }
+        Element { tuple, ts, trace: TraceTag::NONE }
     }
 
     /// Single-integer element, the workhorse of the paper's synthetic
     /// streams.
     pub fn single(v: i64, ts: Timestamp) -> Self {
-        Element { tuple: Tuple::single(v), ts }
+        Element::new(Tuple::single(v), ts)
+    }
+
+    /// The same element carrying the given trace tag.
+    pub fn with_trace(mut self, trace: TraceTag) -> Self {
+        self.trace = trace;
+        self
     }
 }
 

@@ -35,7 +35,7 @@ fn journal_orders_switch_causally_and_histograms_match_stats() {
     let topo = Topology::of(&graph);
     // A large ring so the post-switch dispatch/yield flood cannot evict
     // the one mode-switch record this test is about.
-    let obs = Obs::with_config(ObsConfig { journal_capacity: 1 << 17 });
+    let obs = Obs::with_config(ObsConfig { journal_capacity: 1 << 17, ..ObsConfig::default() });
     let cfg = EngineConfig { obs: obs.clone(), ..EngineConfig::default() };
     let mut engine = Engine::with_config(graph, ExecutionPlan::gts(&topo, StrategyKind::Fifo), cfg)
         .expect("engine builds");
