@@ -208,4 +208,27 @@ fn main() {
     println!("{}", table(&["strategy", "completion", "peak_queued", "avg_mem"], &rows));
 
     emit_csv(&args.out, "ablation.csv", &csv);
+
+    // The ablations themselves are simulator-only; `--metrics` / `--trace`
+    // instrument a real-engine run of the same Fig. 9 workload the
+    // ablations study, under the paper's two-VO HMTS placement.
+    if let Some(dir) = &args.metrics {
+        use hmts::workload::scenarios::{fig9_chain, Fig9Params};
+        let p = Fig9Params { speedup: 2_000.0, seed: args.seed, ..Fig9Params::default() };
+        let s = fig9_chain(&p);
+        let part = Partitioning::new(vec![
+            vec![s.projection, s.cheap_selection],
+            vec![s.expensive_selection, s.sink],
+        ]);
+        hmts_bench::obsrun::metrics_run(
+            dir,
+            "ablation",
+            s.graph,
+            ExecutionPlan::hmts(part, StrategyKind::Fifo, 2),
+            EngineConfig::default(),
+        );
+    }
+    if let Some(dir) = &args.trace {
+        hmts_bench::traced::run_traced(dir, args.seed);
+    }
 }

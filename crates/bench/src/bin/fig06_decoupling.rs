@@ -105,4 +105,35 @@ fn main() {
         "Paper's claim to check: both joins fall behind the offered rate, and the \
          SNJ falls behind (well) before the SHJ."
     );
+
+    // Representative observability workload for `--metrics` / `--trace`: the
+    // SHJ join under pure DI at a quick scale (the figure's own setting,
+    // small enough that the instrumented rerun stays cheap).
+    if args.metrics.is_some() || args.trace.is_some() {
+        let p = Fig6Params { seed: args.seed, ..Fig6Params::default() }.scaled(40.0);
+        if let Some(dir) = &args.metrics {
+            let s = fig6_join(JoinKind::Shj, &p);
+            let topo = Topology::of(&s.graph);
+            hmts_bench::obsrun::metrics_run(
+                dir,
+                "fig06",
+                s.graph,
+                ExecutionPlan::di(&topo),
+                EngineConfig::default(),
+            );
+        }
+        if let Some(dir) = &args.trace {
+            let s = fig6_join(JoinKind::Shj, &p);
+            let topo = Topology::of(&s.graph);
+            hmts_bench::obsrun::trace_run(
+                dir,
+                "fig06",
+                8,
+                args.seed,
+                s.graph,
+                ExecutionPlan::di(&topo),
+                EngineConfig::default(),
+            );
+        }
+    }
 }

@@ -132,4 +132,35 @@ fn main() {
         "Paper's claims to check: DI fastest everywhere; GTS-FIFO ≈ GTS-Chain; on \
          two cores (sim columns) OTS beats GTS but stays ≥ ~40 % behind DI."
     );
+
+    // `--metrics` / `--trace`: the figure's query at the smallest m under
+    // GTS-FIFO — the architecture whose queue dynamics the figure is about.
+    if args.metrics.is_some() || args.trace.is_some() {
+        let p = Fig7Params { elements: 50_000, seed: args.seed, ..Fig7Params::default() };
+        let base = || EngineConfig { pace_sources: false, ..EngineConfig::default() };
+        if let Some(dir) = &args.metrics {
+            let s = fig7_chain(&p);
+            let topo = Topology::of(&s.graph);
+            hmts_bench::obsrun::metrics_run(
+                dir,
+                "fig07",
+                s.graph,
+                ExecutionPlan::gts(&topo, StrategyKind::Fifo),
+                base(),
+            );
+        }
+        if let Some(dir) = &args.trace {
+            let s = fig7_chain(&p);
+            let topo = Topology::of(&s.graph);
+            hmts_bench::obsrun::trace_run(
+                dir,
+                "fig07",
+                16,
+                args.seed,
+                s.graph,
+                ExecutionPlan::gts(&topo, StrategyKind::Fifo),
+                base(),
+            );
+        }
+    }
 }

@@ -103,4 +103,35 @@ fn main() {
         "Paper's claim to check: the OTS/DI ratio grows with the number of queries \
          — DI scales to many operators, OTS does not."
     );
+
+    // `--metrics` / `--trace`: a 5-query OTS run — small enough to stay
+    // cheap, wide enough that the journal shows many operator threads.
+    if args.metrics.is_some() || args.trace.is_some() {
+        let p = Fig7Params { elements: 10_000, seed: args.seed, ..Fig7Params::default() };
+        let base = || EngineConfig { pace_sources: false, ..EngineConfig::default() };
+        if let Some(dir) = &args.metrics {
+            let m = fig8_multi_chain(5, &p);
+            let topo = Topology::of(&m.graph);
+            hmts_bench::obsrun::metrics_run(
+                dir,
+                "fig08",
+                m.graph,
+                ExecutionPlan::ots(&topo),
+                base(),
+            );
+        }
+        if let Some(dir) = &args.trace {
+            let m = fig8_multi_chain(5, &p);
+            let topo = Topology::of(&m.graph);
+            hmts_bench::obsrun::trace_run(
+                dir,
+                "fig08",
+                16,
+                args.seed,
+                m.graph,
+                ExecutionPlan::ots(&topo),
+                base(),
+            );
+        }
+    }
 }

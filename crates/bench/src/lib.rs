@@ -15,6 +15,7 @@
 //!   CSV sampler series under `<dir>` (binaries that support it).
 
 pub mod fig9;
+pub mod obsrun;
 pub mod traced;
 
 use std::fmt::Write as _;

@@ -14,7 +14,7 @@ use hmts::obs::export::{latency_breakdown, OpLatency};
 use hmts::prelude::*;
 use hmts::workload::scenarios::{fig9_chain, Fig9Params};
 
-use crate::{fmt_secs, table};
+use crate::fmt_secs;
 
 /// Tuple-trace sampling rate used by the `--trace` runs: with ≈70 000
 /// source elements, 1-in-16 keeps the span buffer comfortably inside its
@@ -53,20 +53,6 @@ pub fn run_traced(dir: &Path, seed: u64) -> Vec<OpLatency> {
     let spans = obs.trace_snapshot();
     let paths = obs.write_trace(dir).expect("write trace files").expect("tracing was enabled");
     let rows = latency_breakdown(&spans);
-    let rendered: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.site.to_string(),
-                if r.partition == u32::MAX { "-".into() } else { r.partition.to_string() },
-                r.processed.to_string(),
-                fmt_secs(r.processing_ns[0] as f64 * 1e-9),
-                fmt_secs(r.processing_ns[2] as f64 * 1e-9),
-                fmt_secs(r.queue_wait_ns[0] as f64 * 1e-9),
-                fmt_secs(r.queue_wait_ns[2] as f64 * 1e-9),
-            ]
-        })
-        .collect();
     println!(
         "\ntraced run: {} results in {}, {} spans recorded ({} dropped)",
         s.handle.count(),
@@ -74,13 +60,7 @@ pub fn run_traced(dir: &Path, seed: u64) -> Vec<OpLatency> {
         spans.len(),
         obs.tracer().map(|t| t.dropped()).unwrap_or(0),
     );
-    println!(
-        "{}",
-        table(
-            &["operator", "part", "tuples", "proc p50", "proc p99", "wait p50", "wait p99"],
-            &rendered,
-        )
-    );
+    println!("{}", crate::obsrun::breakdown_table(&rows));
     println!(
         "wrote {} (open in ui.perfetto.dev or chrome://tracing) and {}",
         paths.trace_json.display(),

@@ -1,0 +1,152 @@
+//! Load-generator client for the HMTS ingest server.
+//!
+//! Replays a shaped traffic schedule (constant / Poisson / bursty, reusing
+//! the workload crate's arrival processes) over the framed TCP protocol,
+//! then reports the achieved rate and ping/pong RTT percentiles. Can also
+//! subscribe to an egress server and count the query's results.
+//!
+//! ```text
+//! netgen --addr 127.0.0.1:7071 --stream bursty --count 10000 \
+//!        --rate bursty:1000x50000,2000x250 --subscribe 127.0.0.1:7072
+//! ```
+
+use std::process::exit;
+
+use hmts::workload::arrival::ArrivalProcess;
+use hmts::workload::values::TupleGen;
+use hmts_net::{run_load, LoadConfig, LoadMode, SubscriberClient};
+
+struct Args {
+    addr: String,
+    stream: String,
+    count: u64,
+    rate: String,
+    mode: String,
+    ping_every: u64,
+    seed: u64,
+    range: i64,
+    subscribe: Option<String>,
+}
+
+const USAGE: &str = "netgen [--addr HOST:PORT] [--stream NAME] [--count N] [--rate SPEC] \
+[--mode open|closed:WINDOW] [--ping-every N] [--seed N] [--range N] [--subscribe HOST:PORT]
+  --rate SPEC   constant:RATE | poisson:RATE | bursty:COUNTxRATE,COUNTxRATE,...
+  --mode        open (paced by --rate) or closed:W (W unacked tuples per ping barrier)
+  --range N     tuple values drawn uniformly from [1, N]
+  --subscribe   also subscribe to this egress address and count results";
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:7071".into(),
+        stream: "bursty".into(),
+        count: 10_000,
+        rate: "constant:10000".into(),
+        mode: "open".into(),
+        ping_every: 1_000,
+        seed: 9,
+        range: 10_000_000,
+        subscribe: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}\n{USAGE}");
+                exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = val("--addr"),
+            "--stream" => args.stream = val("--stream"),
+            "--count" => args.count = val("--count").parse().expect("--count"),
+            "--rate" => args.rate = val("--rate"),
+            "--mode" => args.mode = val("--mode"),
+            "--ping-every" => args.ping_every = val("--ping-every").parse().expect("--ping-every"),
+            "--seed" => args.seed = val("--seed").parse().expect("--seed"),
+            "--range" => args.range = val("--range").parse().expect("--range"),
+            "--subscribe" => args.subscribe = Some(val("--subscribe")),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}\n{USAGE}");
+                exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn parse_mode(spec: &str) -> LoadMode {
+    if spec == "open" {
+        return LoadMode::Open;
+    }
+    if let Some(("closed", w)) = spec.split_once(':') {
+        if let Ok(window) = w.parse::<u64>() {
+            if window > 0 {
+                return LoadMode::Closed { window };
+            }
+        }
+    }
+    eprintln!("bad --mode {spec:?}: want open or closed:WINDOW");
+    exit(2);
+}
+
+fn main() {
+    let args = parse_args();
+    let arrivals = ArrivalProcess::parse(&args.rate).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(2);
+    });
+    let cfg = LoadConfig {
+        stream: args.stream.clone(),
+        arrivals,
+        gen: TupleGen::uniform_int(1, args.range + 1),
+        count: args.count,
+        seed: args.seed,
+        mode: parse_mode(&args.mode),
+        ping_every: args.ping_every,
+    };
+
+    // Subscribe before generating load so no result can be missed.
+    let subscriber = args.subscribe.as_ref().map(|addr| {
+        let client = SubscriberClient::connect(addr, &args.stream).unwrap_or_else(|e| {
+            eprintln!("netgen: cannot subscribe to {addr}: {e}");
+            exit(1);
+        });
+        std::thread::spawn(move || client.collect_all())
+    });
+
+    eprintln!(
+        "netgen: sending {} tuples ({}, {}) to {} stream {:?}",
+        args.count, args.rate, args.mode, args.addr, args.stream
+    );
+    let report = run_load(&args.addr, &cfg).unwrap_or_else(|e| {
+        eprintln!("netgen: load run failed: {e}");
+        exit(1);
+    });
+    println!(
+        "sent {} tuples in {:.3}s  achieved {:.0} el/s",
+        report.sent,
+        report.elapsed.as_secs_f64(),
+        report.achieved_rate
+    );
+    println!(
+        "rtt over {} pings: p50 {:?}  p95 {:?}  p99 {:?}  max {:?}",
+        report.rtt.samples, report.rtt.p50, report.rtt.p95, report.rtt.p99, report.rtt.max
+    );
+
+    if let Some(handle) = subscriber {
+        match handle.join().expect("subscriber thread") {
+            Ok(messages) => {
+                let data = messages.iter().filter(|m| m.as_data().is_some()).count();
+                println!("subscriber: received {data} result tuples, then end-of-stream");
+            }
+            Err(e) => {
+                eprintln!("netgen: subscriber failed: {e}");
+                exit(1);
+            }
+        }
+    }
+}

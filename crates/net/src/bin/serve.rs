@@ -1,0 +1,199 @@
+//! Serves the paper's Fig. 9/10 query chain over TCP: tuples in through
+//! the backpressured ingest server, results out through the egress
+//! fan-out, the HMTS engine in between.
+//!
+//! With `--switch-after-ms` the engine starts under single-threaded GTS
+//! and performs a *runtime* switch to the paper's two-VO HMTS plan while
+//! external load is flowing — the live-mode-switch demonstration from
+//! §5/§6.6, driven over loopback by `netgen`.
+//!
+//! ```text
+//! serve --ingest 127.0.0.1:7071 --egress 127.0.0.1:7072 --speedup 50000
+//! ```
+
+use std::process::exit;
+use std::time::Duration;
+
+use hmts::prelude::*;
+use hmts_net::{
+    fig9_served_chain, EgressServer, IngestConfig, IngestServer, SlowConsumerPolicy, StreamSpec,
+};
+
+struct Args {
+    ingest: String,
+    egress: String,
+    stream: String,
+    speedup: f64,
+    queue_capacity: usize,
+    producers: usize,
+    workers: usize,
+    slow_consumer: String,
+    switch_after_ms: u64,
+    metrics: Option<std::path::PathBuf>,
+}
+
+const USAGE: &str = "serve [--ingest HOST:PORT] [--egress HOST:PORT] [--stream NAME] \
+[--speedup K] [--queue-capacity N] [--producers N] [--workers N] \
+[--slow-consumer block|disconnect:MS] [--switch-after-ms N] [--metrics DIR]
+  --speedup K          divide the paper's operator costs by K (default 50000)
+  --queue-capacity N   bound of the ingest queue; fullness becomes TCP backpressure
+  --producers N        ingest connections expected before the stream ends
+  --switch-after-ms N  start under GTS, switch to two-VO HMTS after N ms of load
+  --metrics DIR        enable observability and write a snapshot to DIR";
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        ingest: "127.0.0.1:7071".into(),
+        egress: "127.0.0.1:7072".into(),
+        stream: "bursty".into(),
+        speedup: 50_000.0,
+        queue_capacity: 4096,
+        producers: 1,
+        workers: 2,
+        slow_consumer: "block".into(),
+        switch_after_ms: 0,
+        metrics: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}\n{USAGE}");
+                exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--ingest" => args.ingest = val("--ingest"),
+            "--egress" => args.egress = val("--egress"),
+            "--stream" => args.stream = val("--stream"),
+            "--speedup" => args.speedup = val("--speedup").parse().expect("--speedup"),
+            "--queue-capacity" => {
+                args.queue_capacity = val("--queue-capacity").parse().expect("--queue-capacity")
+            }
+            "--producers" => args.producers = val("--producers").parse().expect("--producers"),
+            "--workers" => args.workers = val("--workers").parse().expect("--workers"),
+            "--slow-consumer" => args.slow_consumer = val("--slow-consumer"),
+            "--switch-after-ms" => {
+                args.switch_after_ms = val("--switch-after-ms").parse().expect("--switch-after-ms")
+            }
+            "--metrics" => args.metrics = Some(val("--metrics").into()),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}\n{USAGE}");
+                exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn parse_policy(spec: &str) -> SlowConsumerPolicy {
+    if spec == "block" {
+        return SlowConsumerPolicy::Block;
+    }
+    if let Some(("disconnect", ms)) = spec.split_once(':') {
+        if let Ok(ms) = ms.parse::<u64>() {
+            return SlowConsumerPolicy::Disconnect { timeout: Duration::from_millis(ms.max(1)) };
+        }
+    }
+    eprintln!("bad --slow-consumer {spec:?}: want block or disconnect:MS");
+    exit(2);
+}
+
+fn main() {
+    let args = parse_args();
+    // A journal big enough that the plan-switch record survives the
+    // dispatch/yield flood of a multi-second serving run.
+    let obs = if args.metrics.is_some() {
+        Obs::with_config(ObsConfig { journal_capacity: 1 << 16, ..ObsConfig::default() })
+    } else {
+        Obs::disabled()
+    };
+
+    let ingest = IngestServer::bind(
+        &args.ingest as &str,
+        vec![StreamSpec::new(&args.stream).with_producers(args.producers)],
+        IngestConfig { queue_capacity: Some(args.queue_capacity), obs: obs.clone() },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("serve: cannot bind ingest {}: {e}", args.ingest);
+        exit(1);
+    });
+    let egress =
+        EgressServer::bind(&args.egress as &str, parse_policy(&args.slow_consumer), obs.clone())
+            .unwrap_or_else(|e| {
+                eprintln!("serve: cannot bind egress {}: {e}", args.egress);
+                exit(1);
+            });
+    println!(
+        "serve: ingest on {} (stream {:?}, queue {} x Block), egress on {}",
+        ingest.local_addr(),
+        args.stream,
+        args.queue_capacity,
+        egress.local_addr()
+    );
+
+    let source = ingest.source(&args.stream).expect("stream just registered");
+    let chain = fig9_served_chain(Box::new(source), Box::new(egress.sink("egress")), args.speedup);
+    let topo = Topology::of(&chain.graph);
+    let hmts_plan =
+        || ExecutionPlan::hmts(chain.partitioning.clone(), StrategyKind::Fifo, args.workers.max(1));
+    let initial = if args.switch_after_ms > 0 {
+        ExecutionPlan::gts(&topo, StrategyKind::Fifo)
+    } else {
+        hmts_plan()
+    };
+
+    let cfg = EngineConfig { pace_sources: false, obs: obs.clone(), ..EngineConfig::default() };
+    let mut engine = Engine::with_config(chain.graph, initial, cfg).unwrap_or_else(|e| {
+        eprintln!("serve: invalid plan: {e}");
+        exit(1);
+    });
+    engine.start().expect("engine starts");
+    let sampler = obs.start_sampler(Duration::from_millis(5));
+
+    if args.switch_after_ms > 0 {
+        std::thread::sleep(Duration::from_millis(args.switch_after_ms));
+        println!("serve: switching GTS -> HMTS ({} workers) under load", args.workers.max(1));
+        engine.switch_plan(hmts_plan()).expect("runtime plan switch");
+    }
+
+    // The engine finishes once all expected producers disconnected and the
+    // chain drained; then stop accepting and report.
+    let report = engine.wait();
+    drop(sampler);
+    ingest.shutdown();
+    egress.shutdown();
+
+    let stats = ingest.stats();
+    let rel = std::sync::atomic::Ordering::Relaxed;
+    println!("serve: done in {:.3}s, {} errors", report.elapsed.as_secs_f64(), report.errors.len());
+    println!(
+        "ingest: {} tuples, {} bytes, {} decode errors, backpressure stalls {:.3}s",
+        stats.tuples.load(rel),
+        stats.bytes.load(rel),
+        stats.decode_errors.load(rel),
+        stats.backpressure_stall_ns.load(rel) as f64 / 1e9
+    );
+    println!(
+        "egress: {} result tuples to {} subscriber(s), {} slow-consumer disconnects",
+        egress.tuples_sent(),
+        egress.subscriber_count(),
+        egress.slow_disconnects()
+    );
+    if let Some(dir) = &args.metrics {
+        match obs.write_snapshot(dir) {
+            Ok(Some(paths)) => println!(
+                "wrote {} / {} / {}",
+                paths.metrics_prom.display(),
+                paths.events_json.display(),
+                paths.series_csv.display()
+            ),
+            Ok(None) => {}
+            Err(e) => eprintln!("serve: cannot write metrics snapshot: {e}"),
+        }
+    }
+}

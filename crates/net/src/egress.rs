@@ -1,0 +1,341 @@
+//! The egress side: a sink operator that serializes query results over
+//! framed TCP to any number of subscribers.
+//!
+//! An [`EgressServer`] accepts subscriber connections (each handshakes
+//! with a [`Frame::Hello`]); an [`EgressSink`] placed at the end of a
+//! query graph encodes every result element **once** and fans the bytes
+//! out to all current subscribers, ending with an `Eos` frame when the
+//! query flushes. What happens when a subscriber cannot keep up is the
+//! [`SlowConsumerPolicy`]:
+//!
+//! * [`Block`](SlowConsumerPolicy::Block) — `write` blocks until the
+//!   subscriber drains its socket, propagating backpressure *into the
+//!   engine* (the sink operator stalls, its input queue fills, and so on
+//!   upstream). No subscriber ever misses a result.
+//! * [`Disconnect`](SlowConsumerPolicy::Disconnect) — writes carry a
+//!   timeout; a subscriber that stalls longer is dropped and counted in
+//!   `net_egress_slow_disconnects_total`, and the query keeps its pace.
+
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use hmts::obs::Obs;
+use hmts::operators::traits::{Operator, Output};
+use hmts::streams::element::Element;
+use hmts::streams::error::Result as StreamResult;
+
+use crate::wire::{encode_frame, Frame, FrameReader};
+
+/// What to do with a subscriber whose socket stays full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlowConsumerPolicy {
+    /// Block the sink until the subscriber drains — lossless, propagates
+    /// backpressure into the engine.
+    Block,
+    /// Drop subscribers that stall a single write longer than `timeout`.
+    Disconnect {
+        /// Longest tolerated single-write stall.
+        timeout: Duration,
+    },
+}
+
+struct Subscriber {
+    socket: TcpStream,
+    peer: SocketAddr,
+}
+
+#[derive(Default)]
+struct EgressState {
+    subscribers: Mutex<Vec<Subscriber>>,
+    tuples: AtomicU64,
+    bytes: AtomicU64,
+    slow_disconnects: AtomicU64,
+}
+
+/// Accepts result subscribers for an [`EgressSink`] to write to.
+pub struct EgressServer {
+    addr: SocketAddr,
+    policy: SlowConsumerPolicy,
+    state: Arc<EgressState>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Mutex<Option<JoinHandle<()>>>,
+    obs: Obs,
+}
+
+impl EgressServer {
+    /// Binds the server and starts accepting subscribers (port 0 for an
+    /// ephemeral port).
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        policy: SlowConsumerPolicy,
+        obs: Obs,
+    ) -> io::Result<EgressServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let server = EgressServer {
+            addr,
+            policy,
+            state: Arc::new(EgressState::default()),
+            stop: Arc::new(AtomicBool::new(false)),
+            accept_thread: Mutex::new(None),
+            obs,
+        };
+        let state = Arc::clone(&server.state);
+        let stop = Arc::clone(&server.stop);
+        let gauge = server.obs.gauge("net_egress_subscribers");
+        let handle = std::thread::Builder::new()
+            .name("net-egress-accept".into())
+            .spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((socket, peer)) => {
+                            if admit(&socket, policy).is_ok() {
+                                state.subscribers.lock().push(Subscriber { socket, peer });
+                                gauge.set(state.subscribers.lock().len() as i64);
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn egress accept thread");
+        *server.accept_thread.lock() = Some(handle);
+        Ok(server)
+    }
+
+    /// The address the server actually listens on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of currently connected subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        self.state.subscribers.lock().len()
+    }
+
+    /// Blocks until at least `n` subscribers are connected or `timeout`
+    /// elapses; returns whether the target was reached. Useful before
+    /// starting a query whose first results must not race the subscribers.
+    pub fn wait_for_subscribers(&self, n: usize, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.subscriber_count() < n {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        true
+    }
+
+    /// Total tuples fanned out so far.
+    pub fn tuples_sent(&self) -> u64 {
+        self.state.tuples.load(Ordering::Relaxed)
+    }
+
+    /// Subscribers dropped by the `Disconnect` policy.
+    pub fn slow_disconnects(&self) -> u64 {
+        self.state.slow_disconnects.load(Ordering::Relaxed)
+    }
+
+    /// Creates the sink operator that writes to this server's subscribers.
+    pub fn sink(&self, name: impl Into<String>) -> EgressSink {
+        EgressSink {
+            name: name.into(),
+            state: Arc::clone(&self.state),
+            policy: self.policy,
+            scratch: Vec::new(),
+            tuples: self.obs.counter("net_egress_tuples"),
+            bytes: self.obs.counter("net_egress_bytes"),
+            slow: self.obs.counter("net_egress_slow_disconnects"),
+        }
+    }
+
+    /// Stops accepting new subscribers and joins the accept thread.
+    /// Connected subscribers are kept; the sink keeps writing to them.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.accept_thread.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for EgressServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Reads the subscriber's `Hello` and applies socket options for `policy`.
+fn admit(socket: &TcpStream, policy: SlowConsumerPolicy) -> io::Result<()> {
+    socket.set_nodelay(true)?;
+    // A garbage client must not wedge the accept thread.
+    socket.set_read_timeout(Some(Duration::from_secs(2)))?;
+    let mut reader = FrameReader::new(socket.try_clone()?);
+    match reader.read_frame() {
+        Ok(Some(Frame::Hello { .. })) => {}
+        _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "expected hello")),
+    }
+    socket.set_read_timeout(None)?;
+    match policy {
+        SlowConsumerPolicy::Block => socket.set_write_timeout(None)?,
+        SlowConsumerPolicy::Disconnect { timeout } => socket.set_write_timeout(Some(timeout))?,
+    }
+    Ok(())
+}
+
+/// A sink [`Operator`] that serializes each result element to all current
+/// subscribers of its [`EgressServer`]. Emits nothing downstream.
+pub struct EgressSink {
+    name: String,
+    state: Arc<EgressState>,
+    policy: SlowConsumerPolicy,
+    scratch: Vec<u8>,
+    tuples: hmts::obs::Counter,
+    bytes: hmts::obs::Counter,
+    slow: hmts::obs::Counter,
+}
+
+impl EgressSink {
+    /// Encodes `frame` once and writes it to every subscriber, dropping
+    /// those that error (and, under `Disconnect`, those that time out).
+    fn broadcast(&mut self, frame: &Frame) {
+        self.scratch.clear();
+        encode_frame(frame, &mut self.scratch);
+        let mut subs = self.state.subscribers.lock();
+        let mut fanout = 0u64;
+        subs.retain_mut(|sub| match sub.socket.write_all(&self.scratch) {
+            Ok(()) => {
+                fanout += 1;
+                true
+            }
+            Err(e) => {
+                if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+                    && matches!(self.policy, SlowConsumerPolicy::Disconnect { .. })
+                {
+                    self.state.slow_disconnects.fetch_add(1, Ordering::Relaxed);
+                    self.slow.inc();
+                    eprintln!("net-egress: dropping slow subscriber {}", sub.peer);
+                } else {
+                    eprintln!("net-egress: dropping subscriber {}: {e}", sub.peer);
+                }
+                false
+            }
+        });
+        let sent = fanout * self.scratch.len() as u64;
+        self.state.bytes.fetch_add(sent, Ordering::Relaxed);
+        self.bytes.add(sent);
+    }
+}
+
+impl Operator for EgressSink {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, _port: usize, element: &Element, _out: &mut Output) -> StreamResult<()> {
+        self.broadcast(&Frame::Data { ts: element.ts, tuple: element.tuple.clone() });
+        self.state.tuples.fetch_add(1, Ordering::Relaxed);
+        self.tuples.inc();
+        Ok(())
+    }
+
+    fn on_watermark(
+        &mut self,
+        _port: usize,
+        watermark: hmts::streams::time::Timestamp,
+        _out: &mut Output,
+    ) -> StreamResult<()> {
+        self.broadcast(&Frame::Watermark { ts: watermark });
+        Ok(())
+    }
+
+    fn flush(&mut self, _out: &mut Output) -> StreamResult<()> {
+        self.broadcast(&Frame::Eos);
+        for sub in self.state.subscribers.lock().iter_mut() {
+            let _ = sub.socket.flush();
+        }
+        Ok(())
+    }
+
+    fn cost_hint(&self) -> Option<Duration> {
+        // Loopback serialization cost is far below the workloads' operator
+        // costs; report a token value so planners treat it as a cheap sink.
+        Some(Duration::from_nanos(500))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::SubscriberClient;
+    use hmts::streams::element::Message;
+    use hmts::streams::time::Timestamp;
+    use hmts::streams::tuple::Tuple;
+
+    #[test]
+    fn sink_fans_out_to_subscribers_in_order_and_eos() {
+        let server =
+            EgressServer::bind("127.0.0.1:0", SlowConsumerPolicy::Block, Obs::disabled()).unwrap();
+        let mut a = SubscriberClient::connect(server.local_addr(), "results").unwrap();
+        let mut b = SubscriberClient::connect(server.local_addr(), "results").unwrap();
+        assert!(server.wait_for_subscribers(2, Duration::from_secs(5)));
+
+        let mut sink = server.sink("egress");
+        let mut out = Output::new();
+        for i in 0..5i64 {
+            let e = Element::new(Tuple::single(i), Timestamp::from_micros(i as u64));
+            sink.process(0, &e, &mut out).unwrap();
+        }
+        sink.flush(&mut out).unwrap();
+
+        for client in [&mut a, &mut b] {
+            let mut got = Vec::new();
+            while let Some(m) = client.next_message().unwrap() {
+                if let Message::Data(e) = m {
+                    got.push(e.tuple.field(0).as_int().unwrap());
+                }
+            }
+            assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        }
+        assert_eq!(server.tuples_sent(), 5);
+    }
+
+    #[test]
+    fn disconnect_policy_drops_stalled_subscriber() {
+        let server = EgressServer::bind(
+            "127.0.0.1:0",
+            SlowConsumerPolicy::Disconnect { timeout: Duration::from_millis(50) },
+            Obs::disabled(),
+        )
+        .unwrap();
+        // A subscriber that never reads: its receive window will fill.
+        let lazy = SubscriberClient::connect(server.local_addr(), "results").unwrap();
+        assert!(server.wait_for_subscribers(1, Duration::from_secs(5)));
+
+        let mut sink = server.sink("egress");
+        let mut out = Output::new();
+        // A wide tuple fills socket buffers quickly.
+        let wide = Tuple::new(vec![String::from_utf8(vec![b'x'; 4096]).unwrap(); 16]);
+        for i in 0..2_000u64 {
+            let e = Element::new(wide.clone(), Timestamp::from_micros(i));
+            sink.process(0, &e, &mut out).unwrap();
+            if server.subscriber_count() == 0 {
+                break;
+            }
+        }
+        assert_eq!(server.subscriber_count(), 0, "stalled subscriber was dropped");
+        assert!(server.slow_disconnects() >= 1);
+        drop(lazy);
+    }
+}

@@ -1,0 +1,96 @@
+//! The served variant of the paper's Fig. 9/10 query: same operator chain
+//! and costs, but fed by a [`RemoteSource`](crate::source::RemoteSource)
+//! and terminated by an [`EgressSink`](crate::egress::EgressSink) instead
+//! of the synthetic source / counting sink pair.
+
+use hmts::graph::graph::{NodeId, QueryGraph};
+use hmts::graph::partition::Partitioning;
+use hmts::operators::cost::{CostMode, Costed};
+use hmts::operators::expr::Expr;
+use hmts::operators::filter::Filter;
+use hmts::operators::project::Project;
+use hmts::operators::traits::{Operator, Source};
+use hmts::workload::scenarios::Fig9Params;
+
+/// A Fig. 9/10 chain wired for serving: graph, node ids, and the paper's
+/// two-VO decoupling (projection+cheap selection | expensive selection+sink).
+pub struct ServedChain {
+    /// The query graph.
+    pub graph: QueryGraph,
+    /// Source node (the remote ingest queue).
+    pub source: NodeId,
+    /// Projection node.
+    pub projection: NodeId,
+    /// Cheap, highly selective selection.
+    pub cheap_selection: NodeId,
+    /// Expensive selection.
+    pub expensive_selection: NodeId,
+    /// Sink node (network egress).
+    pub sink: NodeId,
+    /// The paper's HMTS partitioning: decoupled after the source and
+    /// between the selections, two virtual operators.
+    pub partitioning: Partitioning,
+}
+
+/// Builds the Fig. 9/10 operator chain around an arbitrary source and sink.
+///
+/// Costs and selection thresholds mirror
+/// [`fig9_chain`](hmts::workload::scenarios::fig9_chain): projection
+/// c = 2.7 µs, selection `v ≤ 9 000` (sel 9·10⁻⁴, c = 530 ns), selection
+/// `v ≤ 2 700` (sel 0.3, c ≈ 2 s), all divided by `speedup`. Feed it
+/// values uniform in `[1, 10^7]` for the paper's selectivities.
+pub fn fig9_served_chain(
+    source: Box<dyn Source>,
+    sink: Box<dyn Operator>,
+    speedup: f64,
+) -> ServedChain {
+    let (c_proj, c_cheap, c_exp) = Fig9Params { speedup, ..Fig9Params::default() }.costs();
+    let mut graph = QueryGraph::new();
+    let source = graph.add_source(source);
+    let projection = graph
+        .add_operator(Box::new(Costed::new(Project::new("proj", vec![0]), CostMode::Busy(c_proj))));
+    let cheap_selection = graph.add_operator(Box::new(Costed::new(
+        Filter::new("sel_cheap", Expr::field(0).le(Expr::int(9_000))).with_selectivity_hint(9e-4),
+        CostMode::Busy(c_cheap),
+    )));
+    let expensive_selection = graph.add_operator(Box::new(Costed::new(
+        Filter::new("sel_expensive", Expr::field(0).le(Expr::int(2_700)))
+            .with_selectivity_hint(0.3),
+        CostMode::Busy(c_exp),
+    )));
+    let sink = graph.add_operator(sink);
+    graph.connect(source, projection);
+    graph.connect(projection, cheap_selection);
+    graph.connect(cheap_selection, expensive_selection);
+    graph.connect(expensive_selection, sink);
+    let partitioning =
+        Partitioning::new(vec![vec![projection, cheap_selection], vec![expensive_selection, sink]]);
+    ServedChain {
+        graph,
+        source,
+        projection,
+        cheap_selection,
+        expensive_selection,
+        sink,
+        partitioning,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::RemoteSource;
+    use hmts::operators::sink::CountingSink;
+    use hmts::streams::queue::StreamQueue;
+
+    #[test]
+    fn served_chain_is_valid_and_partitioned_in_two() {
+        let q = StreamQueue::unbounded("t");
+        q.close();
+        let (sink, _handle) = CountingSink::new("results");
+        let chain = fig9_served_chain(Box::new(RemoteSource::new("t", q)), Box::new(sink), 1000.0);
+        assert!(hmts::graph::validate::validate(&chain.graph).is_empty());
+        assert_eq!(chain.graph.sinks(), vec![chain.sink]);
+        assert_eq!(chain.partitioning.groups().len(), 2);
+    }
+}

@@ -1,0 +1,468 @@
+//! The TCP ingest server: framed client streams in, [`StreamQueue`]s out.
+//!
+//! Each accepted connection handshakes with a [`Frame::Hello`] naming one
+//! of the server's registered streams, then delivers `Data`/`Watermark`
+//! frames that are pushed into that stream's bounded queue. The queues use
+//! [`BackpressurePolicy::Block`]: when a queue is full the connection
+//! thread blocks inside the push, stops reading its socket, the kernel
+//! receive buffer fills, and TCP flow control stalls the *sender* — the
+//! bounded queue becomes end-to-end backpressure with **zero drops**,
+//! instead of load shedding.
+//!
+//! `Ping` frames are answered with `Pong` on the same connection *after*
+//! every preceding frame was pushed, so a pong doubles as a flush barrier:
+//! clients measure round-trip time (which inflates under backpressure) and
+//! know their data reached the engine's queues.
+//!
+//! Per-connection and aggregate activity is registered in the `hmts-obs`
+//! registry (`net_*` metrics: connections, tuples, bytes, decode errors,
+//! backpressure stall time).
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use hmts::obs::Obs;
+use hmts::streams::element::Message;
+use hmts::streams::error::StreamError;
+use hmts::streams::queue::{BackpressurePolicy, StreamQueue};
+
+use crate::source::RemoteSource;
+use crate::wire::{Frame, FrameReader, FrameWriter, NetError};
+
+/// Declaration of one ingest stream the server accepts.
+#[derive(Debug, Clone)]
+pub struct StreamSpec {
+    /// Stream name clients put in their `Hello`.
+    pub name: String,
+    /// Number of producer connections expected to feed this stream. The
+    /// stream's queue is closed (end-of-stream) once this many connections
+    /// have terminated, so downstream operators can flush deterministically.
+    pub producers: usize,
+}
+
+impl StreamSpec {
+    /// A stream fed by a single producer connection.
+    pub fn new(name: impl Into<String>) -> StreamSpec {
+        StreamSpec { name: name.into(), producers: 1 }
+    }
+
+    /// Sets the number of expected producer connections.
+    pub fn with_producers(mut self, producers: usize) -> StreamSpec {
+        self.producers = producers.max(1);
+        self
+    }
+}
+
+/// Ingest server configuration.
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// Bound of each per-stream queue (`None` = unbounded; bounded queues
+    /// use [`BackpressurePolicy::Block`], which is the whole point).
+    pub queue_capacity: Option<usize>,
+    /// Observability registry for the `net_*` metrics.
+    pub obs: Obs,
+}
+
+impl Default for IngestConfig {
+    fn default() -> IngestConfig {
+        IngestConfig { queue_capacity: Some(4096), obs: Obs::disabled() }
+    }
+}
+
+/// Aggregate lifetime counters of an [`IngestServer`] (always collected;
+/// also mirrored into the obs registry when observability is enabled).
+#[derive(Debug, Default)]
+pub struct IngestStats {
+    /// Currently open connections.
+    pub connections_active: AtomicUsize,
+    /// Connections accepted over the server's lifetime.
+    pub connections_total: AtomicU64,
+    /// Data elements pushed into stream queues.
+    pub tuples: AtomicU64,
+    /// Wire bytes consumed across all connections.
+    pub bytes: AtomicU64,
+    /// Connections terminated by a malformed frame.
+    pub decode_errors: AtomicU64,
+    /// Nanoseconds connection threads spent blocked on full queues
+    /// (the time TCP backpressure was actively stalling senders).
+    pub backpressure_stall_ns: AtomicU64,
+    /// Connections rejected at handshake (unknown stream, bad hello).
+    pub rejected: AtomicU64,
+}
+
+struct StreamSlot {
+    name: String,
+    queue: Arc<StreamQueue>,
+    remaining_producers: AtomicUsize,
+    tuples: hmts::obs::Counter,
+}
+
+/// A multi-client TCP server feeding per-stream [`StreamQueue`]s.
+pub struct IngestServer {
+    addr: SocketAddr,
+    streams: Arc<Vec<StreamSlot>>,
+    stats: Arc<IngestStats>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Mutex<Option<JoinHandle<()>>>,
+    obs: Obs,
+}
+
+impl IngestServer {
+    /// Binds the server and starts accepting connections for the given
+    /// streams. Use port 0 to bind an ephemeral port ([`local_addr`]
+    /// reports the actual one).
+    ///
+    /// [`local_addr`]: IngestServer::local_addr
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        streams: Vec<StreamSpec>,
+        cfg: IngestConfig,
+    ) -> io::Result<IngestServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let slots: Vec<StreamSlot> = streams
+            .into_iter()
+            .map(|s| {
+                let queue = match cfg.queue_capacity {
+                    Some(cap) => StreamQueue::bounded(
+                        format!("ingest:{}", s.name),
+                        cap,
+                        BackpressurePolicy::Block,
+                    ),
+                    None => StreamQueue::unbounded(format!("ingest:{}", s.name)),
+                };
+                StreamSlot {
+                    tuples: cfg.obs.counter(&format!("net_ingest_tuples_{}", s.name)),
+                    name: s.name,
+                    queue,
+                    remaining_producers: AtomicUsize::new(s.producers),
+                }
+            })
+            .collect();
+        let server = IngestServer {
+            addr,
+            streams: Arc::new(slots),
+            stats: Arc::new(IngestStats::default()),
+            stop: Arc::new(AtomicBool::new(false)),
+            accept_thread: Mutex::new(None),
+            obs: cfg.obs,
+        };
+        let streams = Arc::clone(&server.streams);
+        let stats = Arc::clone(&server.stats);
+        let stop = Arc::clone(&server.stop);
+        let obs = server.obs.clone();
+        let handle = std::thread::Builder::new()
+            .name("net-ingest-accept".into())
+            .spawn(move || accept_loop(listener, streams, stats, stop, obs))
+            .expect("spawn accept thread");
+        *server.accept_thread.lock() = Some(handle);
+        Ok(server)
+    }
+
+    /// The address the server actually listens on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The queue backing `stream`, if registered.
+    pub fn queue(&self, stream: &str) -> Option<Arc<StreamQueue>> {
+        self.streams.iter().find(|s| s.name == stream).map(|s| Arc::clone(&s.queue))
+    }
+
+    /// A [`RemoteSource`] draining `stream`'s queue, ready to be added to a
+    /// query graph.
+    pub fn source(&self, stream: &str) -> Option<RemoteSource> {
+        self.queue(stream).map(|q| RemoteSource::new(stream, q))
+    }
+
+    /// Aggregate lifetime counters.
+    pub fn stats(&self) -> &IngestStats {
+        &self.stats
+    }
+
+    /// Stops accepting new connections and joins the accept thread.
+    /// Existing connections keep draining until their clients finish.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.accept_thread.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for IngestServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    streams: Arc<Vec<StreamSlot>>,
+    stats: Arc<IngestStats>,
+    stop: Arc<AtomicBool>,
+    obs: Obs,
+) {
+    let gauge = obs.gauge("net_connections");
+    let total = obs.counter("net_connections_accepted");
+    let mut conn_id: u64 = 0;
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((socket, peer)) => {
+                conn_id += 1;
+                let id = conn_id;
+                stats.connections_total.fetch_add(1, Ordering::Relaxed);
+                stats.connections_active.fetch_add(1, Ordering::Relaxed);
+                total.inc();
+                gauge.add(1);
+                let streams = Arc::clone(&streams);
+                let stats = Arc::clone(&stats);
+                let gauge = gauge.clone();
+                let obs = obs.clone();
+                let _ =
+                    std::thread::Builder::new().name(format!("net-ingest-{id}")).spawn(move || {
+                        if let Err(NetError::Decode(d)) =
+                            serve_connection(socket, id, &streams, &stats, &obs)
+                        {
+                            stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                            obs.counter("net_decode_errors").inc();
+                            eprintln!("net-ingest: {peer} dropped: {d}");
+                        }
+                        stats.connections_active.fetch_sub(1, Ordering::Relaxed);
+                        gauge.add(-1);
+                    });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn serve_connection(
+    socket: TcpStream,
+    id: u64,
+    streams: &[StreamSlot],
+    stats: &IngestStats,
+    obs: &Obs,
+) -> Result<(), NetError> {
+    socket.set_nodelay(true)?;
+    let mut writer = FrameWriter::new(socket.try_clone()?);
+    let mut reader = FrameReader::new(io::BufReader::new(socket));
+
+    // The first frame must be a Hello naming a registered stream.
+    let slot = match reader.read_frame()? {
+        Some(Frame::Hello { stream, .. }) => match streams.iter().find(|s| s.name == stream) {
+            Some(slot) => slot,
+            None => {
+                stats.rejected.fetch_add(1, Ordering::Relaxed);
+                eprintln!("net-ingest: rejected connection for unknown stream {stream:?}");
+                return Ok(());
+            }
+        },
+        Some(_) | None => {
+            stats.rejected.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+    };
+
+    let conn_tuples = obs.counter(&format!("net_conn{id}_tuples"));
+    let conn_bytes = obs.counter(&format!("net_conn{id}_bytes"));
+    let tuples = obs.counter("net_ingest_tuples");
+    let bytes_ctr = obs.counter("net_ingest_bytes");
+    let stall_ctr = obs.counter("net_backpressure_stall_ns");
+    let mut accounted: u64 = 0;
+    let mut account = |reader: &FrameReader<io::BufReader<TcpStream>>| {
+        let delta = reader.bytes_read() - accounted;
+        accounted = reader.bytes_read();
+        stats.bytes.fetch_add(delta, Ordering::Relaxed);
+        bytes_ctr.add(delta);
+        conn_bytes.add(delta);
+    };
+
+    let result = loop {
+        let frame = match reader.read_frame() {
+            Ok(Some(f)) => f,
+            // Clean EOF or an Eos frame below: producer is done.
+            Ok(None) => break Ok(()),
+            Err(e) => break Err(e),
+        };
+        account(&reader);
+        match frame {
+            Frame::Data { ts, tuple } => {
+                match slot.queue.push_with_stall(Message::data(tuple, ts)) {
+                    Ok(stall) => {
+                        if !stall.is_zero() {
+                            let ns = stall.as_nanos().min(u64::MAX as u128) as u64;
+                            stats.backpressure_stall_ns.fetch_add(ns, Ordering::Relaxed);
+                            stall_ctr.add(ns);
+                        }
+                        stats.tuples.fetch_add(1, Ordering::Relaxed);
+                        tuples.inc();
+                        conn_tuples.inc();
+                        slot.tuples.inc();
+                    }
+                    // Queue closed under us (engine shut down): stop reading.
+                    Err(StreamError::QueueClosed) => break Ok(()),
+                    Err(_) => break Ok(()),
+                }
+            }
+            Frame::Watermark { ts } => {
+                use hmts::streams::element::Punctuation;
+                if slot.queue.push(Message::Punct(Punctuation::Watermark(ts))).is_err() {
+                    break Ok(());
+                }
+            }
+            Frame::Ping { nonce } => {
+                writer.write_frame(&Frame::Pong { nonce })?;
+                writer.flush()?;
+            }
+            Frame::Eos => break Ok(()),
+            // A second Hello or a stray Pong is harmless; ignore.
+            Frame::Hello { .. } | Frame::Pong { .. } => {}
+        }
+    };
+
+    // This producer is done (cleanly or not): once the last expected
+    // producer leaves, close the queue so the remote source sees
+    // end-of-stream after draining what is buffered.
+    if slot.remaining_producers.fetch_sub(1, Ordering::AcqRel) == 1 {
+        slot.queue.close();
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::hello;
+    use hmts::streams::time::Timestamp;
+    use hmts::streams::tuple::Tuple;
+
+    fn connect(addr: SocketAddr, stream: &str) -> FrameWriter<TcpStream> {
+        let sock = TcpStream::connect(addr).unwrap();
+        let mut w = FrameWriter::new(sock);
+        w.write_frame(&hello(stream)).unwrap();
+        w
+    }
+
+    #[test]
+    fn ingest_pushes_frames_into_stream_queue() {
+        let server =
+            IngestServer::bind("127.0.0.1:0", vec![StreamSpec::new("a")], IngestConfig::default())
+                .unwrap();
+        let mut w = connect(server.local_addr(), "a");
+        for i in 0..10i64 {
+            w.write_frame(&Frame::Data {
+                ts: Timestamp::from_micros(i as u64),
+                tuple: Tuple::single(i),
+            })
+            .unwrap();
+        }
+        w.write_frame(&Frame::Eos).unwrap();
+        drop(w);
+        let q = server.queue("a").unwrap();
+        let mut got = Vec::new();
+        while let Some(m) = q.pop_blocking() {
+            got.push(m.as_data().unwrap().tuple.field(0).as_int().unwrap());
+        }
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        assert_eq!(server.stats().tuples.load(Ordering::Relaxed), 10);
+        assert!(server.stats().bytes.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn unknown_stream_is_rejected_without_touching_queues() {
+        let server =
+            IngestServer::bind("127.0.0.1:0", vec![StreamSpec::new("a")], IngestConfig::default())
+                .unwrap();
+        let mut w = connect(server.local_addr(), "nope");
+        // Socket will be closed server-side; writes may fail eventually.
+        let _ = w.write_frame(&Frame::Data { ts: Timestamp::ZERO, tuple: Tuple::single(1) });
+        drop(w);
+        // Wait for the connection to be accepted and its thread to finish.
+        while server.stats().connections_total.load(Ordering::Relaxed) < 1
+            || server.stats().connections_active.load(Ordering::Relaxed) > 0
+        {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(server.stats().rejected.load(Ordering::Relaxed), 1);
+        assert_eq!(server.queue("a").unwrap().len(), 0);
+        assert!(!server.queue("a").unwrap().is_closed());
+    }
+
+    #[test]
+    fn malformed_frame_counts_decode_error_and_ends_connection() {
+        let server =
+            IngestServer::bind("127.0.0.1:0", vec![StreamSpec::new("a")], IngestConfig::default())
+                .unwrap();
+        let sock = TcpStream::connect(server.local_addr()).unwrap();
+        let mut w = FrameWriter::new(sock.try_clone().unwrap());
+        w.write_frame(&hello("a")).unwrap();
+        use std::io::Write as _;
+        // A frame with an absurd length prefix.
+        (&sock).write_all(&u32::MAX.to_le_bytes()).unwrap();
+        drop(w);
+        drop(sock);
+        while server.stats().connections_total.load(Ordering::Relaxed) < 1
+            || server.stats().connections_active.load(Ordering::Relaxed) > 0
+        {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(server.stats().decode_errors.load(Ordering::Relaxed), 1);
+        // Sole producer gone: the stream ends.
+        assert!(server.queue("a").unwrap().is_closed());
+    }
+
+    #[test]
+    fn queue_closes_only_after_all_expected_producers_finish() {
+        let server = IngestServer::bind(
+            "127.0.0.1:0",
+            vec![StreamSpec::new("a").with_producers(2)],
+            IngestConfig::default(),
+        )
+        .unwrap();
+        let mut w1 = connect(server.local_addr(), "a");
+        let mut w2 = connect(server.local_addr(), "a");
+        w1.write_frame(&Frame::Data { ts: Timestamp::ZERO, tuple: Tuple::single(1) }).unwrap();
+        w1.write_frame(&Frame::Eos).unwrap();
+        drop(w1);
+        let q = server.queue("a").unwrap();
+        while server.stats().connections_active.load(Ordering::Relaxed) > 1 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(!q.is_closed(), "one producer still connected");
+        w2.write_frame(&Frame::Data { ts: Timestamp::ZERO, tuple: Tuple::single(2) }).unwrap();
+        w2.write_frame(&Frame::Eos).unwrap();
+        drop(w2);
+        while !q.is_closed() {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn ping_answered_with_pong_after_preceding_data() {
+        let server =
+            IngestServer::bind("127.0.0.1:0", vec![StreamSpec::new("a")], IngestConfig::default())
+                .unwrap();
+        let sock = TcpStream::connect(server.local_addr()).unwrap();
+        let mut w = FrameWriter::new(sock.try_clone().unwrap());
+        let mut r = FrameReader::new(sock);
+        w.write_frame(&hello("a")).unwrap();
+        w.write_frame(&Frame::Data { ts: Timestamp::ZERO, tuple: Tuple::single(7) }).unwrap();
+        w.write_frame(&Frame::Ping { nonce: 99 }).unwrap();
+        assert_eq!(r.read_frame().unwrap(), Some(Frame::Pong { nonce: 99 }));
+        // Pong is a barrier: the data frame is already in the queue.
+        assert_eq!(server.queue("a").unwrap().len(), 1);
+        w.write_frame(&Frame::Eos).unwrap();
+    }
+}

@@ -1,0 +1,99 @@
+//! Driving a query graph from a remote ingest queue.
+
+use std::sync::Arc;
+
+use hmts::operators::traits::Source;
+use hmts::streams::element::{Message, Punctuation};
+use hmts::streams::queue::StreamQueue;
+use hmts::streams::time::Timestamp;
+use hmts::streams::tuple::Tuple;
+
+/// A [`Source`] that drains an ingest [`StreamQueue`] fed by the network.
+///
+/// `next` parks on the queue, so a graph driven by a `RemoteSource` is
+/// clocked entirely by external traffic. The source ends when the ingest
+/// server closes the queue (all expected producers finished) or an
+/// explicit end-of-stream punctuation is drained; the engine then injects
+/// EOS downstream exactly as for a local source. Watermark punctuations
+/// are skipped — the engine synthesizes watermarks from element
+/// timestamps when [`watermark_interval`] is configured.
+///
+/// Run remote-fed engines with `pace_sources: false`: elements already
+/// arrive paced by the network, and their timestamps belong to the
+/// *client's* stream epoch, not the engine clock.
+///
+/// [`watermark_interval`]: hmts::engine::EngineConfig::watermark_interval
+pub struct RemoteSource {
+    name: String,
+    queue: Arc<StreamQueue>,
+    done: bool,
+}
+
+impl RemoteSource {
+    /// A source draining `queue` under the given diagnostic name.
+    pub fn new(name: impl Into<String>, queue: Arc<StreamQueue>) -> RemoteSource {
+        RemoteSource { name: name.into(), queue, done: false }
+    }
+
+    /// The backing queue (for occupancy monitoring).
+    pub fn queue(&self) -> &Arc<StreamQueue> {
+        &self.queue
+    }
+}
+
+impl Source for RemoteSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn next(&mut self) -> Option<(Timestamp, Tuple)> {
+        if self.done {
+            return None;
+        }
+        loop {
+            match self.queue.pop_blocking() {
+                None => {
+                    self.done = true;
+                    return None;
+                }
+                Some(Message::Data(e)) => return Some((e.ts, e.tuple)),
+                Some(Message::Punct(Punctuation::EndOfStream)) => {
+                    self.done = true;
+                    return None;
+                }
+                Some(Message::Punct(Punctuation::Watermark(_))) => continue,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drains_data_skips_watermarks_ends_on_close() {
+        let q = StreamQueue::unbounded("r");
+        q.push(Message::data(Tuple::single(1), Timestamp::from_micros(10))).unwrap();
+        q.push(Message::Punct(Punctuation::Watermark(Timestamp::from_micros(10)))).unwrap();
+        q.push(Message::data(Tuple::single(2), Timestamp::from_micros(20))).unwrap();
+        q.close();
+        let mut s = RemoteSource::new("r", q);
+        assert_eq!(s.next().unwrap().1.field(0).as_int().unwrap(), 1);
+        assert_eq!(s.next().unwrap().1.field(0).as_int().unwrap(), 2);
+        assert!(s.next().is_none());
+        assert!(s.next().is_none(), "stays exhausted");
+    }
+
+    #[test]
+    fn explicit_eos_punctuation_ends_stream() {
+        let q = StreamQueue::unbounded("r");
+        q.push(Message::data(Tuple::single(1), Timestamp::ZERO)).unwrap();
+        q.push(Message::eos()).unwrap();
+        q.push(Message::data(Tuple::single(9), Timestamp::ZERO)).unwrap();
+        let mut s = RemoteSource::new("r", q);
+        assert!(s.next().is_some());
+        assert!(s.next().is_none(), "EOS punctuation terminates");
+        assert!(s.next().is_none());
+    }
+}

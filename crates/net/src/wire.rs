@@ -1,0 +1,634 @@
+//! The HMTS wire protocol: length-prefixed binary frames over a byte
+//! stream.
+//!
+//! Every frame is `[len: u32 LE][kind: u8][payload]`, where `len` counts
+//! the kind byte plus the payload. A connection opens with a [`Frame::Hello`]
+//! carrying the protocol magic, a version number, and the name of the
+//! stream the connection feeds (ingest) or subscribes to (egress). After
+//! the handshake, data and punctuations flow as frames that map one-to-one
+//! onto [`Message`]s, so a socket is simply a serialized stream-queue edge:
+//!
+//! | kind | frame        | payload                                   |
+//! |------|--------------|-------------------------------------------|
+//! | 1    | `Hello`      | magic `HMTS`, version `u16`, stream name  |
+//! | 2    | `Data`       | timestamp `u64` µs, tuple                 |
+//! | 3    | `Watermark`  | timestamp `u64` µs                        |
+//! | 4    | `Eos`        | —                                         |
+//! | 5    | `Ping`       | nonce `u64`                               |
+//! | 6    | `Pong`       | nonce `u64`                               |
+//!
+//! Tuples are a `u16` arity followed by tagged values (0 null, 1 bool,
+//! 2 `i64`, 3 `f64` bits, 4 length-prefixed UTF-8). Trace tags are
+//! diagnostic metadata and deliberately *not* carried on the wire.
+//!
+//! Decoding never panics: every malformed input — truncated frame, bad
+//! magic, unknown tag, oversized length prefix, trailing bytes — is a
+//! [`DecodeError`]. Oversized length prefixes are rejected *before*
+//! buffering, so a corrupt peer cannot make the server allocate
+//! arbitrarily.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+
+use hmts::streams::element::{Message, Punctuation};
+use hmts::streams::time::Timestamp;
+use hmts::streams::tuple::Tuple;
+use hmts::streams::value::Value;
+
+/// Protocol magic carried by every [`Frame::Hello`].
+pub const MAGIC: [u8; 4] = *b"HMTS";
+
+/// Current protocol version.
+pub const VERSION: u16 = 1;
+
+/// Hard upper bound on the body (kind + payload) of a single frame.
+/// Anything larger is rejected as corrupt before buffering.
+pub const MAX_FRAME: usize = 1 << 20;
+
+const KIND_HELLO: u8 = 1;
+const KIND_DATA: u8 = 2;
+const KIND_WATERMARK: u8 = 3;
+const KIND_EOS: u8 = 4;
+const KIND_PING: u8 = 5;
+const KIND_PONG: u8 = 6;
+
+const TAG_NULL: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_INT: u8 = 2;
+const TAG_FLOAT: u8 = 3;
+const TAG_STR: u8 = 4;
+
+/// One protocol frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Connection handshake: protocol magic + version + stream name.
+    Hello {
+        /// Protocol version the peer speaks.
+        version: u16,
+        /// Stream the connection feeds (ingest) or subscribes to (egress).
+        stream: String,
+    },
+    /// One stream element.
+    Data {
+        /// Stream timestamp (microseconds since stream epoch).
+        ts: Timestamp,
+        /// The payload.
+        tuple: Tuple,
+    },
+    /// A watermark punctuation.
+    Watermark {
+        /// No element below this timestamp will follow.
+        ts: Timestamp,
+    },
+    /// End-of-stream punctuation: the sender is done.
+    Eos,
+    /// Application-level echo request (RTT probes, flush barriers).
+    Ping {
+        /// Correlates the matching [`Frame::Pong`].
+        nonce: u64,
+    },
+    /// Echo reply to a [`Frame::Ping`], sent after all preceding frames
+    /// on the connection were processed.
+    Pong {
+        /// The nonce of the ping being answered.
+        nonce: u64,
+    },
+}
+
+impl Frame {
+    /// The frame for a queue [`Message`] (data, watermark, or EOS).
+    pub fn from_message(msg: &Message) -> Frame {
+        match msg {
+            Message::Data(e) => Frame::Data { ts: e.ts, tuple: e.tuple.clone() },
+            Message::Punct(Punctuation::Watermark(ts)) => Frame::Watermark { ts: *ts },
+            Message::Punct(Punctuation::EndOfStream) => Frame::Eos,
+        }
+    }
+
+    /// The queue [`Message`] this frame carries, if it is a stream frame
+    /// (`Data`/`Watermark`/`Eos`; control frames return `None`).
+    pub fn into_message(self) -> Option<Message> {
+        match self {
+            Frame::Data { ts, tuple } => Some(Message::data(tuple, ts)),
+            Frame::Watermark { ts } => Some(Message::Punct(Punctuation::Watermark(ts))),
+            Frame::Eos => Some(Message::Punct(Punctuation::EndOfStream)),
+            Frame::Hello { .. } | Frame::Ping { .. } | Frame::Pong { .. } => None,
+        }
+    }
+}
+
+/// Why a byte sequence is not a valid frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended before the frame did.
+    UnexpectedEof,
+    /// The length prefix exceeds [`MAX_FRAME`].
+    FrameTooLarge(usize),
+    /// A frame body with length zero (there is no kind byte to read).
+    EmptyFrame,
+    /// The kind byte is not a known frame kind.
+    UnknownFrameKind(u8),
+    /// A value tag byte is not a known value kind.
+    UnknownValueTag(u8),
+    /// A `Hello` frame without the protocol magic.
+    BadMagic,
+    /// A `Hello` frame from a peer speaking an unsupported version.
+    UnsupportedVersion(u16),
+    /// A string field that is not valid UTF-8.
+    BadUtf8,
+    /// The frame body continued past its last field.
+    TrailingBytes,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof => write!(f, "input truncated mid-frame"),
+            DecodeError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds {MAX_FRAME}"),
+            DecodeError::EmptyFrame => write!(f, "zero-length frame"),
+            DecodeError::UnknownFrameKind(k) => write!(f, "unknown frame kind {k}"),
+            DecodeError::UnknownValueTag(t) => write!(f, "unknown value tag {t}"),
+            DecodeError::BadMagic => write!(f, "hello frame without HMTS magic"),
+            DecodeError::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
+            DecodeError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            DecodeError::TrailingBytes => write!(f, "frame body has trailing bytes"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Appends the full encoding of `frame` (length prefix included) to `buf`.
+pub fn encode_frame(frame: &Frame, buf: &mut Vec<u8>) {
+    let len_pos = buf.len();
+    buf.extend_from_slice(&[0; 4]);
+    match frame {
+        Frame::Hello { version, stream } => {
+            buf.push(KIND_HELLO);
+            buf.extend_from_slice(&MAGIC);
+            buf.extend_from_slice(&version.to_le_bytes());
+            put_str(buf, stream);
+        }
+        Frame::Data { ts, tuple } => {
+            buf.push(KIND_DATA);
+            buf.extend_from_slice(&ts.as_micros().to_le_bytes());
+            put_tuple(buf, tuple);
+        }
+        Frame::Watermark { ts } => {
+            buf.push(KIND_WATERMARK);
+            buf.extend_from_slice(&ts.as_micros().to_le_bytes());
+        }
+        Frame::Eos => buf.push(KIND_EOS),
+        Frame::Ping { nonce } => {
+            buf.push(KIND_PING);
+            buf.extend_from_slice(&nonce.to_le_bytes());
+        }
+        Frame::Pong { nonce } => {
+            buf.push(KIND_PONG);
+            buf.extend_from_slice(&nonce.to_le_bytes());
+        }
+    }
+    let body_len = (buf.len() - len_pos - 4) as u32;
+    buf[len_pos..len_pos + 4].copy_from_slice(&body_len.to_le_bytes());
+}
+
+/// Decodes one frame from the start of `bytes`, returning it and the total
+/// number of bytes consumed (length prefix included). Incomplete input is
+/// [`DecodeError::UnexpectedEof`]; corrupt input is the specific error.
+pub fn decode_frame(bytes: &[u8]) -> Result<(Frame, usize), DecodeError> {
+    if bytes.len() < 4 {
+        return Err(DecodeError::UnexpectedEof);
+    }
+    let body_len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+    if body_len > MAX_FRAME {
+        return Err(DecodeError::FrameTooLarge(body_len));
+    }
+    if body_len == 0 {
+        return Err(DecodeError::EmptyFrame);
+    }
+    if bytes.len() < 4 + body_len {
+        return Err(DecodeError::UnexpectedEof);
+    }
+    let frame = decode_body(&bytes[4..4 + body_len])?;
+    Ok((frame, 4 + body_len))
+}
+
+/// Decodes a frame body (the bytes after the length prefix).
+pub fn decode_body(body: &[u8]) -> Result<Frame, DecodeError> {
+    let mut cur = Cursor { body, pos: 0 };
+    let kind = cur.u8()?;
+    let frame = match kind {
+        KIND_HELLO => {
+            let magic = cur.bytes(4)?;
+            if magic != MAGIC {
+                return Err(DecodeError::BadMagic);
+            }
+            let version = cur.u16()?;
+            if version != VERSION {
+                return Err(DecodeError::UnsupportedVersion(version));
+            }
+            let stream = cur.string()?;
+            Frame::Hello { version, stream }
+        }
+        KIND_DATA => {
+            let ts = Timestamp::from_micros(cur.u64()?);
+            let tuple = cur.tuple()?;
+            Frame::Data { ts, tuple }
+        }
+        KIND_WATERMARK => Frame::Watermark { ts: Timestamp::from_micros(cur.u64()?) },
+        KIND_EOS => Frame::Eos,
+        KIND_PING => Frame::Ping { nonce: cur.u64()? },
+        KIND_PONG => Frame::Pong { nonce: cur.u64()? },
+        other => return Err(DecodeError::UnknownFrameKind(other)),
+    };
+    if cur.pos != body.len() {
+        return Err(DecodeError::TrailingBytes);
+    }
+    Ok(frame)
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_tuple(buf: &mut Vec<u8>, tuple: &Tuple) {
+    buf.extend_from_slice(&(tuple.arity() as u16).to_le_bytes());
+    for v in tuple.values() {
+        match v {
+            Value::Null => buf.push(TAG_NULL),
+            Value::Bool(b) => {
+                buf.push(TAG_BOOL);
+                buf.push(*b as u8);
+            }
+            Value::Int(i) => {
+                buf.push(TAG_INT);
+                buf.extend_from_slice(&i.to_le_bytes());
+            }
+            Value::Float(x) => {
+                buf.push(TAG_FLOAT);
+                buf.extend_from_slice(&x.to_bits().to_le_bytes());
+            }
+            Value::Str(s) => {
+                buf.push(TAG_STR);
+                put_str(buf, s);
+            }
+        }
+    }
+}
+
+struct Cursor<'a> {
+    body: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn bytes(&mut self, n: usize) -> Result<&[u8], DecodeError> {
+        if self.body.len() - self.pos < n {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        let out = &self.body[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn string(&mut self) -> Result<String, DecodeError> {
+        let len = self.u32()? as usize;
+        let bytes = self.bytes(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8)
+    }
+
+    fn tuple(&mut self) -> Result<Tuple, DecodeError> {
+        let arity = self.u16()? as usize;
+        let mut values = Vec::with_capacity(arity.min(64));
+        for _ in 0..arity {
+            let v = match self.u8()? {
+                TAG_NULL => Value::Null,
+                TAG_BOOL => Value::Bool(self.u8()? != 0),
+                TAG_INT => {
+                    Value::Int(i64::from_le_bytes(self.bytes(8)?.try_into().expect("8 bytes")))
+                }
+                TAG_FLOAT => Value::Float(f64::from_bits(u64::from_le_bytes(
+                    self.bytes(8)?.try_into().expect("8 bytes"),
+                ))),
+                TAG_STR => Value::Str(Arc::from(self.string()?.as_str())),
+                other => return Err(DecodeError::UnknownValueTag(other)),
+            };
+            values.push(v);
+        }
+        Ok(Tuple::new(values))
+    }
+}
+
+/// Errors on a framed connection: transport failures or malformed frames.
+#[derive(Debug)]
+pub enum NetError {
+    /// The underlying socket failed.
+    Io(io::Error),
+    /// The peer sent a malformed frame.
+    Decode(DecodeError),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "io error: {e}"),
+            NetError::Decode(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> NetError {
+        NetError::Io(e)
+    }
+}
+
+impl From<DecodeError> for NetError {
+    fn from(e: DecodeError) -> NetError {
+        NetError::Decode(e)
+    }
+}
+
+/// Reads frames off a byte stream, tracking the bytes consumed.
+pub struct FrameReader<R> {
+    inner: R,
+    scratch: Vec<u8>,
+    bytes_read: u64,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps a byte stream.
+    pub fn new(inner: R) -> FrameReader<R> {
+        FrameReader { inner, scratch: Vec::new(), bytes_read: 0 }
+    }
+
+    /// Total bytes consumed from the stream so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Reads the next frame. `Ok(None)` means the stream ended cleanly at a
+    /// frame boundary; EOF mid-frame is [`DecodeError::UnexpectedEof`].
+    pub fn read_frame(&mut self) -> Result<Option<Frame>, NetError> {
+        let mut prefix = [0u8; 4];
+        match read_full(&mut self.inner, &mut prefix) {
+            ReadFull::Done => {}
+            ReadFull::Eof => return Ok(None),
+            ReadFull::TruncatedEof => return Err(DecodeError::UnexpectedEof.into()),
+            ReadFull::Err(e) => return Err(e.into()),
+        }
+        let body_len = u32::from_le_bytes(prefix) as usize;
+        if body_len > MAX_FRAME {
+            return Err(DecodeError::FrameTooLarge(body_len).into());
+        }
+        if body_len == 0 {
+            return Err(DecodeError::EmptyFrame.into());
+        }
+        self.scratch.resize(body_len, 0);
+        match read_full(&mut self.inner, &mut self.scratch) {
+            ReadFull::Done => {}
+            ReadFull::Eof | ReadFull::TruncatedEof => return Err(DecodeError::UnexpectedEof.into()),
+            ReadFull::Err(e) => return Err(e.into()),
+        }
+        self.bytes_read += (4 + body_len) as u64;
+        Ok(Some(decode_body(&self.scratch)?))
+    }
+}
+
+enum ReadFull {
+    Done,
+    Eof,
+    TruncatedEof,
+    Err(io::Error),
+}
+
+/// Like `read_exact`, but distinguishes EOF before the first byte (a clean
+/// close) from EOF mid-buffer (a truncated frame).
+fn read_full(r: &mut impl Read, buf: &mut [u8]) -> ReadFull {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => return if filled == 0 { ReadFull::Eof } else { ReadFull::TruncatedEof },
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return ReadFull::Err(e),
+        }
+    }
+    ReadFull::Done
+}
+
+/// Writes frames onto a byte stream, reusing one encode buffer.
+pub struct FrameWriter<W> {
+    inner: W,
+    scratch: Vec<u8>,
+    bytes_written: u64,
+}
+
+impl<W: Write> FrameWriter<W> {
+    /// Wraps a byte stream.
+    pub fn new(inner: W) -> FrameWriter<W> {
+        FrameWriter { inner, scratch: Vec::new(), bytes_written: 0 }
+    }
+
+    /// Total bytes written to the stream so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Encodes and writes one frame.
+    pub fn write_frame(&mut self, frame: &Frame) -> io::Result<()> {
+        self.scratch.clear();
+        encode_frame(frame, &mut self.scratch);
+        self.inner.write_all(&self.scratch)?;
+        self.bytes_written += self.scratch.len() as u64;
+        Ok(())
+    }
+
+    /// Flushes the underlying stream.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+
+    /// The underlying stream.
+    pub fn get_mut(&mut self) -> &mut W {
+        &mut self.inner
+    }
+}
+
+/// The standard handshake frame for `stream`.
+pub fn hello(stream: &str) -> Frame {
+    Frame::Hello { version: VERSION, stream: stream.to_string() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: Frame) -> Frame {
+        let mut buf = Vec::new();
+        encode_frame(&frame, &mut buf);
+        let (decoded, consumed) = decode_frame(&buf).expect("decodes");
+        assert_eq!(consumed, buf.len());
+        decoded
+    }
+
+    #[test]
+    fn all_frame_kinds_round_trip() {
+        let frames = vec![
+            hello("sensor-7"),
+            Frame::Data {
+                ts: Timestamp::from_micros(123_456),
+                tuple: Tuple::new(vec![
+                    Value::Null,
+                    Value::Bool(true),
+                    Value::Int(-42),
+                    Value::Float(2.5),
+                    Value::from("päyload"),
+                ]),
+            },
+            Frame::Watermark { ts: Timestamp::from_secs(9) },
+            Frame::Eos,
+            Frame::Ping { nonce: 7 },
+            Frame::Pong { nonce: u64::MAX },
+        ];
+        for f in frames {
+            assert_eq!(round_trip(f.clone()), f);
+        }
+    }
+
+    #[test]
+    fn nan_floats_round_trip_bit_exact() {
+        let f = Frame::Data {
+            ts: Timestamp::ZERO,
+            tuple: Tuple::new(vec![Value::Float(f64::NAN), Value::Float(-0.0)]),
+        };
+        let mut buf = Vec::new();
+        encode_frame(&f, &mut buf);
+        let (decoded, _) = decode_frame(&buf).unwrap();
+        match decoded {
+            Frame::Data { tuple, .. } => {
+                assert!(matches!(tuple.field(0), Value::Float(x) if x.is_nan()));
+                assert!(
+                    matches!(tuple.field(1), Value::Float(x) if x.to_bits() == (-0.0f64).to_bits())
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_reports_eof_everywhere() {
+        let mut buf = Vec::new();
+        encode_frame(
+            &Frame::Data { ts: Timestamp::from_micros(5), tuple: Tuple::pair(1, "abc") },
+            &mut buf,
+        );
+        for cut in 0..buf.len() {
+            assert_eq!(
+                decode_frame(&buf[..cut]).unwrap_err(),
+                DecodeError::UnexpectedEof,
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_inputs_rejected_without_panic() {
+        // Oversized length prefix.
+        let huge = (MAX_FRAME as u32 + 1).to_le_bytes();
+        assert!(matches!(decode_frame(&huge).unwrap_err(), DecodeError::FrameTooLarge(_)));
+        // Zero-length body.
+        assert_eq!(decode_frame(&0u32.to_le_bytes()).unwrap_err(), DecodeError::EmptyFrame);
+        // Unknown frame kind.
+        assert_eq!(decode_body(&[99]).unwrap_err(), DecodeError::UnknownFrameKind(99));
+        // Unknown value tag inside a tuple.
+        let mut body = vec![KIND_DATA];
+        body.extend_from_slice(&0u64.to_le_bytes());
+        body.extend_from_slice(&1u16.to_le_bytes());
+        body.push(200);
+        assert_eq!(decode_body(&body).unwrap_err(), DecodeError::UnknownValueTag(200));
+        // Trailing garbage.
+        let mut buf = Vec::new();
+        encode_frame(&Frame::Eos, &mut buf);
+        let mut body = buf[4..].to_vec();
+        body.push(0);
+        assert_eq!(decode_body(&body).unwrap_err(), DecodeError::TrailingBytes);
+    }
+
+    #[test]
+    fn hello_validates_magic_and_version() {
+        let mut buf = Vec::new();
+        encode_frame(&hello("s"), &mut buf);
+        let mut bad_magic = buf[4..].to_vec();
+        bad_magic[1] = b'X';
+        assert_eq!(decode_body(&bad_magic).unwrap_err(), DecodeError::BadMagic);
+        let mut bad_version = buf[4..].to_vec();
+        bad_version[5] = 0xFF;
+        assert!(matches!(
+            decode_body(&bad_version).unwrap_err(),
+            DecodeError::UnsupportedVersion(_)
+        ));
+    }
+
+    #[test]
+    fn reader_writer_round_trip_and_clean_eof() {
+        let mut wire = Vec::new();
+        {
+            let mut w = FrameWriter::new(&mut wire);
+            w.write_frame(&hello("a")).unwrap();
+            w.write_frame(&Frame::Data { ts: Timestamp::from_micros(1), tuple: Tuple::single(10) })
+                .unwrap();
+            w.write_frame(&Frame::Eos).unwrap();
+            assert_eq!(w.bytes_written(), wire.len() as u64);
+        }
+        let mut r = FrameReader::new(&wire[..]);
+        assert_eq!(r.read_frame().unwrap(), Some(hello("a")));
+        assert!(matches!(r.read_frame().unwrap(), Some(Frame::Data { .. })));
+        assert_eq!(r.read_frame().unwrap(), Some(Frame::Eos));
+        assert_eq!(r.read_frame().unwrap(), None); // clean EOF
+        assert_eq!(r.bytes_read(), wire.len() as u64);
+    }
+
+    #[test]
+    fn reader_flags_mid_frame_eof() {
+        let mut wire = Vec::new();
+        let mut w = FrameWriter::new(&mut wire);
+        w.write_frame(&Frame::Ping { nonce: 3 }).unwrap();
+        let cut = &wire[..wire.len() - 2];
+        let mut r = FrameReader::new(cut);
+        assert!(matches!(r.read_frame(), Err(NetError::Decode(DecodeError::UnexpectedEof))));
+    }
+
+    #[test]
+    fn message_conversion_is_lossless_for_stream_frames() {
+        let msgs = vec![
+            Message::data(Tuple::single(5), Timestamp::from_micros(17)),
+            Message::Punct(Punctuation::Watermark(Timestamp::from_secs(3))),
+            Message::eos(),
+        ];
+        for m in msgs {
+            assert_eq!(Frame::from_message(&m).into_message(), Some(m));
+        }
+        assert_eq!(Frame::Ping { nonce: 1 }.into_message(), None);
+    }
+}

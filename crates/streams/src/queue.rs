@@ -249,7 +249,17 @@ impl StreamQueue {
     /// Enqueues a message, applying the backpressure policy if bounded and
     /// full. Fails with [`StreamError::QueueClosed`] after `close`.
     pub fn push(&self, msg: Message) -> Result<(), StreamError> {
+        self.push_with_stall(msg).map(|_| ())
+    }
+
+    /// Like [`StreamQueue::push`], but reports how long the producer was
+    /// blocked by a full [`BackpressurePolicy::Block`] queue
+    /// (`Duration::ZERO` on the fast path — no clock is read unless the
+    /// push actually stalls). Network ingest uses this to attribute
+    /// TCP-backpressure stall time without taxing the in-process hot path.
+    pub fn push_with_stall(&self, msg: Message) -> Result<Duration, StreamError> {
         let is_data = msg.as_data().is_some();
+        let mut stalled = Duration::ZERO;
         let mut buf = self.shared.buf.lock();
         if self.is_closed() {
             return Err(StreamError::QueueClosed);
@@ -261,11 +271,13 @@ impl StreamQueue {
                     BackpressurePolicy::Block => {
                         // Re-read the capacity each round: `lift_bound` may
                         // remove it while we wait.
+                        let wait_start = std::time::Instant::now();
                         while buf.len() >= self.capacity.load(Ordering::Relaxed)
                             && !self.is_closed()
                         {
                             self.shared.not_full.wait(&mut buf);
                         }
+                        stalled = wait_start.elapsed();
                         if self.is_closed() {
                             return Err(StreamError::QueueClosed);
                         }
@@ -273,7 +285,7 @@ impl StreamQueue {
                     BackpressurePolicy::Fail => return Err(StreamError::QueueFull),
                     BackpressurePolicy::DropNewest => {
                         self.metrics.dropped.fetch_add(1, Ordering::Relaxed);
-                        return Ok(());
+                        return Ok(stalled);
                     }
                     BackpressurePolicy::DropOldest => {
                         if let Some(old) = buf.pop_front() {
@@ -290,7 +302,7 @@ impl StreamQueue {
         self.on_inserted(is_data, new_len);
         drop(buf);
         self.shared.not_empty.notify_one();
-        Ok(())
+        Ok(stalled)
     }
 
     /// The timestamp of the oldest queued message, if any (see

@@ -93,6 +93,48 @@ impl ArrivalProcess {
         }
     }
 
+    /// Parses a command-line arrival spec:
+    ///
+    /// * `constant:RATE` — deterministic gaps, `RATE` elements/second
+    /// * `poisson:RATE` — Poisson arrivals with mean `RATE`
+    /// * `bursty:COUNTxRATE,COUNTxRATE,…` — phased schedule, e.g.
+    ///   `bursty:10000x500000,20000x250`
+    pub fn parse(spec: &str) -> Result<ArrivalProcess, String> {
+        let rate = |s: &str| -> Result<f64, String> {
+            let r: f64 = s.parse().map_err(|_| format!("bad rate {s:?}"))?;
+            if r > 0.0 && r.is_finite() {
+                Ok(r)
+            } else {
+                Err(format!("rate must be positive and finite, got {s:?}"))
+            }
+        };
+        match spec.split_once(':') {
+            Some(("constant", r)) => Ok(ArrivalProcess::constant(rate(r)?)),
+            Some(("poisson", r)) => Ok(ArrivalProcess::poisson(rate(r)?)),
+            Some(("bursty", phases)) => {
+                let phases = phases
+                    .split(',')
+                    .map(|p| {
+                        let (count, r) = p
+                            .split_once('x')
+                            .ok_or_else(|| format!("bad phase {p:?}, want COUNTxRATE"))?;
+                        let count: u64 =
+                            count.parse().map_err(|_| format!("bad count {count:?}"))?;
+                        Ok(Phase::new(count, rate(r)?))
+                    })
+                    .collect::<Result<Vec<Phase>, String>>()?;
+                if phases.is_empty() {
+                    return Err("bursty schedule needs at least one phase".into());
+                }
+                Ok(ArrivalProcess::bursty(phases))
+            }
+            _ => Err(format!(
+                "bad arrival spec {spec:?}, want constant:RATE, poisson:RATE, or \
+                 bursty:COUNTxRATE,…"
+            )),
+        }
+    }
+
     /// Total number of elements the schedule prescribes, if bounded
     /// (`Bursty` sums its phases; the others are unbounded).
     pub fn scheduled_count(&self) -> Option<u64> {
@@ -166,6 +208,25 @@ mod tests {
         assert_eq!(a.scheduled_count(), Some(7));
         assert_eq!(ArrivalProcess::constant(1.0).scheduled_count(), None);
         assert_eq!(ArrivalProcess::poisson(1.0).scheduled_count(), None);
+    }
+
+    #[test]
+    fn parse_specs() {
+        assert!(matches!(
+            ArrivalProcess::parse("constant:1000").unwrap(),
+            ArrivalProcess::Constant { rate } if rate == 1000.0
+        ));
+        assert!(matches!(
+            ArrivalProcess::parse("poisson:2.5").unwrap(),
+            ArrivalProcess::Poisson { rate } if rate == 2.5
+        ));
+        let b = ArrivalProcess::parse("bursty:10x100,20x1e3").unwrap();
+        assert_eq!(b.scheduled_count(), Some(30));
+        for bad in
+            ["", "constant", "constant:-1", "constant:nan", "warp:9", "bursty:", "bursty:5y2"]
+        {
+            assert!(ArrivalProcess::parse(bad).is_err(), "{bad:?} should fail");
+        }
     }
 
     #[test]

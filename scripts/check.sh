@@ -10,6 +10,9 @@ cargo fmt --check
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+echo "==> cargo build --release"
+cargo build --release
+
 echo "==> cargo test -q"
 cargo test -q
 
