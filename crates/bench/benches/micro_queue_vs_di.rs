@@ -27,6 +27,7 @@ fn slot(i: usize, targets: Vec<Target>) -> SlotInit {
         targets,
         stats: None,
         latency: None,
+        chaos: None,
     }
 }
 

@@ -1,0 +1,403 @@
+//! Deterministic fault injection for supervision and robustness tests.
+//!
+//! A [`FaultPlan`] names operators and the invocation at which each should
+//! fail — panic, stall, or emit corrupt output. The plan compiles to
+//! per-operator [`OperatorFaultState`] handles that the engine threads
+//! through to executor slots; an executor without a fault handle pays a
+//! single `Option` branch per tuple (the same near-zero disabled path as
+//! the obs hooks — see `benches/micro_obs.rs`).
+//!
+//! Invocation counters live in the shared state, so they **survive
+//! operator restarts**: a fault armed for "the 5th invocation, 3 times"
+//! fires on invocations 5, 6, and 7 even if the supervisor restarts the
+//! operator in between. That is what lets tests drive an operator into
+//! quarantine deterministically.
+//!
+//! The module also hosts the deterministic randomness shared by the
+//! supervisor's backoff jitter ([`splitmix64`], [`backoff_delay`]) and the
+//! network write faults ([`WriteFault`], [`FaultyWriter`]) used by
+//! `hmts-net` loopback chaos tests.
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What an injected operator fault does when it fires.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic inside the operator's `process` call (caught by the
+    /// executor's isolation boundary, reported to the supervisor).
+    Panic,
+    /// Sleep inside the dispatch for the given duration before processing
+    /// normally — drives heartbeat stall detection.
+    Stall(Duration),
+    /// Replace the operator's outputs for that invocation with null-field
+    /// tuples of the same cardinality (a silent-corruption model).
+    Corrupt,
+}
+
+/// The action an executor must take for the current invocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Panic before calling the operator.
+    Panic,
+    /// Sleep for the duration, then process normally.
+    Stall(Duration),
+    /// Process normally, then corrupt the produced outputs.
+    Corrupt,
+}
+
+/// Shared per-operator fault state: which invocation fires, what happens,
+/// and how many consecutive invocations it keeps firing for.
+///
+/// Counters are atomics shared between the executor (which may be
+/// restarted) and the test that owns the plan, so assertions like
+/// "the fault fired exactly twice" are race-free.
+#[derive(Debug)]
+pub struct OperatorFaultState {
+    operator: String,
+    at: u64,
+    kind: FaultKind,
+    invocations: AtomicU64,
+    remaining: AtomicU64,
+    fired: AtomicU64,
+}
+
+impl OperatorFaultState {
+    /// Operator name this fault targets.
+    pub fn operator(&self) -> &str {
+        &self.operator
+    }
+
+    /// Total `process` invocations observed (across restarts).
+    pub fn invocations(&self) -> u64 {
+        self.invocations.load(Ordering::Relaxed)
+    }
+
+    /// How many times the fault actually fired.
+    pub fn fired(&self) -> u64 {
+        self.fired.load(Ordering::Relaxed)
+    }
+
+    /// Called by the executor once per `process` invocation; returns the
+    /// action to take, or `None` to process normally.
+    pub fn on_invocation(&self) -> Option<FaultAction> {
+        let n = self.invocations.fetch_add(1, Ordering::Relaxed) + 1;
+        if n < self.at {
+            return None;
+        }
+        // Fire on consecutive invocations starting at `at` until the
+        // budget runs out; a restart retries the same element, so a
+        // one-shot fault panics once and the retry passes.
+        let mut left = self.remaining.load(Ordering::Relaxed);
+        loop {
+            if left == 0 {
+                return None;
+            }
+            match self.remaining.compare_exchange_weak(
+                left,
+                left - 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(now) => left = now,
+            }
+        }
+        self.fired.fetch_add(1, Ordering::Relaxed);
+        Some(match &self.kind {
+            FaultKind::Panic => FaultAction::Panic,
+            FaultKind::Stall(d) => FaultAction::Stall(*d),
+            FaultKind::Corrupt => FaultAction::Corrupt,
+        })
+    }
+}
+
+/// A seeded, named collection of operator faults.
+///
+/// ```
+/// use hmts::chaos::FaultPlan;
+/// let plan = FaultPlan::seeded(42).panic_at("sel_cheap", 100);
+/// assert!(plan.operator_state("sel_cheap").is_some());
+/// assert!(plan.operator_state("proj").is_none());
+/// ```
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    faults: HashMap<String, Arc<OperatorFaultState>>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed (the seed feeds backoff jitter
+    /// and any randomized faults added later — two runs with the same
+    /// plan are identical).
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan { seed, faults: HashMap::new() }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn add(mut self, operator: &str, at: u64, kind: FaultKind, times: u64) -> FaultPlan {
+        self.faults.insert(
+            operator.to_string(),
+            Arc::new(OperatorFaultState {
+                operator: operator.to_string(),
+                at: at.max(1),
+                kind,
+                invocations: AtomicU64::new(0),
+                remaining: AtomicU64::new(times),
+                fired: AtomicU64::new(0),
+            }),
+        );
+        self
+    }
+
+    /// Panic once, at the `nth` invocation of `operator` (1-based).
+    pub fn panic_at(self, operator: &str, nth: u64) -> FaultPlan {
+        self.add(operator, nth, FaultKind::Panic, 1)
+    }
+
+    /// Panic on `times` consecutive invocations starting at the `nth` —
+    /// with `times > policy.max_restarts` this drives quarantine.
+    pub fn panic_repeatedly(self, operator: &str, nth: u64, times: u64) -> FaultPlan {
+        self.add(operator, nth, FaultKind::Panic, times)
+    }
+
+    /// Stall for `d` at the `nth` invocation of `operator`.
+    pub fn stall_at(self, operator: &str, nth: u64, d: Duration) -> FaultPlan {
+        self.add(operator, nth, FaultKind::Stall(d), 1)
+    }
+
+    /// Corrupt the outputs of the `nth` invocation of `operator`.
+    pub fn corrupt_at(self, operator: &str, nth: u64) -> FaultPlan {
+        self.add(operator, nth, FaultKind::Corrupt, 1)
+    }
+
+    /// The shared fault state for `operator`, if the plan targets it.
+    pub fn operator_state(&self, operator: &str) -> Option<Arc<OperatorFaultState>> {
+        self.faults.get(operator).cloned()
+    }
+
+    /// Names of all operators the plan targets.
+    pub fn operators(&self) -> impl Iterator<Item = &str> {
+        self.faults.keys().map(|s| s.as_str())
+    }
+}
+
+/// SplitMix64 — the small deterministic generator behind backoff jitter
+/// and shreded-write sizing. One multiplication-free-of-state step per
+/// call; good enough dispersion for jitter, zero dependencies.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Capped exponential backoff with deterministic jitter.
+///
+/// `base * 2^attempt`, capped at `cap`, then multiplied by a jitter factor
+/// drawn deterministically from `(seed, attempt)` in
+/// `[1 - jitter, 1 + jitter]`. Attempt numbering is 0-based.
+pub fn backoff_delay(
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+    jitter: f64,
+    seed: u64,
+) -> Duration {
+    let exp = base.as_secs_f64() * 2f64.powi(attempt.min(32) as i32);
+    let capped = exp.min(cap.as_secs_f64());
+    let mut s = seed ^ (u64::from(attempt).wrapping_mul(0xa076_1d64_78bd_642f));
+    let r = splitmix64(&mut s) as f64 / u64::MAX as f64; // [0, 1]
+    let factor = 1.0 + jitter.clamp(0.0, 1.0) * (2.0 * r - 1.0);
+    Duration::from_secs_f64((capped * factor).max(0.0))
+}
+
+// ---------------------------------------------------------------------------
+// Network write faults
+// ---------------------------------------------------------------------------
+
+/// Faults injectable into a client-side socket writer.
+#[derive(Clone, Debug)]
+pub enum WriteFault {
+    /// On the `at_write`-th write call (1-based), write only half the
+    /// buffer, then fail that and every later write with `BrokenPipe` —
+    /// models a connection yanked mid-frame.
+    CutMidWrite {
+        /// Which write call gets cut.
+        at_write: u64,
+    },
+    /// Sleep for `delay` before every `every`-th write — models a slow or
+    /// congested producer.
+    Delay {
+        /// Every how many writes to delay (1 = all).
+        every: u64,
+        /// How long to sleep.
+        delay: Duration,
+    },
+    /// Split every write into single-byte writes — exercises frame
+    /// reassembly from arbitrarily fragmented TCP segments.
+    Shred,
+}
+
+/// A `Write` adapter that applies a [`WriteFault`] to an inner writer.
+#[derive(Debug)]
+pub struct FaultyWriter<W: Write> {
+    inner: W,
+    fault: WriteFault,
+    writes: u64,
+    dead: bool,
+}
+
+impl<W: Write> FaultyWriter<W> {
+    /// Wraps `inner` with the given fault.
+    pub fn new(inner: W, fault: WriteFault) -> FaultyWriter<W> {
+        FaultyWriter { inner, fault, writes: 0, dead: false }
+    }
+
+    /// Number of write calls observed so far.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Whether a `CutMidWrite` fault has fired (the writer is dead).
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FaultyWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.dead {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "chaos: connection cut"));
+        }
+        self.writes += 1;
+        match &self.fault {
+            WriteFault::CutMidWrite { at_write } => {
+                if self.writes >= *at_write {
+                    self.dead = true;
+                    let half = buf.len() / 2;
+                    if half > 0 {
+                        self.inner.write_all(&buf[..half])?;
+                        let _ = self.inner.flush();
+                    }
+                    return Err(io::Error::new(
+                        io::ErrorKind::BrokenPipe,
+                        "chaos: connection cut mid-write",
+                    ));
+                }
+                self.inner.write(buf)
+            }
+            WriteFault::Delay { every, delay } => {
+                if *every > 0 && self.writes % *every == 0 {
+                    std::thread::sleep(*delay);
+                }
+                self.inner.write(buf)
+            }
+            WriteFault::Shred => {
+                for b in buf {
+                    self.inner.write_all(std::slice::from_ref(b))?;
+                }
+                Ok(buf.len())
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.dead {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "chaos: connection cut"));
+        }
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_fires_at_nth_invocation_once() {
+        let plan = FaultPlan::seeded(1).panic_at("f", 3);
+        let st = plan.operator_state("f").unwrap();
+        assert_eq!(st.on_invocation(), None);
+        assert_eq!(st.on_invocation(), None);
+        assert_eq!(st.on_invocation(), Some(FaultAction::Panic));
+        // The retry of the same element (invocation 4) passes.
+        assert_eq!(st.on_invocation(), None);
+        assert_eq!(st.fired(), 1);
+        assert_eq!(st.invocations(), 4);
+    }
+
+    #[test]
+    fn repeated_fault_fires_consecutively() {
+        let plan = FaultPlan::seeded(1).panic_repeatedly("f", 2, 3);
+        let st = plan.operator_state("f").unwrap();
+        assert_eq!(st.on_invocation(), None);
+        assert_eq!(st.on_invocation(), Some(FaultAction::Panic));
+        assert_eq!(st.on_invocation(), Some(FaultAction::Panic));
+        assert_eq!(st.on_invocation(), Some(FaultAction::Panic));
+        assert_eq!(st.on_invocation(), None);
+        assert_eq!(st.fired(), 3);
+    }
+
+    #[test]
+    fn stall_and_corrupt_map_to_actions() {
+        let plan =
+            FaultPlan::seeded(1).stall_at("s", 1, Duration::from_millis(5)).corrupt_at("c", 1);
+        assert_eq!(
+            plan.operator_state("s").unwrap().on_invocation(),
+            Some(FaultAction::Stall(Duration::from_millis(5)))
+        );
+        assert_eq!(plan.operator_state("c").unwrap().on_invocation(), Some(FaultAction::Corrupt));
+    }
+
+    #[test]
+    fn backoff_grows_caps_and_is_deterministic() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(500);
+        let d0 = backoff_delay(base, cap, 0, 0.0, 7);
+        let d3 = backoff_delay(base, cap, 3, 0.0, 7);
+        let d10 = backoff_delay(base, cap, 10, 0.0, 7);
+        assert_eq!(d0, base);
+        assert_eq!(d3, Duration::from_millis(80));
+        assert_eq!(d10, cap);
+        // Jitter stays within bounds and is reproducible.
+        let j1 = backoff_delay(base, cap, 2, 0.2, 42);
+        let j2 = backoff_delay(base, cap, 2, 0.2, 42);
+        assert_eq!(j1, j2);
+        let nominal = Duration::from_millis(40).as_secs_f64();
+        assert!(j1.as_secs_f64() >= nominal * 0.8 - 1e-9);
+        assert!(j1.as_secs_f64() <= nominal * 1.2 + 1e-9);
+    }
+
+    #[test]
+    fn cut_mid_write_fails_permanently() {
+        let mut w = FaultyWriter::new(Vec::new(), WriteFault::CutMidWrite { at_write: 2 });
+        w.write_all(b"abcd").unwrap();
+        let err = w.write_all(b"efgh").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        assert!(w.is_dead());
+        assert!(w.write_all(b"x").is_err());
+        // First write intact, second truncated to half.
+        assert_eq!(w.into_inner(), b"abcdef".to_vec());
+    }
+
+    #[test]
+    fn shred_preserves_bytes() {
+        let mut w = FaultyWriter::new(Vec::new(), WriteFault::Shred);
+        w.write_all(b"hello world").unwrap();
+        assert_eq!(w.into_inner(), b"hello world".to_vec());
+    }
+}

@@ -15,6 +15,7 @@
 //! cooperatively at operator granularity.
 
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::Instant;
@@ -25,10 +26,13 @@ use hmts_operators::traits::{EosTracker, Operator, Output, WatermarkTracker};
 use hmts_streams::element::{Element, Message, Punctuation};
 use hmts_streams::error::StreamError;
 use hmts_streams::queue::StreamQueue;
+use hmts_streams::value::Value;
 
+use crate::chaos::{FaultAction, OperatorFaultState};
 use crate::engine::sync::StopFlag;
 use crate::scheduler::strategy::{InputSlot, Strategy};
 use crate::stats::SharedNodeStats;
+use crate::supervisor::{panic_message, Heartbeat, Supervisor, Verdict};
 
 /// Something that can wake a sleeping domain when new input arrives.
 pub trait Waker: Send + Sync {
@@ -79,6 +83,10 @@ pub struct SlotInit {
     /// Per-operator invocation latency histogram, if observability is
     /// enabled (see `hmts_obs`). `None` keeps the hot path free of timing.
     pub latency: Option<Histogram>,
+    /// Fault-injection state targeting this operator (see
+    /// [`crate::chaos::FaultPlan`]). `None` keeps the hot path to one
+    /// branch per tuple.
+    pub chaos: Option<Arc<OperatorFaultState>>,
 }
 
 /// The state extracted from a slot when a domain is torn down (runtime mode
@@ -105,6 +113,7 @@ struct Slot {
     targets: Vec<Target>,
     stats: Option<SharedNodeStats>,
     latency: Option<Histogram>,
+    chaos: Option<Arc<OperatorFaultState>>,
 }
 
 /// One input queue of a domain, with the edge it implements.
@@ -208,6 +217,15 @@ pub struct DomainExecutor {
     error: Option<StreamError>,
     /// Tuple tracing, when the engine's `Obs` handle has it configured.
     trace: Option<TraceCtx>,
+    /// Failure bookkeeping shared across the query's executors; `None`
+    /// means a caught panic closes the operator and is reported via
+    /// [`take_panics`](DomainExecutor::take_panics).
+    supervisor: Option<Arc<Supervisor>>,
+    /// Liveness beacon for stall detection (entered/exited per dispatch).
+    heartbeat: Option<Arc<Heartbeat>>,
+    /// Panics that terminated an operator without a restart (no
+    /// supervisor, or `DegradeMode::FailQuery`): `(operator, payload)`.
+    panics: Vec<(String, String)>,
 }
 
 impl DomainExecutor {
@@ -231,6 +249,7 @@ impl DomainExecutor {
                 targets: s.targets,
                 stats: s.stats,
                 latency: s.latency,
+                chaos: s.chaos,
             })
             .collect();
         for (i, s) in slots.iter().enumerate() {
@@ -250,7 +269,26 @@ impl DomainExecutor {
             live,
             error: None,
             trace: None,
+            supervisor: None,
+            heartbeat: None,
+            panics: Vec::new(),
         }
+    }
+
+    /// Attaches the query's shared supervisor (panic restart/quarantine).
+    pub fn set_supervisor(&mut self, supervisor: Arc<Supervisor>) {
+        self.supervisor = Some(supervisor);
+    }
+
+    /// Attaches the liveness beacon observed by the stall monitor thread.
+    pub fn set_heartbeat(&mut self, heartbeat: Arc<Heartbeat>) {
+        self.heartbeat = Some(heartbeat);
+    }
+
+    /// Drains the operator panics that were not (or could not be)
+    /// restarted: `(operator name, panic payload)` pairs.
+    pub fn take_panics(&mut self) -> Vec<(String, String)> {
+        std::mem::take(&mut self.panics)
     }
 
     /// The domain's name.
@@ -278,7 +316,13 @@ impl DomainExecutor {
     pub fn inject(&mut self, node: NodeId, port: usize, msg: Message) {
         debug_assert!(self.stack.is_empty());
         self.stack.push((node, port, msg));
-        self.drain_stack();
+        if let Some(hb) = self.heartbeat.clone() {
+            hb.enter();
+            self.drain_stack();
+            hb.exit();
+        } else {
+            self.drain_stack();
+        }
     }
 
     fn drain_stack(&mut self) {
@@ -302,6 +346,18 @@ impl DomainExecutor {
     }
 
     fn process_data(&mut self, i: usize, port: usize, el: Element) {
+        // Fault injection: a slot without chaos state pays one `None`
+        // branch here (the disabled path measured by `micro_obs`).
+        let mut inject_panic = false;
+        let mut corrupt = false;
+        if let Some(chaos) = &self.slots[i].chaos {
+            match chaos.on_invocation() {
+                None => {}
+                Some(FaultAction::Panic) => inject_panic = true,
+                Some(FaultAction::Stall(d)) => std::thread::sleep(d),
+                Some(FaultAction::Corrupt) => corrupt = true,
+            }
+        }
         let measure =
             (self.cfg.measure && self.slots[i].stats.is_some()) || self.slots[i].latency.is_some();
         // One non-zero branch for unsampled tuples; span recording (and
@@ -313,14 +369,33 @@ impl DomainExecutor {
             tc.tracer.record(tag.id(), HopKind::ProcessStart, &tc.slot_sites[i], tc.partition);
         }
         let start = measure.then(Instant::now);
-        let result = self.slots[i].op.process(port, &el, &mut self.out);
+        // Isolation boundary. `Box<dyn Operator>` is not `UnwindSafe`
+        // because operators hold interior state; `AssertUnwindSafe` is
+        // sound here because after a caught panic the operator is either
+        // (a) retried — the built-in operators mutate their state only
+        // after computing outputs, so a panic mid-call leaves the state as
+        // if the call never happened — or (b) quarantined/failed, in which
+        // case nothing touches it again.
+        let result = {
+            let slot = &mut self.slots[i];
+            let out = &mut self.out;
+            catch_unwind(AssertUnwindSafe(|| {
+                if inject_panic {
+                    panic!("chaos: injected panic in operator '{}'", slot.op.name());
+                }
+                slot.op.process(port, &el, out)
+            }))
+        };
         let cost = start.map(|t| t.elapsed());
         if traced {
             let tc = self.trace.as_ref().expect("checked above");
             tc.tracer.record(tag.id(), HopKind::ProcessEnd, &tc.slot_sites[i], tc.partition);
         }
         match result {
-            Ok(()) => {
+            Ok(Ok(())) => {
+                if corrupt {
+                    self.corrupt_outputs();
+                }
                 if let Some(stats) = &self.slots[i].stats {
                     stats.lock().observe(el.ts, cost, self.out.len() as u64);
                 }
@@ -334,12 +409,72 @@ impl DomainExecutor {
                 }
                 self.deliver_outputs(i);
             }
-            Err(e) => {
+            Ok(Err(e)) => {
                 self.out.clear();
                 if self.error.is_none() {
                     self.error = Some(e);
                 }
             }
+            Err(payload) => {
+                self.out.clear();
+                self.handle_panic(i, port, el, panic_message(payload.as_ref()));
+            }
+        }
+    }
+
+    /// Replaces every pending output with a null-field tuple of the same
+    /// arity (the `FaultAction::Corrupt` silent-corruption model).
+    fn corrupt_outputs(&mut self) {
+        let corrupted: Vec<Element> = self
+            .out
+            .drain()
+            .map(|e| {
+                let nulls = vec![Value::Null; e.tuple.arity()];
+                Element::new(hmts_streams::tuple::Tuple::new(nulls), e.ts)
+            })
+            .collect();
+        for e in corrupted {
+            self.out.push(e);
+        }
+    }
+
+    /// Applies the supervisor's verdict to a panic caught in slot `i`
+    /// while processing `el`. Without a supervisor the operator is closed
+    /// and the panic surfaces via [`take_panics`](DomainExecutor::take_panics).
+    fn handle_panic(&mut self, i: usize, port: usize, el: Element, msg: String) {
+        let operator = self.slots[i].op.name().to_string();
+        match self.supervisor.as_ref().map(|s| s.on_panic(&operator, &msg)) {
+            Some(Verdict::Restart { backoff, .. }) => {
+                std::thread::sleep(backoff);
+                // Retry the failed element next (LIFO): input order for
+                // this operator is preserved because its outputs were
+                // discarded and nothing downstream saw the element.
+                self.stack.push((self.slots[i].node, port, Message::Data(el)));
+            }
+            Some(Verdict::Quarantine { failures }) => {
+                if self.error.is_none() {
+                    self.error = Some(StreamError::Other(format!(
+                        "operator '{operator}' quarantined after {failures} failures: {msg}"
+                    )));
+                }
+                self.close_slot(i);
+            }
+            Some(Verdict::Fail) | None => {
+                self.panics.push((operator, msg));
+                self.close_slot(i);
+            }
+        }
+    }
+
+    /// Closes slot `i` after a terminal panic: downstream operators get a
+    /// clean EOS so the rest of the query completes (graceful
+    /// degradation). The operator's `flush` is deliberately *not* called —
+    /// it just panicked, its in-flight state is untrusted.
+    fn close_slot(&mut self, i: usize) {
+        self.forward_punct(i, Punctuation::EndOfStream);
+        if !self.slots[i].closed {
+            self.slots[i].closed = true;
+            self.live -= 1;
         }
     }
 
@@ -348,30 +483,87 @@ impl DomainExecutor {
             return;
         }
         // Last port closed: flush, deliver, forward EOS, close.
-        if let Err(e) = self.slots[i].op.flush(&mut self.out) {
-            self.out.clear();
-            if self.error.is_none() {
-                self.error = Some(e);
+        let result = {
+            let slot = &mut self.slots[i];
+            let out = &mut self.out;
+            catch_unwind(AssertUnwindSafe(|| slot.op.flush(out)))
+        };
+        match result {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                self.out.clear();
+                if self.error.is_none() {
+                    self.error = Some(e);
+                }
+            }
+            Err(payload) => {
+                // A panicking flush is never retried (there is no element
+                // to redeliver); the failure is recorded and the close
+                // proceeds so downstream still gets its EOS.
+                self.out.clear();
+                self.record_unretryable_panic(i, panic_message(payload.as_ref()));
             }
         }
         self.deliver_outputs(i);
-        self.forward_punct(i, Punctuation::EndOfStream);
-        self.slots[i].closed = true;
-        self.live -= 1;
+        // A panicking flush may have already closed the slot (and
+        // forwarded EOS) via `close_slot`.
+        if !self.slots[i].closed {
+            self.forward_punct(i, Punctuation::EndOfStream);
+            self.slots[i].closed = true;
+            self.live -= 1;
+        }
     }
 
     fn process_watermark(&mut self, i: usize, port: usize, ts: hmts_streams::time::Timestamp) {
         let Some(combined) = self.slots[i].wm.observe(port, ts) else {
             return;
         };
-        if let Err(e) = self.slots[i].op.on_watermark(port, combined, &mut self.out) {
-            self.out.clear();
-            if self.error.is_none() {
-                self.error = Some(e);
+        let result = {
+            let slot = &mut self.slots[i];
+            let out = &mut self.out;
+            catch_unwind(AssertUnwindSafe(|| slot.op.on_watermark(port, combined, out)))
+        };
+        match result {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                self.out.clear();
+                if self.error.is_none() {
+                    self.error = Some(e);
+                }
+            }
+            Err(payload) => {
+                // Watermark handlers are not retried; the watermark still
+                // propagates so downstream state keeps expiring.
+                self.out.clear();
+                self.record_unretryable_panic(i, panic_message(payload.as_ref()));
             }
         }
         self.deliver_outputs(i);
-        self.forward_punct(i, Punctuation::Watermark(combined));
+        if !self.slots[i].closed {
+            self.forward_punct(i, Punctuation::Watermark(combined));
+        }
+    }
+
+    /// Books a panic that has no retry path (flush / watermark handlers):
+    /// it still counts toward the supervisor's quarantine window, and
+    /// under `FailQuery` (or without a supervisor) it fails the query.
+    fn record_unretryable_panic(&mut self, i: usize, msg: String) {
+        let operator = self.slots[i].op.name().to_string();
+        match self.supervisor.as_ref().map(|s| s.on_panic(&operator, &msg)) {
+            Some(Verdict::Restart { .. }) => {}
+            Some(Verdict::Quarantine { failures }) => {
+                if self.error.is_none() {
+                    self.error = Some(StreamError::Other(format!(
+                        "operator '{operator}' quarantined after {failures} failures: {msg}"
+                    )));
+                }
+                self.close_slot(i);
+            }
+            Some(Verdict::Fail) | None => {
+                self.panics.push((operator, msg));
+                self.close_slot(i);
+            }
+        }
     }
 
     /// Routes everything in `self.out` to slot `i`'s targets: queue targets
@@ -572,6 +764,7 @@ mod tests {
             targets,
             stats: None,
             latency: None,
+            chaos: None,
         }
     }
 

@@ -36,6 +36,7 @@ use hmts_streams::metrics::TimeSeries;
 use hmts_streams::queue::StreamQueue;
 use hmts_streams::time::{SharedClock, SystemClock};
 
+use crate::chaos::FaultPlan;
 use crate::engine::executor::{
     Budget, DomainExecutor, ExecConfig, InputQueue, SlotInit, Target, Waker,
 };
@@ -46,6 +47,7 @@ use crate::engine::sync::{Notifier, PauseGate, StopFlag};
 use crate::plan::{DomainExecution, ExecutionPlan, PlanError};
 use crate::scheduler::thread_scheduler::{ThreadScheduler, TsConfig, TsShared};
 use crate::stats::{NodeStats, SharedNodeStats, StatsSnapshot};
+use crate::supervisor::{panic_message, Heartbeat, SupervisionConfig, Supervisor};
 
 /// Bounding policy for the engine's decoupling queues.
 #[derive(Debug, Clone, Copy)]
@@ -98,6 +100,15 @@ pub struct EngineConfig {
     /// queue (once per excursion; re-arms once occupancy halves). Only
     /// observed while `obs` is enabled. `0` disables stall detection.
     pub stall_threshold: usize,
+    /// Deterministic fault-injection plan (testing). Operators named by
+    /// the plan get per-invocation fault checks; all others keep the
+    /// single-branch disabled path. `None` disables chaos entirely.
+    pub chaos: Option<Arc<FaultPlan>>,
+    /// Operator supervision: catch panics, restart with backoff,
+    /// quarantine or fail per [`SupervisionConfig`]. `None` means a
+    /// panicking operator closes its branch and the run reports
+    /// [`EngineError::WorkerPanicked`].
+    pub supervision: Option<SupervisionConfig>,
 }
 
 impl Default for EngineConfig {
@@ -115,6 +126,8 @@ impl Default for EngineConfig {
             clock: None,
             obs: Obs::disabled(),
             stall_threshold: 4096,
+            chaos: None,
+            supervision: None,
         }
     }
 }
@@ -130,6 +143,15 @@ pub enum EngineError {
     AlreadyStarted,
     /// An operation that requires a running engine found none.
     NotStarted,
+    /// An operator (or a worker thread) panicked and was not restarted:
+    /// either supervision was off, or the policy escalated to
+    /// [`DegradeMode::FailQuery`](crate::supervisor::DegradeMode::FailQuery).
+    WorkerPanicked {
+        /// The operator (or thread) that died.
+        operator: String,
+        /// The panic payload, rendered as text.
+        payload: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -151,6 +173,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::AlreadyStarted => write!(f, "engine already started"),
             EngineError::NotStarted => write!(f, "engine not started"),
+            EngineError::WorkerPanicked { operator, payload } => {
+                write!(f, "worker panicked in {operator:?}: {payload}")
+            }
         }
     }
 }
@@ -176,6 +201,10 @@ pub struct EngineReport {
     /// Total messages that passed through decoupling queues (the queueing
     /// overhead the DI/VO concept avoids).
     pub total_enqueued: u64,
+    /// Panics that terminated an operator or worker thread without a
+    /// restart (`(operator-or-thread, payload)`). Non-empty makes
+    /// [`Engine::run`] return [`EngineError::WorkerPanicked`].
+    pub worker_panics: Vec<(String, String)>,
 }
 
 struct CarryState {
@@ -191,6 +220,8 @@ struct Wiring {
     ts: Option<ThreadScheduler>,
     stop: Arc<StopFlag>,
     queues: Vec<Arc<StreamQueue>>,
+    /// Heartbeat stall monitor (only with supervision + stall timeout).
+    stall_monitor: Option<JoinHandle<()>>,
 }
 
 /// The HMTS engine.
@@ -215,6 +246,8 @@ pub struct Engine {
     started_at: Option<Instant>,
     total_enqueued: u64,
     errors: Vec<(String, StreamError)>,
+    supervisor: Option<Arc<Supervisor>>,
+    worker_panics: Vec<(String, String)>,
 }
 
 impl Engine {
@@ -270,6 +303,10 @@ impl Engine {
         let stats = (0..n).map(|_| Arc::new(Mutex::new(NodeStats::default()))).collect();
         let source_shared =
             topo.sources().into_iter().map(|id| SourceShared::new(id, topo.name(id))).collect();
+        let supervisor = cfg.supervision.as_ref().map(|s| {
+            let seed = cfg.chaos.as_ref().map(|p| p.seed()).unwrap_or(0x5eed);
+            Arc::new(Supervisor::new(s.policy.clone(), seed, cfg.obs.clone()))
+        });
         Ok(Engine {
             carry: (0..n).map(|_| None).collect(),
             topo,
@@ -291,6 +328,8 @@ impl Engine {
             started_at: None,
             total_enqueued: 0,
             errors: Vec::new(),
+            supervisor,
+            worker_panics: Vec::new(),
         })
     }
 
@@ -307,7 +346,14 @@ impl Engine {
     ) -> Result<EngineReport, EngineError> {
         let mut engine = Engine::with_config(graph, plan, cfg)?;
         engine.start()?;
-        Ok(engine.wait())
+        let report = engine.wait();
+        if let Some((operator, payload)) = report.worker_panics.first() {
+            return Err(EngineError::WorkerPanicked {
+                operator: operator.clone(),
+                payload: payload.clone(),
+            });
+        }
+        Ok(report)
     }
 
     /// The structural view of the graph (useful for building plans).
@@ -460,11 +506,15 @@ impl Engine {
             n.notify();
         }
         for h in wiring.dedicated {
-            let _ = h.join();
+            self.harvest_join(h);
         }
         if let Some(ts) = wiring.ts {
             // Workers observe the stop flag via their timed waits.
-            ts.join();
+            let panicked = ts.join();
+            self.worker_panics.extend(panicked);
+        }
+        if let Some(m) = wiring.stall_monitor {
+            self.harvest_join(m);
         }
         // Flush a final sample (queue counters advance by delta inside
         // collectors), journal what each queue still holds, then drop the
@@ -484,6 +534,7 @@ impl Engine {
             if let Some(err) = e.error() {
                 self.errors.push((e.name().to_string(), err.clone()));
             }
+            self.worker_panics.extend(e.take_panics());
             seeds.extend(e.take_input_remnants());
             for state in e.extract() {
                 self.operators[state.node.0] = Some(state.op);
@@ -502,6 +553,12 @@ impl Engine {
     fn build_wiring(&mut self, seeds: Vec<(NodeId, usize, Message)>) {
         let stop = Arc::new(StopFlag::new());
         let cost_graph = self.cost_graph();
+        let stall_timeout = self
+            .supervisor
+            .as_ref()
+            .and(self.cfg.supervision.as_ref())
+            .and_then(|s| s.stall_timeout);
+        let mut heartbeats: Vec<(String, Arc<Heartbeat>)> = Vec::new();
 
         // node -> domain.
         let mut node_domain: HashMap<NodeId, usize> = HashMap::new();
@@ -647,6 +704,11 @@ impl Engine {
                         .cfg
                         .obs
                         .maybe_histogram(&format!("op.{}.latency_ns", self.topo.name(n))),
+                    chaos: self
+                        .cfg
+                        .chaos
+                        .as_ref()
+                        .and_then(|p| p.operator_state(self.topo.name(n))),
                 });
             }
             let strategy = spec.strategy.build(Some(&cost_graph));
@@ -659,6 +721,14 @@ impl Engine {
             );
             if let Some(tracer) = self.cfg.obs.tracer() {
                 exec.set_tracer(tracer, d as u32);
+            }
+            if let Some(sup) = &self.supervisor {
+                exec.set_supervisor(Arc::clone(sup));
+            }
+            if stall_timeout.is_some() {
+                let hb = Arc::new(Heartbeat::new());
+                heartbeats.push((spec.name.clone(), Arc::clone(&hb)));
+                exec.set_heartbeat(hb);
             }
             executors.push(Arc::new(Mutex::new(exec)));
         }
@@ -718,8 +788,36 @@ impl Engine {
             ThreadScheduler::spawn(shared, pool_execs, Arc::clone(&stop))
         });
 
+        // A stall monitor watching every domain's heartbeat: if a domain sits
+        // inside `inject` past the configured timeout, the supervisor records
+        // a heartbeat-stall (journal event + counter) once per excursion.
+        let stall_monitor = match (stall_timeout, &self.supervisor) {
+            (Some(timeout), Some(sup)) if !heartbeats.is_empty() => {
+                let sup = Arc::clone(sup);
+                let stop = Arc::clone(&stop);
+                let poll = (timeout / 4).max(Duration::from_millis(1));
+                Some(
+                    std::thread::Builder::new()
+                        .name("hmts-stall-monitor".into())
+                        .spawn(move || {
+                            while !stop.is_stopped() {
+                                for (name, hb) in &heartbeats {
+                                    if let Some(stuck) = hb.stalled_for(timeout) {
+                                        sup.on_stall(name, stuck);
+                                    }
+                                }
+                                std::thread::sleep(poll);
+                            }
+                        })
+                        .expect("spawn stall monitor thread"),
+                )
+            }
+            _ => None,
+        };
+
         self.register_collectors(&queues);
-        self.wiring = Some(Wiring { executors, notifiers, dedicated, ts, stop, queues });
+        self.wiring =
+            Some(Wiring { executors, notifiers, dedicated, ts, stop, queues, stall_monitor });
     }
 
     /// Registers sampler collectors for the freshly built wiring: per-queue
@@ -962,21 +1060,29 @@ impl Engine {
 
     /// Blocks until all processing completes, then returns the run report.
     pub fn wait(mut self) -> EngineReport {
-        for h in self.source_threads.drain(..) {
-            let _ = h.join();
+        for h in std::mem::take(&mut self.source_threads) {
+            self.harvest_join(h);
         }
         if let Some(wiring) = self.wiring.take() {
             for h in wiring.dedicated {
-                let _ = h.join();
+                self.harvest_join(h);
             }
             if let Some(ts) = wiring.ts {
-                ts.join();
+                let panicked = ts.join();
+                self.worker_panics.extend(panicked);
+            }
+            // The stall monitor only exits on the stop flag; set it now that
+            // every processing thread has finished.
+            wiring.stop.stop();
+            if let Some(m) = wiring.stall_monitor {
+                self.harvest_join(m);
             }
             for exec in &wiring.executors {
-                let e = exec.lock();
+                let mut e = exec.lock();
                 if let Some(err) = e.error() {
                     self.errors.push((e.name().to_string(), err.clone()));
                 }
+                self.worker_panics.extend(e.take_panics());
             }
             for q in &wiring.queues {
                 self.total_enqueued += q.metrics().enqueued();
@@ -1000,6 +1106,16 @@ impl Engine {
             memory_series,
             source_timelines: self.source_timelines(),
             total_enqueued: self.total_enqueued,
+            worker_panics: std::mem::take(&mut self.worker_panics),
+        }
+    }
+
+    /// Joins a thread handle, converting a panic payload into a recorded
+    /// worker panic instead of silently dropping (or propagating) it.
+    fn harvest_join(&mut self, h: JoinHandle<()>) {
+        let name = h.thread().name().unwrap_or("worker").to_string();
+        if let Err(payload) = h.join() {
+            self.worker_panics.push((name, panic_message(payload.as_ref())));
         }
     }
 

@@ -345,6 +345,7 @@ mod tests {
                 targets: vec![Target::Inline { node: NodeId(2), port: 0 }],
                 stats: None,
                 latency: None,
+                chaos: None,
             },
             SlotInit {
                 node: NodeId(2),
@@ -355,6 +356,7 @@ mod tests {
                 targets: vec![],
                 stats: None,
                 latency: None,
+                chaos: None,
             },
         ];
         let exec = Arc::new(Mutex::new(DomainExecutor::new(

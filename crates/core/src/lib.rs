@@ -66,11 +66,13 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod chaos;
 pub mod engine;
 pub mod placement;
 pub mod plan;
 pub mod scheduler;
 pub mod stats;
+pub mod supervisor;
 
 pub use hmts_graph as graph;
 pub use hmts_obs as obs;
@@ -88,6 +90,7 @@ pub use scheduler::strategy::StrategyKind;
 /// The one-stop import for applications.
 pub mod prelude {
     pub use crate::adaptive::{adapt_once, Adaptation, AdaptiveConfig};
+    pub use crate::chaos::{FaultKind, FaultPlan, WriteFault};
     pub use crate::engine::{
         cost_graph_from_topology, describe_plan, Engine, EngineConfig, EngineError, EngineReport,
         QueueBound,
@@ -99,6 +102,7 @@ pub mod prelude {
     pub use crate::plan::{DomainExecution, DomainSpec, ExecutionPlan, PlanError};
     pub use crate::scheduler::strategy::StrategyKind;
     pub use crate::stats::{NodeStatsSnapshot, StatsSnapshot};
+    pub use crate::supervisor::{DegradeMode, RestartPolicy, SupervisionConfig, Supervisor};
     pub use hmts_streams::queue::BackpressurePolicy;
 
     pub use hmts_obs::{

@@ -278,11 +278,17 @@ impl ThreadScheduler {
     }
 
     /// Blocks until every domain finished (or an external stop), then joins
-    /// the workers.
-    pub fn join(self) {
+    /// the workers. Returns `(thread name, panic message)` for every worker
+    /// that panicked instead of exiting cleanly.
+    pub fn join(self) -> Vec<(String, String)> {
+        let mut panicked = Vec::new();
         for w in self.workers {
-            let _ = w.join();
+            let name = w.thread().name().unwrap_or("hmts-ts-worker").to_string();
+            if let Err(payload) = w.join() {
+                panicked.push((name, crate::supervisor::panic_message(payload.as_ref())));
+            }
         }
+        panicked
     }
 }
 
@@ -387,6 +393,7 @@ mod tests {
                 targets: vec![Target::Inline { node: NodeId(2), port: 0 }],
                 stats: None,
                 latency: None,
+                chaos: None,
             },
             SlotInit {
                 node: NodeId(2),
@@ -397,6 +404,7 @@ mod tests {
                 targets: vec![],
                 stats: None,
                 latency: None,
+                chaos: None,
             },
         ];
         let inputs =

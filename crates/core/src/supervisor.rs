@@ -1,0 +1,426 @@
+//! Operator supervision: restart policies, quarantine, and heartbeat
+//! stall detection.
+//!
+//! Executors catch operator panics (`catch_unwind` at the `process` call)
+//! and ask the partition's [`Supervisor`] what to do. The supervisor
+//! applies a per-operator [`RestartPolicy`]: restart with capped
+//! exponential backoff and deterministic jitter while failures stay under
+//! `max_restarts` within `window`, then escalate — either quarantine the
+//! operator's branch (clean EOS downstream, query keeps running) or fail
+//! the whole query with a typed [`EngineError::WorkerPanicked`].
+//!
+//! Every decision is recorded in the scheduler journal
+//! (`operator-panic` / `operator-restart` / `operator-quarantine` /
+//! `heartbeat-stall` events) and in `supervisor_*` metrics, so the
+//! Prometheus export shows `supervisor_restarts_total` and
+//! `supervisor_quarantined` after a chaotic run.
+//!
+//! [`EngineError::WorkerPanicked`]: crate::engine::EngineError::WorkerPanicked
+
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use hmts_obs::{Obs, SchedEvent};
+
+use crate::chaos::backoff_delay;
+
+/// What to do once an operator exhausts its restart budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DegradeMode {
+    /// Close the failing operator's branch with a clean EOS downstream;
+    /// the rest of the query keeps running (graceful degradation).
+    #[default]
+    QuarantineBranch,
+    /// Abort the whole query; `Engine::run` returns
+    /// `EngineError::WorkerPanicked`.
+    FailQuery,
+}
+
+/// Per-operator restart policy.
+#[derive(Clone, Debug)]
+pub struct RestartPolicy {
+    /// Restarts granted before escalation: the `max_restarts + 1`-th
+    /// failure within `window` quarantines (or fails) the operator.
+    pub max_restarts: u32,
+    /// Sliding window over which failures are counted.
+    pub window: Duration,
+    /// First restart's backoff delay (doubles per attempt).
+    pub base_backoff: Duration,
+    /// Backoff cap.
+    pub max_backoff: Duration,
+    /// Jitter fraction in `[0, 1]` applied to each backoff delay.
+    pub jitter: f64,
+    /// Escalation behaviour once restarts are exhausted.
+    pub degrade: DegradeMode,
+}
+
+impl Default for RestartPolicy {
+    fn default() -> RestartPolicy {
+        RestartPolicy {
+            max_restarts: 3,
+            window: Duration::from_secs(10),
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+            jitter: 0.2,
+            degrade: DegradeMode::QuarantineBranch,
+        }
+    }
+}
+
+/// The supervisor's decision after an operator panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Retry the failed element after sleeping `backoff`.
+    Restart {
+        /// 1-based restart attempt number.
+        attempt: u32,
+        /// Backoff to sleep before retrying.
+        backoff: Duration,
+    },
+    /// Close the operator's branch with clean EOS; keep the query running.
+    Quarantine {
+        /// Failures observed within the window at escalation time.
+        failures: u32,
+    },
+    /// Abort the whole query with a typed error.
+    Fail,
+}
+
+#[derive(Default)]
+struct OpRecord {
+    failures: VecDeque<Instant>,
+    attempts: u32,
+    quarantined: bool,
+}
+
+/// Central failure bookkeeping shared by all executors of a query.
+pub struct Supervisor {
+    policy: RestartPolicy,
+    seed: u64,
+    obs: Obs,
+    restarts: hmts_obs::Counter,
+    panics: hmts_obs::Counter,
+    stalls: hmts_obs::Counter,
+    quarantined: hmts_obs::Gauge,
+    ops: Mutex<HashMap<String, OpRecord>>,
+}
+
+impl Supervisor {
+    /// Creates a supervisor with the given policy; `seed` makes backoff
+    /// jitter deterministic, `obs` receives journal events and metrics.
+    pub fn new(policy: RestartPolicy, seed: u64, obs: Obs) -> Supervisor {
+        Supervisor {
+            restarts: obs.counter("supervisor_restarts"),
+            panics: obs.counter("supervisor_panics"),
+            stalls: obs.counter("supervisor_stalls"),
+            quarantined: obs.gauge("supervisor_quarantined"),
+            policy,
+            seed,
+            obs,
+            ops: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The policy this supervisor applies.
+    pub fn policy(&self) -> &RestartPolicy {
+        &self.policy
+    }
+
+    /// Reports a caught operator panic; returns the restart verdict.
+    pub fn on_panic(&self, operator: &str, payload: &str) -> Verdict {
+        self.panics.inc();
+        self.obs.emit_with(|| SchedEvent::OperatorPanic {
+            operator: operator.to_string(),
+            payload: payload.to_string(),
+        });
+        let now = Instant::now();
+        let mut ops = self.ops.lock();
+        let rec = ops.entry(operator.to_string()).or_default();
+        while let Some(front) = rec.failures.front() {
+            if now.duration_since(*front) > self.policy.window {
+                rec.failures.pop_front();
+            } else {
+                break;
+            }
+        }
+        rec.failures.push_back(now);
+        let failures = rec.failures.len() as u32;
+        if failures > self.policy.max_restarts {
+            rec.quarantined = true;
+            let count = ops.values().filter(|r| r.quarantined).count() as i64;
+            drop(ops);
+            self.quarantined.set(count);
+            match self.policy.degrade {
+                DegradeMode::QuarantineBranch => {
+                    self.obs.emit_with(|| SchedEvent::OperatorQuarantined {
+                        operator: operator.to_string(),
+                        failures,
+                    });
+                    Verdict::Quarantine { failures }
+                }
+                DegradeMode::FailQuery => Verdict::Fail,
+            }
+        } else {
+            rec.attempts += 1;
+            let attempt = rec.attempts;
+            drop(ops);
+            self.restarts.inc();
+            let backoff = backoff_delay(
+                self.policy.base_backoff,
+                self.policy.max_backoff,
+                attempt - 1,
+                self.policy.jitter,
+                self.seed ^ fxhash(operator),
+            );
+            self.obs.emit_with(|| SchedEvent::OperatorRestart {
+                operator: operator.to_string(),
+                attempt,
+                backoff_ms: backoff.as_millis().min(u64::MAX as u128) as u64,
+            });
+            Verdict::Restart { attempt, backoff }
+        }
+    }
+
+    /// Reports a heartbeat stall in `domain` (one journal event + metric
+    /// per excursion).
+    pub fn on_stall(&self, domain: &str, idle: Duration) {
+        self.stalls.inc();
+        self.obs.emit_with(|| SchedEvent::HeartbeatStall {
+            domain: domain.to_string(),
+            idle_ms: idle.as_millis().min(u64::MAX as u128) as u64,
+        });
+    }
+
+    /// Total restarts granted so far.
+    pub fn restarts(&self) -> u64 {
+        self.restarts.get()
+    }
+
+    /// Whether `operator` is quarantined.
+    pub fn is_quarantined(&self, operator: &str) -> bool {
+        self.ops.lock().get(operator).map(|r| r.quarantined).unwrap_or(false)
+    }
+
+    /// Names of quarantined operators.
+    pub fn quarantined_operators(&self) -> Vec<String> {
+        let ops = self.ops.lock();
+        let mut out: Vec<String> =
+            ops.iter().filter(|(_, r)| r.quarantined).map(|(k, _)| k.clone()).collect();
+        out.sort();
+        out
+    }
+}
+
+/// A tiny FNV-style hash to decorrelate per-operator jitter streams.
+fn fxhash(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Renders a `catch_unwind` payload as a readable message.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeat
+// ---------------------------------------------------------------------------
+
+/// A per-executor liveness beacon.
+///
+/// The executor calls [`enter`](Heartbeat::enter) when a dispatch starts
+/// and [`exit`](Heartbeat::exit) when it returns; a monitor thread calls
+/// [`stalled_for`](Heartbeat::stalled_for) to detect a dispatch stuck
+/// longer than the stall timeout (an operator spinning or sleeping inside
+/// `process`). `reported` latches so each excursion is reported once.
+pub struct Heartbeat {
+    epoch: Instant,
+    entered_ns: AtomicU64,
+    busy: AtomicBool,
+    reported: AtomicBool,
+}
+
+impl Default for Heartbeat {
+    fn default() -> Heartbeat {
+        Heartbeat::new()
+    }
+}
+
+impl Heartbeat {
+    /// A fresh, idle heartbeat.
+    pub fn new() -> Heartbeat {
+        Heartbeat {
+            epoch: Instant::now(),
+            entered_ns: AtomicU64::new(0),
+            busy: AtomicBool::new(false),
+            reported: AtomicBool::new(false),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// Marks the start of a dispatch.
+    pub fn enter(&self) {
+        self.entered_ns.store(self.now_ns(), Ordering::Relaxed);
+        self.reported.store(false, Ordering::Relaxed);
+        self.busy.store(true, Ordering::Release);
+    }
+
+    /// Marks the end of a dispatch.
+    pub fn exit(&self) {
+        self.busy.store(false, Ordering::Release);
+    }
+
+    /// If the executor has been inside one dispatch longer than `timeout`
+    /// and this excursion was not reported yet, returns the stuck
+    /// duration (and latches the report).
+    pub fn stalled_for(&self, timeout: Duration) -> Option<Duration> {
+        if !self.busy.load(Ordering::Acquire) {
+            return None;
+        }
+        let stuck = self.now_ns().saturating_sub(self.entered_ns.load(Ordering::Relaxed));
+        if stuck < timeout.as_nanos().min(u64::MAX as u128) as u64 {
+            return None;
+        }
+        if self.reported.swap(true, Ordering::Relaxed) {
+            return None;
+        }
+        Some(Duration::from_nanos(stuck))
+    }
+}
+
+/// Supervision settings threaded through [`EngineConfig`].
+///
+/// [`EngineConfig`]: crate::engine::EngineConfig
+#[derive(Clone, Debug, Default)]
+pub struct SupervisionConfig {
+    /// Restart/quarantine policy applied to all operators.
+    pub policy: RestartPolicy,
+    /// If set, a monitor thread reports partitions stuck inside one
+    /// dispatch longer than this.
+    pub stall_timeout: Option<Duration>,
+}
+
+/// Convenience: a supervisor shared behind an `Arc`.
+pub type SharedSupervisor = Arc<Supervisor>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn restarts_then_quarantines_after_budget() {
+        let policy = RestartPolicy { max_restarts: 2, ..RestartPolicy::default() };
+        let sup = Supervisor::new(policy, 7, Obs::disabled());
+        assert!(matches!(sup.on_panic("f", "boom"), Verdict::Restart { attempt: 1, .. }));
+        assert!(matches!(sup.on_panic("f", "boom"), Verdict::Restart { attempt: 2, .. }));
+        assert_eq!(sup.on_panic("f", "boom"), Verdict::Quarantine { failures: 3 });
+        assert!(sup.is_quarantined("f"));
+        assert_eq!(sup.quarantined_operators(), vec!["f".to_string()]);
+        assert_eq!(sup.restarts(), 2);
+    }
+
+    #[test]
+    fn fail_query_mode_returns_fail() {
+        let policy = RestartPolicy {
+            max_restarts: 0,
+            degrade: DegradeMode::FailQuery,
+            ..Default::default()
+        };
+        let sup = Supervisor::new(policy, 7, Obs::disabled());
+        assert_eq!(sup.on_panic("f", "boom"), Verdict::Fail);
+    }
+
+    #[test]
+    fn failures_outside_window_are_forgotten() {
+        let policy = RestartPolicy {
+            max_restarts: 1,
+            window: Duration::from_millis(30),
+            base_backoff: Duration::from_millis(1),
+            ..Default::default()
+        };
+        let sup = Supervisor::new(policy, 7, Obs::disabled());
+        assert!(matches!(sup.on_panic("f", "a"), Verdict::Restart { .. }));
+        std::thread::sleep(Duration::from_millis(60));
+        // The first failure aged out, so this is again within budget.
+        assert!(matches!(sup.on_panic("f", "b"), Verdict::Restart { .. }));
+    }
+
+    #[test]
+    fn backoff_grows_with_attempts() {
+        let policy = RestartPolicy {
+            max_restarts: 10,
+            jitter: 0.0,
+            base_backoff: Duration::from_millis(10),
+            ..Default::default()
+        };
+        let sup = Supervisor::new(policy, 7, Obs::disabled());
+        let b1 = match sup.on_panic("f", "x") {
+            Verdict::Restart { backoff, .. } => backoff,
+            v => panic!("unexpected verdict {v:?}"),
+        };
+        let b2 = match sup.on_panic("f", "x") {
+            Verdict::Restart { backoff, .. } => backoff,
+            v => panic!("unexpected verdict {v:?}"),
+        };
+        assert_eq!(b1, Duration::from_millis(10));
+        assert_eq!(b2, Duration::from_millis(20));
+    }
+
+    #[test]
+    fn supervisor_metrics_appear_in_prometheus_export() {
+        let obs = Obs::enabled();
+        let policy = RestartPolicy { max_restarts: 1, ..Default::default() };
+        let sup = Supervisor::new(policy, 7, obs.clone());
+        let _ = sup.on_panic("f", "boom");
+        let _ = sup.on_panic("f", "boom");
+        let text = hmts_obs::export::prometheus_text(&obs.metrics_snapshot());
+        assert!(text.contains("supervisor_restarts_total 1"), "{text}");
+        assert!(text.contains("supervisor_panics_total 2"), "{text}");
+        assert!(text.contains("supervisor_quarantined 1"), "{text}");
+    }
+
+    #[test]
+    fn heartbeat_detects_and_latches_stall() {
+        let hb = Heartbeat::new();
+        assert!(hb.stalled_for(Duration::from_millis(1)).is_none());
+        hb.enter();
+        std::thread::sleep(Duration::from_millis(20));
+        let stuck = hb.stalled_for(Duration::from_millis(5));
+        assert!(stuck.is_some());
+        assert!(stuck.unwrap() >= Duration::from_millis(5));
+        // Latched: the same excursion is reported once.
+        assert!(hb.stalled_for(Duration::from_millis(5)).is_none());
+        hb.exit();
+        assert!(hb.stalled_for(Duration::from_millis(5)).is_none());
+        // A new excursion re-arms the report.
+        hb.enter();
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(hb.stalled_for(Duration::from_millis(5)).is_some());
+    }
+
+    #[test]
+    fn panic_message_extracts_strings() {
+        let p = std::panic::catch_unwind(|| panic!("static message")).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "static message");
+        let p = std::panic::catch_unwind(|| panic!("formatted {}", 42)).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "formatted 42");
+    }
+}

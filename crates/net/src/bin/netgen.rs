@@ -138,13 +138,20 @@ fn main() {
     );
 
     if let Some(handle) = subscriber {
-        match handle.join().expect("subscriber thread") {
-            Ok(messages) => {
+        match handle.join() {
+            Ok(Ok(messages)) => {
                 let data = messages.iter().filter(|m| m.as_data().is_some()).count();
                 println!("subscriber: received {data} result tuples, then end-of-stream");
             }
-            Err(e) => {
+            Ok(Err(e)) => {
                 eprintln!("netgen: subscriber failed: {e}");
+                exit(1);
+            }
+            Err(payload) => {
+                eprintln!(
+                    "netgen: subscriber thread panicked: {}",
+                    hmts::supervisor::panic_message(payload.as_ref())
+                );
                 exit(1);
             }
         }

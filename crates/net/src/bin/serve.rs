@@ -116,7 +116,11 @@ fn main() {
     let ingest = IngestServer::bind(
         &args.ingest as &str,
         vec![StreamSpec::new(&args.stream).with_producers(args.producers)],
-        IngestConfig { queue_capacity: Some(args.queue_capacity), obs: obs.clone() },
+        IngestConfig {
+            queue_capacity: Some(args.queue_capacity),
+            obs: obs.clone(),
+            ..IngestConfig::default()
+        },
     )
     .unwrap_or_else(|e| {
         eprintln!("serve: cannot bind ingest {}: {e}", args.ingest);

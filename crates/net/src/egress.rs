@@ -25,7 +25,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use hmts::obs::Obs;
+use hmts::obs::{Obs, SchedEvent};
 use hmts::operators::traits::{Operator, Output};
 use hmts::streams::element::Element;
 use hmts::streams::error::Result as StreamResult;
@@ -157,6 +157,7 @@ impl EgressServer {
             tuples: self.obs.counter("net_egress_tuples"),
             bytes: self.obs.counter("net_egress_bytes"),
             slow: self.obs.counter("net_egress_slow_disconnects"),
+            obs: self.obs.clone(),
         }
     }
 
@@ -204,6 +205,7 @@ pub struct EgressSink {
     tuples: hmts::obs::Counter,
     bytes: hmts::obs::Counter,
     slow: hmts::obs::Counter,
+    obs: Obs,
 }
 
 impl EgressSink {
@@ -220,15 +222,23 @@ impl EgressSink {
                 true
             }
             Err(e) => {
+                let reason;
                 if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
                     && matches!(self.policy, SlowConsumerPolicy::Disconnect { .. })
                 {
                     self.state.slow_disconnects.fetch_add(1, Ordering::Relaxed);
                     self.slow.inc();
+                    reason = "slow consumer".to_string();
                     eprintln!("net-egress: dropping slow subscriber {}", sub.peer);
                 } else {
+                    reason = e.to_string();
                     eprintln!("net-egress: dropping subscriber {}: {e}", sub.peer);
                 }
+                self.obs.counter("net_egress_disconnects").inc();
+                self.obs.emit_with(|| SchedEvent::NetDisconnect {
+                    peer: sub.peer.to_string(),
+                    reason: reason.clone(),
+                });
                 false
             }
         });

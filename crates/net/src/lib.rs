@@ -25,6 +25,9 @@
 //!   [`ArrivalProcess`]-shaped, RTT percentiles).
 //! * [`pipeline`] — the served Fig. 9/10 chain used by the `serve` binary
 //!   and the loopback end-to-end test.
+//! * [`resume`] — client-side reconnect with sequence-based resume: a
+//!   producer whose connection dies retransmits exactly the lost suffix
+//!   (no duplicates, no loss) against a resume-mode ingest server.
 //!
 //! [`BackpressurePolicy::Block`]:
 //!     hmts::streams::queue::BackpressurePolicy::Block
@@ -34,6 +37,7 @@
 pub mod client;
 pub mod egress;
 pub mod pipeline;
+pub mod resume;
 pub mod server;
 pub mod source;
 pub mod wire;
@@ -41,6 +45,7 @@ pub mod wire;
 pub use client::{run_load, LoadConfig, LoadMode, LoadReport, RttSummary, SubscriberClient};
 pub use egress::{EgressServer, EgressSink, SlowConsumerPolicy};
 pub use pipeline::{fig9_served_chain, ServedChain};
+pub use resume::{send_with_resume, ResumeConfig, ResumeReport};
 pub use server::{IngestConfig, IngestServer, IngestStats, StreamSpec};
 pub use source::RemoteSource;
 pub use wire::{DecodeError, Frame, FrameReader, FrameWriter, NetError};

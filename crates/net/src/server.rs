@@ -27,9 +27,8 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
-use hmts::obs::Obs;
+use hmts::obs::{Obs, SchedEvent};
 use hmts::streams::element::Message;
-use hmts::streams::error::StreamError;
 use hmts::streams::queue::{BackpressurePolicy, StreamQueue};
 
 use crate::source::RemoteSource;
@@ -67,11 +66,30 @@ pub struct IngestConfig {
     pub queue_capacity: Option<usize>,
     /// Observability registry for the `net_*` metrics.
     pub obs: Obs,
+    /// Enables sequence-based resume: a connection that dies without an
+    /// explicit `Eos` does **not** count as a finished producer right away.
+    /// Instead the server waits [`reconnect_window`](Self::reconnect_window)
+    /// for the client to come back, answers its [`Frame::Resume`] with the
+    /// number of data elements already received, and the client retransmits
+    /// only the lost suffix — no duplicates, no loss.
+    pub resume: bool,
+    /// Maximum silence tolerated on a connection before it is treated as
+    /// dead (enforced via the socket read timeout). `None` waits forever.
+    pub heartbeat_timeout: Option<Duration>,
+    /// How long after an abrupt disconnect the server keeps the stream open
+    /// waiting for the producer to reconnect (resume mode only).
+    pub reconnect_window: Duration,
 }
 
 impl Default for IngestConfig {
     fn default() -> IngestConfig {
-        IngestConfig { queue_capacity: Some(4096), obs: Obs::disabled() }
+        IngestConfig {
+            queue_capacity: Some(4096),
+            obs: Obs::disabled(),
+            resume: false,
+            heartbeat_timeout: None,
+            reconnect_window: Duration::from_secs(5),
+        }
     }
 }
 
@@ -94,6 +112,11 @@ pub struct IngestStats {
     pub backpressure_stall_ns: AtomicU64,
     /// Connections rejected at handshake (unknown stream, bad hello).
     pub rejected: AtomicU64,
+    /// Connections that ended without an explicit `Eos` (socket error,
+    /// heartbeat timeout, or mid-frame cut).
+    pub disconnects: AtomicU64,
+    /// Successful resume handshakes after a disconnect.
+    pub resumes: AtomicU64,
 }
 
 struct StreamSlot {
@@ -101,6 +124,26 @@ struct StreamSlot {
     queue: Arc<StreamQueue>,
     remaining_producers: AtomicUsize,
     tuples: hmts::obs::Counter,
+    /// Data elements of this stream durably pushed into the queue — the
+    /// sequence number a resuming client restarts from.
+    received: AtomicU64,
+    /// Bumped whenever a producer connection for this stream completes its
+    /// handshake; lets the reconnect-window timer detect that the producer
+    /// came back before giving up on it.
+    generation: AtomicU64,
+    /// Held by the connection thread for the whole frame loop in resume
+    /// mode: a resuming connection must not be answered (or push) while
+    /// the connection it replaces is still draining its socket buffer —
+    /// otherwise the tail the old thread pushes after the `ResumeAck`
+    /// would be duplicated by the retransmission.
+    pusher: Mutex<()>,
+}
+
+/// Per-connection behavior knobs shared with connection threads.
+struct ConnOptions {
+    resume: bool,
+    heartbeat_timeout: Option<Duration>,
+    reconnect_window: Duration,
 }
 
 /// A multi-client TCP server feeding per-stream [`StreamQueue`]s.
@@ -143,9 +186,17 @@ impl IngestServer {
                     name: s.name,
                     queue,
                     remaining_producers: AtomicUsize::new(s.producers),
+                    received: AtomicU64::new(0),
+                    generation: AtomicU64::new(0),
+                    pusher: Mutex::new(()),
                 }
             })
             .collect();
+        let opts = Arc::new(ConnOptions {
+            resume: cfg.resume,
+            heartbeat_timeout: cfg.heartbeat_timeout,
+            reconnect_window: cfg.reconnect_window,
+        });
         let server = IngestServer {
             addr,
             streams: Arc::new(slots),
@@ -160,7 +211,7 @@ impl IngestServer {
         let obs = server.obs.clone();
         let handle = std::thread::Builder::new()
             .name("net-ingest-accept".into())
-            .spawn(move || accept_loop(listener, streams, stats, stop, obs))
+            .spawn(move || accept_loop(listener, streams, stats, stop, obs, opts))
             .expect("spawn accept thread");
         *server.accept_thread.lock() = Some(handle);
         Ok(server)
@@ -209,6 +260,7 @@ fn accept_loop(
     stats: Arc<IngestStats>,
     stop: Arc<AtomicBool>,
     obs: Obs,
+    opts: Arc<ConnOptions>,
 ) {
     let gauge = obs.gauge("net_connections");
     let total = obs.counter("net_connections_accepted");
@@ -226,10 +278,11 @@ fn accept_loop(
                 let stats = Arc::clone(&stats);
                 let gauge = gauge.clone();
                 let obs = obs.clone();
+                let opts = Arc::clone(&opts);
                 let _ =
                     std::thread::Builder::new().name(format!("net-ingest-{id}")).spawn(move || {
                         if let Err(NetError::Decode(d)) =
-                            serve_connection(socket, id, &streams, &stats, &obs)
+                            serve_connection(socket, id, &streams, &stats, &obs, &opts)
                         {
                             stats.decode_errors.fetch_add(1, Ordering::Relaxed);
                             obs.counter("net_decode_errors").inc();
@@ -250,18 +303,23 @@ fn accept_loop(
 fn serve_connection(
     socket: TcpStream,
     id: u64,
-    streams: &[StreamSlot],
+    streams: &Arc<Vec<StreamSlot>>,
     stats: &IngestStats,
     obs: &Obs,
+    opts: &Arc<ConnOptions>,
 ) -> Result<(), NetError> {
     socket.set_nodelay(true)?;
+    let peer = socket.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "unknown".into());
+    if let Some(t) = opts.heartbeat_timeout {
+        socket.set_read_timeout(Some(t))?;
+    }
     let mut writer = FrameWriter::new(socket.try_clone()?);
     let mut reader = FrameReader::new(io::BufReader::new(socket));
 
     // The first frame must be a Hello naming a registered stream.
-    let slot = match reader.read_frame()? {
-        Some(Frame::Hello { stream, .. }) => match streams.iter().find(|s| s.name == stream) {
-            Some(slot) => slot,
+    let slot_idx = match reader.read_frame()? {
+        Some(Frame::Hello { stream, .. }) => match streams.iter().position(|s| s.name == stream) {
+            Some(i) => i,
             None => {
                 stats.rejected.fetch_add(1, Ordering::Relaxed);
                 eprintln!("net-ingest: rejected connection for unknown stream {stream:?}");
@@ -273,6 +331,14 @@ fn serve_connection(
             return Ok(());
         }
     };
+    let slot = &streams[slot_idx];
+    // Mark this producer generation: a pending reconnect-window timer sees
+    // the bump and stands down instead of declaring the producer gone.
+    slot.generation.fetch_add(1, Ordering::AcqRel);
+    // In resume mode, wait until the connection we replace has fully
+    // drained (it exits once it hits the cut in its byte stream); only
+    // then is `received` final and a `ResumeAck` duplicate-free.
+    let _pusher = opts.resume.then(|| slot.pusher.lock());
 
     let conn_tuples = obs.counter(&format!("net_conn{id}_tuples"));
     let conn_bytes = obs.counter(&format!("net_conn{id}_bytes"));
@@ -288,10 +354,15 @@ fn serve_connection(
         conn_bytes.add(delta);
     };
 
+    // `clean` records whether the producer signalled completion explicitly
+    // (an Eos frame, or the queue closing under us because the engine is
+    // done) as opposed to the socket dying mid-stream.
+    let mut clean = false;
     let result = loop {
         let frame = match reader.read_frame() {
             Ok(Some(f)) => f,
-            // Clean EOF or an Eos frame below: producer is done.
+            // EOF at a frame boundary without a preceding Eos: the producer
+            // vanished (clean only once it said Eos, handled below).
             Ok(None) => break Ok(()),
             Err(e) => break Err(e),
         };
@@ -309,15 +380,19 @@ fn serve_connection(
                         tuples.inc();
                         conn_tuples.inc();
                         slot.tuples.inc();
+                        slot.received.fetch_add(1, Ordering::Release);
                     }
                     // Queue closed under us (engine shut down): stop reading.
-                    Err(StreamError::QueueClosed) => break Ok(()),
-                    Err(_) => break Ok(()),
+                    Err(_) => {
+                        clean = true;
+                        break Ok(());
+                    }
                 }
             }
             Frame::Watermark { ts } => {
                 use hmts::streams::element::Punctuation;
                 if slot.queue.push(Message::Punct(Punctuation::Watermark(ts))).is_err() {
+                    clean = true;
                     break Ok(());
                 }
             }
@@ -325,17 +400,77 @@ fn serve_connection(
                 writer.write_frame(&Frame::Pong { nonce })?;
                 writer.flush()?;
             }
-            Frame::Eos => break Ok(()),
-            // A second Hello or a stray Pong is harmless; ignore.
-            Frame::Hello { .. } | Frame::Pong { .. } => {}
+            Frame::Resume { .. } => {
+                // A reconnecting producer asks where to restart: answer with
+                // the count of data elements already in the queue.
+                let seq = slot.received.load(Ordering::Acquire);
+                stats.resumes.fetch_add(1, Ordering::Relaxed);
+                obs.counter("net_resumes").inc();
+                obs.emit_with(|| SchedEvent::NetReconnect {
+                    stream: slot.name.clone(),
+                    resume_seq: seq,
+                });
+                writer.write_frame(&Frame::ResumeAck { seq })?;
+                writer.flush()?;
+            }
+            Frame::Eos => {
+                clean = true;
+                break Ok(());
+            }
+            // A second Hello or a stray Pong/ResumeAck is harmless; ignore.
+            Frame::Hello { .. } | Frame::Pong { .. } | Frame::ResumeAck { .. } => {}
         }
     };
 
-    // This producer is done (cleanly or not): once the last expected
-    // producer leaves, close the queue so the remote source sees
-    // end-of-stream after draining what is buffered.
-    if slot.remaining_producers.fetch_sub(1, Ordering::AcqRel) == 1 {
-        slot.queue.close();
+    if !clean {
+        // The socket died without an Eos. Journal it either way; in resume
+        // mode, a heartbeat timeout is its own reason string.
+        let reason = match &result {
+            Ok(()) => "connection closed without eos".to_string(),
+            Err(NetError::Io(e))
+                if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+            {
+                "heartbeat timeout".to_string()
+            }
+            Err(e) => e.to_string(),
+        };
+        stats.disconnects.fetch_add(1, Ordering::Relaxed);
+        obs.counter("net_disconnects").inc();
+        obs.emit_with(|| SchedEvent::NetDisconnect { peer: peer.clone(), reason: reason.clone() });
+    }
+
+    if opts.resume && !clean {
+        // Grace period: keep the stream open for `reconnect_window`; if no
+        // new producer connection shows up (generation unchanged), give up
+        // and count this producer as finished so downstream can flush.
+        let gen = slot.generation.load(Ordering::Acquire);
+        let streams = Arc::clone(streams);
+        let window = opts.reconnect_window;
+        let _ =
+            std::thread::Builder::new().name(format!("net-ingest-window-{id}")).spawn(move || {
+                std::thread::sleep(window);
+                let slot = &streams[slot_idx];
+                if slot.generation.load(Ordering::Acquire) != gen {
+                    return; // the producer came back
+                }
+                // checked_sub: never double-count a producer that a racing
+                // reconnect already finished cleanly.
+                let prev = slot.remaining_producers.fetch_update(
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                    |p| p.checked_sub(1),
+                );
+                if prev == Ok(1) {
+                    slot.queue.close();
+                }
+            });
+    } else {
+        // This producer is done: once the last expected producer leaves,
+        // close the queue so the remote source sees end-of-stream after
+        // draining what is buffered.
+        if slot.remaining_producers.fetch_sub(1, Ordering::AcqRel) == 1 {
+            slot.queue.close();
+        }
     }
     result
 }

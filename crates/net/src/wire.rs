@@ -16,6 +16,8 @@
 //! | 4    | `Eos`        | —                                         |
 //! | 5    | `Ping`       | nonce `u64`                               |
 //! | 6    | `Pong`       | nonce `u64`                               |
+//! | 7    | `Resume`     | next sequence number `u64`                |
+//! | 8    | `ResumeAck`  | next sequence number `u64`                |
 //!
 //! Tuples are a `u16` arity followed by tagged values (0 null, 1 bool,
 //! 2 `i64`, 3 `f64` bits, 4 length-prefixed UTF-8). Trace tags are
@@ -52,6 +54,8 @@ const KIND_WATERMARK: u8 = 3;
 const KIND_EOS: u8 = 4;
 const KIND_PING: u8 = 5;
 const KIND_PONG: u8 = 6;
+const KIND_RESUME: u8 = 7;
+const KIND_RESUME_ACK: u8 = 8;
 
 const TAG_NULL: u8 = 0;
 const TAG_BOOL: u8 = 1;
@@ -94,6 +98,19 @@ pub enum Frame {
         /// The nonce of the ping being answered.
         nonce: u64,
     },
+    /// Sent by a reconnecting ingest client after `Hello`: asks the server
+    /// how many data elements of this stream it has durably received, so
+    /// the client can retransmit exactly the suffix that was lost.
+    Resume {
+        /// Lowest data sequence number the client can retransmit.
+        seq: u64,
+    },
+    /// The server's answer to [`Frame::Resume`]: the next data sequence
+    /// number it expects (i.e. the count of elements already received).
+    ResumeAck {
+        /// Next expected data sequence number.
+        seq: u64,
+    },
 }
 
 impl Frame {
@@ -113,7 +130,11 @@ impl Frame {
             Frame::Data { ts, tuple } => Some(Message::data(tuple, ts)),
             Frame::Watermark { ts } => Some(Message::Punct(Punctuation::Watermark(ts))),
             Frame::Eos => Some(Message::Punct(Punctuation::EndOfStream)),
-            Frame::Hello { .. } | Frame::Ping { .. } | Frame::Pong { .. } => None,
+            Frame::Hello { .. }
+            | Frame::Ping { .. }
+            | Frame::Pong { .. }
+            | Frame::Resume { .. }
+            | Frame::ResumeAck { .. } => None,
         }
     }
 }
@@ -188,6 +209,14 @@ pub fn encode_frame(frame: &Frame, buf: &mut Vec<u8>) {
             buf.push(KIND_PONG);
             buf.extend_from_slice(&nonce.to_le_bytes());
         }
+        Frame::Resume { seq } => {
+            buf.push(KIND_RESUME);
+            buf.extend_from_slice(&seq.to_le_bytes());
+        }
+        Frame::ResumeAck { seq } => {
+            buf.push(KIND_RESUME_ACK);
+            buf.extend_from_slice(&seq.to_le_bytes());
+        }
     }
     let body_len = (buf.len() - len_pos - 4) as u32;
     buf[len_pos..len_pos + 4].copy_from_slice(&body_len.to_le_bytes());
@@ -240,6 +269,8 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, DecodeError> {
         KIND_EOS => Frame::Eos,
         KIND_PING => Frame::Ping { nonce: cur.u64()? },
         KIND_PONG => Frame::Pong { nonce: cur.u64()? },
+        KIND_RESUME => Frame::Resume { seq: cur.u64()? },
+        KIND_RESUME_ACK => Frame::ResumeAck { seq: cur.u64()? },
         other => return Err(DecodeError::UnknownFrameKind(other)),
     };
     if cur.pos != body.len() {
@@ -510,6 +541,8 @@ mod tests {
             Frame::Eos,
             Frame::Ping { nonce: 7 },
             Frame::Pong { nonce: u64::MAX },
+            Frame::Resume { seq: 0 },
+            Frame::ResumeAck { seq: 12_345 },
         ];
         for f in frames {
             assert_eq!(round_trip(f.clone()), f);

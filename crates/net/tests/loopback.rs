@@ -25,7 +25,7 @@ fn loopback_end_to_end_under_hmts() {
     let ingest = IngestServer::bind(
         "127.0.0.1:0",
         vec![StreamSpec::new("bursty")],
-        IngestConfig { queue_capacity: Some(64), obs: Obs::disabled() },
+        IngestConfig { queue_capacity: Some(64), obs: Obs::disabled(), ..IngestConfig::default() },
     )
     .unwrap();
     let egress =
@@ -93,7 +93,7 @@ fn bounded_ingest_queue_stalls_instead_of_dropping() {
     let server = IngestServer::bind(
         "127.0.0.1:0",
         vec![StreamSpec::new("s")],
-        IngestConfig { queue_capacity: Some(8), obs: Obs::disabled() },
+        IngestConfig { queue_capacity: Some(8), obs: Obs::disabled(), ..IngestConfig::default() },
     )
     .unwrap();
 

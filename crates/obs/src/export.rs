@@ -131,6 +131,31 @@ fn event_fields(event: &SchedEvent) -> Vec<(&'static str, String)> {
             ("domains", domains.to_string()),
             ("action", format!("\"{}\"", json_escape(action))),
         ],
+        SchedEvent::OperatorPanic { operator, payload } => vec![
+            ("operator", format!("\"{}\"", json_escape(operator))),
+            ("payload", format!("\"{}\"", json_escape(payload))),
+        ],
+        SchedEvent::OperatorRestart { operator, attempt, backoff_ms } => vec![
+            ("operator", format!("\"{}\"", json_escape(operator))),
+            ("attempt", attempt.to_string()),
+            ("backoff_ms", backoff_ms.to_string()),
+        ],
+        SchedEvent::OperatorQuarantined { operator, failures } => vec![
+            ("operator", format!("\"{}\"", json_escape(operator))),
+            ("failures", failures.to_string()),
+        ],
+        SchedEvent::HeartbeatStall { domain, idle_ms } => vec![
+            ("domain", format!("\"{}\"", json_escape(domain))),
+            ("idle_ms", idle_ms.to_string()),
+        ],
+        SchedEvent::NetDisconnect { peer, reason } => vec![
+            ("peer", format!("\"{}\"", json_escape(peer))),
+            ("reason", format!("\"{}\"", json_escape(reason))),
+        ],
+        SchedEvent::NetReconnect { stream, resume_seq } => vec![
+            ("stream", format!("\"{}\"", json_escape(stream))),
+            ("resume_seq", resume_seq.to_string()),
+        ],
     }
 }
 
@@ -370,6 +395,24 @@ pub fn chrome_trace_json(spans: &[SpanEvent], journal: &[EventRecord]) -> String
                     }
                     SchedEvent::Repartition { domains, action } => {
                         format!("repartition {action} ({domains} domains)")
+                    }
+                    SchedEvent::OperatorPanic { operator, .. } => {
+                        format!("operator-panic {operator}")
+                    }
+                    SchedEvent::OperatorRestart { operator, attempt, .. } => {
+                        format!("operator-restart {operator} (attempt {attempt})")
+                    }
+                    SchedEvent::OperatorQuarantined { operator, failures } => {
+                        format!("operator-quarantine {operator} ({failures} failures)")
+                    }
+                    SchedEvent::HeartbeatStall { domain, idle_ms } => {
+                        format!("heartbeat-stall {domain} ({idle_ms} ms)")
+                    }
+                    SchedEvent::NetDisconnect { peer, reason } => {
+                        format!("net-disconnect {peer} ({reason})")
+                    }
+                    SchedEvent::NetReconnect { stream, resume_seq } => {
+                        format!("net-reconnect {stream} @ {resume_seq}")
                     }
                     SchedEvent::Dispatch { .. } | SchedEvent::Yield { .. } => unreachable!(),
                 };

@@ -36,6 +36,21 @@ pub enum SchedEvent {
     StallDetected { queue: String, occupancy: usize },
     /// The adaptive controller decided on a (re-)partitioning.
     Repartition { domains: usize, action: String },
+    /// An operator's `process` (or flush/watermark) call panicked and was
+    /// caught by the executor's isolation boundary.
+    OperatorPanic { operator: String, payload: String },
+    /// The supervisor granted a quarantined-free restart after a panic.
+    OperatorRestart { operator: String, attempt: u32, backoff_ms: u64 },
+    /// The supervisor quarantined an operator after too many failures
+    /// within its policy window; its branch was closed with a clean EOS.
+    OperatorQuarantined { operator: String, failures: u32 },
+    /// The heartbeat monitor saw a partition stuck inside one dispatch
+    /// longer than the configured stall timeout.
+    HeartbeatStall { domain: String, idle_ms: u64 },
+    /// A network peer (ingest producer or egress subscriber) was dropped.
+    NetDisconnect { peer: String, reason: String },
+    /// A producer reconnected and resumed an ingest stream at `resume_seq`.
+    NetReconnect { stream: String, resume_seq: u64 },
 }
 
 impl SchedEvent {
@@ -53,6 +68,12 @@ impl SchedEvent {
             SchedEvent::QueueDrain { .. } => "queue-drain",
             SchedEvent::StallDetected { .. } => "stall",
             SchedEvent::Repartition { .. } => "repartition",
+            SchedEvent::OperatorPanic { .. } => "operator-panic",
+            SchedEvent::OperatorRestart { .. } => "operator-restart",
+            SchedEvent::OperatorQuarantined { .. } => "operator-quarantine",
+            SchedEvent::HeartbeatStall { .. } => "heartbeat-stall",
+            SchedEvent::NetDisconnect { .. } => "net-disconnect",
+            SchedEvent::NetReconnect { .. } => "net-reconnect",
         }
     }
 }

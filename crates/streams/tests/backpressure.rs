@@ -94,6 +94,33 @@ fn close_wakes_blocked_producers_with_queue_closed() {
 }
 
 #[test]
+fn close_is_an_idempotent_poison_for_both_sides() {
+    // The supervision layer uses close() as the queue's poison: once a
+    // branch is quarantined, its queues are closed so producers fail fast
+    // and consumers drain what is buffered, then see end-of-stream.
+    let q = StreamQueue::unbounded("poison");
+    q.push(msg(0, 0)).unwrap();
+    q.push(msg(0, 1)).unwrap();
+
+    q.close();
+    q.close(); // idempotent: a second close must not panic or reopen
+
+    // Producer side: every push fails fast with the typed error...
+    assert_eq!(q.push(msg(0, 2)), Err(StreamError::QueueClosed));
+    assert!(matches!(q.push_with_stall(msg(0, 3)), Err(StreamError::QueueClosed)));
+    // ...and nothing after the poison is ever observed.
+    assert_eq!(q.metrics().enqueued(), 2);
+
+    // Consumer side: the pre-close backlog drains in order, then the
+    // closed queue reports end-of-stream (None) forever.
+    assert_eq!(q.pop_blocking().unwrap().as_data().unwrap().tuple.field(1).as_int().unwrap(), 0);
+    assert_eq!(q.try_pop().unwrap().as_data().unwrap().tuple.field(1).as_int().unwrap(), 1);
+    assert!(q.pop_blocking().is_none());
+    assert!(q.pop_blocking().is_none(), "closed+drained is terminal");
+    assert!(q.is_closed());
+}
+
+#[test]
 fn lift_bound_releases_blocked_producer() {
     let q = StreamQueue::bounded("bp", 1, BackpressurePolicy::Block);
     q.push(msg(0, 0)).unwrap();

@@ -1,0 +1,139 @@
+//! Fault injection and supervision in action: the same query runs three
+//! times — clean, with a one-shot seeded panic that the supervisor heals
+//! by restarting the operator (output stays byte-identical), and with a
+//! persistent fault that drives the operator into quarantine while the
+//! rest of the query degrades gracefully to a clean end-of-stream.
+//!
+//! The example doubles as the CI chaos smoke test (`scripts/chaos.sh`):
+//! every claim it prints is also asserted, so a regression makes it exit
+//! non-zero.
+//!
+//! ```text
+//! cargo run --release --example chaos_recovery
+//! ```
+
+use hmts::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// numbers -> triple (map) -> keep_small (filter) -> sink.
+fn query(count: u64) -> (QueryGraph, SinkHandle) {
+    let mut b = GraphBuilder::new();
+    let src = b.source(VecSource::counting("numbers", count, 1_000_000.0));
+    let triple = b.op_after(
+        Map::new("triple", |e, out| {
+            let mut e = e.clone();
+            e.tuple = Tuple::single(e.tuple.field(0).as_int().unwrap() * 3);
+            out.push(e);
+            Ok(())
+        }),
+        src,
+    );
+    let keep =
+        b.op_after(Filter::new("keep_small", Expr::le(Expr::field(0), Expr::int(600))), triple);
+    let (sink, results) = CollectingSink::new("out");
+    b.op_after(sink, keep);
+    (b.build().expect("valid query graph"), results)
+}
+
+fn run(count: u64, cfg: EngineConfig) -> (EngineReport, Vec<i64>) {
+    let (graph, results) = query(count);
+    let plan = ExecutionPlan::di_decoupled(&Topology::of(&graph));
+    let report = Engine::run_with_config(graph, plan, cfg).expect("query completes");
+    let values = results.elements().iter().map(|e| e.tuple.field(0).as_int().unwrap()).collect();
+    (report, values)
+}
+
+fn supervised(policy: RestartPolicy, chaos: Arc<FaultPlan>, obs: Obs) -> EngineConfig {
+    EngineConfig {
+        pace_sources: false,
+        obs,
+        chaos: Some(chaos),
+        supervision: Some(SupervisionConfig { policy, ..SupervisionConfig::default() }),
+        ..EngineConfig::default()
+    }
+}
+
+fn main() {
+    const COUNT: u64 = 500;
+
+    // The executor catches injected panics, but the default panic hook
+    // would still print a backtrace for each one. Silence only those;
+    // genuine panics (including this example's own assertions) keep the
+    // full report.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        if !msg.contains("chaos: injected panic") {
+            default_hook(info);
+        }
+    }));
+
+    // --- 1. Baseline: no faults, remember the exact output. ---------------
+    let (_, baseline) = run(COUNT, EngineConfig { pace_sources: false, ..EngineConfig::default() });
+    println!("baseline run:    {} results, no faults", baseline.len());
+
+    // --- 2. One-shot panic: supervisor restarts, output is identical. -----
+    let obs = Obs::enabled();
+    let fault = Arc::new(FaultPlan::seeded(42).panic_at("triple", 123));
+    let policy =
+        RestartPolicy { base_backoff: Duration::from_millis(1), ..RestartPolicy::default() };
+    let (report, recovered) = run(COUNT, supervised(policy, Arc::clone(&fault), obs.clone()));
+
+    assert_eq!(fault.operator_state("triple").unwrap().fired(), 1);
+    assert!(report.errors.is_empty(), "restart heals the query: {:?}", report.errors);
+    assert_eq!(recovered, baseline, "recovered output must be byte-identical");
+    println!(
+        "restart run:     panic injected at invocation 123, operator restarted, \
+         {} results — identical to baseline",
+        recovered.len()
+    );
+
+    // --- 3. Persistent fault: quarantine + graceful degradation. ----------
+    let q_obs = Obs::enabled();
+    let q_fault = Arc::new(FaultPlan::seeded(7).panic_repeatedly("triple", 1, 10_000));
+    let q_policy = RestartPolicy {
+        max_restarts: 2,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(4),
+        degrade: DegradeMode::QuarantineBranch,
+        ..RestartPolicy::default()
+    };
+    let (q_report, q_results) = run(COUNT, supervised(q_policy, q_fault, q_obs.clone()));
+
+    assert!(q_report.errors.iter().any(|(_, e)| e.to_string().contains("quarantined")));
+    assert!(q_results.is_empty(), "the faulty operator never let an element through");
+    println!(
+        "quarantine run:  operator kept panicking, quarantined after 2 restarts; \
+         branch error: {}",
+        q_report.errors[0].1
+    );
+
+    // --- What the supervisor left behind. ----------------------------------
+    println!("\n--- journal (restart run) ---");
+    for r in obs.journal_snapshot() {
+        if matches!(r.event.kind(), "operator-panic" | "operator-restart") {
+            println!("  #{:<4} {:?}", r.seq, r.event);
+        }
+    }
+    println!("\n--- journal (quarantine run) ---");
+    for r in q_obs.journal_snapshot() {
+        if matches!(r.event.kind(), "operator-panic" | "operator-restart" | "operator-quarantine") {
+            println!("  #{:<4} {:?}", r.seq, r.event);
+        }
+    }
+
+    let prom = hmts::obs::export::prometheus_text(&q_obs.metrics_snapshot());
+    assert!(prom.contains("supervisor_restarts_total 2"), "{prom}");
+    assert!(prom.contains("supervisor_quarantined 1"), "{prom}");
+    println!("\n--- prometheus (quarantine run, supervisor_* only) ---");
+    for line in prom.lines().filter(|l| l.contains("supervisor_")) {
+        println!("  {line}");
+    }
+    println!("\nchaos_recovery: all assertions held.");
+}

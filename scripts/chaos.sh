@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Chaos smoke test: seeded fault injection end to end.
+#
+# Runs the self-asserting chaos_recovery example (operator panic ->
+# restart -> byte-identical output; persistent fault -> quarantine ->
+# graceful degradation) and the chaos integration suites: supervision
+# (core executors) and chaos_net (cut connections, shredded writes,
+# heartbeat timeouts, resume). Any regression exits non-zero.
+# Usage: scripts/chaos.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> chaos smoke: cargo run --release --example chaos_recovery"
+cargo run --release --example chaos_recovery
+
+echo "==> chaos suites: supervision + chaos_net"
+cargo test --release -q -p hmts --test supervision
+cargo test --release -q -p hmts-net --test chaos_net
+
+echo "==> chaos checks passed"

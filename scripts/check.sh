@@ -4,6 +4,24 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> panic-hygiene grep gate (no .join().unwrap()/.expect() in crates/*/src)"
+# Worker threads must be harvested through the supervision layer, never
+# joined with a bare unwrap/expect that would re-raise the panic payload
+# unhandled. Test modules (everything after a #[cfg(test)] marker) are
+# exempt.
+violations=$(
+  for f in crates/*/src/*.rs crates/*/src/**/*.rs; do
+    [ -e "$f" ] || continue
+    awk '/^#\[cfg\(test\)\]/ { exit }
+         /\.join\(\)[[:space:]]*\.(unwrap|expect)\(/ { print FILENAME ":" FNR ": " $0 }' "$f"
+  done
+)
+if [ -n "$violations" ]; then
+  echo "error: unhandled thread joins found (route them through the supervisor):"
+  echo "$violations"
+  exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
