@@ -22,6 +22,7 @@ use std::time::Instant;
 
 use criterion::{criterion_group, Criterion, Throughput};
 use hmts::chaos::{FaultAction, FaultPlan, OperatorFaultState};
+use hmts::checkpoint::CheckpointShared;
 use hmts::obs::{HopKind, Obs, SchedEvent, TraceConfig, Tracer};
 use hmts::streams::element::TraceTag;
 
@@ -88,6 +89,22 @@ fn chaos_hook(chaos: &Option<Arc<OperatorFaultState>>) -> bool {
     }
 }
 
+/// The source driver's per-element barrier poll, verbatim: with
+/// checkpointing off the emission loop pays one `Option` branch; with it
+/// on but no checkpoint in flight, one relaxed atomic load and a compare
+/// against the last-seen barrier id.
+#[inline]
+fn checkpoint_poll(ck: &Option<Arc<CheckpointShared>>, last_barrier: &mut u64) -> bool {
+    if let Some(ck) = ck {
+        let id = ck.requested();
+        if id != *last_barrier {
+            *last_barrier = id;
+            return id != 0;
+        }
+    }
+    false
+}
+
 /// Asserts the acceptance bound of the tracing tentpole: with tracing
 /// disabled or the tuple unsampled, the hook performs zero heap
 /// allocations per element.
@@ -143,6 +160,34 @@ fn assert_chaos_hook_allocates_nothing() {
     assert_eq!(disabled_allocs, 0, "disabled chaos hook must not allocate");
     assert_eq!(armed_allocs, 0, "armed-but-not-due chaos hook must not allocate");
     println!("chaos hook: 0 allocations over {N} disabled and {N} armed-not-due elements\n");
+}
+
+/// The checkpoint analogue: a source without checkpointing (the default)
+/// and one with the coordinator attached but no barrier in flight must
+/// both stay off the heap — the `hmts-state` acceptance bound for the
+/// per-element poll.
+fn assert_checkpoint_hook_allocates_nothing() {
+    const N: u64 = 100_000;
+
+    let disabled: Option<Arc<CheckpointShared>> = None;
+    let mut last = 0u64;
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    for _ in 0..N {
+        black_box(checkpoint_poll(black_box(&disabled), &mut last));
+    }
+    let disabled_allocs = ALLOC_CALLS.load(Ordering::Relaxed) - before;
+
+    let idle = Some(CheckpointShared::new(Obs::disabled()));
+    let mut last = 0u64;
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    for _ in 0..N {
+        black_box(checkpoint_poll(black_box(&idle), &mut last));
+    }
+    let idle_allocs = ALLOC_CALLS.load(Ordering::Relaxed) - before;
+
+    assert_eq!(disabled_allocs, 0, "disabled checkpoint poll must not allocate");
+    assert_eq!(idle_allocs, 0, "idle checkpoint poll must not allocate");
+    println!("checkpoint poll: 0 allocations over {N} disabled and {N} idle elements\n");
 }
 
 fn obs_overhead(c: &mut Criterion) {
@@ -240,12 +285,32 @@ fn chaos_overhead(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, obs_overhead, trace_overhead, chaos_overhead);
+fn checkpoint_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checkpoint_poll");
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("disabled", |b| {
+        let ck: Option<Arc<CheckpointShared>> = None;
+        let mut last = 0u64;
+        b.iter(|| checkpoint_poll(black_box(&ck), &mut last));
+    });
+
+    g.bench_function("enabled_idle", |b| {
+        let ck = Some(CheckpointShared::new(Obs::disabled()));
+        let mut last = 0u64;
+        b.iter(|| checkpoint_poll(black_box(&ck), &mut last));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, obs_overhead, trace_overhead, chaos_overhead, checkpoint_overhead);
 
 fn main() {
     // `cargo bench` passes flags like `--bench`; nothing to parse.
     let _ = std::env::args();
     assert_untraced_hook_allocates_nothing();
     assert_chaos_hook_allocates_nothing();
+    assert_checkpoint_hook_allocates_nothing();
     benches();
 }

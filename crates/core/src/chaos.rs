@@ -127,6 +127,7 @@ impl OperatorFaultState {
 pub struct FaultPlan {
     seed: u64,
     faults: HashMap<String, Arc<OperatorFaultState>>,
+    checkpoint: Option<crate::checkpoint::CheckpointFault>,
 }
 
 impl FaultPlan {
@@ -134,7 +135,7 @@ impl FaultPlan {
     /// and any randomized faults added later — two runs with the same
     /// plan are identical).
     pub fn seeded(seed: u64) -> FaultPlan {
-        FaultPlan { seed, faults: HashMap::new() }
+        FaultPlan { seed, faults: HashMap::new(), checkpoint: None }
     }
 
     /// The plan's seed.
@@ -176,6 +177,26 @@ impl FaultPlan {
     /// Corrupt the outputs of the `nth` invocation of `operator`.
     pub fn corrupt_at(self, operator: &str, nth: u64) -> FaultPlan {
         self.add(operator, nth, FaultKind::Corrupt, 1)
+    }
+
+    /// Flip one byte of the checkpoint file with the given id right after
+    /// the coordinator persists it — the CRC catches it on recovery and
+    /// the store falls back to the previous complete checkpoint.
+    pub fn corrupt_checkpoint(mut self, id: u64) -> FaultPlan {
+        self.checkpoint = Some(crate::checkpoint::CheckpointFault::Corrupt { id });
+        self
+    }
+
+    /// Truncate the checkpoint file with the given id to half its length
+    /// right after the coordinator persists it (a torn write).
+    pub fn truncate_checkpoint(mut self, id: u64) -> FaultPlan {
+        self.checkpoint = Some(crate::checkpoint::CheckpointFault::Truncate { id });
+        self
+    }
+
+    /// The checkpoint-file fault the plan carries, if any.
+    pub fn checkpoint_fault(&self) -> Option<crate::checkpoint::CheckpointFault> {
+        self.checkpoint
     }
 
     /// The shared fault state for `operator`, if the plan targets it.

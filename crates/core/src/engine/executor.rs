@@ -29,6 +29,7 @@ use hmts_streams::queue::StreamQueue;
 use hmts_streams::value::Value;
 
 use crate::chaos::{FaultAction, OperatorFaultState};
+use crate::checkpoint::CheckpointShared;
 use crate::engine::sync::StopFlag;
 use crate::scheduler::strategy::{InputSlot, Strategy};
 use crate::stats::SharedNodeStats;
@@ -114,6 +115,19 @@ struct Slot {
     stats: Option<SharedNodeStats>,
     latency: Option<Histogram>,
     chaos: Option<Arc<OperatorFaultState>>,
+    /// Barrier alignment in progress, if any. `None` keeps the hot path
+    /// to one branch per message.
+    align: Option<Box<AlignState>>,
+}
+
+/// Alignment state of one slot between its first and last barrier for a
+/// checkpoint: which ports delivered the barrier, the input held back on
+/// those ports, and when alignment started (for the stall metric).
+struct AlignState {
+    id: u64,
+    seen: Vec<bool>,
+    held: VecDeque<(usize, Message)>,
+    started: Instant,
 }
 
 /// One input queue of a domain, with the edge it implements.
@@ -209,6 +223,9 @@ pub struct DomainExecutor {
     pending: VecDeque<(NodeId, usize, Message)>,
     /// The DI chain-reaction work stack.
     stack: Vec<(NodeId, usize, Message)>,
+    /// Messages released from alignment hold-back, re-delivered once the
+    /// current chain reaction (including barrier propagation) completes.
+    replay: VecDeque<(NodeId, usize, Message)>,
     out: Output,
     cfg: ExecConfig,
     /// Slots not yet closed.
@@ -223,6 +240,9 @@ pub struct DomainExecutor {
     supervisor: Option<Arc<Supervisor>>,
     /// Liveness beacon for stall detection (entered/exited per dispatch).
     heartbeat: Option<Arc<Heartbeat>>,
+    /// Barrier-checkpoint coordination; `None` keeps the hot path free of
+    /// checkpoint branches beyond the per-slot `align` check.
+    checkpoint: Option<Arc<CheckpointShared>>,
     /// Panics that terminated an operator without a restart (no
     /// supervisor, or `DegradeMode::FailQuery`): `(operator, payload)`.
     panics: Vec<(String, String)>,
@@ -250,6 +270,7 @@ impl DomainExecutor {
                 stats: s.stats,
                 latency: s.latency,
                 chaos: s.chaos,
+                align: None,
             })
             .collect();
         for (i, s) in slots.iter().enumerate() {
@@ -264,6 +285,7 @@ impl DomainExecutor {
             strategy,
             pending: VecDeque::new(),
             stack: Vec::new(),
+            replay: VecDeque::new(),
             out: Output::new(),
             cfg,
             live,
@@ -271,6 +293,7 @@ impl DomainExecutor {
             trace: None,
             supervisor: None,
             heartbeat: None,
+            checkpoint: None,
             panics: Vec::new(),
         }
     }
@@ -278,6 +301,18 @@ impl DomainExecutor {
     /// Attaches the query's shared supervisor (panic restart/quarantine).
     pub fn set_supervisor(&mut self, supervisor: Arc<Supervisor>) {
         self.supervisor = Some(supervisor);
+    }
+
+    /// Attaches the query's checkpoint coordination state: barriers
+    /// aligned by this executor acknowledge (and snapshot) through it,
+    /// and slot closures decrement its live-slot quorum.
+    pub fn set_checkpoint(&mut self, checkpoint: Arc<CheckpointShared>) {
+        self.checkpoint = Some(checkpoint);
+    }
+
+    /// Live (not yet closed) slots in this executor.
+    pub fn live_slots(&self) -> usize {
+        self.live
     }
 
     /// Attaches the liveness beacon observed by the stall monitor thread.
@@ -326,22 +361,124 @@ impl DomainExecutor {
     }
 
     fn drain_stack(&mut self) {
-        while let Some((node, port, msg)) = self.stack.pop() {
-            let Some(&i) = self.index.get(&node) else {
-                // Routing bug; record once and drop.
-                if self.error.is_none() {
-                    self.error = Some(StreamError::Other(format!("no slot for node {node}")));
+        loop {
+            while let Some((node, port, msg)) = self.stack.pop() {
+                let Some(&i) = self.index.get(&node) else {
+                    // Routing bug; record once and drop.
+                    if self.error.is_none() {
+                        self.error = Some(StreamError::Other(format!("no slot for node {node}")));
+                    }
+                    continue;
+                };
+                if self.slots[i].closed {
+                    continue;
                 }
-                continue;
-            };
-            if self.slots[i].closed {
-                continue;
+                // Alignment hold-back: once a port delivered the barrier,
+                // everything after it on that port is parked until the
+                // barrier arrives on the remaining ports, so pre- and
+                // post-barrier input never mix in the snapshot.
+                if let Some(al) = self.slots[i].align.as_deref_mut() {
+                    if al.seen.get(port).copied().unwrap_or(false) {
+                        al.held.push_back((port, msg));
+                        continue;
+                    }
+                }
+                match msg {
+                    Message::Data(el) => self.process_data(i, port, el),
+                    Message::Punct(Punctuation::EndOfStream) => {
+                        self.process_eos(i, port);
+                        // An EOS-closed port counts as aligned; this may
+                        // complete an alignment waiting on it.
+                        self.check_alignment(i);
+                    }
+                    Message::Punct(Punctuation::Watermark(ts)) => {
+                        self.process_watermark(i, port, ts)
+                    }
+                    Message::Punct(Punctuation::Barrier(id)) => self.process_barrier(i, port, id),
+                }
             }
-            match msg {
-                Message::Data(el) => self.process_data(i, port, el),
-                Message::Punct(Punctuation::EndOfStream) => self.process_eos(i, port),
-                Message::Punct(Punctuation::Watermark(ts)) => self.process_watermark(i, port, ts),
+            // Replay held-back input only once the stack is empty: the
+            // barrier forwarded at alignment has then fully propagated
+            // through the DI chain, so no post-barrier output can overtake
+            // it on the way to a downstream slot.
+            if self.replay.is_empty() {
+                break;
             }
+            while let Some(entry) = self.replay.pop_back() {
+                self.stack.push(entry);
+            }
+        }
+    }
+
+    /// Handles a barrier arriving at slot `i` on `port`: starts (or joins)
+    /// the alignment for checkpoint `id`.
+    fn process_barrier(&mut self, i: usize, port: usize, id: u64) {
+        match self.slots[i].align.as_deref_mut() {
+            Some(al) if al.id == id => {
+                if let Some(seen) = al.seen.get_mut(port) {
+                    *seen = true;
+                }
+            }
+            Some(_) => {
+                // A barrier from a *newer* checkpoint while an older
+                // alignment is still parked: the old attempt was abandoned
+                // (coordinator timeout, plan switch). Release its held
+                // input for replay and start over with the new id.
+                let node = self.slots[i].node;
+                if let Some(old) = self.slots[i].align.take() {
+                    for (p, msg) in old.held {
+                        self.replay.push_back((node, p, msg));
+                    }
+                }
+                self.start_alignment(i, port, id);
+            }
+            None => self.start_alignment(i, port, id),
+        }
+        self.check_alignment(i);
+    }
+
+    fn start_alignment(&mut self, i: usize, port: usize, id: u64) {
+        let arity = self.slots[i].op.input_arity();
+        let mut seen = vec![false; arity];
+        if let Some(s) = seen.get_mut(port) {
+            *s = true;
+        }
+        self.slots[i].align =
+            Some(Box::new(AlignState { id, seen, held: VecDeque::new(), started: Instant::now() }));
+    }
+
+    /// If slot `i` is aligning and the barrier has arrived on every port
+    /// that is still open (EOS-closed ports count as aligned), completes
+    /// the alignment: snapshot, acknowledge, forward the barrier, release
+    /// held input for replay.
+    fn check_alignment(&mut self, i: usize) {
+        if self.slots[i].align.is_none() {
+            return;
+        }
+        if self.slots[i].closed {
+            // The slot terminated (quarantine) mid-alignment; its held
+            // input is moot — downstream already received EOS.
+            self.slots[i].align = None;
+            return;
+        }
+        let complete = {
+            let slot = &self.slots[i];
+            let al = slot.align.as_deref().expect("checked above");
+            al.seen.iter().enumerate().all(|(p, seen)| *seen || !slot.eos.is_open(p))
+        };
+        if !complete {
+            return;
+        }
+        let al = self.slots[i].align.take().expect("alignment checked above");
+        let stall_ns = al.started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let blob = self.slots[i].op.stateful().map(|s| s.snapshot());
+        if let Some(ck) = &self.checkpoint {
+            ck.ack_operator(al.id, self.slots[i].op.name(), blob, stall_ns);
+        }
+        self.forward_punct(i, Punctuation::Barrier(al.id));
+        let node = self.slots[i].node;
+        for (port, msg) in al.held {
+            self.replay.push_back((node, port, msg));
         }
     }
 
@@ -446,6 +583,19 @@ impl DomainExecutor {
         match self.supervisor.as_ref().map(|s| s.on_panic(&operator, &msg)) {
             Some(Verdict::Restart { backoff, .. }) => {
                 std::thread::sleep(backoff);
+                // Roll the operator back to its last checkpointed state
+                // (when checkpointing is on and it has snapshotted before),
+                // so a panic that corrupted in-memory state does not leak
+                // into the retry. A failed restore keeps the current state
+                // — the retry still proceeds, matching the pre-checkpoint
+                // behaviour.
+                if let Some(blob) =
+                    self.checkpoint.as_ref().and_then(|ck| ck.latest_blob(&operator))
+                {
+                    if let Some(st) = self.slots[i].op.stateful() {
+                        let _ = st.restore(blob);
+                    }
+                }
                 // Retry the failed element next (LIFO): input order for
                 // this operator is preserved because its outputs were
                 // discarded and nothing downstream saw the element.
@@ -474,7 +624,20 @@ impl DomainExecutor {
         self.forward_punct(i, Punctuation::EndOfStream);
         if !self.slots[i].closed {
             self.slots[i].closed = true;
-            self.live -= 1;
+            self.dec_live();
+        }
+    }
+
+    /// Books one slot closure, shrinking the checkpoint coordinator's
+    /// alignment quorum along with the local live count.
+    fn dec_live(&mut self) {
+        self.live -= 1;
+        if let Some(ck) = &self.checkpoint {
+            let _ = ck.live_slots().fetch_update(
+                std::sync::atomic::Ordering::AcqRel,
+                std::sync::atomic::Ordering::Acquire,
+                |v| v.checked_sub(1),
+            );
         }
     }
 
@@ -510,7 +673,7 @@ impl DomainExecutor {
         if !self.slots[i].closed {
             self.forward_punct(i, Punctuation::EndOfStream);
             self.slots[i].closed = true;
-            self.live -= 1;
+            self.dec_live();
         }
     }
 
@@ -708,6 +871,18 @@ impl DomainExecutor {
     pub fn take_input_remnants(&mut self) -> Vec<(NodeId, usize, Message)> {
         let mut out: Vec<(NodeId, usize, Message)> =
             std::mem::take(&mut self.pending).into_iter().collect();
+        // In-flight alignment state does not survive a re-wiring: held
+        // messages and the replay backlog become ordinary remnants (the
+        // checkpoint they were parked for is aborted by its timeout and
+        // retried against the new wiring).
+        out.extend(std::mem::take(&mut self.replay));
+        for s in &mut self.slots {
+            if let Some(al) = s.align.take() {
+                for (port, msg) in al.held {
+                    out.push((s.node, port, msg));
+                }
+            }
+        }
         for q in &mut self.inputs {
             for msg in q.queue.drain() {
                 out.push((q.node, q.port, msg));

@@ -30,6 +30,7 @@ use hmts_graph::topology::{Payload, Topology};
 use hmts_graph::validate::{validate, ValidationError};
 use hmts_obs::{Obs, SchedEvent};
 use hmts_operators::traits::{EosTracker, Operator, Source, WatermarkTracker};
+use hmts_state::{Checkpoint, CheckpointStore};
 use hmts_streams::element::Message;
 use hmts_streams::error::StreamError;
 use hmts_streams::metrics::TimeSeries;
@@ -37,6 +38,7 @@ use hmts_streams::queue::StreamQueue;
 use hmts_streams::time::{SharedClock, SystemClock};
 
 use crate::chaos::FaultPlan;
+use crate::checkpoint::{spawn_coordinator, CheckpointConfig, CheckpointShared, CoordinatorCtx};
 use crate::engine::executor::{
     Budget, DomainExecutor, ExecConfig, InputQueue, SlotInit, Target, Waker,
 };
@@ -109,6 +111,11 @@ pub struct EngineConfig {
     /// panicking operator closes its branch and the run reports
     /// [`EngineError::WorkerPanicked`].
     pub supervision: Option<SupervisionConfig>,
+    /// Aligned barrier checkpointing: periodically snapshot every stateful
+    /// operator plus per-source replay offsets into
+    /// [`CheckpointConfig::dir`], atomically and with last-K retention.
+    /// `None` (the default) keeps every hot path checkpoint-free.
+    pub checkpoint: Option<CheckpointConfig>,
 }
 
 impl Default for EngineConfig {
@@ -128,6 +135,7 @@ impl Default for EngineConfig {
             stall_threshold: 4096,
             chaos: None,
             supervision: None,
+            checkpoint: None,
         }
     }
 }
@@ -152,6 +160,19 @@ pub enum EngineError {
         /// The panic payload, rendered as text.
         payload: String,
     },
+    /// No usable checkpoint could be loaded during recovery.
+    CheckpointLoad {
+        /// What went wrong (store/manifest/decode detail).
+        detail: String,
+    },
+    /// A checkpointed operator state could not be restored into the graph.
+    CheckpointRestore {
+        /// The operator whose state failed to restore.
+        operator: String,
+        /// What went wrong (missing node, stateless operator, decode
+        /// error, version mismatch).
+        detail: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -175,6 +196,12 @@ impl fmt::Display for EngineError {
             EngineError::NotStarted => write!(f, "engine not started"),
             EngineError::WorkerPanicked { operator, payload } => {
                 write!(f, "worker panicked in {operator:?}: {payload}")
+            }
+            EngineError::CheckpointLoad { detail } => {
+                write!(f, "checkpoint recovery failed: {detail}")
+            }
+            EngineError::CheckpointRestore { operator, detail } => {
+                write!(f, "restoring checkpointed state of {operator:?} failed: {detail}")
             }
         }
     }
@@ -248,6 +275,8 @@ pub struct Engine {
     errors: Vec<(String, StreamError)>,
     supervisor: Option<Arc<Supervisor>>,
     worker_panics: Vec<(String, String)>,
+    checkpoint_shared: Option<Arc<CheckpointShared>>,
+    checkpoint_thread: Option<JoinHandle<()>>,
 }
 
 impl Engine {
@@ -307,6 +336,8 @@ impl Engine {
             let seed = cfg.chaos.as_ref().map(|p| p.seed()).unwrap_or(0x5eed);
             Arc::new(Supervisor::new(s.policy.clone(), seed, cfg.obs.clone()))
         });
+        let checkpoint_shared =
+            cfg.checkpoint.as_ref().map(|_| CheckpointShared::new(cfg.obs.clone()));
         Ok(Engine {
             carry: (0..n).map(|_| None).collect(),
             topo,
@@ -330,7 +361,70 @@ impl Engine {
             errors: Vec::new(),
             supervisor,
             worker_panics: Vec::new(),
+            checkpoint_shared,
+            checkpoint_thread: None,
         })
+    }
+
+    /// Rebuilds an engine from the latest complete checkpoint in `dir`.
+    ///
+    /// The caller supplies the same query graph and a plan (any plan — the
+    /// checkpoint is plan-agnostic); every operator blob found in the
+    /// checkpoint is restored into the matching stateful operator before
+    /// the engine starts, and `cfg.checkpoint` defaults to checkpointing
+    /// into `dir` again so the recovered run keeps making progress.
+    ///
+    /// Returns the engine plus the checkpoint it restored from (`None`
+    /// when the directory holds no complete checkpoint yet — a cold
+    /// start). The checkpoint carries the per-source ingest offsets
+    /// ([`Checkpoint::source_offset`]) that network clients need to
+    /// replay from for exactly-once recovery.
+    pub fn recover(
+        graph: QueryGraph,
+        plan: ExecutionPlan,
+        mut cfg: EngineConfig,
+        dir: impl Into<std::path::PathBuf>,
+    ) -> Result<(Engine, Option<Checkpoint>), EngineError> {
+        let dir = dir.into();
+        if cfg.checkpoint.is_none() {
+            cfg.checkpoint = Some(CheckpointConfig::new(&dir));
+        }
+        let retain = cfg.checkpoint.as_ref().map(|c| c.retain).unwrap_or(3);
+        let store = CheckpointStore::new(&dir, retain);
+        let ckpt = store
+            .load_latest()
+            .map_err(|e| EngineError::CheckpointLoad { detail: e.to_string() })?;
+        let mut engine = Engine::with_config(graph, plan, cfg)?;
+        if let Some(ck) = &ckpt {
+            engine.restore_checkpoint(ck)?;
+        }
+        Ok((engine, ckpt))
+    }
+
+    /// Restores every operator blob in `ckpt` into the matching stateful
+    /// operator. Must be called before [`Engine::start`].
+    pub fn restore_checkpoint(&mut self, ckpt: &Checkpoint) -> Result<(), EngineError> {
+        if self.started_at.is_some() {
+            return Err(EngineError::AlreadyStarted);
+        }
+        for (name, blob) in &ckpt.operators {
+            let fail = |detail: &str| EngineError::CheckpointRestore {
+                operator: name.clone(),
+                detail: detail.to_string(),
+            };
+            let idx = (0..self.topo.node_count())
+                .find(|&i| self.topo.name(NodeId(i)) == name)
+                .ok_or_else(|| fail("no such operator in graph"))?;
+            let op = self.operators[idx].as_mut().ok_or_else(|| fail("node is a source"))?;
+            let st = op.stateful().ok_or_else(|| fail("operator is stateless"))?;
+            st.restore(blob.clone()).map_err(|e| fail(&e.to_string()))?;
+        }
+        // Seed the in-memory latest-blob cache so a supervisor restart
+        // before the first post-recovery checkpoint still restores state.
+        if let Some(ck) = &self.checkpoint_shared {
+            ck.install_latest(&ckpt.operators);
+        }
+        Ok(())
     }
 
     /// Builds, starts, and waits — the one-call convenience for experiments.
@@ -438,9 +532,23 @@ impl Engine {
                         .obs
                         .tracer()
                         .map(|t| SourceTrace { tracer: t, source: id.0 as u32 }),
+                    checkpoint: self.checkpoint_shared.clone(),
                 },
             );
             self.source_threads.push(h);
+        }
+        if let (Some(ckcfg), Some(shared)) = (&self.cfg.checkpoint, &self.checkpoint_shared) {
+            let ctx = CoordinatorCtx {
+                shared: Arc::clone(shared),
+                store: CheckpointStore::new(&ckcfg.dir, ckcfg.retain),
+                interval: ckcfg.interval,
+                align_timeout: ckcfg.align_timeout,
+                stop: Arc::clone(&self.stop_engine),
+                obs: self.cfg.obs.clone(),
+                sources: self.source_shared.clone(),
+                fault: self.cfg.chaos.as_ref().and_then(|p| p.checkpoint_fault()),
+            };
+            self.checkpoint_thread = Some(spawn_coordinator(ctx));
         }
         if let Some(interval) = self.cfg.memory_sample_interval {
             let gauge = Arc::clone(&self.memory_gauge);
@@ -650,6 +758,7 @@ impl Engine {
 
         // Executors per domain.
         let mut executors: Vec<Arc<Mutex<DomainExecutor>>> = Vec::new();
+        let mut total_live = 0usize;
         for (d, spec) in self.plan.domains.iter().enumerate() {
             let nodes = self.plan.domain_nodes(d);
             let mut slots = Vec::with_capacity(nodes.len());
@@ -725,12 +834,22 @@ impl Engine {
             if let Some(sup) = &self.supervisor {
                 exec.set_supervisor(Arc::clone(sup));
             }
+            if let Some(ck) = &self.checkpoint_shared {
+                total_live += exec.live_slots();
+                exec.set_checkpoint(Arc::clone(ck));
+            }
             if stall_timeout.is_some() {
                 let hb = Arc::new(Heartbeat::new());
                 heartbeats.push((spec.name.clone(), Arc::clone(&hb)));
                 exec.set_heartbeat(hb);
             }
             executors.push(Arc::new(Mutex::new(exec)));
+        }
+        // Refresh the alignment quorum: the coordinator needs to know how
+        // many live (non-closed) operator slots must ack each barrier. Reset
+        // on every re-wiring so plan switches keep the count honest.
+        if let Some(ck) = &self.checkpoint_shared {
+            ck.live_slots().store(total_live, Ordering::Release);
         }
 
         // Seed in-flight messages into the domains that now own their
@@ -1096,6 +1215,9 @@ impl Engine {
         self.stop_engine.stop();
         if let Some(m) = self.monitor.take() {
             let _ = m.join();
+        }
+        if let Some(h) = self.checkpoint_thread.take() {
+            let _ = h.join();
         }
         let memory_series = self.memory_series.lock().clone();
         EngineReport {

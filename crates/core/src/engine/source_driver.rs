@@ -25,6 +25,7 @@ use hmts_streams::queue::StreamQueue;
 use hmts_streams::time::{SharedClock, Timestamp};
 use hmts_streams::tuple::Tuple;
 
+use crate::checkpoint::CheckpointShared;
 use crate::engine::executor::{Budget, DomainExecutor, Waker};
 use crate::engine::sync::{PauseGate, StopFlag};
 use crate::stats::SharedNodeStats;
@@ -123,11 +124,21 @@ pub struct SourceDriverConfig {
     /// Per-tuple trace sampling (`None` = tracing off; the emission loop
     /// then never touches trace state).
     pub trace: Option<SourceTrace>,
+    /// Barrier-checkpoint coordination (`None` = checkpointing off; with
+    /// it on, the emission loop pays one relaxed atomic load per element
+    /// to poll for a newly requested barrier).
+    pub checkpoint: Option<Arc<CheckpointShared>>,
 }
 
 impl Default for SourceDriverConfig {
     fn default() -> Self {
-        SourceDriverConfig { pace: true, sample_every: 0, watermark_interval: None, trace: None }
+        SourceDriverConfig {
+            pace: true,
+            sample_every: 0,
+            watermark_interval: None,
+            trace: None,
+            checkpoint: None,
+        }
     }
 }
 
@@ -185,10 +196,16 @@ pub fn spawn_source(
             };
             let mut emitted = 0u64;
             let mut last_watermark = Timestamp::ZERO;
+            let mut last_barrier = 0u64;
             while let Some((due, tuple)) = source.next() {
                 gate.checkpoint();
                 if stop.is_stopped() {
                     break;
+                }
+                // Barrier injection point: one relaxed load per element
+                // when checkpointing is on, one `Option` branch when off.
+                if let Some(ck) = &cfg.checkpoint {
+                    inject_barrier(ck, &mut last_barrier, &shared, &name, emitted, &stop);
                 }
                 if cfg.pace {
                     pace_until_or_stop(clock.as_ref(), due, Some(&stop));
@@ -224,6 +241,13 @@ pub fn spawn_source(
                     shared.timeline.lock().record(clock.now(), emitted as f64);
                 }
             }
+            // A checkpoint requested while the source was draining its
+            // last elements still gets this source's barrier (before EOS),
+            // narrowing the window in which a finishing source would
+            // otherwise force an alignment timeout.
+            if let Some(ck) = &cfg.checkpoint {
+                inject_barrier(ck, &mut last_barrier, &shared, &name, emitted, &stop);
+            }
             // Final timeline point, then end-of-stream on every target.
             shared.timeline.lock().record(clock.now(), emitted as f64);
             for t in shared.targets.read().iter() {
@@ -233,6 +257,32 @@ pub fn spawn_source(
             gate.deregister();
         })
         .expect("spawn source thread")
+}
+
+/// If the coordinator published a new barrier id, injects the barrier
+/// into every target and acknowledges with this source's emitted-element
+/// count — the replay offset recorded in the checkpoint.
+fn inject_barrier(
+    ck: &Arc<CheckpointShared>,
+    last_barrier: &mut u64,
+    shared: &SourceShared,
+    name: &str,
+    emitted: u64,
+    stop: &Arc<StopFlag>,
+) {
+    let id = ck.requested();
+    if id == *last_barrier {
+        return;
+    }
+    *last_barrier = id;
+    if id == 0 {
+        return;
+    }
+    let barrier = Message::Punct(hmts_streams::element::Punctuation::Barrier(id));
+    for t in shared.targets.read().iter() {
+        send(t, barrier.clone(), None, stop);
+    }
+    ck.ack_source(id, name, emitted);
 }
 
 fn deliver(

@@ -67,6 +67,7 @@
 
 pub mod adaptive;
 pub mod chaos;
+pub mod checkpoint;
 pub mod engine;
 pub mod placement;
 pub mod plan;
@@ -78,6 +79,7 @@ pub use hmts_graph as graph;
 pub use hmts_obs as obs;
 pub use hmts_operators as operators;
 pub use hmts_sim as sim;
+pub use hmts_state as state;
 pub use hmts_streams as streams;
 pub use hmts_workload as workload;
 
@@ -91,6 +93,7 @@ pub use scheduler::strategy::StrategyKind;
 pub mod prelude {
     pub use crate::adaptive::{adapt_once, Adaptation, AdaptiveConfig};
     pub use crate::chaos::{FaultKind, FaultPlan, WriteFault};
+    pub use crate::checkpoint::{CheckpointConfig, CheckpointFault};
     pub use crate::engine::{
         cost_graph_from_topology, describe_plan, Engine, EngineConfig, EngineError, EngineReport,
         QueueBound,
@@ -109,6 +112,7 @@ pub mod prelude {
         EventRecord, HopKind, MetricValue, Obs, ObsConfig, SchedEvent, SpanEvent, TraceConfig,
         Tracer,
     };
+    pub use hmts_state::{Checkpoint, CheckpointStore, StateBlob, StateError, StatefulOperator};
     pub use hmts_streams::element::TraceTag;
 
     pub use hmts_graph::builder::GraphBuilder;

@@ -9,12 +9,25 @@
 //! netgen --addr 127.0.0.1:7071 --stream bursty --count 10000 \
 //!        --rate bursty:1000x50000,2000x250 --subscribe 127.0.0.1:7072
 //! ```
+//!
+//! With `--resume-send` the schedule is sent through the reconnecting
+//! [`send_with_resume`] path instead: the client survives server restarts
+//! (including a SIGKILL + `serve --recover` cycle) by re-handshaking and
+//! replaying exactly the suffix the server has not durably seen — the
+//! client side of `scripts/recovery.sh`.
 
+use std::io::Write;
 use std::process::exit;
+use std::time::Duration;
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use hmts::streams::time::Timestamp;
+use hmts::streams::tuple::Tuple;
 use hmts::workload::arrival::ArrivalProcess;
 use hmts::workload::values::TupleGen;
-use hmts_net::{run_load, LoadConfig, LoadMode, SubscriberClient};
+use hmts_net::{run_load, send_with_resume, LoadConfig, LoadMode, ResumeConfig, SubscriberClient};
 
 struct Args {
     addr: String,
@@ -26,14 +39,18 @@ struct Args {
     seed: u64,
     range: i64,
     subscribe: Option<String>,
+    resume_send: bool,
 }
 
 const USAGE: &str = "netgen [--addr HOST:PORT] [--stream NAME] [--count N] [--rate SPEC] \
-[--mode open|closed:WINDOW] [--ping-every N] [--seed N] [--range N] [--subscribe HOST:PORT]
+[--mode open|closed:WINDOW] [--ping-every N] [--seed N] [--range N] [--subscribe HOST:PORT] \
+[--resume-send]
   --rate SPEC   constant:RATE | poisson:RATE | bursty:COUNTxRATE,COUNTxRATE,...
   --mode        open (paced by --rate) or closed:W (W unacked tuples per ping barrier)
   --range N     tuple values drawn uniformly from [1, N]
-  --subscribe   also subscribe to this egress address and count results";
+  --subscribe   also subscribe to this egress address and count results
+  --resume-send send through the reconnect/resume protocol (survives server
+                restarts; paced per frame when --rate is constant:R)";
 
 fn parse_args() -> Args {
     let mut args = Args {
@@ -46,6 +63,7 @@ fn parse_args() -> Args {
         seed: 9,
         range: 10_000_000,
         subscribe: None,
+        resume_send: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -65,6 +83,7 @@ fn parse_args() -> Args {
             "--seed" => args.seed = val("--seed").parse().expect("--seed"),
             "--range" => args.range = val("--range").parse().expect("--range"),
             "--subscribe" => args.subscribe = Some(val("--subscribe")),
+            "--resume-send" => args.resume_send = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 exit(0);
@@ -93,21 +112,65 @@ fn parse_mode(spec: &str) -> LoadMode {
     exit(2);
 }
 
-fn main() {
-    let args = parse_args();
-    let arrivals = ArrivalProcess::parse(&args.rate).unwrap_or_else(|e| {
-        eprintln!("{e}");
+/// Paces a resume-send connection by sleeping once per written frame.
+struct Paced<W> {
+    inner: W,
+    gap: Duration,
+}
+
+impl<W: Write> Write for Paced<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        std::thread::sleep(self.gap);
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Sends the deterministic schedule through the reconnect/resume path.
+fn resume_send(args: &Args) {
+    let mut gen = TupleGen::uniform_int(1, args.range + 1);
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let tuples: Vec<(Timestamp, Tuple)> =
+        (0..args.count).map(|i| (Timestamp::from_micros(i), gen.generate(&mut rng))).collect();
+    // `constant:R` paces each frame at 1/R; other shapes send unpaced.
+    let gap = args
+        .rate
+        .strip_prefix("constant:")
+        .and_then(|r| r.parse::<f64>().ok())
+        .filter(|r| *r > 0.0)
+        .map(|r| Duration::from_secs_f64(1.0 / r))
+        .unwrap_or(Duration::ZERO);
+    eprintln!(
+        "netgen: resume-sending {} tuples to {} stream {:?} (frame gap {gap:?})",
+        args.count, args.addr, args.stream
+    );
+    let addr: std::net::SocketAddr = args.addr.parse().unwrap_or_else(|e| {
+        eprintln!("netgen: bad --addr {:?}: {e}", args.addr);
         exit(2);
     });
-    let cfg = LoadConfig {
-        stream: args.stream.clone(),
-        arrivals,
-        gen: TupleGen::uniform_int(1, args.range + 1),
-        count: args.count,
-        seed: args.seed,
-        mode: parse_mode(&args.mode),
-        ping_every: args.ping_every,
-    };
+    let report =
+        send_with_resume(addr, &args.stream, &tuples, &ResumeConfig::default(), move |sock| {
+            if gap.is_zero() {
+                Box::new(sock) as Box<dyn Write + Send>
+            } else {
+                Box::new(Paced { inner: sock, gap })
+            }
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("netgen: resume send failed: {e}");
+            exit(1);
+        });
+    println!(
+        "resume-send: {} tuples over {} connection(s), resume points {:?}",
+        args.count, report.connects, report.resume_points
+    );
+}
+
+fn main() {
+    let args = parse_args();
 
     // Subscribe before generating load so no result can be missed.
     let subscriber = args.subscribe.as_ref().map(|addr| {
@@ -118,24 +181,41 @@ fn main() {
         std::thread::spawn(move || client.collect_all())
     });
 
-    eprintln!(
-        "netgen: sending {} tuples ({}, {}) to {} stream {:?}",
-        args.count, args.rate, args.mode, args.addr, args.stream
-    );
-    let report = run_load(&args.addr, &cfg).unwrap_or_else(|e| {
-        eprintln!("netgen: load run failed: {e}");
-        exit(1);
-    });
-    println!(
-        "sent {} tuples in {:.3}s  achieved {:.0} el/s",
-        report.sent,
-        report.elapsed.as_secs_f64(),
-        report.achieved_rate
-    );
-    println!(
-        "rtt over {} pings: p50 {:?}  p95 {:?}  p99 {:?}  max {:?}",
-        report.rtt.samples, report.rtt.p50, report.rtt.p95, report.rtt.p99, report.rtt.max
-    );
+    if args.resume_send {
+        resume_send(&args);
+    } else {
+        let arrivals = ArrivalProcess::parse(&args.rate).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(2);
+        });
+        let cfg = LoadConfig {
+            stream: args.stream.clone(),
+            arrivals,
+            gen: TupleGen::uniform_int(1, args.range + 1),
+            count: args.count,
+            seed: args.seed,
+            mode: parse_mode(&args.mode),
+            ping_every: args.ping_every,
+        };
+        eprintln!(
+            "netgen: sending {} tuples ({}, {}) to {} stream {:?}",
+            args.count, args.rate, args.mode, args.addr, args.stream
+        );
+        let report = run_load(&args.addr, &cfg).unwrap_or_else(|e| {
+            eprintln!("netgen: load run failed: {e}");
+            exit(1);
+        });
+        println!(
+            "sent {} tuples in {:.3}s  achieved {:.0} el/s",
+            report.sent,
+            report.elapsed.as_secs_f64(),
+            report.achieved_rate
+        );
+        println!(
+            "rtt over {} pings: p50 {:?}  p95 {:?}  p99 {:?}  max {:?}",
+            report.rtt.samples, report.rtt.p50, report.rtt.p95, report.rtt.p99, report.rtt.max
+        );
+    }
 
     if let Some(handle) = subscriber {
         match handle.join() {

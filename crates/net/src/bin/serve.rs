@@ -30,16 +30,24 @@ struct Args {
     slow_consumer: String,
     switch_after_ms: u64,
     metrics: Option<std::path::PathBuf>,
+    checkpoint_dir: Option<std::path::PathBuf>,
+    checkpoint_interval_ms: u64,
+    recover: bool,
 }
 
 const USAGE: &str = "serve [--ingest HOST:PORT] [--egress HOST:PORT] [--stream NAME] \
 [--speedup K] [--queue-capacity N] [--producers N] [--workers N] \
-[--slow-consumer block|disconnect:MS] [--switch-after-ms N] [--metrics DIR]
+[--slow-consumer block|disconnect:MS] [--switch-after-ms N] [--metrics DIR] \
+[--checkpoint-dir DIR] [--checkpoint-interval-ms N] [--recover]
   --speedup K          divide the paper's operator costs by K (default 50000)
   --queue-capacity N   bound of the ingest queue; fullness becomes TCP backpressure
   --producers N        ingest connections expected before the stream ends
   --switch-after-ms N  start under GTS, switch to two-VO HMTS after N ms of load
-  --metrics DIR        enable observability and write a snapshot to DIR";
+  --metrics DIR        enable observability and write a snapshot to DIR
+  --checkpoint-dir DIR         aligned checkpoints into DIR (turns on resume mode)
+  --checkpoint-interval-ms N   checkpoint cadence (default 500)
+  --recover            restore operator state + ingest offsets from the latest
+                       complete checkpoint in --checkpoint-dir before serving";
 
 fn parse_args() -> Args {
     let mut args = Args {
@@ -53,6 +61,9 @@ fn parse_args() -> Args {
         slow_consumer: "block".into(),
         switch_after_ms: 0,
         metrics: None,
+        checkpoint_dir: None,
+        checkpoint_interval_ms: 500,
+        recover: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -77,6 +88,12 @@ fn parse_args() -> Args {
                 args.switch_after_ms = val("--switch-after-ms").parse().expect("--switch-after-ms")
             }
             "--metrics" => args.metrics = Some(val("--metrics").into()),
+            "--checkpoint-dir" => args.checkpoint_dir = Some(val("--checkpoint-dir").into()),
+            "--checkpoint-interval-ms" => {
+                args.checkpoint_interval_ms =
+                    val("--checkpoint-interval-ms").parse().expect("--checkpoint-interval-ms")
+            }
+            "--recover" => args.recover = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 exit(0);
@@ -113,12 +130,44 @@ fn main() {
         Obs::disabled()
     };
 
+    // Load the latest complete checkpoint before anything binds: the ingest
+    // server needs the checkpointed per-stream offsets so resuming clients
+    // replay exactly the suffix the restored engine has not seen.
+    let recovered = if args.recover {
+        let dir = args.checkpoint_dir.clone().unwrap_or_else(|| {
+            eprintln!("serve: --recover requires --checkpoint-dir\n{USAGE}");
+            exit(2);
+        });
+        match CheckpointStore::new(&dir, 3).load_latest() {
+            Ok(ck) => {
+                match &ck {
+                    Some(c) => println!(
+                        "serve: recovering from checkpoint {} ({} operator blobs, offsets {:?})",
+                        c.id,
+                        c.operators.len(),
+                        c.sources
+                    ),
+                    None => println!("serve: --recover but no complete checkpoint yet; cold start"),
+                }
+                ck
+            }
+            Err(e) => {
+                eprintln!("serve: cannot load checkpoint: {e}");
+                exit(1);
+            }
+        }
+    } else {
+        None
+    };
+
     let ingest = IngestServer::bind(
         &args.ingest as &str,
         vec![StreamSpec::new(&args.stream).with_producers(args.producers)],
         IngestConfig {
             queue_capacity: Some(args.queue_capacity),
             obs: obs.clone(),
+            resume: args.checkpoint_dir.is_some(),
+            initial_offsets: recovered.as_ref().map(|c| c.sources.clone()).unwrap_or_default(),
             ..IngestConfig::default()
         },
     )
@@ -151,11 +200,25 @@ fn main() {
         hmts_plan()
     };
 
-    let cfg = EngineConfig { pace_sources: false, obs: obs.clone(), ..EngineConfig::default() };
+    let cfg = EngineConfig {
+        pace_sources: false,
+        obs: obs.clone(),
+        checkpoint: args.checkpoint_dir.as_ref().map(|d| {
+            CheckpointConfig::new(d)
+                .with_interval(Duration::from_millis(args.checkpoint_interval_ms.max(1)))
+        }),
+        ..EngineConfig::default()
+    };
     let mut engine = Engine::with_config(chain.graph, initial, cfg).unwrap_or_else(|e| {
         eprintln!("serve: invalid plan: {e}");
         exit(1);
     });
+    if let Some(ck) = &recovered {
+        engine.restore_checkpoint(ck).unwrap_or_else(|e| {
+            eprintln!("serve: checkpoint restore failed: {e}");
+            exit(1);
+        });
+    }
     engine.start().expect("engine starts");
     let sampler = obs.start_sampler(Duration::from_millis(5));
 

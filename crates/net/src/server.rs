@@ -79,6 +79,13 @@ pub struct IngestConfig {
     /// How long after an abrupt disconnect the server keeps the stream open
     /// waiting for the producer to reconnect (resume mode only).
     pub reconnect_window: Duration,
+    /// Per-stream ingest offsets recovered from a checkpoint
+    /// (`(stream name, elements durably checkpointed)`). Streams listed
+    /// here start their `received` counter at the checkpointed value, so a
+    /// client's [`Frame::Resume`] after a full process restart is answered
+    /// with the checkpointed offset and the client replays exactly the
+    /// suffix the restored engine has not yet seen.
+    pub initial_offsets: Vec<(String, u64)>,
 }
 
 impl Default for IngestConfig {
@@ -89,6 +96,7 @@ impl Default for IngestConfig {
             resume: false,
             heartbeat_timeout: None,
             reconnect_window: Duration::from_secs(5),
+            initial_offsets: Vec::new(),
         }
     }
 }
@@ -181,12 +189,18 @@ impl IngestServer {
                     ),
                     None => StreamQueue::unbounded(format!("ingest:{}", s.name)),
                 };
+                let recovered = cfg
+                    .initial_offsets
+                    .iter()
+                    .find(|(n, _)| *n == s.name)
+                    .map(|(_, off)| *off)
+                    .unwrap_or(0);
                 StreamSlot {
                     tuples: cfg.obs.counter(&format!("net_ingest_tuples_{}", s.name)),
                     name: s.name,
                     queue,
                     remaining_producers: AtomicUsize::new(s.producers),
-                    received: AtomicU64::new(0),
+                    received: AtomicU64::new(recovered),
                     generation: AtomicU64::new(0),
                     pusher: Mutex::new(()),
                 }
@@ -417,8 +431,12 @@ fn serve_connection(
                 clean = true;
                 break Ok(());
             }
-            // A second Hello or a stray Pong/ResumeAck is harmless; ignore.
-            Frame::Hello { .. } | Frame::Pong { .. } | Frame::ResumeAck { .. } => {}
+            // A second Hello, a stray Pong/ResumeAck, or a client-sent
+            // barrier (the engine injects its own) is harmless; ignore.
+            Frame::Hello { .. }
+            | Frame::Pong { .. }
+            | Frame::ResumeAck { .. }
+            | Frame::Barrier { .. } => {}
         }
     };
 

@@ -61,7 +61,11 @@ impl Source for RemoteSource {
                     self.done = true;
                     return None;
                 }
-                Some(Message::Punct(Punctuation::Watermark(_))) => continue,
+                // Watermarks are resynthesized by the engine; barriers are
+                // injected fresh by the engine's own checkpoint coordinator
+                // at the source driver, so inbound ones carry no meaning.
+                Some(Message::Punct(Punctuation::Watermark(_)))
+                | Some(Message::Punct(Punctuation::Barrier(_))) => continue,
             }
         }
     }

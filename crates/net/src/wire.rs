@@ -18,6 +18,7 @@
 //! | 6    | `Pong`       | nonce `u64`                               |
 //! | 7    | `Resume`     | next sequence number `u64`                |
 //! | 8    | `ResumeAck`  | next sequence number `u64`                |
+//! | 9    | `Barrier`    | checkpoint id `u64`                       |
 //!
 //! Tuples are a `u16` arity followed by tagged values (0 null, 1 bool,
 //! 2 `i64`, 3 `f64` bits, 4 length-prefixed UTF-8). Trace tags are
@@ -56,6 +57,7 @@ const KIND_PING: u8 = 5;
 const KIND_PONG: u8 = 6;
 const KIND_RESUME: u8 = 7;
 const KIND_RESUME_ACK: u8 = 8;
+const KIND_BARRIER: u8 = 9;
 
 const TAG_NULL: u8 = 0;
 const TAG_BOOL: u8 = 1;
@@ -107,9 +109,17 @@ pub enum Frame {
     },
     /// The server's answer to [`Frame::Resume`]: the next data sequence
     /// number it expects (i.e. the count of elements already received).
+    /// After a process restart this is the *checkpointed* count, so the
+    /// client retransmits everything past the last durable checkpoint.
     ResumeAck {
         /// Next expected data sequence number.
         seq: u64,
+    },
+    /// A checkpoint barrier flowing through an egress subscription: every
+    /// element before it belongs to checkpoint `id`'s consistent cut.
+    Barrier {
+        /// The checkpoint this barrier belongs to.
+        id: u64,
     },
 }
 
@@ -119,6 +129,7 @@ impl Frame {
         match msg {
             Message::Data(e) => Frame::Data { ts: e.ts, tuple: e.tuple.clone() },
             Message::Punct(Punctuation::Watermark(ts)) => Frame::Watermark { ts: *ts },
+            Message::Punct(Punctuation::Barrier(id)) => Frame::Barrier { id: *id },
             Message::Punct(Punctuation::EndOfStream) => Frame::Eos,
         }
     }
@@ -129,6 +140,7 @@ impl Frame {
         match self {
             Frame::Data { ts, tuple } => Some(Message::data(tuple, ts)),
             Frame::Watermark { ts } => Some(Message::Punct(Punctuation::Watermark(ts))),
+            Frame::Barrier { id } => Some(Message::Punct(Punctuation::Barrier(id))),
             Frame::Eos => Some(Message::Punct(Punctuation::EndOfStream)),
             Frame::Hello { .. }
             | Frame::Ping { .. }
@@ -217,6 +229,10 @@ pub fn encode_frame(frame: &Frame, buf: &mut Vec<u8>) {
             buf.push(KIND_RESUME_ACK);
             buf.extend_from_slice(&seq.to_le_bytes());
         }
+        Frame::Barrier { id } => {
+            buf.push(KIND_BARRIER);
+            buf.extend_from_slice(&id.to_le_bytes());
+        }
     }
     let body_len = (buf.len() - len_pos - 4) as u32;
     buf[len_pos..len_pos + 4].copy_from_slice(&body_len.to_le_bytes());
@@ -271,6 +287,7 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, DecodeError> {
         KIND_PONG => Frame::Pong { nonce: cur.u64()? },
         KIND_RESUME => Frame::Resume { seq: cur.u64()? },
         KIND_RESUME_ACK => Frame::ResumeAck { seq: cur.u64()? },
+        KIND_BARRIER => Frame::Barrier { id: cur.u64()? },
         other => return Err(DecodeError::UnknownFrameKind(other)),
     };
     if cur.pos != body.len() {
@@ -543,6 +560,7 @@ mod tests {
             Frame::Pong { nonce: u64::MAX },
             Frame::Resume { seq: 0 },
             Frame::ResumeAck { seq: 12_345 },
+            Frame::Barrier { id: 42 },
         ];
         for f in frames {
             assert_eq!(round_trip(f.clone()), f);
@@ -657,6 +675,7 @@ mod tests {
         let msgs = vec![
             Message::data(Tuple::single(5), Timestamp::from_micros(17)),
             Message::Punct(Punctuation::Watermark(Timestamp::from_secs(3))),
+            Message::Punct(Punctuation::Barrier(7)),
             Message::eos(),
         ];
         for m in msgs {

@@ -156,6 +156,20 @@ fn event_fields(event: &SchedEvent) -> Vec<(&'static str, String)> {
             ("stream", format!("\"{}\"", json_escape(stream))),
             ("resume_seq", resume_seq.to_string()),
         ],
+        SchedEvent::CheckpointStart { id } => vec![("id", id.to_string())],
+        SchedEvent::CheckpointComplete { id, bytes, duration_ms } => vec![
+            ("id", id.to_string()),
+            ("bytes", bytes.to_string()),
+            ("duration_ms", duration_ms.to_string()),
+        ],
+        SchedEvent::CheckpointAbort { id, reason } => {
+            vec![("id", id.to_string()), ("reason", format!("\"{}\"", json_escape(reason)))]
+        }
+        SchedEvent::OperatorSnapshot { id, operator, bytes } => vec![
+            ("id", id.to_string()),
+            ("operator", format!("\"{}\"", json_escape(operator))),
+            ("bytes", bytes.to_string()),
+        ],
     }
 }
 
@@ -410,6 +424,16 @@ pub fn chrome_trace_json(spans: &[SpanEvent], journal: &[EventRecord]) -> String
                     }
                     SchedEvent::NetDisconnect { peer, reason } => {
                         format!("net-disconnect {peer} ({reason})")
+                    }
+                    SchedEvent::CheckpointStart { id } => format!("checkpoint-start {id}"),
+                    SchedEvent::CheckpointComplete { id, bytes, .. } => {
+                        format!("checkpoint-complete {id} ({bytes} bytes)")
+                    }
+                    SchedEvent::CheckpointAbort { id, reason } => {
+                        format!("checkpoint-abort {id} ({reason})")
+                    }
+                    SchedEvent::OperatorSnapshot { id, operator, bytes } => {
+                        format!("operator-snapshot {operator} ckpt {id} ({bytes} bytes)")
                     }
                     SchedEvent::NetReconnect { stream, resume_seq } => {
                         format!("net-reconnect {stream} @ {resume_seq}")

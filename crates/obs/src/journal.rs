@@ -51,6 +51,15 @@ pub enum SchedEvent {
     NetDisconnect { peer: String, reason: String },
     /// A producer reconnected and resumed an ingest stream at `resume_seq`.
     NetReconnect { stream: String, resume_seq: u64 },
+    /// The checkpoint coordinator injected barrier `id` at every source.
+    CheckpointStart { id: u64 },
+    /// Checkpoint `id` was durably persisted (`bytes` on disk).
+    CheckpointComplete { id: u64, bytes: u64, duration_ms: u64 },
+    /// Checkpoint `id` was abandoned (alignment timeout, persistence
+    /// failure, …).
+    CheckpointAbort { id: u64, reason: String },
+    /// An aligned operator contributed its state to checkpoint `id`.
+    OperatorSnapshot { id: u64, operator: String, bytes: u64 },
 }
 
 impl SchedEvent {
@@ -74,6 +83,10 @@ impl SchedEvent {
             SchedEvent::HeartbeatStall { .. } => "heartbeat-stall",
             SchedEvent::NetDisconnect { .. } => "net-disconnect",
             SchedEvent::NetReconnect { .. } => "net-reconnect",
+            SchedEvent::CheckpointStart { .. } => "checkpoint-start",
+            SchedEvent::CheckpointComplete { .. } => "checkpoint-complete",
+            SchedEvent::CheckpointAbort { .. } => "checkpoint-abort",
+            SchedEvent::OperatorSnapshot { .. } => "operator-snapshot",
         }
     }
 }

@@ -110,6 +110,10 @@ impl<O: Operator> Operator for Costed<O> {
     fn selectivity_hint(&self) -> Option<f64> {
         self.inner.selectivity_hint()
     }
+
+    fn stateful(&mut self) -> Option<&mut dyn hmts_state::StatefulOperator> {
+        self.inner.stateful()
+    }
 }
 
 /// A stand-alone pass-through operator with artificial cost — the simplest
@@ -190,6 +194,18 @@ mod tests {
         let start = Instant::now();
         c.process(0, &Element::single(1, Timestamp::ZERO), &mut out).unwrap();
         assert!(start.elapsed() >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn costed_delegates_stateful_surface() {
+        let mut stateful = Costed::new(
+            crate::sample::Sample::every_kth("s", 2),
+            CostMode::Virtual(Duration::ZERO),
+        );
+        assert!(stateful.stateful().is_some());
+        let mut stateless =
+            Costed::new(Filter::new("f", Expr::bool(true)), CostMode::Virtual(Duration::ZERO));
+        assert!(stateless.stateful().is_none());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::time::Duration;
 
+use hmts_state::{StateBlob, StateError, StatefulOperator};
 use hmts_streams::element::Element;
 use hmts_streams::error::Result;
 use hmts_streams::time::Timestamp;
@@ -75,6 +76,43 @@ impl Operator for Dedup {
         _out: &mut Output,
     ) -> Result<()> {
         self.expire(watermark);
+        Ok(())
+    }
+
+    fn stateful(&mut self) -> Option<&mut dyn StatefulOperator> {
+        Some(self)
+    }
+}
+
+/// Snapshot format v1: the `(ts, key)` suppression log in arrival order.
+/// The `live` counts are derived and rebuilt on restore.
+const DEDUP_STATE_V1: u16 = 1;
+
+impl StatefulOperator for Dedup {
+    fn snapshot(&self) -> StateBlob {
+        StateBlob::build(DEDUP_STATE_V1, |w| {
+            w.put_u32(self.log.len() as u32);
+            for (ts, key) in &self.log {
+                w.put_timestamp(*ts);
+                w.put_value(key);
+            }
+        })
+    }
+
+    fn restore(&mut self, blob: StateBlob) -> std::result::Result<(), StateError> {
+        let mut r = blob.reader_for(DEDUP_STATE_V1)?;
+        let n = r.len_prefix()?;
+        let mut log = VecDeque::with_capacity(n.min(1 << 16));
+        let mut live: HashMap<Value, usize> = HashMap::new();
+        for _ in 0..n {
+            let ts = r.timestamp()?;
+            let key = r.value()?;
+            *live.entry(key.clone()).or_insert(0) += 1;
+            log.push_back((ts, key));
+        }
+        r.expect_end()?;
+        self.log = log;
+        self.live = live;
         Ok(())
     }
 }

@@ -3,6 +3,8 @@
 use std::collections::{HashMap, VecDeque};
 use std::time::Duration;
 
+use hmts_state::codec::{BlobReader, BlobWriter};
+use hmts_state::{StateBlob, StateError, StatefulOperator};
 use hmts_streams::element::Element;
 use hmts_streams::error::{Result, StreamError};
 use hmts_streams::time::Timestamp;
@@ -54,6 +56,39 @@ impl Side {
 
     fn len(&self) -> usize {
         self.log.len()
+    }
+
+    /// Serializes the live elements in global insertion order. The j-th log
+    /// entry for a key refers to `table[key][j]` because per-key insertion
+    /// order is preserved, so walking the log with per-key cursors recovers
+    /// the global arrival order.
+    fn snapshot_into(&self, w: &mut BlobWriter) {
+        let mut ordered: Vec<&Element> = Vec::with_capacity(self.log.len());
+        let mut cursor: HashMap<&Value, usize> = HashMap::new();
+        for (_, key) in &self.log {
+            let idx = cursor.entry(key).or_insert(0);
+            if let Some(e) = self.table.get(key).and_then(|b| b.get(*idx)) {
+                ordered.push(e);
+                *idx += 1;
+            }
+        }
+        w.put_u32(ordered.len() as u32);
+        for e in ordered {
+            w.put_element(e);
+        }
+    }
+
+    /// Replaces the side's contents by re-inserting snapshot elements in
+    /// arrival order (keys are derived state and re-evaluated).
+    fn restore_from(&mut self, r: &mut BlobReader<'_>) -> std::result::Result<(), StateError> {
+        self.table.clear();
+        self.log.clear();
+        let n = r.len_prefix()?;
+        for _ in 0..n {
+            let e = r.element()?;
+            self.insert(&e).map_err(|_| StateError::Incompatible("join key not evaluable"))?;
+        }
+        Ok(())
     }
 }
 
@@ -166,6 +201,30 @@ impl Operator for SymmetricHashJoin {
 
     fn selectivity_hint(&self) -> Option<f64> {
         self.selectivity_hint
+    }
+
+    fn stateful(&mut self) -> Option<&mut dyn StatefulOperator> {
+        Some(self)
+    }
+}
+
+/// Snapshot format v1: left then right side, each as an ordered element
+/// list. Hash tables and expiration logs are derived and rebuilt on restore.
+const SHJ_STATE_V1: u16 = 1;
+
+impl StatefulOperator for SymmetricHashJoin {
+    fn snapshot(&self) -> StateBlob {
+        StateBlob::build(SHJ_STATE_V1, |w| {
+            self.left.snapshot_into(w);
+            self.right.snapshot_into(w);
+        })
+    }
+
+    fn restore(&mut self, blob: StateBlob) -> std::result::Result<(), StateError> {
+        let mut r = blob.reader_for(SHJ_STATE_V1)?;
+        self.left.restore_from(&mut r)?;
+        self.right.restore_from(&mut r)?;
+        r.expect_end()
     }
 }
 

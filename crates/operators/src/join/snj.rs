@@ -2,6 +2,7 @@
 
 use std::time::Duration;
 
+use hmts_state::{StateBlob, StateError, StatefulOperator};
 use hmts_streams::element::Element;
 use hmts_streams::error::{Result, StreamError};
 use hmts_streams::time::Timestamp;
@@ -128,6 +129,29 @@ impl Operator for SymmetricNestedLoopsJoin {
 
     fn selectivity_hint(&self) -> Option<f64> {
         self.selectivity_hint
+    }
+
+    fn stateful(&mut self) -> Option<&mut dyn StatefulOperator> {
+        Some(self)
+    }
+}
+
+/// Snapshot format v1: the left then right window buffers.
+const SNJ_STATE_V1: u16 = 1;
+
+impl StatefulOperator for SymmetricNestedLoopsJoin {
+    fn snapshot(&self) -> StateBlob {
+        StateBlob::build(SNJ_STATE_V1, |w| {
+            self.left.snapshot_into(w);
+            self.right.snapshot_into(w);
+        })
+    }
+
+    fn restore(&mut self, blob: StateBlob) -> std::result::Result<(), StateError> {
+        let mut r = blob.reader_for(SNJ_STATE_V1)?;
+        self.left.restore_from(&mut r)?;
+        self.right.restore_from(&mut r)?;
+        r.expect_end()
     }
 }
 

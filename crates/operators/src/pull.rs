@@ -102,7 +102,10 @@ impl PullOperator for QueueLeaf {
                     self.ended = true;
                     return Ok(PullResult::End);
                 }
-                Some(Message::Punct(Punctuation::Watermark(_))) => continue,
+                // Pull-based leaves predate the checkpoint protocol;
+                // barriers are alignment metadata and carry no data.
+                Some(Message::Punct(Punctuation::Watermark(_)))
+                | Some(Message::Punct(Punctuation::Barrier(_))) => continue,
             }
         }
     }

@@ -1,5 +1,6 @@
 //! Deterministic stream sampling.
 
+use hmts_state::{StateBlob, StateError, StatefulOperator};
 use hmts_streams::element::Element;
 use hmts_streams::error::Result;
 
@@ -81,6 +82,27 @@ impl Operator for Sample {
             SamplePolicy::EveryKth(k) => 1.0 / *k as f64,
             SamplePolicy::HashProbability { probability, .. } => *probability,
         })
+    }
+
+    fn stateful(&mut self) -> Option<&mut dyn StatefulOperator> {
+        Some(self)
+    }
+}
+
+/// Snapshot format v1: the systematic-sampling counter. Hash sampling is
+/// stateless, but the counter is persisted regardless so a policy change
+/// across restore is harmless.
+const SAMPLE_STATE_V1: u16 = 1;
+
+impl StatefulOperator for Sample {
+    fn snapshot(&self) -> StateBlob {
+        StateBlob::build(SAMPLE_STATE_V1, |w| w.put_u64(self.seen))
+    }
+
+    fn restore(&mut self, blob: StateBlob) -> std::result::Result<(), StateError> {
+        let mut r = blob.reader_for(SAMPLE_STATE_V1)?;
+        self.seen = r.u64()?;
+        r.expect_end()
     }
 }
 

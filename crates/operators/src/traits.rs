@@ -11,6 +11,7 @@
 
 use std::time::Duration;
 
+use hmts_state::StatefulOperator;
 use hmts_streams::element::{Element, Punctuation};
 use hmts_streams::error::Result;
 use hmts_streams::time::Timestamp;
@@ -130,6 +131,14 @@ pub trait Operator: Send {
     fn selectivity_hint(&self) -> Option<f64> {
         None
     }
+
+    /// The operator's snapshot/restore surface, when it carries state that
+    /// must survive a checkpoint. Stateless operators (the default) return
+    /// `None` and are skipped by the checkpoint coordinator; wrapper
+    /// operators must delegate to their inner operator.
+    fn stateful(&mut self) -> Option<&mut dyn StatefulOperator> {
+        None
+    }
 }
 
 /// A data source: the autonomous origin of a stream (paper §2.1: "sources
@@ -182,6 +191,10 @@ impl Operator for Box<dyn Operator> {
 
     fn selectivity_hint(&self) -> Option<f64> {
         (**self).selectivity_hint()
+    }
+
+    fn stateful(&mut self) -> Option<&mut dyn StatefulOperator> {
+        (**self).stateful()
     }
 }
 
@@ -268,7 +281,7 @@ impl WatermarkTracker {
 }
 
 /// Helper for operators and tests: classify a message into the executor's
-/// three dispatch cases.
+/// dispatch cases.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Dispatch {
     /// Route to `Operator::process`.
@@ -277,6 +290,9 @@ pub enum Dispatch {
     Eos,
     /// Route to `Operator::on_watermark`.
     Watermark(Timestamp),
+    /// Route to the executor's barrier alignment (operators never see
+    /// barriers directly).
+    Barrier(u64),
 }
 
 /// Classifies a punctuation for dispatch.
@@ -284,6 +300,7 @@ pub fn classify(p: Punctuation) -> Dispatch {
     match p {
         Punctuation::EndOfStream => Dispatch::Eos,
         Punctuation::Watermark(t) => Dispatch::Watermark(t),
+        Punctuation::Barrier(id) => Dispatch::Barrier(id),
     }
 }
 
@@ -376,5 +393,12 @@ mod tests {
             classify(Punctuation::Watermark(Timestamp::from_secs(2))),
             Dispatch::Watermark(Timestamp::from_secs(2))
         );
+        assert_eq!(classify(Punctuation::Barrier(4)), Dispatch::Barrier(4));
+    }
+
+    #[test]
+    fn stateless_operator_has_no_snapshot_surface() {
+        let mut op: Box<dyn Operator> = Box::new(Echo);
+        assert!(op.stateful().is_none());
     }
 }

@@ -9,6 +9,7 @@
 use std::collections::VecDeque;
 use std::time::Duration;
 
+use hmts_state::codec::{BlobReader, BlobWriter, StateError};
 use hmts_streams::element::Element;
 use hmts_streams::time::Timestamp;
 
@@ -102,6 +103,32 @@ impl WindowBuffer {
     pub fn clear(&mut self) {
         self.buf.clear();
     }
+
+    /// Serializes the live contents (high-water timestamp + elements) into
+    /// a checkpoint snapshot. The extent is construction-time
+    /// configuration and deliberately not persisted: a restored operator
+    /// is rebuilt with the same query, so only runtime state travels.
+    pub fn snapshot_into(&self, w: &mut BlobWriter) {
+        w.put_timestamp(self.max_ts);
+        w.put_u32(self.buf.len() as u32);
+        for e in &self.buf {
+            w.put_element(e);
+        }
+    }
+
+    /// Replaces the contents from a snapshot written by
+    /// [`WindowBuffer::snapshot_into`].
+    pub fn restore_from(&mut self, r: &mut BlobReader<'_>) -> Result<(), StateError> {
+        let max_ts = r.timestamp()?;
+        let n = r.len_prefix()?;
+        let mut buf = VecDeque::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            buf.push_back(r.element()?);
+        }
+        self.buf = buf;
+        self.max_ts = max_ts;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -168,5 +195,30 @@ mod tests {
         w.insert(el(1, 0));
         w.clear();
         assert!(w.is_empty());
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_contents_and_high_water() {
+        let mut w = WindowBuffer::new(Duration::from_secs(60));
+        w.insert(el(1, 1));
+        w.insert(el(2, 5));
+        let mut writer = BlobWriter::new();
+        w.snapshot_into(&mut writer);
+        let bytes = writer.finish();
+
+        let mut restored = WindowBuffer::new(Duration::from_secs(60));
+        restored.insert(el(99, 9)); // overwritten by restore
+        let mut r = BlobReader::new(&bytes);
+        restored.restore_from(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(restored.len(), 2);
+        assert_eq!(restored.max_ts(), Timestamp::from_secs(5));
+        let vals: Vec<i64> = restored.iter().map(|e| e.tuple.field(0).as_int().unwrap()).collect();
+        assert_eq!(vals, vec![1, 2]);
+
+        // Truncated snapshots error instead of panicking.
+        let mut r = BlobReader::new(&bytes[..bytes.len() - 3]);
+        let mut again = WindowBuffer::new(Duration::from_secs(60));
+        assert!(again.restore_from(&mut r).is_err());
     }
 }

@@ -1,0 +1,136 @@
+//! [`StateBlob`]: the versioned, CRC-guarded unit of one operator's
+//! serialized state.
+
+use crate::codec::{crc32, BlobReader, BlobWriter, StateError};
+
+/// One operator's serialized state.
+///
+/// A blob pairs an operator-defined payload with the payload-format
+/// version the operator wrote it under; the container encoding adds a
+/// length prefix and a CRC-32 so corruption at rest is detected at decode
+/// time instead of surfacing as garbage state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateBlob {
+    version: u16,
+    payload: Vec<u8>,
+}
+
+impl StateBlob {
+    /// Wraps an already-encoded payload under the given format version.
+    pub fn new(version: u16, payload: Vec<u8>) -> StateBlob {
+        StateBlob { version, payload }
+    }
+
+    /// Builds a blob by running `fill` against a fresh [`BlobWriter`].
+    pub fn build(version: u16, fill: impl FnOnce(&mut BlobWriter)) -> StateBlob {
+        let mut w = BlobWriter::new();
+        fill(&mut w);
+        StateBlob::new(version, w.finish())
+    }
+
+    /// The payload-format version the owning operator wrote.
+    pub fn version(&self) -> u16 {
+        self.version
+    }
+
+    /// The raw payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Serialized size of the payload in bytes.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+
+    /// A bounds-checked reader over the payload, after verifying the
+    /// version matches what the caller expects.
+    pub fn reader_for(&self, expected_version: u16) -> Result<BlobReader<'_>, StateError> {
+        if self.version != expected_version {
+            return Err(StateError::UnsupportedVersion(self.version));
+        }
+        Ok(BlobReader::new(&self.payload))
+    }
+
+    /// Appends the container encoding — `[len: u32][version: u16]
+    /// [crc32(payload): u32][payload]` — to `w`.
+    pub fn encode_into(&self, w: &mut BlobWriter) {
+        w.put_u32(self.payload.len() as u32);
+        w.put_u16(self.version);
+        w.put_u32(crc32(&self.payload));
+        for &b in &self.payload {
+            w.put_u8(b);
+        }
+    }
+
+    /// Decodes one container-encoded blob, verifying its CRC.
+    pub fn decode_from(r: &mut BlobReader<'_>) -> Result<StateBlob, StateError> {
+        let len = r.u32()? as usize;
+        let version = r.u16()?;
+        let expected = r.u32()?;
+        let payload = r.take(len)?;
+        let found = crc32(payload);
+        if found != expected {
+            return Err(StateError::BadCrc { expected, found });
+        }
+        Ok(StateBlob::new(version, payload.to_vec()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn container_round_trip() {
+        let blob = StateBlob::build(3, |w| {
+            w.put_u64(42);
+            w.put_str("state");
+        });
+        assert_eq!(blob.version(), 3);
+        assert!(!blob.is_empty());
+
+        let mut w = BlobWriter::new();
+        blob.encode_into(&mut w);
+        let bytes = w.finish();
+        let mut r = BlobReader::new(&bytes);
+        let back = StateBlob::decode_from(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(back, blob);
+
+        let mut pr = back.reader_for(3).unwrap();
+        assert_eq!(pr.u64().unwrap(), 42);
+        assert_eq!(pr.string().unwrap(), "state");
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let blob = StateBlob::new(2, vec![1]);
+        assert!(matches!(blob.reader_for(1), Err(StateError::UnsupportedVersion(2))));
+    }
+
+    #[test]
+    fn corruption_is_caught_by_crc() {
+        let blob = StateBlob::build(1, |w| w.put_u64(7));
+        let mut w = BlobWriter::new();
+        blob.encode_into(&mut w);
+        let mut bytes = w.finish();
+        // Flip one payload byte; the 10-byte header precedes the payload.
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        let mut r = BlobReader::new(&bytes);
+        assert!(matches!(StateBlob::decode_from(&mut r), Err(StateError::BadCrc { .. })));
+
+        // Truncation is caught as EOF, not a panic.
+        let mut w = BlobWriter::new();
+        blob.encode_into(&mut w);
+        let bytes = w.finish();
+        let mut r = BlobReader::new(&bytes[..bytes.len() - 2]);
+        assert!(matches!(StateBlob::decode_from(&mut r), Err(StateError::UnexpectedEof)));
+    }
+}

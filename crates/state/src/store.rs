@@ -1,0 +1,252 @@
+//! [`CheckpointStore`]: atomic on-disk persistence of checkpoints with a
+//! manifest and last-`K` retention.
+//!
+//! Write protocol: the encoded checkpoint goes to a temp file which is
+//! fsynced and renamed into place, then the manifest (the list of
+//! completed checkpoint ids) is rewritten the same way and the directory
+//! fsynced — a crash at any point leaves either the old or the new
+//! manifest, never a torn one, and a checkpoint file is only listed once
+//! fully durable. Loading walks the manifest newest-first and skips any
+//! file that fails validation, so a corrupt latest checkpoint degrades to
+//! the previous complete one.
+//!
+//! No `unwrap`/`expect` on I/O paths: every failure is a typed
+//! [`StateError`] (`scripts/check.sh` enforces this with a grep gate).
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::checkpoint::Checkpoint;
+use crate::codec::StateError;
+
+/// Atomic checkpoint persistence under one directory.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    retain: usize,
+}
+
+impl CheckpointStore {
+    /// A store rooted at `dir`, keeping the last `retain` completed
+    /// checkpoints (clamped to at least 1). The directory is created
+    /// lazily on first save.
+    pub fn new(dir: impl Into<PathBuf>, retain: usize) -> CheckpointStore {
+        CheckpointStore { dir: dir.into(), retain: retain.max(1) }
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The on-disk path of checkpoint `id` (exposed so fault-injection
+    /// tests can corrupt it deliberately).
+    pub fn path_for(&self, id: u64) -> PathBuf {
+        self.dir.join(format!("ckpt-{id:016}.bin"))
+    }
+
+    fn manifest_path(&self) -> PathBuf {
+        self.dir.join("manifest")
+    }
+
+    /// Completed checkpoint ids, oldest first (empty when the store has
+    /// never saved).
+    pub fn manifest_ids(&self) -> Result<Vec<u64>, StateError> {
+        let path = self.manifest_path();
+        let mut text = String::new();
+        match File::open(&path) {
+            Ok(mut f) => {
+                f.read_to_string(&mut text)?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e.into()),
+        }
+        let mut ids = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            // A torn or hand-edited manifest line is skipped, not fatal:
+            // the files it pointed to are validated by CRC anyway.
+            if let Ok(id) = line.parse::<u64>() {
+                ids.push(id);
+            }
+        }
+        ids.sort_unstable();
+        Ok(ids)
+    }
+
+    /// The id of the newest completed checkpoint, if any.
+    pub fn latest_id(&self) -> Result<Option<u64>, StateError> {
+        Ok(self.manifest_ids()?.last().copied())
+    }
+
+    /// Atomically persists `ck`, updates the manifest, applies retention,
+    /// and returns the final path.
+    pub fn save(&self, ck: &Checkpoint) -> Result<PathBuf, StateError> {
+        fs::create_dir_all(&self.dir)?;
+        let bytes = ck.encode();
+        let final_path = self.path_for(ck.id);
+        let tmp_path = self.dir.join(format!(".ckpt-{:016}.tmp", ck.id));
+        write_durably(&tmp_path, &bytes)?;
+        fs::rename(&tmp_path, &final_path)?;
+
+        let mut ids = self.manifest_ids()?;
+        if !ids.contains(&ck.id) {
+            ids.push(ck.id);
+            ids.sort_unstable();
+        }
+        // Retention: drop everything but the newest `retain` checkpoints.
+        while ids.len() > self.retain {
+            let old = ids.remove(0);
+            // Best-effort removal — a leftover file is re-deleted on the
+            // next save and never resurfaces (it left the manifest first).
+            let _ = fs::remove_file(self.path_for(old));
+        }
+        let mut manifest = String::new();
+        for id in &ids {
+            manifest.push_str(&format!("{id}\n"));
+        }
+        let tmp_manifest = self.dir.join(".manifest.tmp");
+        write_durably(&tmp_manifest, manifest.as_bytes())?;
+        fs::rename(&tmp_manifest, self.manifest_path())?;
+        sync_dir(&self.dir)?;
+        Ok(final_path)
+    }
+
+    /// Loads and validates checkpoint `id`.
+    pub fn load(&self, id: u64) -> Result<Checkpoint, StateError> {
+        let mut bytes = Vec::new();
+        File::open(self.path_for(id))?.read_to_end(&mut bytes)?;
+        Checkpoint::decode(&bytes)
+    }
+
+    /// Loads the newest checkpoint that validates, walking the manifest
+    /// backwards past corrupt/truncated/missing files. `Ok(None)` means no
+    /// complete checkpoint survives.
+    pub fn load_latest(&self) -> Result<Option<Checkpoint>, StateError> {
+        let ids = self.manifest_ids()?;
+        for id in ids.into_iter().rev() {
+            if let Ok(ck) = self.load(id) {
+                return Ok(Some(ck));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Writes `bytes` to `path` and fsyncs the file before returning.
+fn write_durably(path: &Path, bytes: &[u8]) -> Result<(), StateError> {
+    let mut f = OpenOptions::new().write(true).create(true).truncate(true).open(path)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    Ok(())
+}
+
+/// Fsyncs a directory so renames within it are durable (no-op on
+/// platforms where directories cannot be opened for sync).
+fn sync_dir(dir: &Path) -> Result<(), StateError> {
+    match File::open(dir) {
+        Ok(f) => {
+            f.sync_all()?;
+            Ok(())
+        }
+        Err(_) => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blob::StateBlob;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "hmts-state-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn ck(id: u64) -> Checkpoint {
+        Checkpoint {
+            id,
+            operators: vec![("op".into(), StateBlob::build(1, |w| w.put_u64(id)))],
+            sources: vec![("src".into(), id * 10)],
+        }
+    }
+
+    #[test]
+    fn save_load_and_latest() {
+        let dir = tmpdir("basic");
+        let store = CheckpointStore::new(&dir, 3);
+        assert!(store.load_latest().unwrap().is_none());
+        assert_eq!(store.latest_id().unwrap(), None);
+
+        store.save(&ck(1)).unwrap();
+        store.save(&ck(2)).unwrap();
+        assert_eq!(store.latest_id().unwrap(), Some(2));
+        let latest = store.load_latest().unwrap().unwrap();
+        assert_eq!(latest, ck(2));
+        assert_eq!(store.load(1).unwrap(), ck(1));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retention_keeps_last_k() {
+        let dir = tmpdir("retain");
+        let store = CheckpointStore::new(&dir, 2);
+        for id in 1..=5 {
+            store.save(&ck(id)).unwrap();
+        }
+        assert_eq!(store.manifest_ids().unwrap(), vec![4, 5]);
+        assert!(!store.path_for(1).exists());
+        assert!(!store.path_for(3).exists());
+        assert!(store.path_for(4).exists());
+        assert!(store.path_for(5).exists());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_latest_falls_back_to_previous() {
+        let dir = tmpdir("corrupt");
+        let store = CheckpointStore::new(&dir, 4);
+        store.save(&ck(1)).unwrap();
+        store.save(&ck(2)).unwrap();
+
+        // Corrupt checkpoint 2 on disk: one flipped byte.
+        let path = store.path_for(2);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[8] ^= 0xaa;
+        fs::write(&path, &bytes).unwrap();
+        assert!(store.load(2).is_err());
+        assert_eq!(store.load_latest().unwrap().unwrap(), ck(1));
+
+        // Truncate it instead: same fallback.
+        fs::write(&path, &bytes[..4]).unwrap();
+        assert_eq!(store.load_latest().unwrap().unwrap(), ck(1));
+
+        // Remove it entirely: manifest entry is skipped.
+        fs::remove_file(&path).unwrap();
+        assert_eq!(store.load_latest().unwrap().unwrap(), ck(1));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn garbled_manifest_lines_are_skipped() {
+        let dir = tmpdir("manifest");
+        let store = CheckpointStore::new(&dir, 3);
+        store.save(&ck(7)).unwrap();
+        let manifest = dir.join("manifest");
+        let mut text = fs::read_to_string(&manifest).unwrap();
+        text.push_str("garbage\n\n  \n");
+        fs::write(&manifest, text).unwrap();
+        assert_eq!(store.manifest_ids().unwrap(), vec![7]);
+        assert_eq!(store.load_latest().unwrap().unwrap(), ck(7));
+        fs::remove_dir_all(&dir).ok();
+    }
+}

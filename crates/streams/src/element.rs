@@ -113,6 +113,14 @@ pub enum Punctuation {
     /// No element with timestamp below the given watermark will arrive on
     /// this edge anymore. Windowed operators may expire state up to it.
     Watermark(Timestamp),
+    /// An aligned-checkpoint barrier carrying its checkpoint id.
+    ///
+    /// Barriers are injected at sources and forwarded — never reordered
+    /// past data — by every operator; a multi-input operator snapshots its
+    /// state once the barrier has arrived on all open inputs. Operators
+    /// never observe barriers directly: the executor handles alignment and
+    /// snapshotting, the same way it owns EOS and watermark bookkeeping.
+    Barrier(u64),
 }
 
 /// A message on a query-graph edge: either data or a punctuation.
@@ -150,11 +158,14 @@ impl Message {
 
     /// The timestamp carried by the message: the element timestamp for data,
     /// the watermark for watermarks, [`Timestamp::MAX`] for end-of-stream.
+    /// Barriers report [`Timestamp::ZERO`] so timestamp-ordered queue
+    /// selection drains them promptly, shortening alignment stalls.
     pub fn ts(&self) -> Timestamp {
         match self {
             Message::Data(e) => e.ts,
             Message::Punct(Punctuation::Watermark(t)) => *t,
             Message::Punct(Punctuation::EndOfStream) => Timestamp::MAX,
+            Message::Punct(Punctuation::Barrier(_)) => Timestamp::ZERO,
         }
     }
 }
@@ -165,6 +176,7 @@ impl fmt::Display for Message {
             Message::Data(e) => write!(f, "{e}"),
             Message::Punct(Punctuation::EndOfStream) => write!(f, "<eos>"),
             Message::Punct(Punctuation::Watermark(t)) => write!(f, "<wm:{t}>"),
+            Message::Punct(Punctuation::Barrier(id)) => write!(f, "<barrier:{id}>"),
         }
     }
 }
@@ -196,6 +208,11 @@ mod tests {
         let wm = Message::Punct(Punctuation::Watermark(Timestamp::from_secs(3)));
         assert_eq!(wm.ts(), Timestamp::from_secs(3));
         assert!(!wm.is_eos());
+
+        let barrier = Message::Punct(Punctuation::Barrier(7));
+        assert_eq!(barrier.ts(), Timestamp::ZERO);
+        assert!(!barrier.is_eos());
+        assert!(barrier.as_data().is_none());
     }
 
     #[test]
@@ -205,5 +222,6 @@ mod tests {
             Message::Punct(Punctuation::Watermark(Timestamp::from_secs(1))).to_string(),
             "<wm:1.000000s>"
         );
+        assert_eq!(Message::Punct(Punctuation::Barrier(3)).to_string(), "<barrier:3>");
     }
 }

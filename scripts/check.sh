@@ -22,6 +22,24 @@ if [ -n "$violations" ]; then
   exit 1
 fi
 
+echo "==> checkpoint-I/O grep gate (no .unwrap()/.expect( in crates/state/src)"
+# Checkpoint files are untrusted input: a torn write, a flipped byte, or a
+# hand-edited manifest must surface as a typed StateError so recovery can
+# fall back to the previous complete checkpoint — never as a panic. Test
+# modules (everything after a #[cfg(test)] marker) are exempt.
+violations=$(
+  for f in crates/state/src/*.rs crates/state/src/**/*.rs; do
+    [ -e "$f" ] || continue
+    awk '/^#\[cfg\(test\)\]/ { exit }
+         /\.unwrap\(\)|\.expect\(/ { print FILENAME ":" FNR ": " $0 }' "$f"
+  done
+)
+if [ -n "$violations" ]; then
+  echo "error: panics on checkpoint I/O paths (return StateError instead):"
+  echo "$violations"
+  exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
