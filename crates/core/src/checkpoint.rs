@@ -123,14 +123,18 @@ impl Pending {
 /// acknowledgements, blob collection, condvar signalling — happens only
 /// while a checkpoint is actually in flight.
 pub struct CheckpointShared {
-    /// The barrier id sources should inject (0 = no checkpoint yet).
+    /// The barrier id sources should inject (0 = no checkpoint in
+    /// flight). Published by [`begin`](Self::begin) and cleared again when
+    /// [`wait_aligned`](Self::wait_aligned) returns, so a source thread
+    /// spawned between checkpoints (plan switch, resumed producer) never
+    /// sees — and re-injects — the id of a long-finished attempt.
     requested: AtomicU64,
     pending: Mutex<Option<Pending>>,
     aligned: Condvar,
-    /// Blobs of the most recent *completed* checkpoint, used by the
-    /// supervisor's restart path to roll a panicked operator back to its
-    /// last consistent state.
-    latest: Mutex<HashMap<String, StateBlob>>,
+    /// `(id, blobs)` of the most recent *completed* checkpoint, used by
+    /// the supervisor's restart path to roll a panicked operator back to
+    /// its last consistent state.
+    latest: Mutex<(u64, HashMap<String, StateBlob>)>,
     /// Live (not yet closed) operator slots across all executors;
     /// maintained by the executors, read by the coordinator to size the
     /// acknowledgement quorum.
@@ -138,6 +142,7 @@ pub struct CheckpointShared {
     obs: Obs,
     stall_ns: Histogram,
     snapshots: Counter,
+    rollbacks: Counter,
 }
 
 impl CheckpointShared {
@@ -148,10 +153,11 @@ impl CheckpointShared {
             requested: AtomicU64::new(0),
             pending: Mutex::new(None),
             aligned: Condvar::new(),
-            latest: Mutex::new(HashMap::new()),
+            latest: Mutex::new((0, HashMap::new())),
             live_slots: AtomicUsize::new(0),
             stall_ns: obs.histogram("checkpoint_align_stall_ns"),
             snapshots: obs.counter("checkpoint_operator_snapshots"),
+            rollbacks: obs.counter("checkpoint_operator_rollbacks"),
             obs,
         })
     }
@@ -229,8 +235,16 @@ impl CheckpointShared {
     /// Blocks until checkpoint `id` is fully acknowledged or `timeout`
     /// expires. On success returns the collected source offsets and
     /// operator blobs; on timeout the attempt is cancelled and `None` is
-    /// returned.
+    /// returned. Either way the published barrier id is cleared, so
+    /// sources spawned after this attempt start from a quiescent 0 and
+    /// never inject a barrier for a finished (or abandoned) checkpoint.
     pub fn wait_aligned(&self, id: u64, timeout: Duration) -> Option<AlignedCut> {
+        let result = self.wait_aligned_inner(id, timeout);
+        self.requested.store(0, Ordering::Release);
+        result
+    }
+
+    fn wait_aligned_inner(&self, id: u64, timeout: Duration) -> Option<AlignedCut> {
         let deadline = Instant::now() + timeout;
         let mut pending = self.pending.lock();
         loop {
@@ -252,19 +266,32 @@ impl CheckpointShared {
         Some((p.sources, p.operators))
     }
 
-    /// Installs the blobs of a completed checkpoint as the supervisor's
+    /// Installs the blobs of completed checkpoint `id` as the supervisor's
     /// restart baseline.
-    pub fn install_latest(&self, operators: &[(String, StateBlob)]) {
+    pub fn install_latest(&self, id: u64, operators: &[(String, StateBlob)]) {
         let mut latest = self.latest.lock();
-        latest.clear();
+        latest.0 = id;
+        latest.1.clear();
         for (name, blob) in operators {
-            latest.insert(name.clone(), blob.clone());
+            latest.1.insert(name.clone(), blob.clone());
         }
     }
 
-    /// The latest completed checkpoint's blob for `operator`, if any.
-    pub fn latest_blob(&self, operator: &str) -> Option<StateBlob> {
-        self.latest.lock().get(operator).cloned()
+    /// The latest completed checkpoint's blob for `operator` (with the
+    /// checkpoint id it belongs to), if any.
+    pub fn latest_blob(&self, operator: &str) -> Option<(u64, StateBlob)> {
+        let latest = self.latest.lock();
+        latest.1.get(operator).map(|b| (latest.0, b.clone()))
+    }
+
+    /// Books a supervisor rollback: a restarting `operator` was reset to
+    /// its checkpoint-`id` state, discarding everything it processed since
+    /// that checkpoint. Journaled so the divergence (downstream observed
+    /// elements the rolled-back state no longer reflects, until the
+    /// offsets past `id` are replayed) is observable, not silent.
+    pub fn note_rollback(&self, operator: &str, id: u64) {
+        self.rollbacks.inc();
+        self.obs.emit_with(|| SchedEvent::OperatorRollback { id, operator: operator.to_string() });
     }
 }
 
@@ -389,7 +416,7 @@ fn run_coordinator(ctx: CoordinatorCtx) {
                     bytes,
                     duration_ms: took.as_millis().min(u64::MAX as u128) as u64,
                 });
-                ctx.shared.install_latest(&ckpt.operators);
+                ctx.shared.install_latest(ckpt.id, &ckpt.operators);
                 // Chaos: damage the file *after* a successful save so the
                 // fallback-to-previous-checkpoint path is exercised.
                 if let Some(fault) = ctx.fault {
@@ -439,6 +466,10 @@ mod tests {
         assert_eq!(sources, vec![("src".to_string(), 42)]);
         assert_eq!(operators.len(), 1);
         assert_eq!(operators[0].0, "agg");
+        // The published barrier id is cleared with the attempt, so a
+        // source thread spawned later starts from 0 and does not inject a
+        // barrier for this finished checkpoint.
+        assert_eq!(ck.requested(), 0);
     }
 
     #[test]
@@ -447,7 +478,9 @@ mod tests {
         ck.begin(1, 2, 0);
         ck.ack_source(1, "a", 1);
         assert!(ck.wait_aligned(1, Duration::from_millis(20)).is_none());
-        // The attempt was cancelled: late acks are ignored.
+        // The attempt was cancelled: its barrier id is withdrawn and late
+        // acks are ignored.
+        assert_eq!(ck.requested(), 0);
         ck.ack_source(1, "b", 2);
         assert!(ck.wait_aligned(1, Duration::from_millis(20)).is_none());
     }
@@ -464,8 +497,8 @@ mod tests {
     fn latest_blobs_roundtrip() {
         let ck = CheckpointShared::new(Obs::disabled());
         assert!(ck.latest_blob("agg").is_none());
-        ck.install_latest(&[("agg".to_string(), StateBlob::new(1, vec![9]))]);
-        assert_eq!(ck.latest_blob("agg"), Some(StateBlob::new(1, vec![9])));
+        ck.install_latest(7, &[("agg".to_string(), StateBlob::new(1, vec![9]))]);
+        assert_eq!(ck.latest_blob("agg"), Some((7, StateBlob::new(1, vec![9]))));
         assert!(ck.latest_blob("other").is_none());
     }
 

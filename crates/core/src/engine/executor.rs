@@ -118,6 +118,10 @@ struct Slot {
     /// Barrier alignment in progress, if any. `None` keeps the hot path
     /// to one branch per message.
     align: Option<Box<AlignState>>,
+    /// Highest checkpoint id this slot has started (or completed) an
+    /// alignment for. Barriers at or below it are duplicates from an
+    /// aborted attempt and are dropped instead of restarting alignment.
+    last_align: u64,
 }
 
 /// Alignment state of one slot between its first and last barrier for a
@@ -271,6 +275,7 @@ impl DomainExecutor {
                 latency: s.latency,
                 chaos: s.chaos,
                 align: None,
+                last_align: 0,
             })
             .collect();
         for (i, s) in slots.iter().enumerate() {
@@ -373,29 +378,7 @@ impl DomainExecutor {
                 if self.slots[i].closed {
                     continue;
                 }
-                // Alignment hold-back: once a port delivered the barrier,
-                // everything after it on that port is parked until the
-                // barrier arrives on the remaining ports, so pre- and
-                // post-barrier input never mix in the snapshot.
-                if let Some(al) = self.slots[i].align.as_deref_mut() {
-                    if al.seen.get(port).copied().unwrap_or(false) {
-                        al.held.push_back((port, msg));
-                        continue;
-                    }
-                }
-                match msg {
-                    Message::Data(el) => self.process_data(i, port, el),
-                    Message::Punct(Punctuation::EndOfStream) => {
-                        self.process_eos(i, port);
-                        // An EOS-closed port counts as aligned; this may
-                        // complete an alignment waiting on it.
-                        self.check_alignment(i);
-                    }
-                    Message::Punct(Punctuation::Watermark(ts)) => {
-                        self.process_watermark(i, port, ts)
-                    }
-                    Message::Punct(Punctuation::Barrier(id)) => self.process_barrier(i, port, id),
-                }
+                self.dispatch(i, port, msg);
             }
             // Replay held-back input only once the stack is empty: the
             // barrier forwarded at alignment has then fully propagated
@@ -410,6 +393,31 @@ impl DomainExecutor {
         }
     }
 
+    /// Delivers one message to slot `i` on `port`: alignment hold-back
+    /// first (once a port delivered the barrier, everything after it on
+    /// that port is parked until the barrier arrives on the remaining
+    /// ports, so pre- and post-barrier input never mix in the snapshot),
+    /// then the per-kind handler.
+    fn dispatch(&mut self, i: usize, port: usize, msg: Message) {
+        if let Some(al) = self.slots[i].align.as_deref_mut() {
+            if al.seen.get(port).copied().unwrap_or(false) {
+                al.held.push_back((port, msg));
+                return;
+            }
+        }
+        match msg {
+            Message::Data(el) => self.process_data(i, port, el),
+            Message::Punct(Punctuation::EndOfStream) => {
+                self.process_eos(i, port);
+                // An EOS-closed port counts as aligned; this may
+                // complete an alignment waiting on it.
+                self.check_alignment(i);
+            }
+            Message::Punct(Punctuation::Watermark(ts)) => self.process_watermark(i, port, ts),
+            Message::Punct(Punctuation::Barrier(id)) => self.process_barrier(i, port, id),
+        }
+    }
+
     /// Handles a barrier arriving at slot `i` on `port`: starts (or joins)
     /// the alignment for checkpoint `id`.
     fn process_barrier(&mut self, i: usize, port: usize, id: u64) {
@@ -419,20 +427,45 @@ impl DomainExecutor {
                     *seen = true;
                 }
             }
-            Some(_) => {
+            Some(al) if id > al.id => {
                 // A barrier from a *newer* checkpoint while an older
                 // alignment is still parked: the old attempt was abandoned
-                // (coordinator timeout, plan switch). Release its held
-                // input for replay and start over with the new id.
-                let node = self.slots[i].node;
-                if let Some(old) = self.slots[i].align.take() {
-                    for (p, msg) in old.held {
-                        self.replay.push_back((node, p, msg));
-                    }
+                // (coordinator timeout, plan switch). The input held back
+                // for it arrived *before* this barrier, so it is
+                // pre-barrier for checkpoint `id`: deliver it through the
+                // operator now, before any alignment state for `id`
+                // exists, so its effects land in the new snapshot instead
+                // of being re-parked as post-barrier input (which would
+                // lose it — the source's acked offset includes it). A
+                // newer barrier parked inside the held backlog re-enters
+                // here and starts its own alignment at the right point.
+                let old = self.slots[i].align.take().expect("matched above");
+                for (p, msg) in old.held {
+                    self.dispatch(i, p, msg);
+                }
+                if self.slots[i].closed {
+                    // Delivering the backlog terminated the slot (EOS or
+                    // quarantine); downstream already got its EOS.
+                    return;
+                }
+                self.process_barrier(i, port, id);
+                return;
+            }
+            Some(_) => {
+                // A late barrier from an already-superseded (aborted)
+                // attempt: drop it. Restarting alignment with an old id
+                // would ping-pong the slot between checkpoints.
+                return;
+            }
+            None => {
+                if id <= self.slots[i].last_align {
+                    // Duplicate of an alignment this slot already started
+                    // or completed (a straggler path of an aborted
+                    // attempt).
+                    return;
                 }
                 self.start_alignment(i, port, id);
             }
-            None => self.start_alignment(i, port, id),
         }
         self.check_alignment(i);
     }
@@ -443,6 +476,7 @@ impl DomainExecutor {
         if let Some(s) = seen.get_mut(port) {
             *s = true;
         }
+        self.slots[i].last_align = id;
         self.slots[i].align =
             Some(Box::new(AlignState { id, seen, held: VecDeque::new(), started: Instant::now() }));
     }
@@ -589,11 +623,18 @@ impl DomainExecutor {
                 // into the retry. A failed restore keeps the current state
                 // — the retry still proceeds, matching the pre-checkpoint
                 // behaviour.
-                if let Some(blob) =
-                    self.checkpoint.as_ref().and_then(|ck| ck.latest_blob(&operator))
-                {
-                    if let Some(st) = self.slots[i].op.stateful() {
-                        let _ = st.restore(blob);
+                if let Some(ck) = self.checkpoint.clone() {
+                    if let Some((ckpt_id, blob)) = ck.latest_blob(&operator) {
+                        if let Some(st) = self.slots[i].op.stateful() {
+                            if st.restore(blob).is_ok() {
+                                // The rollback silently drops everything
+                                // this operator processed since the
+                                // checkpoint (nothing replays at this
+                                // layer), so make the regression
+                                // observable.
+                                ck.note_rollback(&operator, ckpt_id);
+                            }
+                        }
                     }
                 }
                 // Retry the failed element next (LIFO): input order for
@@ -667,14 +708,21 @@ impl DomainExecutor {
                 self.record_unretryable_panic(i, panic_message(payload.as_ref()));
             }
         }
-        self.deliver_outputs(i);
         // A panicking flush may have already closed the slot (and
-        // forwarded EOS) via `close_slot`.
-        if !self.slots[i].closed {
-            self.forward_punct(i, Punctuation::EndOfStream);
-            self.slots[i].closed = true;
-            self.dec_live();
+        // forwarded EOS) via `close_slot`; `out` was cleared then.
+        if self.slots[i].closed {
+            self.deliver_outputs(i);
+            return;
         }
+        // Inline EOS goes onto the LIFO stack *below* the flush outputs
+        // (pushed first → popped last); queue EOS goes *after* them
+        // (FIFO). Successors of either kind then see the flush output
+        // before the close, instead of closing first and dropping it.
+        self.forward_punct_inline(i, Punctuation::EndOfStream);
+        self.deliver_outputs(i);
+        self.forward_punct_queues(i, Punctuation::EndOfStream);
+        self.slots[i].closed = true;
+        self.dec_live();
     }
 
     fn process_watermark(&mut self, i: usize, port: usize, ts: hmts_streams::time::Timestamp) {
@@ -701,10 +749,15 @@ impl DomainExecutor {
                 self.record_unretryable_panic(i, panic_message(payload.as_ref()));
             }
         }
-        self.deliver_outputs(i);
-        if !self.slots[i].closed {
-            self.forward_punct(i, Punctuation::Watermark(combined));
+        // Same ordering as `process_eos`: anything the watermark handler
+        // emitted reaches successors before the watermark itself.
+        if self.slots[i].closed {
+            self.deliver_outputs(i);
+            return;
         }
+        self.forward_punct_inline(i, Punctuation::Watermark(combined));
+        self.deliver_outputs(i);
+        self.forward_punct_queues(i, Punctuation::Watermark(combined));
     }
 
     /// Books a panic that has no retry path (flush / watermark handlers):
@@ -769,6 +822,11 @@ impl DomainExecutor {
     }
 
     fn forward_punct(&mut self, i: usize, p: Punctuation) {
+        self.forward_punct_queues(i, p);
+        self.forward_punct_inline(i, p);
+    }
+
+    fn forward_punct_queues(&mut self, i: usize, p: Punctuation) {
         for t in &self.slots[i].targets {
             if let Target::Queue { queue, wake } = t {
                 let _ = queue.push(Message::Punct(p));
@@ -777,6 +835,9 @@ impl DomainExecutor {
                 }
             }
         }
+    }
+
+    fn forward_punct_inline(&mut self, i: usize, p: Punctuation) {
         for t in self.slots[i].targets.iter().rev() {
             if let Target::Inline { node, port } = t {
                 self.stack.push((*node, *port, Message::Punct(p)));
@@ -1225,6 +1286,172 @@ mod tests {
         let states = exec.into_slot_states();
         assert_eq!(states.len(), 3);
         assert!(states.iter().all(|s| !s.closed));
+    }
+
+    /// Binary union 1 -> queue `out`, injected directly. Barriers and data
+    /// forwarded by the union land in `out` in delivery order, so tests
+    /// can assert exactly what crossed the slot and when.
+    fn union_to_queue() -> (DomainExecutor, Arc<StreamQueue>) {
+        let out = StreamQueue::unbounded("out");
+        let slots = vec![slot(
+            1,
+            Box::new(hmts_operators::union::Union::new("u", 2)),
+            vec![Target::Queue { queue: Arc::clone(&out), wake: None }],
+        )];
+        let exec = DomainExecutor::new(
+            "d",
+            slots,
+            vec![],
+            StrategyKind::Fifo.build(None),
+            ExecConfig::default(),
+        );
+        (exec, out)
+    }
+
+    fn drain(q: &StreamQueue) -> Vec<Message> {
+        let mut out = Vec::new();
+        while let Some(m) = q.try_pop() {
+            out.push(m);
+        }
+        out
+    }
+
+    fn barrier(id: u64) -> Message {
+        Message::Punct(Punctuation::Barrier(id))
+    }
+
+    /// An operator whose only output is produced at flush time (the count
+    /// of elements it saw).
+    struct FlushEmitter {
+        seen: i64,
+    }
+
+    impl Operator for FlushEmitter {
+        fn name(&self) -> &str {
+            "flush-emit"
+        }
+
+        fn input_arity(&self) -> usize {
+            1
+        }
+
+        fn process(
+            &mut self,
+            _port: usize,
+            _el: &Element,
+            _out: &mut Output,
+        ) -> hmts_streams::error::Result<()> {
+            self.seen += 1;
+            Ok(())
+        }
+
+        fn flush(&mut self, out: &mut Output) -> hmts_streams::error::Result<()> {
+            out.emit(Tuple::single(self.seen), Timestamp::from_micros(1));
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn flush_output_reaches_inline_successor_before_eos() {
+        // Regression: EOS used to be pushed *above* the flush outputs on
+        // the LIFO stack, so an inline successor closed first and dropped
+        // them.
+        let (sink, handle) = CollectingSink::new("s");
+        let slots = vec![
+            slot(
+                1,
+                Box::new(FlushEmitter { seen: 0 }),
+                vec![Target::Inline { node: NodeId(2), port: 0 }],
+            ),
+            slot(2, Box::new(sink), vec![]),
+        ];
+        let mut exec = DomainExecutor::new(
+            "d",
+            slots,
+            vec![],
+            StrategyKind::Fifo.build(None),
+            ExecConfig::default(),
+        );
+        exec.inject(NodeId(1), 0, data(1, 1));
+        exec.inject(NodeId(1), 0, data(2, 2));
+        exec.inject(NodeId(1), 0, Message::eos());
+        assert!(handle.is_done());
+        let vals: Vec<i64> =
+            handle.elements().iter().map(|e| e.tuple.field(0).as_int().unwrap()).collect();
+        assert_eq!(vals, vec![2], "flush output delivered before the close");
+    }
+
+    #[test]
+    fn newer_barrier_delivers_stale_held_input_pre_barrier() {
+        let (mut exec, out) = union_to_queue();
+        // Alignment for checkpoint 1 starts on port 0; the next element on
+        // that port is held back.
+        exec.inject(NodeId(1), 0, barrier(1));
+        exec.inject(NodeId(1), 0, data(10, 1));
+        assert_eq!(out.len(), 0, "element must be parked during alignment");
+        // Checkpoint 1 was abandoned (its barrier never reaches port 1);
+        // checkpoint 2's barrier arrives instead. The held element predates
+        // that barrier, so it must be delivered *before* checkpoint 2's
+        // alignment can park it again.
+        exec.inject(NodeId(1), 1, barrier(2));
+        exec.inject(NodeId(1), 0, data(20, 2));
+        exec.inject(NodeId(1), 0, barrier(2));
+        let msgs = drain(&out);
+        let vals: Vec<i64> = msgs
+            .iter()
+            .filter_map(|m| m.as_data())
+            .map(|e| e.tuple.field(0).as_int().unwrap())
+            .collect();
+        assert_eq!(vals, vec![10, 20], "held pre-barrier element must not be lost");
+        let barriers: Vec<u64> = msgs
+            .iter()
+            .filter_map(|m| match m {
+                Message::Punct(Punctuation::Barrier(id)) => Some(*id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(barriers, vec![2], "only the completed checkpoint's barrier is forwarded");
+        // The held element was processed before the new alignment snapshot
+        // point: it must precede the forwarded barrier in the output.
+        assert!(matches!(msgs.last(), Some(Message::Punct(Punctuation::Barrier(2)))));
+    }
+
+    #[test]
+    fn late_barrier_from_aborted_attempt_does_not_restart_alignment() {
+        let (mut exec, out) = union_to_queue();
+        // Alignment for checkpoint 2 in progress on port 0.
+        exec.inject(NodeId(1), 0, barrier(2));
+        // A straggler barrier from aborted checkpoint 1 arrives on port 1:
+        // it must be dropped, not restart alignment at the old id.
+        exec.inject(NodeId(1), 1, barrier(1));
+        // Port 1 is still pre-barrier for checkpoint 2: data flows.
+        exec.inject(NodeId(1), 1, data(7, 1));
+        assert_eq!(out.len(), 1, "port 1 must not be parked by the stale barrier");
+        exec.inject(NodeId(1), 1, barrier(2));
+        let msgs = drain(&out);
+        let barriers: Vec<u64> = msgs
+            .iter()
+            .filter_map(|m| match m {
+                Message::Punct(Punctuation::Barrier(id)) => Some(*id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(barriers, vec![2], "checkpoint 2 completes exactly once; 1 is dropped");
+    }
+
+    #[test]
+    fn duplicate_barrier_after_completed_alignment_is_ignored() {
+        let (mut exec, out) = union_to_queue();
+        exec.inject(NodeId(1), 0, barrier(3));
+        exec.inject(NodeId(1), 1, barrier(3));
+        assert_eq!(drain(&out).len(), 1, "alignment completed, barrier forwarded");
+        // A duplicate of the finished checkpoint's barrier (straggler path)
+        // must not start a fresh alignment that would park input.
+        exec.inject(NodeId(1), 0, barrier(3));
+        exec.inject(NodeId(1), 0, data(5, 1));
+        let msgs = drain(&out);
+        assert_eq!(msgs.len(), 1, "no second barrier forwarded, data not parked");
+        assert!(msgs[0].as_data().is_some());
     }
 
     #[test]

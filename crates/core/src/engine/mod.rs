@@ -419,10 +419,22 @@ impl Engine {
             let st = op.stateful().ok_or_else(|| fail("operator is stateless"))?;
             st.restore(blob.clone()).map_err(|e| fail(&e.to_string()))?;
         }
+        // Seed each source's emitted counter from its checkpointed offset
+        // so offsets acked into post-recovery checkpoints stay global
+        // (consistent with client sequence numbers), not process-local.
+        for (name, offset) in &ckpt.sources {
+            let src = self.source_shared.iter().find(|s| s.name() == name).ok_or_else(|| {
+                EngineError::CheckpointRestore {
+                    operator: name.clone(),
+                    detail: "no such source in graph".to_string(),
+                }
+            })?;
+            src.resume_from(*offset);
+        }
         // Seed the in-memory latest-blob cache so a supervisor restart
         // before the first post-recovery checkpoint still restores state.
         if let Some(ck) = &self.checkpoint_shared {
-            ck.install_latest(&ckpt.operators);
+            ck.install_latest(ckpt.id, &ckpt.operators);
         }
         Ok(())
     }

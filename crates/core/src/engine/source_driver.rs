@@ -57,6 +57,7 @@ pub enum SourceTarget {
 pub struct SourceShared {
     /// The source's node id.
     pub node: NodeId,
+    name: String,
     targets: RwLock<Vec<SourceTarget>>,
     timeline: Mutex<TimeSeries>,
     emitted: AtomicU64,
@@ -68,11 +69,27 @@ impl SourceShared {
     pub fn new(node: NodeId, name: &str) -> Arc<SourceShared> {
         Arc::new(SourceShared {
             node,
+            name: name.to_string(),
             targets: RwLock::new(Vec::new()),
             timeline: Mutex::new(TimeSeries::new(name.to_string())),
             emitted: AtomicU64::new(0),
             done: AtomicBool::new(false),
         })
+    }
+
+    /// The source's name (checkpoint offsets are keyed by it).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Seeds the emitted-element counter from a restored checkpoint's
+    /// source offset, *before* the source thread starts. The driver reads
+    /// this as its starting count, so offsets acked into later checkpoints
+    /// stay global (client sequence numbers), not process-local — a second
+    /// kill/recover cycle then replays from the right position instead of
+    /// duplicating elements the restored state already incorporates.
+    pub fn resume_from(&self, offset: u64) {
+        self.emitted.store(offset, Ordering::Release);
     }
 
     /// Replaces the source's targets (mode switch; callers must have paused
@@ -194,9 +211,15 @@ pub fn spawn_source(
             } else {
                 (source.size_hint().unwrap_or(0) / 4096).max(1)
             };
-            let mut emitted = 0u64;
+            // Start from the restored offset (0 on a fresh run): after
+            // `Engine::restore_checkpoint` seeded `resume_from`, the counts
+            // acked into checkpoints remain global across process restarts.
+            let mut emitted = shared.emitted();
             let mut last_watermark = Timestamp::ZERO;
-            let mut last_barrier = 0u64;
+            // Baseline at the *current* request id so a thread spawned
+            // after a checkpoint already finished (plan-switch re-wiring)
+            // does not inject a barrier for it retroactively.
+            let mut last_barrier = cfg.checkpoint.as_ref().map(|ck| ck.requested()).unwrap_or(0);
             while let Some((due, tuple)) = source.next() {
                 gate.checkpoint();
                 if stop.is_stopped() {

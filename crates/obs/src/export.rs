@@ -170,6 +170,9 @@ fn event_fields(event: &SchedEvent) -> Vec<(&'static str, String)> {
             ("operator", format!("\"{}\"", json_escape(operator))),
             ("bytes", bytes.to_string()),
         ],
+        SchedEvent::OperatorRollback { id, operator } => {
+            vec![("id", id.to_string()), ("operator", format!("\"{}\"", json_escape(operator)))]
+        }
     }
 }
 
@@ -434,6 +437,9 @@ pub fn chrome_trace_json(spans: &[SpanEvent], journal: &[EventRecord]) -> String
                     }
                     SchedEvent::OperatorSnapshot { id, operator, bytes } => {
                         format!("operator-snapshot {operator} ckpt {id} ({bytes} bytes)")
+                    }
+                    SchedEvent::OperatorRollback { id, operator } => {
+                        format!("operator-rollback {operator} to ckpt {id}")
                     }
                     SchedEvent::NetReconnect { stream, resume_seq } => {
                         format!("net-reconnect {stream} @ {resume_seq}")

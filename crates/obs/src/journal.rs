@@ -60,6 +60,10 @@ pub enum SchedEvent {
     CheckpointAbort { id: u64, reason: String },
     /// An aligned operator contributed its state to checkpoint `id`.
     OperatorSnapshot { id: u64, operator: String, bytes: u64 },
+    /// A restarting operator was rolled back to its checkpoint-`id` state:
+    /// everything it processed since that checkpoint is dropped from its
+    /// state (downstream may already have observed the lost elements).
+    OperatorRollback { id: u64, operator: String },
 }
 
 impl SchedEvent {
@@ -87,6 +91,7 @@ impl SchedEvent {
             SchedEvent::CheckpointComplete { .. } => "checkpoint-complete",
             SchedEvent::CheckpointAbort { .. } => "checkpoint-abort",
             SchedEvent::OperatorSnapshot { .. } => "operator-snapshot",
+            SchedEvent::OperatorRollback { .. } => "operator-rollback",
         }
     }
 }

@@ -164,7 +164,9 @@ fn restarted_operator_resumes_from_checkpointed_state() {
     let (graph, handle) = dedup_chain(items);
     let exec_plan = ExecutionPlan::di_decoupled(&Topology::of(&graph));
     let fault = Arc::new(FaultPlan::seeded(5).panic_at("dedup", 225));
+    let obs = Obs::enabled();
     let cfg = EngineConfig {
+        obs: obs.clone(),
         chaos: Some(Arc::clone(&fault)),
         supervision: Some(SupervisionConfig {
             policy: RestartPolicy {
@@ -184,6 +186,73 @@ fn restarted_operator_resumes_from_checkpointed_state() {
         (0..DISTINCT).collect::<Vec<_>>(),
         "restored dedup state keeps suppressing the second pass"
     );
+    // The restart restored checkpointed state, silently dropping whatever
+    // dedup processed since that checkpoint — the rollback must be
+    // journaled so the regression is observable.
+    let kinds: Vec<&str> = obs.journal_snapshot().iter().map(|r| r.event.kind()).collect();
+    assert!(kinds.contains(&"operator-rollback"), "kinds: {kinds:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Second-generation recovery: checkpoints written by a *recovered* run
+/// must record global source offsets (client sequence numbers), not
+/// process-local counts. The recovered engine is fed only the suffix past
+/// the checkpointed cut (exactly what a replaying client would send); its
+/// source counter must resume from the checkpointed offset, so the final
+/// emitted count equals the full-stream length.
+#[test]
+fn recovered_run_checkpoints_global_source_offsets() {
+    let dir = temp_dir("global-offsets");
+    const N: i64 = 400;
+    let items = paced_items(0..N, Duration::from_micros(500));
+    let (graph, _handle) = dedup_chain(items.clone());
+    let plan = ExecutionPlan::di_decoupled(&Topology::of(&graph));
+    let cfg = EngineConfig {
+        checkpoint: Some(CheckpointConfig::new(&dir).with_interval(Duration::from_millis(25))),
+        ..EngineConfig::default()
+    };
+    let report = Engine::run_with_config(graph, plan.clone(), cfg).expect("first run");
+    assert!(report.errors.is_empty(), "errors: {:?}", report.errors);
+    let store = CheckpointStore::new(&dir, 3);
+    let ck = store.load_latest().expect("manifest readable").expect("a completed checkpoint");
+    let offset = ck.source_offset("src").expect("source offset recorded");
+    assert!(offset > 0 && offset <= N as u64, "offset in range: {offset}");
+
+    // Recover, replaying ONLY the suffix (client replay from `offset`).
+    // Pace it slowly enough for at least one post-recovery checkpoint.
+    let suffix: Vec<(Timestamp, Tuple)> = items[offset as usize..].to_vec();
+    let (graph2, handle2) = dedup_chain(suffix);
+    let cfg2 = EngineConfig {
+        checkpoint: Some(CheckpointConfig::new(&dir).with_interval(Duration::from_millis(10))),
+        ..EngineConfig::default()
+    };
+    let (mut engine, loaded) = Engine::recover(graph2, plan, cfg2, &dir).expect("recover");
+    assert_eq!(loaded.expect("checkpoint loaded").id, ck.id);
+    engine.start().expect("recovered engine starts");
+    let report2 = engine.wait();
+    assert!(report2.errors.is_empty(), "errors: {:?}", report2.errors);
+    assert_eq!(sorted_values(&handle2), (offset as i64..N).collect::<Vec<_>>());
+
+    // The source counter resumed from the restored offset: its timeline
+    // ends at the GLOBAL count N, not at the process-local suffix length.
+    let timeline = report2
+        .source_timelines
+        .iter()
+        .find(|t| t.name() == "src")
+        .expect("source timeline present");
+    let (_, last) = timeline.last().expect("timeline recorded");
+    assert_eq!(last, N as f64, "emitted counter seeded from checkpointed offset");
+
+    // Any checkpoint the recovered run completed recorded a global offset
+    // at or past the restored cut (never a process-local restart from 0).
+    let ck2 = store.load_latest().expect("manifest readable").expect("checkpoint present");
+    if ck2.id > ck.id {
+        let offset2 = ck2.source_offset("src").expect("source offset recorded");
+        assert!(
+            offset2 >= offset && offset2 <= N as u64,
+            "recovered checkpoint offset global: {offset2} (restored cut {offset})"
+        );
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }
 
