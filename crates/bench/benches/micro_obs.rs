@@ -23,7 +23,7 @@ use std::time::Instant;
 use criterion::{criterion_group, Criterion, Throughput};
 use hmts::chaos::{FaultAction, FaultPlan, OperatorFaultState};
 use hmts::checkpoint::CheckpointShared;
-use hmts::obs::{HopKind, Obs, SchedEvent, TraceConfig, Tracer};
+use hmts::obs::{trace_id, Histogram, HopKind, Obs, SchedEvent, TraceConfig, Tracer, NO_PARTITION};
 use hmts::streams::element::TraceTag;
 
 /// A pass-through allocator that counts allocation calls so the harness
@@ -86,6 +86,44 @@ fn chaos_hook(chaos: &Option<Arc<OperatorFaultState>>) -> bool {
         matches!(c.on_invocation(), Some(FaultAction::Panic))
     } else {
         false
+    }
+}
+
+/// The egress sink's per-delivery SLO hook, verbatim: for untraced
+/// tuples with observability off it is one tag test plus two `Option`
+/// branches — no clock read, no histogram touch, no heap.
+#[inline]
+fn egress_slo_hook(
+    trace: TraceTag,
+    tracer: &Option<Arc<Tracer>>,
+    site: &Arc<str>,
+    e2e: &Option<Histogram>,
+    now_ns: u128,
+    ts_ns: u128,
+) {
+    if trace.is_sampled() {
+        if let Some(t) = tracer {
+            t.record(trace.id(), HopKind::NetSend, site, NO_PARTITION);
+        }
+    }
+    if let Some(h) = e2e {
+        h.record(now_ns.saturating_sub(ts_ns).min(u128::from(u64::MAX)) as u64);
+    }
+}
+
+/// The source driver's per-element admission-tag resolution, verbatim:
+/// an inbound (wire-carried) sampled tag wins; otherwise local sampling
+/// decides. With tracing off both arms collapse to a tag test and an
+/// `Option` branch.
+#[inline]
+fn admission_tag_hook(inbound: TraceTag, local: &Option<(Arc<Tracer>, u32)>, seq: u64) -> TraceTag {
+    if inbound.is_sampled() {
+        inbound
+    } else {
+        match local {
+            Some((t, source)) if t.sampled(seq) => TraceTag::new(trace_id(*source, seq)),
+            _ => TraceTag::NONE,
+        }
     }
 }
 
@@ -190,6 +228,45 @@ fn assert_checkpoint_hook_allocates_nothing() {
     println!("checkpoint poll: 0 allocations over {N} disabled and {N} idle elements\n");
 }
 
+/// The SLO-accounting analogue of the tracing bound: the egress
+/// delivery hook and the source admission-tag hook must stay off the
+/// heap when observability is disabled, and when enabled-but-unsampled.
+fn assert_slo_hooks_allocate_nothing() {
+    const N: u64 = 100_000;
+    let site: Arc<str> = Arc::from("egress");
+
+    // Disabled: no tracer, no histogram (what `Obs::disabled()` yields).
+    let no_tracer: Option<Arc<Tracer>> = None;
+    let no_hist: Option<Histogram> = None;
+    let no_local: Option<(Arc<Tracer>, u32)> = None;
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    for i in 0..N {
+        egress_slo_hook(black_box(TraceTag::NONE), &no_tracer, &site, &no_hist, 0, 0);
+        black_box(admission_tag_hook(black_box(TraceTag::NONE), black_box(&no_local), i));
+    }
+    let disabled_allocs = ALLOC_CALLS.load(Ordering::Relaxed) - before;
+
+    // Enabled but unsampled: tracer installed, every tuple misses the
+    // modulus; the histogram arm records (atomics only — still no heap).
+    let tracer = sampling_tracer(u64::MAX);
+    let local = tracer.clone().map(|t| (t, 7u32));
+    let obs = Obs::enabled();
+    let hist = Some(obs.histogram("egress.results.e2e_latency_ns"));
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    for i in 0..N {
+        egress_slo_hook(black_box(TraceTag::NONE), &tracer, &site, &hist, 5_000, 1_000);
+        black_box(admission_tag_hook(black_box(TraceTag::NONE), black_box(&local), i));
+    }
+    let unsampled_allocs = ALLOC_CALLS.load(Ordering::Relaxed) - before;
+
+    assert_eq!(disabled_allocs, 0, "disabled SLO hooks must not allocate");
+    assert_eq!(unsampled_allocs, 0, "unsampled SLO hooks must not allocate");
+    println!(
+        "SLO hooks: 0 allocations over {N} disabled and {N} unsampled deliveries
+"
+    );
+}
+
 fn obs_overhead(c: &mut Criterion) {
     let mut g = c.benchmark_group("obs_overhead");
     g.throughput(Throughput::Elements(1));
@@ -221,6 +298,31 @@ fn obs_overhead(c: &mut Criterion) {
         b.iter(|| {
             i += 1;
             h.record(black_box(i));
+        });
+    });
+
+    g.finish();
+}
+
+fn slo_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("slo_hook");
+    g.throughput(Throughput::Elements(1));
+    let site: Arc<str> = Arc::from("egress");
+
+    g.bench_function("disabled", |b| {
+        let tracer: Option<Arc<Tracer>> = None;
+        let hist: Option<Histogram> = None;
+        b.iter(|| egress_slo_hook(black_box(TraceTag::NONE), &tracer, &site, &hist, 0, 0));
+    });
+
+    g.bench_function("enabled_unsampled", |b| {
+        let tracer = sampling_tracer(u64::MAX);
+        let obs = Obs::enabled();
+        let hist = Some(obs.histogram("egress.results.e2e_latency_ns"));
+        let mut now = 0u128;
+        b.iter(|| {
+            now += 1_000;
+            egress_slo_hook(black_box(TraceTag::NONE), &tracer, &site, &hist, now, 500);
         });
     });
 
@@ -304,12 +406,20 @@ fn checkpoint_overhead(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, obs_overhead, trace_overhead, chaos_overhead, checkpoint_overhead);
+criterion_group!(
+    benches,
+    obs_overhead,
+    slo_overhead,
+    trace_overhead,
+    chaos_overhead,
+    checkpoint_overhead
+);
 
 fn main() {
     // `cargo bench` passes flags like `--bench`; nothing to parse.
     let _ = std::env::args();
     assert_untraced_hook_allocates_nothing();
+    assert_slo_hooks_allocate_nothing();
     assert_chaos_hook_allocates_nothing();
     assert_checkpoint_hook_allocates_nothing();
     benches();

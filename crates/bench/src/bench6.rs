@@ -1,0 +1,153 @@
+//! BENCH_6: the executor batch-size ablation on the *real* engine, with
+//! SLO accounting — throughput plus p50/p99 source-admission→sink
+//! latency per configuration, emitted as machine-readable JSON.
+//!
+//! The simulator ablation (`ablation` section A) shows the shape of the
+//! batch trade-off under deterministic virtual time; this sweep reruns
+//! the same Fig. 9 workload through the HMTS engine under the paper's
+//! two-VO placement, so the reported latency quantiles come from the
+//! same end-to-end histogram mechanism the egress sink exports in the
+//! serving path.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use hmts::graph::partition::Partitioning;
+use hmts::obs::Histogram;
+use hmts::operators::cost::{CostMode, Costed};
+use hmts::operators::expr::Expr;
+use hmts::operators::filter::Filter;
+use hmts::operators::project::Project;
+use hmts::operators::traits::{Operator, Output};
+use hmts::prelude::*;
+use hmts::streams::element::Element;
+use hmts::streams::error::Result as StreamResult;
+use hmts::workload::scenarios::Fig9Params;
+use hmts::workload::{ArrivalProcess, SyntheticSource, TupleGen};
+
+/// The batch sizes section A of the ablation sweeps.
+pub const BATCHES: [usize; 5] = [1, 4, 16, 64, 256];
+
+/// A sink recording source-admission→sink latency per tuple: stream
+/// timestamps are µs offsets on the clock whose epoch the obs handle
+/// shares, so `elapsed − ts` is the same quantity the network egress
+/// sink publishes as `egress.<name>.e2e_latency_ns`.
+struct LatencySink {
+    name: String,
+    obs: Obs,
+    e2e: Histogram,
+}
+
+impl Operator for LatencySink {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, _port: usize, element: &Element, _out: &mut Output) -> StreamResult<()> {
+        let now_ns = self.obs.elapsed().as_nanos();
+        let ts_ns = u128::from(element.ts.as_micros()) * 1_000;
+        self.e2e.record(now_ns.saturating_sub(ts_ns).min(u128::from(u64::MAX)) as u64);
+        Ok(())
+    }
+}
+
+/// One sweep configuration's outcome.
+pub struct BatchResult {
+    pub batch: usize,
+    pub tuples: u64,
+    pub elapsed_s: f64,
+    pub throughput_tps: f64,
+    pub e2e_p50_ns: u64,
+    pub e2e_p99_ns: u64,
+}
+
+/// Runs the Fig. 9 chain once under the two-VO HMTS plan with the given
+/// executor batch size, measuring delivered throughput and end-to-end
+/// latency quantiles.
+pub fn run_batch_config(batch: usize, speedup: f64, seed: u64) -> BatchResult {
+    const RANGE: i64 = 10_000_000;
+    let p = Fig9Params { speedup, seed, ..Fig9Params::default() };
+    let (c_proj, c_cheap, c_exp) = p.costs();
+    let total: u64 = p.phases().iter().map(|ph| ph.count).sum();
+
+    let obs = Obs::enabled();
+    let mut graph = QueryGraph::new();
+    let source = graph.add_source(Box::new(SyntheticSource::new(
+        "bursty",
+        ArrivalProcess::bursty(p.phases()),
+        TupleGen::uniform_int(1, RANGE + 1),
+        total,
+        seed,
+    )));
+    let projection = graph
+        .add_operator(Box::new(Costed::new(Project::new("proj", vec![0]), CostMode::Busy(c_proj))));
+    let cheap_selection = graph.add_operator(Box::new(Costed::new(
+        Filter::new("sel_cheap", Expr::field(0).le(Expr::int(9_000))).with_selectivity_hint(9e-4),
+        CostMode::Busy(c_cheap),
+    )));
+    let expensive_selection = graph.add_operator(Box::new(Costed::new(
+        Filter::new("sel_expensive", Expr::field(0).le(Expr::int(2_700)))
+            .with_selectivity_hint(0.3),
+        CostMode::Busy(c_exp),
+    )));
+    let sink = graph.add_operator(Box::new(LatencySink {
+        name: "results".into(),
+        obs: obs.clone(),
+        e2e: obs.histogram("sink.results.e2e_latency_ns"),
+    }));
+    graph.connect(source, projection);
+    graph.connect(projection, cheap_selection);
+    graph.connect(cheap_selection, expensive_selection);
+    graph.connect(expensive_selection, sink);
+
+    let part =
+        Partitioning::new(vec![vec![projection, cheap_selection], vec![expensive_selection, sink]]);
+    let plan = ExecutionPlan::hmts(part, StrategyKind::Fifo, 2);
+    let hist = obs.histogram("sink.results.e2e_latency_ns");
+    let cfg = EngineConfig { batch, obs, ..EngineConfig::default() };
+    let report = Engine::run_with_config(graph, plan, cfg).expect("engine runs");
+    assert!(report.errors.is_empty(), "errors: {:?}", report.errors);
+
+    let elapsed_s = report.elapsed.as_secs_f64();
+    BatchResult {
+        batch,
+        tuples: total,
+        elapsed_s,
+        throughput_tps: total as f64 / elapsed_s.max(1e-9),
+        e2e_p50_ns: hist.quantile(0.50),
+        e2e_p99_ns: hist.quantile(0.99),
+    }
+}
+
+/// Runs the full sweep and writes `path` as BENCH_6.json.
+pub fn emit_bench6(path: &Path, speedup: f64, seed: u64) {
+    let mut configs = String::new();
+    for (i, batch) in BATCHES.iter().enumerate() {
+        let r = run_batch_config(*batch, speedup, seed);
+        println!(
+            "bench6: batch {:>3} -> {:>9.0} tuples/s, e2e p50 {:>8} ns, p99 {:>9} ns",
+            r.batch, r.throughput_tps, r.e2e_p50_ns, r.e2e_p99_ns
+        );
+        if i > 0 {
+            configs.push(',');
+        }
+        let _ = write!(
+            configs,
+            "\n    {{\"batch\": {}, \"tuples\": {}, \"elapsed_s\": {:.6}, \
+             \"throughput_tps\": {:.1}, \"e2e_p50_ns\": {}, \"e2e_p99_ns\": {}}}",
+            r.batch, r.tuples, r.elapsed_s, r.throughput_tps, r.e2e_p50_ns, r.e2e_p99_ns
+        );
+    }
+    let body = format!(
+        "{{\n  \"bench\": \"ablation_batch_sweep\",\n  \"workload\": \"fig9\",\n  \
+         \"engine\": \"hmts two-VO, 2 workers, FIFO\",\n  \"speedup\": {speedup},\n  \
+         \"seed\": {seed},\n  \"configs\": [{configs}\n  ]\n}}\n"
+    );
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create bench6 output directory");
+        }
+    }
+    std::fs::write(path, &body).expect("write BENCH_6.json");
+    println!("bench6: wrote {}", path.display());
+}

@@ -373,6 +373,11 @@ fn run_coordinator(ctx: CoordinatorCtx) {
     let bytes_hist = ctx.obs.histogram("checkpoint_bytes");
     let completed = ctx.obs.counter("checkpoint_completed");
     let aborted = ctx.obs.counter("checkpoint_aborted");
+    // Gauges the admin `/snapshot` endpoint turns into "checkpoint id/age":
+    // the id of the newest durable checkpoint and when (on the obs clock,
+    // in ms) it completed.
+    let last_id = ctx.obs.gauge("checkpoint.last_id");
+    let last_at_ms = ctx.obs.gauge("checkpoint.last_at_ms");
     // Resume numbering after the newest checkpoint already on disk so
     // recovery never reuses (and overwrites) a live id.
     let mut next_id = match ctx.store.latest_id() {
@@ -411,6 +416,8 @@ fn run_coordinator(ctx: CoordinatorCtx) {
                 duration_ns.record_duration(took);
                 bytes_hist.record(bytes);
                 completed.inc();
+                last_id.set(id.min(i64::MAX as u64) as i64);
+                last_at_ms.set(ctx.obs.elapsed().as_millis().min(i64::MAX as u128) as i64);
                 ctx.obs.emit_with(|| SchedEvent::CheckpointComplete {
                     id,
                     bytes,

@@ -544,6 +544,13 @@ impl Engine {
                         .obs
                         .tracer()
                         .map(|t| SourceTrace { tracer: t, source: id.0 as u32 }),
+                    watermark_lag: (self.cfg.obs.is_enabled()
+                        && self.cfg.watermark_interval.is_some())
+                    .then(|| {
+                        self.cfg
+                            .obs
+                            .gauge(&format!("source.{}.watermark_lag_ms", self.topo.name(id)))
+                    }),
                     checkpoint: self.checkpoint_shared.clone(),
                 },
             );

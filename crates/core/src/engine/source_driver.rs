@@ -141,6 +141,9 @@ pub struct SourceDriverConfig {
     /// Per-tuple trace sampling (`None` = tracing off; the emission loop
     /// then never touches trace state).
     pub trace: Option<SourceTrace>,
+    /// Watermark-lag SLO gauge: set to `now − watermark` in milliseconds
+    /// each time a watermark is emitted (`None` = not reported).
+    pub watermark_lag: Option<hmts_obs::Gauge>,
     /// Barrier-checkpoint coordination (`None` = checkpointing off; with
     /// it on, the emission loop pays one relaxed atomic load per element
     /// to poll for a newly requested barrier).
@@ -154,6 +157,7 @@ impl Default for SourceDriverConfig {
             sample_every: 0,
             watermark_interval: None,
             trace: None,
+            watermark_lag: None,
             checkpoint: None,
         }
     }
@@ -220,7 +224,8 @@ pub fn spawn_source(
             // after a checkpoint already finished (plan-switch re-wiring)
             // does not inject a barrier for it retroactively.
             let mut last_barrier = cfg.checkpoint.as_ref().map(|ck| ck.requested()).unwrap_or(0);
-            while let Some((due, tuple)) = source.next() {
+            while let Some(element) = source.next_element() {
+                let (due, tuple) = (element.ts, element.tuple);
                 gate.checkpoint();
                 if stop.is_stopped() {
                     break;
@@ -239,14 +244,21 @@ pub fn spawn_source(
                 if let Some(s) = &stats {
                     s.lock().observe(due, None, 1);
                 }
-                // Deterministic 1-in-N sampling keyed off the source-local
-                // sequence number: untraced elements carry TraceTag::NONE
-                // and cost one branch here.
-                let tag = match &cfg.trace {
-                    Some(st) if st.tracer.sampled(emitted) => {
-                        TraceTag::new(trace_id(st.source, emitted))
+                // A tag that arrived with the element (wire-carried, v2
+                // frames) wins: the tuple's trace began in another process
+                // and must stay on that id. Otherwise, deterministic 1-in-N
+                // sampling keyed off the source-local sequence number:
+                // untraced elements carry TraceTag::NONE and cost one
+                // branch here.
+                let tag = if element.trace.is_sampled() {
+                    element.trace
+                } else {
+                    match &cfg.trace {
+                        Some(st) if st.tracer.sampled(emitted) => {
+                            TraceTag::new(trace_id(st.source, emitted))
+                        }
+                        _ => TraceTag::NONE,
                     }
-                    _ => TraceTag::NONE,
                 };
                 deliver(&shared, due, tuple, tag, cfg.trace.as_ref(), &stop);
                 if let Some(interval) = cfg.watermark_interval {
@@ -255,6 +267,10 @@ pub fn spawn_source(
                         let wm = Message::Punct(hmts_streams::element::Punctuation::Watermark(due));
                         for t in shared.targets.read().iter() {
                             send(t, wm.clone(), None, &stop);
+                        }
+                        if let Some(g) = &cfg.watermark_lag {
+                            let lag = clock.now().since(due);
+                            g.set(lag.as_millis().min(i64::MAX as u128) as i64);
                         }
                     }
                 }

@@ -23,11 +23,14 @@ use std::time::Duration;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use hmts::obs::{export, Obs, ObsConfig, TraceConfig};
 use hmts::streams::time::Timestamp;
 use hmts::streams::tuple::Tuple;
 use hmts::workload::arrival::ArrivalProcess;
 use hmts::workload::values::TupleGen;
-use hmts_net::{run_load, send_with_resume, LoadConfig, LoadMode, ResumeConfig, SubscriberClient};
+use hmts_net::{
+    run_load, send_with_resume, LoadConfig, LoadMode, LoadTrace, ResumeConfig, SubscriberClient,
+};
 
 struct Args {
     addr: String,
@@ -40,6 +43,9 @@ struct Args {
     range: i64,
     subscribe: Option<String>,
     resume_send: bool,
+    trace_every: u64,
+    trace_source: u32,
+    spans_out: Option<String>,
 }
 
 const USAGE: &str = "netgen [--addr HOST:PORT] [--stream NAME] [--count N] [--rate SPEC] \
@@ -50,7 +56,12 @@ const USAGE: &str = "netgen [--addr HOST:PORT] [--stream NAME] [--count N] [--ra
   --range N     tuple values drawn uniformly from [1, N]
   --subscribe   also subscribe to this egress address and count results
   --resume-send send through the reconnect/resume protocol (survives server
-                restarts; paced per frame when --rate is constant:R)";
+                restarts; paced per frame when --rate is constant:R)
+  --trace-every sample every Nth tuple: stamp a wire trace tag and record
+                the client's net-send hop (0 = off)
+  --trace-source logical source id baked into generated trace ids
+  --spans-out   write the client's trace spans to this file (spans.json
+                format, mergeable with the server's export)";
 
 fn parse_args() -> Args {
     let mut args = Args {
@@ -64,6 +75,9 @@ fn parse_args() -> Args {
         range: 10_000_000,
         subscribe: None,
         resume_send: false,
+        trace_every: 0,
+        trace_source: 63,
+        spans_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -84,6 +98,13 @@ fn parse_args() -> Args {
             "--range" => args.range = val("--range").parse().expect("--range"),
             "--subscribe" => args.subscribe = Some(val("--subscribe")),
             "--resume-send" => args.resume_send = true,
+            "--trace-every" => {
+                args.trace_every = val("--trace-every").parse().expect("--trace-every")
+            }
+            "--trace-source" => {
+                args.trace_source = val("--trace-source").parse().expect("--trace-source")
+            }
+            "--spans-out" => args.spans_out = Some(val("--spans-out")),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 exit(0);
@@ -188,6 +209,17 @@ fn main() {
             eprintln!("{e}");
             exit(2);
         });
+        // Client-side tracing: an Obs handle whose tracer stamps wire
+        // trace tags and records the netgen process's net-send hops.
+        let trace_obs = (args.trace_every > 0).then(|| {
+            Obs::with_config(ObsConfig {
+                trace: Some(TraceConfig {
+                    sample_every: args.trace_every,
+                    ..TraceConfig::default()
+                }),
+                ..ObsConfig::default()
+            })
+        });
         let cfg = LoadConfig {
             stream: args.stream.clone(),
             arrivals,
@@ -196,6 +228,10 @@ fn main() {
             seed: args.seed,
             mode: parse_mode(&args.mode),
             ping_every: args.ping_every,
+            trace: trace_obs
+                .as_ref()
+                .and_then(|o| o.tracer())
+                .map(|tracer| LoadTrace { tracer, source: args.trace_source }),
         };
         eprintln!(
             "netgen: sending {} tuples ({}, {}) to {} stream {:?}",
@@ -215,6 +251,14 @@ fn main() {
             "rtt over {} pings: p50 {:?}  p95 {:?}  p99 {:?}  max {:?}",
             report.rtt.samples, report.rtt.p50, report.rtt.p95, report.rtt.p99, report.rtt.max
         );
+        if let (Some(obs), Some(path)) = (&trace_obs, &args.spans_out) {
+            let spans = obs.trace_snapshot();
+            std::fs::write(path, export::spans_json("netgen", &spans)).unwrap_or_else(|e| {
+                eprintln!("netgen: cannot write {path}: {e}");
+                exit(1);
+            });
+            eprintln!("netgen: wrote {} trace spans to {path}", spans.len());
+        }
     }
 
     if let Some(handle) = subscriber {

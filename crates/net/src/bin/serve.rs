@@ -14,6 +14,7 @@
 use std::process::exit;
 use std::time::Duration;
 
+use hmts::obs::{export, AdminServer, StatusBoard};
 use hmts::prelude::*;
 use hmts_net::{
     fig9_served_chain, EgressServer, IngestConfig, IngestServer, SlowConsumerPolicy, StreamSpec,
@@ -33,12 +34,16 @@ struct Args {
     checkpoint_dir: Option<std::path::PathBuf>,
     checkpoint_interval_ms: u64,
     recover: bool,
+    admin: Option<String>,
+    trace_every: u64,
+    spans_out: Option<std::path::PathBuf>,
 }
 
 const USAGE: &str = "serve [--ingest HOST:PORT] [--egress HOST:PORT] [--stream NAME] \
 [--speedup K] [--queue-capacity N] [--producers N] [--workers N] \
 [--slow-consumer block|disconnect:MS] [--switch-after-ms N] [--metrics DIR] \
-[--checkpoint-dir DIR] [--checkpoint-interval-ms N] [--recover]
+[--checkpoint-dir DIR] [--checkpoint-interval-ms N] [--recover] [--admin HOST:PORT] \
+[--trace-every N] [--spans-out FILE]
   --speedup K          divide the paper's operator costs by K (default 50000)
   --queue-capacity N   bound of the ingest queue; fullness becomes TCP backpressure
   --producers N        ingest connections expected before the stream ends
@@ -47,7 +52,13 @@ const USAGE: &str = "serve [--ingest HOST:PORT] [--egress HOST:PORT] [--stream N
   --checkpoint-dir DIR         aligned checkpoints into DIR (turns on resume mode)
   --checkpoint-interval-ms N   checkpoint cadence (default 500)
   --recover            restore operator state + ingest offsets from the latest
-                       complete checkpoint in --checkpoint-dir before serving";
+                       complete checkpoint in --checkpoint-dir before serving
+  --admin HOST:PORT    live observability plane: GET /metrics, /healthz,
+                       /snapshot, /trace?last=N while the engine runs
+  --trace-every N      sample every Nth tuple through the per-hop tracer
+                       (also honours trace tags arriving on the wire)
+  --spans-out FILE     write this process's trace spans as spans.json on
+                       exit (mergeable with netgen's --spans-out)";
 
 fn parse_args() -> Args {
     let mut args = Args {
@@ -64,6 +75,9 @@ fn parse_args() -> Args {
         checkpoint_dir: None,
         checkpoint_interval_ms: 500,
         recover: false,
+        admin: None,
+        trace_every: 0,
+        spans_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -94,6 +108,11 @@ fn parse_args() -> Args {
                     val("--checkpoint-interval-ms").parse().expect("--checkpoint-interval-ms")
             }
             "--recover" => args.recover = true,
+            "--admin" => args.admin = Some(val("--admin")),
+            "--trace-every" => {
+                args.trace_every = val("--trace-every").parse().expect("--trace-every")
+            }
+            "--spans-out" => args.spans_out = Some(val("--spans-out").into()),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 exit(0);
@@ -124,8 +143,12 @@ fn main() {
     let args = parse_args();
     // A journal big enough that the plan-switch record survives the
     // dispatch/yield flood of a multi-second serving run.
-    let obs = if args.metrics.is_some() {
-        Obs::with_config(ObsConfig { journal_capacity: 1 << 16, ..ObsConfig::default() })
+    let obs = if args.metrics.is_some() || args.admin.is_some() || args.trace_every > 0 {
+        Obs::with_config(ObsConfig {
+            journal_capacity: 1 << 16,
+            trace: (args.trace_every > 0)
+                .then(|| TraceConfig { sample_every: args.trace_every, ..TraceConfig::default() }),
+        })
     } else {
         Obs::disabled()
     };
@@ -213,6 +236,16 @@ fn main() {
         eprintln!("serve: invalid plan: {e}");
         exit(1);
     });
+    let status = StatusBoard::default();
+    publish_plan(&status, engine.plan());
+    let _admin = args.admin.as_ref().map(|addr| {
+        let server = AdminServer::bind(addr, obs.clone(), status.clone()).unwrap_or_else(|e| {
+            eprintln!("serve: cannot bind admin endpoint {addr}: {e}");
+            exit(1);
+        });
+        println!("serve: admin endpoint on http://{}/", server.addr());
+        server
+    });
     if let Some(ck) = &recovered {
         engine.restore_checkpoint(ck).unwrap_or_else(|e| {
             eprintln!("serve: checkpoint restore failed: {e}");
@@ -226,6 +259,7 @@ fn main() {
         std::thread::sleep(Duration::from_millis(args.switch_after_ms));
         println!("serve: switching GTS -> HMTS ({} workers) under load", args.workers.max(1));
         engine.switch_plan(hmts_plan()).expect("runtime plan switch");
+        publish_plan(&status, engine.plan());
     }
 
     // The engine finishes once all expected producers disconnected and the
@@ -262,5 +296,33 @@ fn main() {
             Ok(None) => {}
             Err(e) => eprintln!("serve: cannot write metrics snapshot: {e}"),
         }
+        match obs.write_trace(dir) {
+            Ok(Some(paths)) => println!("wrote {}", paths.trace_json.display()),
+            Ok(None) => {}
+            Err(e) => eprintln!("serve: cannot write trace: {e}"),
+        }
     }
+    if let Some(path) = &args.spans_out {
+        let spans = obs.trace_snapshot();
+        match std::fs::write(path, export::spans_json("serve", &spans)) {
+            Ok(()) => println!("serve: wrote {} trace spans to {}", spans.len(), path.display()),
+            Err(e) => eprintln!("serve: cannot write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// Publishes the live plan shape to the admin `/snapshot` status block:
+/// the plan summary, the per-domain strategy, and each domain's
+/// partition assignment and execution kind.
+fn publish_plan(status: &StatusBoard, plan: &ExecutionPlan) {
+    status.set("plan", describe_plan(plan));
+    if let Some(d) = plan.domains.first() {
+        status.set("strategy", format!("{:?}", d.strategy));
+    }
+    let assignments: Vec<String> = plan
+        .domains
+        .iter()
+        .map(|d| format!("{}: partitions {:?} ({:?})", d.name, d.partitions, d.execution))
+        .collect();
+    status.set("assignments", assignments.join("; "));
 }

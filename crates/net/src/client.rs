@@ -13,7 +13,8 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use hmts::streams::element::Message;
+use hmts::obs::{trace_id, HopKind, Tracer, NO_PARTITION};
+use hmts::streams::element::{Message, TraceTag};
 use hmts::streams::time::Timestamp;
 use hmts::workload::arrival::ArrivalProcess;
 use hmts::workload::values::TupleGen;
@@ -104,6 +105,22 @@ pub struct LoadConfig {
     /// Issue an RTT `Ping` every this many tuples (0 = only the final
     /// barrier ping).
     pub ping_every: u64,
+    /// Client-side trace sampling: stamp every sampled tuple with a wire
+    /// trace tag and record its `net-send` hop, so the serve process (and
+    /// Perfetto, after merging both span exports) can follow it end to
+    /// end. `None` sends untraced v1-identical frames.
+    pub trace: Option<LoadTrace>,
+}
+
+/// Trace-sampling half of a [`LoadConfig`].
+#[derive(Debug, Clone)]
+pub struct LoadTrace {
+    /// Recorder for the client's `net-send` hop spans (also decides the
+    /// 1-in-N sampling).
+    pub tracer: Arc<Tracer>,
+    /// Logical source id baked into generated trace ids; give each client
+    /// process a distinct one so merged traces cannot collide.
+    pub source: u32,
 }
 
 impl LoadConfig {
@@ -117,6 +134,7 @@ impl LoadConfig {
             seed,
             mode: LoadMode::Open,
             ping_every: 0,
+            trace: None,
         }
     }
 }
@@ -229,6 +247,7 @@ pub fn run_load(addr: impl ToSocketAddrs, cfg: &LoadConfig) -> Result<LoadReport
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut arrivals = cfg.arrivals.clone();
     let mut gen = cfg.gen.clone();
+    let send_site: Arc<str> = Arc::from(format!("netgen:{}", cfg.stream).as_str());
     let start = Instant::now();
     let mut due = Duration::ZERO;
     let mut in_window: u64 = 0;
@@ -243,7 +262,14 @@ pub fn run_load(addr: impl ToSocketAddrs, cfg: &LoadConfig) -> Result<LoadReport
         let tuple = gen.generate(&mut rng);
         // Stream time is the scheduled emission instant.
         let ts = Timestamp::from_micros(due.as_micros().min(u64::MAX as u128) as u64);
-        writer.write_frame(&Frame::Data { ts, tuple })?;
+        let mut trace = TraceTag::NONE;
+        if let Some(tr) = &cfg.trace {
+            if tr.tracer.sampled(i) {
+                trace = TraceTag::new(trace_id(tr.source, i));
+                tr.tracer.record(trace.id(), HopKind::NetSend, &send_site, NO_PARTITION);
+            }
+        }
+        writer.write_frame(&Frame::Data { ts, tuple, trace })?;
 
         if let LoadMode::Closed { window } = cfg.mode {
             in_window += 1;

@@ -25,7 +25,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use hmts::obs::{Obs, SchedEvent};
+use hmts::obs::{HopKind, Obs, SchedEvent, Tracer, NO_PARTITION};
 use hmts::operators::traits::{Operator, Output};
 use hmts::streams::element::Element;
 use hmts::streams::error::Result as StreamResult;
@@ -149,8 +149,12 @@ impl EgressServer {
 
     /// Creates the sink operator that writes to this server's subscribers.
     pub fn sink(&self, name: impl Into<String>) -> EgressSink {
+        let name = name.into();
         EgressSink {
-            name: name.into(),
+            site: Arc::from(name.as_str()),
+            tracer: self.obs.tracer(),
+            e2e_latency: self.obs.maybe_histogram(&format!("egress.{name}.e2e_latency_ns")),
+            name,
             state: Arc::clone(&self.state),
             policy: self.policy,
             scratch: Vec::new(),
@@ -199,6 +203,11 @@ fn admit(socket: &TcpStream, policy: SlowConsumerPolicy) -> io::Result<()> {
 /// subscribers of its [`EgressServer`]. Emits nothing downstream.
 pub struct EgressSink {
     name: String,
+    site: Arc<str>,
+    tracer: Option<Arc<Tracer>>,
+    /// Source-admission → egress latency in nanoseconds (SLO histogram):
+    /// how long after its stream timestamp an element left the engine.
+    e2e_latency: Option<hmts::obs::Histogram>,
     state: Arc<EgressState>,
     policy: SlowConsumerPolicy,
     scratch: Vec<u8>,
@@ -254,7 +263,24 @@ impl Operator for EgressSink {
     }
 
     fn process(&mut self, _port: usize, element: &Element, _out: &mut Output) -> StreamResult<()> {
-        self.broadcast(&Frame::Data { ts: element.ts, tuple: element.tuple.clone() });
+        self.broadcast(&Frame::Data {
+            ts: element.ts,
+            tuple: element.tuple.clone(),
+            trace: element.trace,
+        });
+        if element.trace.is_sampled() {
+            if let Some(t) = &self.tracer {
+                t.record(element.trace.id(), HopKind::NetSend, &self.site, NO_PARTITION);
+            }
+        }
+        if let Some(h) = &self.e2e_latency {
+            // Stream timestamps are µs offsets on the same clock the obs
+            // epoch starts; the difference is admission→egress latency
+            // (clamped at 0 against timestamp-domain skew).
+            let now_ns = self.obs.elapsed().as_nanos();
+            let ts_ns = u128::from(element.ts.as_micros()) * 1_000;
+            h.record(now_ns.saturating_sub(ts_ns).min(u128::from(u64::MAX)) as u64);
+        }
         self.state.tuples.fetch_add(1, Ordering::Relaxed);
         self.tuples.inc();
         Ok(())

@@ -42,7 +42,9 @@ pub mod server;
 pub mod source;
 pub mod wire;
 
-pub use client::{run_load, LoadConfig, LoadMode, LoadReport, RttSummary, SubscriberClient};
+pub use client::{
+    run_load, LoadConfig, LoadMode, LoadReport, LoadTrace, RttSummary, SubscriberClient,
+};
 pub use egress::{EgressServer, EgressSink, SlowConsumerPolicy};
 pub use pipeline::{fig9_served_chain, ServedChain};
 pub use resume::{send_with_resume, ResumeConfig, ResumeReport};

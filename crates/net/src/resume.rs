@@ -162,7 +162,11 @@ fn send_once(
     }
 
     for (ts, tuple) in &tuples[start as usize..] {
-        let frame = Frame::Data { ts: *ts, tuple: tuple.clone() };
+        let frame = Frame::Data {
+            ts: *ts,
+            tuple: tuple.clone(),
+            trace: hmts::streams::element::TraceTag::NONE,
+        };
         if writer.write_frame(&frame).is_err() {
             return Err(SendOutcome::Retry(Some(start)));
         }

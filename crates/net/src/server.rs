@@ -27,8 +27,8 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
-use hmts::obs::{Obs, SchedEvent};
-use hmts::streams::element::Message;
+use hmts::obs::{HopKind, Obs, SchedEvent, NO_PARTITION};
+use hmts::streams::element::{Element, Message};
 use hmts::streams::queue::{BackpressurePolicy, StreamQueue};
 
 use crate::source::RemoteSource;
@@ -219,6 +219,23 @@ impl IngestServer {
             accept_thread: Mutex::new(None),
             obs: cfg.obs,
         };
+        // Arrival-rate SLO gauge: tuples/sec over the window since the last
+        // metrics collection (sampler tick or admin scrape).
+        if server.obs.is_enabled() {
+            let stats = Arc::clone(&server.stats);
+            let rate = server.obs.gauge("net_ingest_arrival_rate");
+            let last = Mutex::new((std::time::Instant::now(), 0u64));
+            server.obs.add_collector(move || {
+                let now = std::time::Instant::now();
+                let tuples = stats.tuples.load(Ordering::Relaxed);
+                let mut prev = last.lock();
+                let dt = now.duration_since(prev.0).as_secs_f64();
+                if dt >= 1e-3 {
+                    rate.set((((tuples - prev.1) as f64) / dt).round() as i64);
+                    *prev = (now, tuples);
+                }
+            });
+        }
         let streams = Arc::clone(&server.streams);
         let stats = Arc::clone(&server.stats);
         let stop = Arc::clone(&server.stop);
@@ -354,6 +371,8 @@ fn serve_connection(
     // then is `received` final and a `ResumeAck` duplicate-free.
     let _pusher = opts.resume.then(|| slot.pusher.lock());
 
+    let tracer = obs.tracer();
+    let recv_site: Arc<str> = Arc::from(slot.queue.name());
     let conn_tuples = obs.counter(&format!("net_conn{id}_tuples"));
     let conn_bytes = obs.counter(&format!("net_conn{id}_bytes"));
     let tuples = obs.counter("net_ingest_tuples");
@@ -382,8 +401,14 @@ fn serve_connection(
         };
         account(&reader);
         match frame {
-            Frame::Data { ts, tuple } => {
-                match slot.queue.push_with_stall(Message::data(tuple, ts)) {
+            Frame::Data { ts, tuple, trace } => {
+                if trace.is_sampled() {
+                    if let Some(t) = &tracer {
+                        t.record(trace.id(), HopKind::NetRecv, &recv_site, NO_PARTITION);
+                    }
+                }
+                let msg = Message::Data(Element::new(tuple, ts).with_trace(trace));
+                match slot.queue.push_with_stall(msg) {
                     Ok(stall) => {
                         if !stall.is_zero() {
                             let ns = stall.as_nanos().min(u64::MAX as u128) as u64;
@@ -497,6 +522,7 @@ fn serve_connection(
 mod tests {
     use super::*;
     use crate::wire::hello;
+    use hmts::streams::element::TraceTag;
     use hmts::streams::time::Timestamp;
     use hmts::streams::tuple::Tuple;
 
@@ -517,6 +543,7 @@ mod tests {
             w.write_frame(&Frame::Data {
                 ts: Timestamp::from_micros(i as u64),
                 tuple: Tuple::single(i),
+                trace: TraceTag::NONE,
             })
             .unwrap();
         }
@@ -539,7 +566,11 @@ mod tests {
                 .unwrap();
         let mut w = connect(server.local_addr(), "nope");
         // Socket will be closed server-side; writes may fail eventually.
-        let _ = w.write_frame(&Frame::Data { ts: Timestamp::ZERO, tuple: Tuple::single(1) });
+        let _ = w.write_frame(&Frame::Data {
+            ts: Timestamp::ZERO,
+            tuple: Tuple::single(1),
+            trace: TraceTag::NONE,
+        });
         drop(w);
         // Wait for the connection to be accepted and its thread to finish.
         while server.stats().connections_total.load(Ordering::Relaxed) < 1
@@ -585,7 +616,12 @@ mod tests {
         .unwrap();
         let mut w1 = connect(server.local_addr(), "a");
         let mut w2 = connect(server.local_addr(), "a");
-        w1.write_frame(&Frame::Data { ts: Timestamp::ZERO, tuple: Tuple::single(1) }).unwrap();
+        w1.write_frame(&Frame::Data {
+            ts: Timestamp::ZERO,
+            tuple: Tuple::single(1),
+            trace: TraceTag::NONE,
+        })
+        .unwrap();
         w1.write_frame(&Frame::Eos).unwrap();
         drop(w1);
         let q = server.queue("a").unwrap();
@@ -593,7 +629,12 @@ mod tests {
             std::thread::sleep(Duration::from_millis(2));
         }
         assert!(!q.is_closed(), "one producer still connected");
-        w2.write_frame(&Frame::Data { ts: Timestamp::ZERO, tuple: Tuple::single(2) }).unwrap();
+        w2.write_frame(&Frame::Data {
+            ts: Timestamp::ZERO,
+            tuple: Tuple::single(2),
+            trace: TraceTag::NONE,
+        })
+        .unwrap();
         w2.write_frame(&Frame::Eos).unwrap();
         drop(w2);
         while !q.is_closed() {
@@ -611,7 +652,12 @@ mod tests {
         let mut w = FrameWriter::new(sock.try_clone().unwrap());
         let mut r = FrameReader::new(sock);
         w.write_frame(&hello("a")).unwrap();
-        w.write_frame(&Frame::Data { ts: Timestamp::ZERO, tuple: Tuple::single(7) }).unwrap();
+        w.write_frame(&Frame::Data {
+            ts: Timestamp::ZERO,
+            tuple: Tuple::single(7),
+            trace: TraceTag::NONE,
+        })
+        .unwrap();
         w.write_frame(&Frame::Ping { nonce: 99 }).unwrap();
         assert_eq!(r.read_frame().unwrap(), Some(Frame::Pong { nonce: 99 }));
         // Pong is a barrier: the data frame is already in the queue.

@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use hmts::operators::traits::Source;
-use hmts::streams::element::{Message, Punctuation};
+use hmts::streams::element::{Element, Message, Punctuation};
 use hmts::streams::queue::StreamQueue;
 use hmts::streams::time::Timestamp;
 use hmts::streams::tuple::Tuple;
@@ -47,6 +47,10 @@ impl Source for RemoteSource {
     }
 
     fn next(&mut self) -> Option<(Timestamp, Tuple)> {
+        self.next_element().map(|e| (e.ts, e.tuple))
+    }
+
+    fn next_element(&mut self) -> Option<Element> {
         if self.done {
             return None;
         }
@@ -56,7 +60,10 @@ impl Source for RemoteSource {
                     self.done = true;
                     return None;
                 }
-                Some(Message::Data(e)) => return Some((e.ts, e.tuple)),
+                // Keep the full element: a wire-carried trace tag must
+                // survive into the engine so the tuple's cross-process
+                // trace stays connected.
+                Some(Message::Data(e)) => return Some(e),
                 Some(Message::Punct(Punctuation::EndOfStream)) => {
                     self.done = true;
                     return None;

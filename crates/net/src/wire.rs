@@ -19,10 +19,21 @@
 //! | 7    | `Resume`     | next sequence number `u64`                |
 //! | 8    | `ResumeAck`  | next sequence number `u64`                |
 //! | 9    | `Barrier`    | checkpoint id `u64`                       |
+//! | 10   | `DataTraced` | timestamp `u64` µs, trace id `u64`, tuple |
 //!
 //! Tuples are a `u16` arity followed by tagged values (0 null, 1 bool,
-//! 2 `i64`, 3 `f64` bits, 4 length-prefixed UTF-8). Trace tags are
-//! diagnostic metadata and deliberately *not* carried on the wire.
+//! 2 `i64`, 3 `f64` bits, 4 length-prefixed UTF-8).
+//!
+//! **Trace context (protocol v2).** A sampled element's `TraceTag` crosses
+//! the process boundary as a `DataTraced` frame (kind 10): the v1 `Data`
+//! layout plus the 8-byte trace id between timestamp and tuple. Untraced
+//! elements — the overwhelmingly common case — still encode as plain
+//! `Data`, byte-identical to v1, so carrying trace context costs nothing
+//! unless a tuple is actually sampled. Decoders accept both kinds
+//! regardless of the peer's handshake version: a v1 peer simply never
+//! sends kind 10, and every v1 frame decodes unchanged (`Data` frames get
+//! [`TraceTag::NONE`]). The `Hello` check accepts versions
+//! [`MIN_VERSION`]`..=`[`VERSION`].
 //!
 //! Decoding never panics: every malformed input — truncated frame, bad
 //! magic, unknown tag, oversized length prefix, trailing bytes — is a
@@ -34,7 +45,7 @@ use std::fmt;
 use std::io::{self, Read, Write};
 use std::sync::Arc;
 
-use hmts::streams::element::{Message, Punctuation};
+use hmts::streams::element::{Element, Message, Punctuation, TraceTag};
 use hmts::streams::time::Timestamp;
 use hmts::streams::tuple::Tuple;
 use hmts::streams::value::Value;
@@ -42,8 +53,12 @@ use hmts::streams::value::Value;
 /// Protocol magic carried by every [`Frame::Hello`].
 pub const MAGIC: [u8; 4] = *b"HMTS";
 
-/// Current protocol version.
-pub const VERSION: u16 = 1;
+/// Current protocol version. v2 added the `DataTraced` frame (kind 10)
+/// carrying a sampled element's trace id; every v1 frame is still valid v2.
+pub const VERSION: u16 = 2;
+
+/// Oldest protocol version peers may still speak in their `Hello`.
+pub const MIN_VERSION: u16 = 1;
 
 /// Hard upper bound on the body (kind + payload) of a single frame.
 /// Anything larger is rejected as corrupt before buffering.
@@ -58,6 +73,7 @@ const KIND_PONG: u8 = 6;
 const KIND_RESUME: u8 = 7;
 const KIND_RESUME_ACK: u8 = 8;
 const KIND_BARRIER: u8 = 9;
+const KIND_DATA_TRACED: u8 = 10;
 
 const TAG_NULL: u8 = 0;
 const TAG_BOOL: u8 = 1;
@@ -81,6 +97,9 @@ pub enum Frame {
         ts: Timestamp,
         /// The payload.
         tuple: Tuple,
+        /// Trace context: [`TraceTag::NONE`] (encoded as a plain v1 `Data`
+        /// frame) or a sampled tuple's trace id (encoded as `DataTraced`).
+        trace: TraceTag,
     },
     /// A watermark punctuation.
     Watermark {
@@ -127,7 +146,7 @@ impl Frame {
     /// The frame for a queue [`Message`] (data, watermark, or EOS).
     pub fn from_message(msg: &Message) -> Frame {
         match msg {
-            Message::Data(e) => Frame::Data { ts: e.ts, tuple: e.tuple.clone() },
+            Message::Data(e) => Frame::Data { ts: e.ts, tuple: e.tuple.clone(), trace: e.trace },
             Message::Punct(Punctuation::Watermark(ts)) => Frame::Watermark { ts: *ts },
             Message::Punct(Punctuation::Barrier(id)) => Frame::Barrier { id: *id },
             Message::Punct(Punctuation::EndOfStream) => Frame::Eos,
@@ -138,7 +157,9 @@ impl Frame {
     /// (`Data`/`Watermark`/`Eos`; control frames return `None`).
     pub fn into_message(self) -> Option<Message> {
         match self {
-            Frame::Data { ts, tuple } => Some(Message::data(tuple, ts)),
+            Frame::Data { ts, tuple, trace } => {
+                Some(Message::Data(Element::new(tuple, ts).with_trace(trace)))
+            }
             Frame::Watermark { ts } => Some(Message::Punct(Punctuation::Watermark(ts))),
             Frame::Barrier { id } => Some(Message::Punct(Punctuation::Barrier(id))),
             Frame::Eos => Some(Message::Punct(Punctuation::EndOfStream)),
@@ -203,9 +224,15 @@ pub fn encode_frame(frame: &Frame, buf: &mut Vec<u8>) {
             buf.extend_from_slice(&version.to_le_bytes());
             put_str(buf, stream);
         }
-        Frame::Data { ts, tuple } => {
-            buf.push(KIND_DATA);
-            buf.extend_from_slice(&ts.as_micros().to_le_bytes());
+        Frame::Data { ts, tuple, trace } => {
+            if trace.is_sampled() {
+                buf.push(KIND_DATA_TRACED);
+                buf.extend_from_slice(&ts.as_micros().to_le_bytes());
+                buf.extend_from_slice(&trace.id().to_le_bytes());
+            } else {
+                buf.push(KIND_DATA);
+                buf.extend_from_slice(&ts.as_micros().to_le_bytes());
+            }
             put_tuple(buf, tuple);
         }
         Frame::Watermark { ts } => {
@@ -270,7 +297,7 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, DecodeError> {
                 return Err(DecodeError::BadMagic);
             }
             let version = cur.u16()?;
-            if version != VERSION {
+            if !(MIN_VERSION..=VERSION).contains(&version) {
                 return Err(DecodeError::UnsupportedVersion(version));
             }
             let stream = cur.string()?;
@@ -279,7 +306,13 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, DecodeError> {
         KIND_DATA => {
             let ts = Timestamp::from_micros(cur.u64()?);
             let tuple = cur.tuple()?;
-            Frame::Data { ts, tuple }
+            Frame::Data { ts, tuple, trace: TraceTag::NONE }
+        }
+        KIND_DATA_TRACED => {
+            let ts = Timestamp::from_micros(cur.u64()?);
+            let trace = TraceTag::new(cur.u64()?);
+            let tuple = cur.tuple()?;
+            Frame::Data { ts, tuple, trace }
         }
         KIND_WATERMARK => Frame::Watermark { ts: Timestamp::from_micros(cur.u64()?) },
         KIND_EOS => Frame::Eos,
@@ -553,6 +586,12 @@ mod tests {
                     Value::Float(2.5),
                     Value::from("päyload"),
                 ]),
+                trace: TraceTag::NONE,
+            },
+            Frame::Data {
+                ts: Timestamp::from_micros(77),
+                tuple: Tuple::pair(3, "traced"),
+                trace: TraceTag::new(0xDEAD_BEEF),
             },
             Frame::Watermark { ts: Timestamp::from_secs(9) },
             Frame::Eos,
@@ -572,6 +611,7 @@ mod tests {
         let f = Frame::Data {
             ts: Timestamp::ZERO,
             tuple: Tuple::new(vec![Value::Float(f64::NAN), Value::Float(-0.0)]),
+            trace: TraceTag::NONE,
         };
         let mut buf = Vec::new();
         encode_frame(&f, &mut buf);
@@ -589,18 +629,80 @@ mod tests {
 
     #[test]
     fn truncation_reports_eof_everywhere() {
-        let mut buf = Vec::new();
-        encode_frame(
-            &Frame::Data { ts: Timestamp::from_micros(5), tuple: Tuple::pair(1, "abc") },
-            &mut buf,
-        );
-        for cut in 0..buf.len() {
-            assert_eq!(
-                decode_frame(&buf[..cut]).unwrap_err(),
-                DecodeError::UnexpectedEof,
-                "cut at {cut}"
+        for trace in [TraceTag::NONE, TraceTag::new(42)] {
+            let mut buf = Vec::new();
+            encode_frame(
+                &Frame::Data { ts: Timestamp::from_micros(5), tuple: Tuple::pair(1, "abc"), trace },
+                &mut buf,
             );
+            for cut in 0..buf.len() {
+                assert_eq!(
+                    decode_frame(&buf[..cut]).unwrap_err(),
+                    DecodeError::UnexpectedEof,
+                    "cut at {cut} (trace {})",
+                    trace.id()
+                );
+            }
         }
+    }
+
+    #[test]
+    fn untraced_data_is_byte_identical_to_v1_and_decodes_with_none_tag() {
+        // Hand-build the v1 Data layout: kind 2, u64 ts µs, tuple.
+        let mut v1 = vec![KIND_DATA];
+        v1.extend_from_slice(&123u64.to_le_bytes());
+        v1.extend_from_slice(&1u16.to_le_bytes());
+        v1.push(TAG_INT);
+        v1.extend_from_slice(&9i64.to_le_bytes());
+        // A v1 peer's frame decodes losslessly, trace tag NONE.
+        let decoded = decode_body(&v1).unwrap();
+        assert_eq!(
+            decoded,
+            Frame::Data {
+                ts: Timestamp::from_micros(123),
+                tuple: Tuple::single(9),
+                trace: TraceTag::NONE
+            }
+        );
+        // And the v2 encoder emits exactly those bytes for an untraced
+        // element — old decoders keep working against new senders.
+        let mut buf = Vec::new();
+        encode_frame(&decoded, &mut buf);
+        assert_eq!(&buf[4..], &v1[..]);
+    }
+
+    #[test]
+    fn traced_data_uses_kind_10_and_round_trips() {
+        let f = Frame::Data {
+            ts: Timestamp::from_micros(55),
+            tuple: Tuple::single(1),
+            trace: TraceTag::new(0x0100_0000_0007),
+        };
+        let mut buf = Vec::new();
+        encode_frame(&f, &mut buf);
+        assert_eq!(buf[4], KIND_DATA_TRACED);
+        assert_eq!(round_trip(f.clone()), f);
+        // A flipped trace-id byte still decodes structurally (the id is a
+        // plain u64), just with a different tag — no panic, no misparse.
+        let mut body = buf[4..].to_vec();
+        body[9] ^= 0xFF; // first trace-id byte (kind 1 + ts 8)
+        match decode_body(&body).unwrap() {
+            Frame::Data { trace, tuple, .. } => {
+                assert_ne!(trace, TraceTag::new(0x0100_0000_0007));
+                assert_eq!(tuple, Tuple::single(1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Chopping the frame mid-trace-id is UnexpectedEof, not a panic.
+        let short = &body[..12];
+        let mut cut = Vec::with_capacity(4 + short.len());
+        cut.extend_from_slice(&(short.len() as u32).to_le_bytes());
+        cut.extend_from_slice(short);
+        assert_eq!(decode_frame(&cut).unwrap_err(), DecodeError::UnexpectedEof);
+        // Trailing garbage after the tuple is still caught.
+        let mut long = buf[4..].to_vec();
+        long.push(0);
+        assert_eq!(decode_body(&long).unwrap_err(), DecodeError::TrailingBytes);
     }
 
     #[test]
@@ -642,13 +744,42 @@ mod tests {
     }
 
     #[test]
+    fn hello_accepts_the_supported_version_range() {
+        let mut buf = Vec::new();
+        encode_frame(&hello("s"), &mut buf);
+        let set_version = |v: u16| {
+            let mut body = buf[4..].to_vec();
+            body[5..7].copy_from_slice(&v.to_le_bytes());
+            body
+        };
+        // v1 peers (no trace frames) and v2 peers both handshake fine.
+        for v in MIN_VERSION..=VERSION {
+            assert_eq!(
+                decode_body(&set_version(v)).unwrap(),
+                Frame::Hello { version: v, stream: "s".to_string() }
+            );
+        }
+        // Versions outside the range are rejected with the typed error.
+        for v in [0, VERSION + 1, u16::MAX] {
+            assert_eq!(
+                decode_body(&set_version(v)).unwrap_err(),
+                DecodeError::UnsupportedVersion(v)
+            );
+        }
+    }
+
+    #[test]
     fn reader_writer_round_trip_and_clean_eof() {
         let mut wire = Vec::new();
         {
             let mut w = FrameWriter::new(&mut wire);
             w.write_frame(&hello("a")).unwrap();
-            w.write_frame(&Frame::Data { ts: Timestamp::from_micros(1), tuple: Tuple::single(10) })
-                .unwrap();
+            w.write_frame(&Frame::Data {
+                ts: Timestamp::from_micros(1),
+                tuple: Tuple::single(10),
+                trace: TraceTag::NONE,
+            })
+            .unwrap();
             w.write_frame(&Frame::Eos).unwrap();
             assert_eq!(w.bytes_written(), wire.len() as u64);
         }

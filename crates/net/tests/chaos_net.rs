@@ -145,7 +145,12 @@ fn heartbeat_timeout_reaps_idle_producer() {
     let sock = TcpStream::connect(server.local_addr()).unwrap();
     let mut w = FrameWriter::new(sock);
     w.write_frame(&hello("s")).unwrap();
-    w.write_frame(&Frame::Data { ts: Timestamp::ZERO, tuple: Tuple::single(1) }).unwrap();
+    w.write_frame(&Frame::Data {
+        ts: Timestamp::ZERO,
+        tuple: Tuple::single(1),
+        trace: TraceTag::NONE,
+    })
+    .unwrap();
     w.flush().unwrap();
     // ... and then silence: no Eos, no more data, socket left open.
 

@@ -4,6 +4,7 @@
 
 use proptest::prelude::*;
 
+use hmts::streams::element::TraceTag;
 use hmts::streams::time::Timestamp;
 use hmts::streams::tuple::Tuple;
 use hmts::streams::value::Value;
@@ -29,13 +30,26 @@ fn arb_tuple() -> impl Strategy<Value = Tuple> {
     proptest::collection::vec(arb_value(), 0..6).prop_map(Tuple::new)
 }
 
+fn arb_trace() -> impl Strategy<Value = TraceTag> {
+    prop_oneof![
+        // Untraced appears three times: the common case on a real wire.
+        Just(TraceTag::NONE),
+        Just(TraceTag::NONE),
+        Just(TraceTag::NONE),
+        (1u64..=u64::MAX).prop_map(TraceTag::new),
+    ]
+}
+
 fn arb_frame() -> BoxedStrategy<Frame> {
     prop_oneof![
         // Hello must carry the supported version; other versions are
         // rejected by design (covered in the wire unit tests).
         "[a-z0-9_]{0,16}".prop_map(|stream| Frame::Hello { version: VERSION, stream }),
-        (any::<u64>(), arb_tuple())
-            .prop_map(|(ts, tuple)| Frame::Data { ts: Timestamp::from_micros(ts), tuple }),
+        (any::<u64>(), arb_tuple(), arb_trace()).prop_map(|(ts, tuple, trace)| Frame::Data {
+            ts: Timestamp::from_micros(ts),
+            tuple,
+            trace,
+        }),
         any::<u64>().prop_map(|ts| Frame::Watermark { ts: Timestamp::from_micros(ts) }),
         Just(Frame::Eos),
         any::<u64>().prop_map(|nonce| Frame::Ping { nonce }),
@@ -72,6 +86,52 @@ proptest! {
         let bytes = encoding_of(&frame);
         let (decoded, _) = decode_frame(&bytes).unwrap();
         prop_assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn v1_data_frames_decode_losslessly_with_untraced_tag(
+        ts in any::<u64>(),
+        tuple in arb_tuple(),
+    ) {
+        // A v1 peer never wrote a trace tag; its Data encoding is exactly
+        // what the v2 encoder emits for an untraced element. The v2
+        // decoder must accept it and fill in TraceTag::NONE, losing
+        // nothing else.
+        let ts = Timestamp::from_micros(ts);
+        let v1 = encoding_of(&Frame::Data { ts, tuple: tuple.clone(), trace: TraceTag::NONE });
+        let (decoded, consumed) = decode_frame(&v1).expect("v1 frame decodes");
+        prop_assert_eq!(consumed, v1.len());
+        match decoded {
+            Frame::Data { ts: dts, tuple: dtuple, trace } => {
+                prop_assert_eq!(trace, TraceTag::NONE);
+                prop_assert_eq!(dts, ts);
+                if !dtuple.values().iter().any(|v| matches!(v, Value::Float(x) if x.is_nan())) {
+                    prop_assert_eq!(dtuple, tuple);
+                }
+            }
+            other => prop_assert!(false, "decoded {other:?}, expected Data"),
+        }
+    }
+
+    #[test]
+    fn truncating_the_trace_field_yields_typed_eof(
+        ts in any::<u64>(),
+        tuple in arb_tuple(),
+        id in 1u64..=u64::MAX,
+        cut in 0usize..8,
+    ) {
+        let bytes = encoding_of(&Frame::Data {
+            ts: Timestamp::from_micros(ts),
+            tuple,
+            trace: TraceTag::new(id),
+        });
+        // Keep kind + timestamp + only `cut` bytes of the new trace-id
+        // field, with the length prefix fixed up so the truncation is
+        // caught by the body decoder (a typed error), not the framing.
+        let body_len = 1 + 8 + cut;
+        let mut short = ((body_len as u32).to_le_bytes()).to_vec();
+        short.extend_from_slice(&bytes[4..4 + body_len]);
+        prop_assert_eq!(decode_frame(&short).unwrap_err(), DecodeError::UnexpectedEof);
     }
 
     #[test]

@@ -105,6 +105,7 @@ fn bounded_ingest_queue_stalls_instead_of_dropping() {
             w.write_frame(&Frame::Data {
                 ts: hmts::streams::time::Timestamp::from_micros(i as u64),
                 tuple: hmts::streams::tuple::Tuple::single(i),
+                trace: hmts::streams::element::TraceTag::NONE,
             })
             .unwrap();
         }

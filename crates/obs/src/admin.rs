@@ -1,0 +1,485 @@
+//! Live observability plane: a dependency-free HTTP/1.1 admin endpoint.
+//!
+//! [`AdminServer`] serves the state of one [`Obs`] handle over plain
+//! `std::net::TcpListener` — no async runtime, no serde, one thread per
+//! server and one short-lived thread per connection:
+//!
+//! * `GET /metrics` — Prometheus text exposition of the full registry.
+//! * `GET /healthz` — JSON liveness summary: uptime plus the
+//!   `supervisor_*` restart/panic/stall counters and the quarantine
+//!   gauge. Status degrades to `"degraded"` while operators sit in
+//!   quarantine.
+//! * `GET /snapshot` — structured JSON runtime snapshot: per-queue
+//!   depth/high-water/drops, per-operator cost and selectivity
+//!   estimates, checkpoint id and age, engine-level gauges, and
+//!   free-form status strings (plan shape, strategy mode, thread
+//!   assignments) published by the host through [`StatusBoard`].
+//! * `GET /trace?last=N` — the most recent `N` completed tuple spans in
+//!   the same `spans.json` shape as [`export::spans_json`].
+//!
+//! The server holds only an [`Obs`] clone, so it observes whatever the
+//! engine publishes without any direct coupling to engine types: the
+//! snapshot endpoint reconstructs structure from the metric naming
+//! conventions (`queue.<name>.<field>`, `node.<name>.<field>`,
+//! `checkpoint.*`, `engine.*`) that the engine's collectors maintain.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::export::{self, json_escape};
+use crate::registry::quantile_from_cumulative;
+use crate::{MetricValue, Obs};
+
+/// Free-form key/value strings published into `/snapshot` by the host
+/// process (plan description, scheduling strategy, thread assignments —
+/// anything not derivable from metrics). Cloneable; all clones share
+/// one board.
+#[derive(Clone, Debug, Default)]
+pub struct StatusBoard(Arc<Mutex<BTreeMap<String, String>>>);
+
+impl StatusBoard {
+    /// Sets (or replaces) one status entry.
+    pub fn set(&self, key: impl Into<String>, value: impl Into<String>) {
+        self.0.lock().insert(key.into(), value.into());
+    }
+
+    /// Removes one status entry.
+    pub fn remove(&self, key: &str) {
+        self.0.lock().remove(key);
+    }
+
+    /// A point-in-time copy of all entries.
+    pub fn snapshot(&self) -> BTreeMap<String, String> {
+        self.0.lock().clone()
+    }
+}
+
+/// A running admin HTTP server. Dropping the handle (or calling
+/// [`AdminServer::shutdown`]) stops the accept loop and joins it.
+#[derive(Debug)]
+pub struct AdminServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl AdminServer {
+    /// Binds `addr` and starts serving `obs` immediately. `addr` may use
+    /// port 0 to let the OS pick; the bound address is available via
+    /// [`AdminServer::addr`].
+    pub fn bind(addr: &str, obs: Obs, status: StatusBoard) -> std::io::Result<AdminServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("hmts-admin".into())
+            .spawn(move || accept_loop(listener, obs, status, accept_stop))?;
+        Ok(AdminServer { addr: local, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound listen address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and waits for it to exit. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock a parked `accept` by connecting to ourselves; the
+        // handler sees the stop flag before serving.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for AdminServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, obs: Obs, status: StatusBoard, stop: Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = conn else { continue };
+        let obs = obs.clone();
+        let status = status.clone();
+        // One short-lived thread per request keeps a slow client from
+        // blocking the accept loop; admin traffic is a handful of
+        // scrapes per second at most.
+        let _ = std::thread::Builder::new()
+            .name("hmts-admin-conn".into())
+            .spawn(move || serve_connection(stream, &obs, &status));
+    }
+}
+
+fn serve_connection(stream: TcpStream, obs: &Obs, status: &StatusBoard) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() || request_line.is_empty() {
+        return;
+    }
+    // Drain headers so well-behaved clients see a clean close.
+    let mut header = String::new();
+    loop {
+        header.clear();
+        match reader.read_line(&mut header) {
+            Ok(0) | Err(_) => break,
+            Ok(_) if header == "\r\n" || header == "\n" => break,
+            Ok(_) if header.len() > 8192 => break,
+            Ok(_) => {}
+        }
+    }
+
+    let mut stream = reader.into_inner();
+    let mut parts = request_line.split_whitespace();
+    let (method, target) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method != "GET" {
+        respond(&mut stream, 405, "text/plain; charset=utf-8", "method not allowed\n");
+        return;
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    match path {
+        "/metrics" => {
+            if obs.is_enabled() {
+                obs.run_collectors();
+                let body = export::prometheus_text(&obs.metrics_snapshot());
+                respond(&mut stream, 200, "text/plain; version=0.0.4; charset=utf-8", &body);
+            } else {
+                respond(&mut stream, 503, "text/plain; charset=utf-8", "observability disabled\n");
+            }
+        }
+        "/healthz" => {
+            let body = healthz_json(obs);
+            respond(&mut stream, 200, "application/json", &body);
+        }
+        "/snapshot" => {
+            obs.run_collectors();
+            let body = snapshot_json(obs, status);
+            respond(&mut stream, 200, "application/json", &body);
+        }
+        "/trace" => {
+            let last = query
+                .split('&')
+                .find_map(|kv| kv.strip_prefix("last="))
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(256);
+            let mut spans = obs.trace_snapshot();
+            if spans.len() > last {
+                spans.drain(..spans.len() - last);
+            }
+            respond(&mut stream, 200, "application/json", &export::spans_json("admin", &spans));
+        }
+        _ => respond(&mut stream, 404, "text/plain; charset=utf-8", "not found\n"),
+    }
+}
+
+fn respond(stream: &mut TcpStream, code: u16, content_type: &str, body: &str) {
+    let reason = match code {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Ignores the read side of the metric map for lookups below.
+struct Metrics(Vec<(String, MetricValue)>);
+
+impl Metrics {
+    fn counter(&self, name: &str) -> u64 {
+        self.0
+            .iter()
+            .find_map(|(n, v)| match v {
+                MetricValue::Counter(c) if n == name => Some(*c),
+                _ => None,
+            })
+            .unwrap_or(0)
+    }
+
+    fn gauge(&self, name: &str) -> Option<i64> {
+        self.0.iter().find_map(|(n, v)| match v {
+            MetricValue::Gauge(g) if n == name => Some(*g),
+            _ => None,
+        })
+    }
+}
+
+fn healthz_json(obs: &Obs) -> String {
+    if !obs.is_enabled() {
+        return "{\"status\":\"ok\",\"observability\":\"disabled\"}\n".into();
+    }
+    let m = Metrics(obs.metrics_snapshot());
+    let quarantined = m.gauge("supervisor_quarantined").unwrap_or(0);
+    let status = if quarantined > 0 { "degraded" } else { "ok" };
+    format!(
+        "{{\"status\":\"{status}\",\"uptime_ms\":{},\"supervisor\":{{\"restarts\":{},\"panics\":{},\"stalls\":{},\"quarantined\":{quarantined}}}}}\n",
+        obs.elapsed().as_millis(),
+        m.counter("supervisor_restarts"),
+        m.counter("supervisor_panics"),
+        m.counter("supervisor_stalls"),
+    )
+}
+
+/// Groups `prefix.<name>.<field>` metrics into per-`<name>` field maps,
+/// preserving dots inside `<name>` (queue names like `a->b` or
+/// `ingest:s` pass through; only the final `.<field>` segment splits).
+fn grouped<'a>(
+    metrics: &'a [(String, MetricValue)],
+    prefix: &str,
+) -> BTreeMap<&'a str, BTreeMap<&'a str, f64>> {
+    let mut out: BTreeMap<&str, BTreeMap<&str, f64>> = BTreeMap::new();
+    for (name, value) in metrics {
+        let Some(rest) = name.strip_prefix(prefix) else { continue };
+        let Some((entity, field)) = rest.rsplit_once('.') else { continue };
+        if entity.is_empty() || field.is_empty() {
+            continue;
+        }
+        out.entry(entity).or_default().insert(field, value.as_f64());
+    }
+    out
+}
+
+fn json_group(groups: &BTreeMap<&str, BTreeMap<&str, f64>>) -> String {
+    let entries: Vec<String> = groups
+        .iter()
+        .map(|(entity, fields)| {
+            let inner: Vec<String> = fields
+                .iter()
+                .map(|(f, v)| format!("\"{}\":{}", json_escape(f), fmt_f64(*v)))
+                .collect();
+            format!("\"{}\":{{{}}}", json_escape(entity), inner.join(","))
+        })
+        .collect();
+    format!("{{{}}}", entries.join(","))
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        if v.fract() == 0.0 && v.abs() < 9e15 {
+            format!("{}", v as i64)
+        } else {
+            format!("{v}")
+        }
+    } else {
+        "null".into()
+    }
+}
+
+fn snapshot_json(obs: &Obs, status: &StatusBoard) -> String {
+    if !obs.is_enabled() {
+        return "{\"enabled\":false}\n".into();
+    }
+    let m = Metrics(obs.metrics_snapshot());
+    let metrics = &m.0;
+    let queues = grouped(metrics, "queue.");
+    let nodes = grouped(metrics, "node.");
+    let sources = grouped(metrics, "source.");
+    // Engine-level metrics are flat (`engine.domains`), not per-entity.
+    let engine: Vec<String> = metrics
+        .iter()
+        .filter_map(|(name, value)| {
+            let field = name.strip_prefix("engine.")?;
+            (!field.contains('.'))
+                .then(|| format!("\"{}\":{}", json_escape(field), fmt_f64(value.as_f64())))
+        })
+        .collect();
+
+    let uptime_ms = obs.elapsed().as_millis();
+    let checkpoint = match m.gauge("checkpoint.last_id") {
+        Some(id) => {
+            let at = m.gauge("checkpoint.last_at_ms").unwrap_or(0);
+            let age = (uptime_ms as i64).saturating_sub(at).max(0);
+            format!("{{\"last_id\":{id},\"last_at_ms\":{at},\"age_ms\":{age}}}")
+        }
+        None => "null".into(),
+    };
+
+    // End-to-end latency quantiles per egress, from the histogram buckets.
+    let mut latencies: Vec<String> = Vec::new();
+    for (name, value) in metrics {
+        let (Some(rest), MetricValue::Histogram(count, _sum, buckets)) =
+            (name.strip_prefix("egress."), value)
+        else {
+            continue;
+        };
+        let Some(query) = rest.strip_suffix(".e2e_latency_ns") else { continue };
+        latencies.push(format!(
+            "\"{}\":{{\"count\":{count},\"p50_ns\":{},\"p99_ns\":{}}}",
+            json_escape(query),
+            quantile_from_cumulative(*count, buckets, 0.50),
+            quantile_from_cumulative(*count, buckets, 0.99),
+        ));
+    }
+
+    let status_entries: Vec<String> = status
+        .snapshot()
+        .iter()
+        .map(|(k, v)| format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)))
+        .collect();
+
+    format!(
+        "{{\"enabled\":true,\"uptime_ms\":{uptime_ms},\"queues\":{},\"operators\":{},\"sources\":{},\"engine\":{{{}}},\"checkpoint\":{},\"e2e_latency\":{{{}}},\"status\":{{{}}}}}\n",
+        json_group(&queues),
+        json_group(&nodes),
+        json_group(&sources),
+        engine.join(","),
+        checkpoint,
+        latencies.join(","),
+        status_entries.join(","),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{trace_id, TraceConfig};
+    use crate::{HopKind, ObsConfig};
+    use std::io::Read;
+
+    fn get(addr: SocketAddr, target: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect admin");
+        write!(stream, "GET {target} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let code: u16 = raw
+            .split_whitespace()
+            .nth(1)
+            .and_then(|c| c.parse().ok())
+            .unwrap_or_else(|| panic!("malformed response: {raw:?}"));
+        let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+        (code, body)
+    }
+
+    #[test]
+    fn serves_metrics_healthz_snapshot_and_trace() {
+        let obs = Obs::with_config(ObsConfig {
+            trace: Some(TraceConfig::default()),
+            ..ObsConfig::default()
+        });
+        obs.counter("queue.a->b.enqueued").add(7);
+        obs.gauge("queue.a->b.occupancy").set(3);
+        obs.gauge("node.select.cost_ns").set(1200);
+        obs.gauge("checkpoint.last_id").set(4);
+        obs.gauge("checkpoint.last_at_ms").set(0);
+        obs.histogram("egress.q1.e2e_latency_ns").record(5_000);
+        let tracer = obs.tracer().unwrap();
+        tracer.record_site(trace_id(0, 0), HopKind::NetRecv, "ingest:s", crate::NO_PARTITION);
+
+        let status = StatusBoard::default();
+        status.set("strategy", "hmts");
+        let server = AdminServer::bind("127.0.0.1:0", obs.clone(), status).expect("bind");
+        let addr = server.addr();
+
+        let (code, body) = get(addr, "/metrics");
+        assert_eq!(code, 200);
+        assert!(body.contains("queue_a__b_enqueued_total 7"), "{body}");
+        assert!(body.contains("# TYPE"), "{body}");
+
+        let (code, body) = get(addr, "/healthz");
+        assert_eq!(code, 200);
+        let health = crate::json::parse(&body).expect("healthz is JSON");
+        assert_eq!(health.get("status").and_then(|s| s.as_str()), Some("ok"));
+
+        let (code, body) = get(addr, "/snapshot");
+        assert_eq!(code, 200, "{body}");
+        let snap = crate::json::parse(&body).expect("snapshot is JSON");
+        let queues = snap.get("queues").expect("queues");
+        let q = queues.get("a->b").expect("queue entry");
+        assert_eq!(q.get("occupancy").and_then(|v| v.as_f64()), Some(3.0));
+        assert_eq!(q.get("enqueued").and_then(|v| v.as_f64()), Some(7.0));
+        let ckpt = snap.get("checkpoint").expect("checkpoint");
+        assert_eq!(ckpt.get("last_id").and_then(|v| v.as_u64()), Some(4));
+        assert!(ckpt.get("age_ms").and_then(|v| v.as_f64()).is_some());
+        assert_eq!(
+            snap.get("status").and_then(|s| s.get("strategy")).and_then(|v| v.as_str()),
+            Some("hmts")
+        );
+        let lat = snap.get("e2e_latency").and_then(|l| l.get("q1")).expect("latency entry");
+        assert_eq!(lat.get("count").and_then(|v| v.as_u64()), Some(1));
+
+        let (code, body) = get(addr, "/trace?last=10");
+        assert_eq!(code, 200);
+        let (_, spans) = export::parse_spans_json(&body).expect("trace is spans JSON");
+        assert_eq!(spans.len(), 1);
+        assert_eq!(&*spans[0].site, "ingest:s");
+
+        let (code, _) = get(addr, "/nope");
+        assert_eq!(code, 404);
+    }
+
+    #[test]
+    fn disabled_obs_reports_503_metrics_and_healthy_liveness() {
+        let mut server =
+            AdminServer::bind("127.0.0.1:0", Obs::disabled(), StatusBoard::default()).unwrap();
+        let (code, _) = get(server.addr(), "/metrics");
+        assert_eq!(code, 503);
+        let (code, body) = get(server.addr(), "/healthz");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"disabled\""), "{body}");
+        let (code, body) = get(server.addr(), "/snapshot");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"enabled\":false"), "{body}");
+        server.shutdown();
+        server.shutdown(); // idempotent
+        assert!(
+            TcpStream::connect(server.addr()).is_err() || {
+                // The OS may accept briefly during teardown; a request must fail.
+                get_after_shutdown(server.addr())
+            }
+        );
+    }
+
+    fn get_after_shutdown(addr: SocketAddr) -> bool {
+        match TcpStream::connect(addr) {
+            Err(_) => true,
+            Ok(mut s) => {
+                let _ = write!(s, "GET /healthz HTTP/1.1\r\n\r\n");
+                let mut out = String::new();
+                s.read_to_string(&mut out).ok();
+                out.is_empty()
+            }
+        }
+    }
+
+    #[test]
+    fn quarantine_degrades_health() {
+        let obs = Obs::enabled();
+        obs.gauge("supervisor_quarantined").set(2);
+        obs.counter("supervisor_panics").add(3);
+        let server = AdminServer::bind("127.0.0.1:0", obs, StatusBoard::default()).unwrap();
+        let (code, body) = get(server.addr(), "/healthz");
+        assert_eq!(code, 200);
+        let health = crate::json::parse(&body).unwrap();
+        assert_eq!(health.get("status").and_then(|s| s.as_str()), Some("degraded"));
+        assert_eq!(
+            health.get("supervisor").and_then(|s| s.get("panics")).and_then(|v| v.as_u64()),
+            Some(3)
+        );
+    }
+}

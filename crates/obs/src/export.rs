@@ -20,23 +20,31 @@ use crate::trace::{HopKind, SpanEvent, NO_PARTITION};
 /// Counters get a `_total` suffix, histograms emit cumulative
 /// `_bucket{le="..."}` lines plus `_sum` and `_count` plus estimated
 /// `{quantile="..."}` gauges for p50/p95/p99, matching what a Prometheus
-/// scrape endpoint would serve.
+/// scrape endpoint would serve. Every family is announced with `# HELP`
+/// and `# TYPE` lines; the help text quotes the registry name verbatim
+/// (escaped per the exposition format), which preserves characters the
+/// metric-name sanitiser had to fold away (`queue.src->map` and the like).
 pub fn prometheus_text(snapshot: &[(String, MetricValue)]) -> String {
     let mut out = String::new();
-    for (name, value) in snapshot {
-        let name = sanitize_metric_name(name);
+    for (raw_name, value) in snapshot {
+        let name = sanitize_metric_name(raw_name);
+        let help = escape_help_text(raw_name);
         match value {
             MetricValue::Counter(v) => {
+                out.push_str(&format!("# HELP {name}_total hmts counter {help}\n"));
                 out.push_str(&format!("# TYPE {name}_total counter\n"));
                 out.push_str(&format!("{name}_total {v}\n"));
             }
             MetricValue::Gauge(v) => {
+                out.push_str(&format!("# HELP {name} hmts gauge {help}\n"));
                 out.push_str(&format!("# TYPE {name} gauge\n"));
                 out.push_str(&format!("{name} {v}\n"));
             }
             MetricValue::Histogram(count, sum, buckets) => {
+                out.push_str(&format!("# HELP {name} hmts histogram {help}\n"));
                 out.push_str(&format!("# TYPE {name} histogram\n"));
                 for (le, cum) in buckets {
+                    let le = escape_label_value(&le.to_string());
                     out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cum}\n"));
                 }
                 out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {count}\n"));
@@ -44,12 +52,44 @@ pub fn prometheus_text(snapshot: &[(String, MetricValue)]) -> String {
                 out.push_str(&format!("{name}_count {count}\n"));
                 // Bucket-resolution quantile estimates, exposed as a
                 // summary-style gauge family next to the histogram.
+                out.push_str(&format!("# HELP {name}_quantile hmts quantile estimates {help}\n"));
                 out.push_str(&format!("# TYPE {name}_quantile gauge\n"));
                 for (q, label) in [(0.50, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
                     let v = quantile_from_cumulative(*count, buckets, q);
                     out.push_str(&format!("{name}_quantile{{quantile=\"{label}\"}} {v}\n"));
                 }
             }
+        }
+    }
+    out
+}
+
+/// Escapes a string for use as a Prometheus label *value*: the exposition
+/// format requires `\\`, `\"`, and `\n` to be backslash-escaped inside the
+/// double-quoted value.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a string for use in a `# HELP` line: backslashes and line feeds
+/// must be escaped (quotes are fine in help text).
+fn escape_help_text(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\n"),
+            c => out.push(c),
         }
     }
     out
@@ -76,7 +116,7 @@ pub fn sanitize_metric_name(name: &str) -> String {
 }
 
 /// Escapes a string for inclusion in JSON output.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -285,13 +325,39 @@ fn partition_arg(partition: u32) -> i64 {
     }
 }
 
+/// One process's contribution to a merged multi-process timeline: its
+/// sampled tuple spans and scheduler journal, plus the pid/name Perfetto
+/// should group its tracks under.
+#[derive(Debug, Clone, Copy)]
+pub struct ProcessTrace<'a> {
+    /// Perfetto process id (pick distinct small integers per process).
+    pub pid: u32,
+    /// Human-readable process name shown on the track group.
+    pub name: &'a str,
+    /// Tuple trace spans recorded by this process.
+    pub spans: &'a [SpanEvent],
+    /// Scheduler event journal recorded by this process.
+    pub journal: &'a [EventRecord],
+}
+
 /// Renders tuple trace spans merged with the scheduler event journal as
 /// Chrome `trace_event`-format JSON (the legacy format Perfetto's
 /// ui.perfetto.dev and `chrome://tracing` both open).
 ///
-/// Track model: one track per engine thread (worker, dedicated-domain, or
-/// source thread), identified by the shared per-thread token. On those
-/// tracks:
+/// Single-process convenience wrapper over [`chrome_trace_json_multi`];
+/// everything lands under pid 1 / process name `hmts`.
+pub fn chrome_trace_json(spans: &[SpanEvent], journal: &[EventRecord]) -> String {
+    chrome_trace_json_multi(&[ProcessTrace { pid: 1, name: "hmts", spans, journal }])
+}
+
+/// Renders span + journal exports from several processes as one Chrome
+/// `trace_event` JSON document with per-process track groups, so a tuple
+/// sampled at a `netgen` client can be followed across the wire into the
+/// `serve` engine and out through egress on a single timeline.
+///
+/// Track model, per process: one track per engine thread (worker,
+/// dedicated-domain, or source thread), identified by the shared
+/// per-thread token. On those tracks:
 ///
 /// * `ph:"X"` complete events for each operator-processing span of a
 ///   sampled tuple (`cat:"tuple"`) and for each dispatch→yield executor
@@ -299,25 +365,50 @@ fn partition_arg(partition: u32) -> i64 {
 /// * `ph:"b"`/`ph:"e"` async events (`cat:"queue"`, id = trace id) for
 ///   queue residency, which Perfetto draws as arrows/flows across the
 ///   producer and consumer threads,
+/// * `ph:"b"`/`ph:"e"` async events (`cat:"net"`, id = trace id) for
+///   network transit: a `net-send` hop opens the async span in the sending
+///   process and the matching `net-recv` hop closes it in the receiving
+///   process — because async events pair by id *globally*, this is the
+///   link that stitches the per-process tracks together,
 /// * `ph:"i"` instant events for the remaining scheduler decisions
 ///   (dispatch, preempt, aging-boost, mode-switch, stalls, queue
 ///   lifecycle).
-pub fn chrome_trace_json(spans: &[SpanEvent], journal: &[EventRecord]) -> String {
+///
+/// Timestamps are per-process elapsed-since-start; co-started processes
+/// (the loopback harness, or `netgen` pointed at a freshly started
+/// `serve`) line up within startup skew.
+pub fn chrome_trace_json_multi(procs: &[ProcessTrace<'_>]) -> String {
     let mut events: Vec<String> = Vec::new();
+    for p in procs {
+        emit_process_events(&mut events, p);
+    }
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(e);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+fn emit_process_events(events: &mut Vec<String>, p: &ProcessTrace<'_>) {
+    let ProcessTrace { pid, name, spans, journal } = *p;
 
     // Thread metadata: name every referenced track.
     let mut threads: Vec<u64> =
         spans.iter().map(|s| s.thread).chain(journal.iter().map(|r| r.thread)).collect();
     threads.sort_unstable();
     threads.dedup();
-    events.push(
-        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
-         \"args\":{\"name\":\"hmts\"}}"
-            .to_string(),
-    );
+    events.push(format!(
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+         \"args\":{{\"name\":\"{}\"}}}}",
+        json_escape(name)
+    ));
     for t in &threads {
         events.push(format!(
-            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{t},\
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{t},\
              \"args\":{{\"name\":\"engine thread {t}\"}}}}"
         ));
     }
@@ -339,7 +430,7 @@ pub fn chrome_trace_json(spans: &[SpanEvent], journal: &[EventRecord]) -> String
                         if start.site == h.site {
                             events.push(format!(
                                 "{{\"name\":\"{}\",\"cat\":\"tuple\",\"ph\":\"X\",\
-                                 \"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\
+                                 \"ts\":{},\"dur\":{},\"pid\":{pid},\"tid\":{},\
                                  \"args\":{{\"trace_id\":{},\"partition\":{}}}}}",
                                 json_escape(&h.site),
                                 ts_us(start.t_ns),
@@ -355,13 +446,28 @@ pub fn chrome_trace_json(spans: &[SpanEvent], journal: &[EventRecord]) -> String
                     let ph = if h.kind == HopKind::QueueEnter { "b" } else { "e" };
                     events.push(format!(
                         "{{\"name\":\"{}\",\"cat\":\"queue\",\"ph\":\"{ph}\",\
-                         \"id\":{},\"ts\":{},\"pid\":1,\"tid\":{},\
+                         \"id\":{},\"ts\":{},\"pid\":{pid},\"tid\":{},\
                          \"args\":{{\"partition\":{}}}}}",
                         json_escape(&h.site),
                         h.trace_id,
                         ts_us(h.t_ns),
                         h.thread,
                         partition_arg(h.partition),
+                    ));
+                }
+                HopKind::NetSend | HopKind::NetRecv => {
+                    // One async span per wire transit: the send side opens
+                    // it, the receive side (possibly in another process)
+                    // closes it. Constant name so the b/e events pair.
+                    let ph = if h.kind == HopKind::NetSend { "b" } else { "e" };
+                    events.push(format!(
+                        "{{\"name\":\"net\",\"cat\":\"net\",\"ph\":\"{ph}\",\
+                         \"id\":{},\"ts\":{},\"pid\":{pid},\"tid\":{},\
+                         \"args\":{{\"site\":\"{}\"}}}}",
+                        h.trace_id,
+                        ts_us(h.t_ns),
+                        h.thread,
+                        json_escape(&h.site),
                     ));
                 }
             }
@@ -383,7 +489,7 @@ pub fn chrome_trace_json(spans: &[SpanEvent], journal: &[EventRecord]) -> String
                     if d == *domain {
                         events.push(format!(
                             "{{\"name\":\"run d{domain}\",\"cat\":\"sched\",\"ph\":\"X\",\
-                             \"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\
+                             \"ts\":{},\"dur\":{},\"pid\":{pid},\"tid\":{},\
                              \"args\":{{\"outcome\":\"{}\"}}}}",
                             ts_us(start.elapsed_ns),
                             ts_us(r.elapsed_ns.saturating_sub(start.elapsed_ns)),
@@ -448,7 +554,7 @@ pub fn chrome_trace_json(spans: &[SpanEvent], journal: &[EventRecord]) -> String
                 };
                 events.push(format!(
                     "{{\"name\":\"{}\",\"cat\":\"sched\",\"ph\":\"i\",\"s\":\"t\",\
-                     \"ts\":{},\"pid\":1,\"tid\":{}}}",
+                     \"ts\":{},\"pid\":{pid},\"tid\":{}}}",
                     json_escape(&name),
                     ts_us(r.elapsed_ns),
                     r.thread,
@@ -461,21 +567,91 @@ pub fn chrome_trace_json(spans: &[SpanEvent], journal: &[EventRecord]) -> String
     for (start, domain) in open_dispatch.values() {
         events.push(format!(
             "{{\"name\":\"dispatch d{domain}\",\"cat\":\"sched\",\"ph\":\"i\",\"s\":\"t\",\
-             \"ts\":{},\"pid\":1,\"tid\":{}}}",
+             \"ts\":{},\"pid\":{pid},\"tid\":{}}}",
             ts_us(start.elapsed_ns),
             start.thread,
         ));
     }
+}
 
-    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
-    for (i, e) in events.iter().enumerate() {
+// ---------------------------------------------------------------------------
+// Span file export / import (for offline multi-process merging)
+// ---------------------------------------------------------------------------
+
+/// Renders a process's raw trace spans as a standalone JSON document
+/// (`{"process": ..., "spans": [...]}`), suitable for writing next to the
+/// metrics snapshot and later merging with other processes' exports via
+/// [`parse_spans_json`] + [`chrome_trace_json_multi`].
+pub fn spans_json(process: &str, spans: &[SpanEvent]) -> String {
+    let mut out = format!("{{\"process\": \"{}\", \"spans\": [\n", json_escape(process));
+    for (i, s) in spans.iter().enumerate() {
         if i > 0 {
             out.push_str(",\n");
         }
-        out.push_str(e);
+        out.push_str(&format!(
+            "  {{\"seq\": {}, \"trace_id\": {}, \"kind\": \"{}\", \"site\": \"{}\", \
+             \"partition\": {}, \"thread\": {}, \"t_ns\": {}}}",
+            s.seq,
+            s.trace_id,
+            s.kind.kind(),
+            json_escape(&s.site),
+            s.partition,
+            s.thread,
+            s.t_ns,
+        ));
     }
     out.push_str("\n]}\n");
     out
+}
+
+/// Parses a [`spans_json`] document back into `(process name, spans)`.
+///
+/// Strict: unknown hop kinds, missing fields, or non-integer numerics are
+/// errors, never panics — this is the ingestion path for files produced by
+/// *other* processes.
+pub fn parse_spans_json(text: &str) -> Result<(String, Vec<SpanEvent>), String> {
+    let doc = crate::json::parse(text)?;
+    let process = doc
+        .get("process")
+        .and_then(|j| j.as_str())
+        .ok_or_else(|| "spans file: missing \"process\" string".to_string())?
+        .to_string();
+    let arr = doc
+        .get("spans")
+        .and_then(|j| j.as_arr())
+        .ok_or_else(|| "spans file: missing \"spans\" array".to_string())?;
+    let mut spans = Vec::with_capacity(arr.len());
+    for (i, item) in arr.iter().enumerate() {
+        let field_u64 = |key: &str| -> Result<u64, String> {
+            item.get(key)
+                .and_then(|j| j.as_u64())
+                .ok_or_else(|| format!("spans file: span {i}: missing u64 \"{key}\""))
+        };
+        let kind_tag = item
+            .get("kind")
+            .and_then(|j| j.as_str())
+            .ok_or_else(|| format!("spans file: span {i}: missing \"kind\""))?;
+        let kind = HopKind::from_kind(kind_tag)
+            .ok_or_else(|| format!("spans file: span {i}: unknown hop kind {kind_tag:?}"))?;
+        let site = item
+            .get("site")
+            .and_then(|j| j.as_str())
+            .ok_or_else(|| format!("spans file: span {i}: missing \"site\""))?;
+        let partition = field_u64("partition")?;
+        if partition > u64::from(u32::MAX) {
+            return Err(format!("spans file: span {i}: partition {partition} out of range"));
+        }
+        spans.push(SpanEvent {
+            seq: field_u64("seq")?,
+            trace_id: field_u64("trace_id")?,
+            kind,
+            site: site.into(),
+            partition: partition as u32,
+            thread: field_u64("thread")?,
+            t_ns: field_u64("t_ns")?,
+        });
+    }
+    Ok((process, spans))
 }
 
 // ---------------------------------------------------------------------------
@@ -558,6 +734,9 @@ pub fn latency_breakdown(spans: &[SpanEvent]) -> Vec<OpLatency> {
                         }
                     }
                 }
+                // Network transit is attributed on the merged timeline,
+                // not to any single operator's queue/processing split.
+                HopKind::NetSend | HopKind::NetRecv => {}
             }
         }
     }
@@ -795,6 +974,188 @@ mod tests {
         assert!(json.contains("\"kind\": \"mode-switch\""));
         assert!(json.contains("\\\"g\\\""));
         assert!(json.trim_end().ends_with(']'));
+    }
+
+    /// Strict line validator for the Prometheus text exposition format.
+    /// Every line must be a `# HELP`, a `# TYPE` (with a known type), or a
+    /// sample `name{labels} value` where the name matches
+    /// `[a-zA-Z_:][a-zA-Z0-9_:]*`, label values are double-quoted with
+    /// only legal escapes, and the value parses as f64. Additionally every
+    /// sample must be preceded by a TYPE announcement for its family.
+    fn validate_exposition(text: &str) {
+        fn valid_name(s: &str) -> bool {
+            !s.is_empty()
+                && s.chars().next().map(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+                    == Some(true)
+                && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        }
+        let mut typed: Vec<String> = Vec::new();
+        for (ln, line) in text.lines().enumerate() {
+            let err = |msg: &str| -> ! { panic!("line {}: {msg}: {line:?}", ln + 1) };
+            if let Some(rest) = line.strip_prefix("# ") {
+                let (keyword, rest) = rest.split_once(' ').unwrap_or_else(|| err("bare comment"));
+                let (name, detail) = rest.split_once(' ').unwrap_or((rest, ""));
+                if !valid_name(name) {
+                    err("bad metric name in comment");
+                }
+                match keyword {
+                    "HELP" => {
+                        // Help text: `\` only as `\\` or `\n`, no raw newlines
+                        // (lines() already split those away — check escapes).
+                        let mut chars = detail.chars();
+                        while let Some(c) = chars.next() {
+                            if c == '\\' && !matches!(chars.next(), Some('\\') | Some('n')) {
+                                err("bad escape in HELP text");
+                            }
+                        }
+                    }
+                    "TYPE" => {
+                        if !matches!(detail, "counter" | "gauge" | "histogram" | "summary") {
+                            err("unknown TYPE");
+                        }
+                        typed.push(name.to_string());
+                    }
+                    _ => err("unknown comment keyword"),
+                }
+                continue;
+            }
+            // Sample line: name[{labels}] value
+            let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| err("no value"));
+            value.parse::<f64>().unwrap_or_else(|_| err("value is not a number"));
+            let name = if let Some((name, labels)) = series.split_once('{') {
+                let labels = labels.strip_suffix('}').unwrap_or_else(|| err("unclosed labels"));
+                for pair in labels.split(',') {
+                    let (k, v) = pair.split_once('=').unwrap_or_else(|| err("label without ="));
+                    if !valid_name(k) {
+                        err("bad label name");
+                    }
+                    let v = v
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .unwrap_or_else(|| err("unquoted label value"));
+                    let mut chars = v.chars();
+                    while let Some(c) = chars.next() {
+                        match c {
+                            '\\' if !matches!(chars.next(), Some('\\' | '"' | 'n')) => {
+                                err("bad escape in label value")
+                            }
+                            '"' | '\n' => err("unescaped quote/newline in label value"),
+                            _ => {}
+                        }
+                    }
+                }
+                name
+            } else {
+                series
+            };
+            if !valid_name(name) {
+                err("bad metric name");
+            }
+            // The family (name minus canonical suffixes) must be typed.
+            let family_known = typed.iter().any(|t| {
+                name == t
+                    || (name
+                        .strip_prefix(t.as_str())
+                        .is_some_and(|suffix| matches!(suffix, "_bucket" | "_sum" | "_count")))
+            });
+            if !family_known {
+                err("sample without preceding # TYPE");
+            }
+        }
+    }
+
+    #[test]
+    fn exposition_is_strictly_well_formed_with_help_and_escaping() {
+        // A "real" scrape: names with the full zoo of characters the
+        // registry actually produces (queue edges, slashes, dots).
+        let snapshot = vec![
+            ("queue.src->map.enqueued".to_string(), MetricValue::Counter(10)),
+            ("sched/occupancy".to_string(), MetricValue::Gauge(-3)),
+            ("weird\"name\\with\nstuff".to_string(), MetricValue::Gauge(1)),
+            (
+                "op.fig9:filter.latency_ns".to_string(),
+                MetricValue::Histogram(3, 300, vec![(64, 1), (128, 3)]),
+            ),
+        ];
+        let text = prometheus_text(&snapshot);
+        validate_exposition(&text);
+        // HELP precedes TYPE precedes samples, and quotes the raw name.
+        let help_idx = text.find("# HELP queue_src__map_enqueued_total").unwrap();
+        let type_idx = text.find("# TYPE queue_src__map_enqueued_total counter").unwrap();
+        let sample_idx = text.find("queue_src__map_enqueued_total 10").unwrap();
+        assert!(help_idx < type_idx && type_idx < sample_idx);
+        assert!(text.contains("queue.src->map.enqueued"), "HELP keeps the raw registry name");
+        // The hostile raw name is escaped in HELP, sanitised in the name.
+        assert!(text.contains("weird\"name\\\\with\\nstuff"));
+        assert!(text.contains("weird_name_with_stuff 1"));
+    }
+
+    #[test]
+    fn label_value_escaping_covers_quotes_backslashes_newlines() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+    }
+
+    #[test]
+    fn spans_json_round_trips_through_the_strict_parser() {
+        let spans = vec![
+            span(0, 7, HopKind::NetSend, "netgen:q", NO_PARTITION, 1, 1_000),
+            span(1, 7, HopKind::NetRecv, "ingest:q", NO_PARTITION, 2, 1_500),
+            span(2, 7, HopKind::ProcessStart, "op \"x\"", 3, 2, 2_000),
+            span(3, 7, HopKind::ProcessEnd, "op \"x\"", 3, 2, 2_500),
+        ];
+        let text = spans_json("netgen", &spans);
+        let (process, parsed) = parse_spans_json(&text).expect("round trip");
+        assert_eq!(process, "netgen");
+        assert_eq!(parsed.len(), spans.len());
+        for (a, b) in spans.iter().zip(&parsed) {
+            assert_eq!((a.seq, a.trace_id, a.kind), (b.seq, b.trace_id, b.kind));
+            assert_eq!(
+                (&*a.site, a.partition, a.thread, a.t_ns),
+                (&*b.site, b.partition, b.thread, b.t_ns)
+            );
+        }
+        // Corruption yields errors, not panics.
+        assert!(parse_spans_json("{\"process\": \"x\"}").is_err());
+        assert!(parse_spans_json("{\"process\": \"x\", \"spans\": [{}]}").is_err());
+        assert!(parse_spans_json(
+            "{\"process\": \"x\", \"spans\": [{\"seq\": 0, \"trace_id\": 1, \
+             \"kind\": \"warp\", \"site\": \"s\", \"partition\": 0, \"thread\": 0, \"t_ns\": 0}]}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn multi_process_trace_stitches_net_hops_across_pids() {
+        // Client process: send hop only.
+        let client = vec![span(0, 7, HopKind::NetSend, "netgen:q", NO_PARTITION, 1, 1_000)];
+        // Server process: recv hop, then a processing span.
+        let server = vec![
+            span(0, 7, HopKind::NetRecv, "ingest:q", NO_PARTITION, 9, 1_400),
+            span(1, 7, HopKind::ProcessStart, "f", 0, 9, 2_000),
+            span(2, 7, HopKind::ProcessEnd, "f", 0, 9, 2_300),
+        ];
+        let json = chrome_trace_json_multi(&[
+            ProcessTrace { pid: 1, name: "netgen", spans: &client, journal: &[] },
+            ProcessTrace { pid: 2, name: "serve", spans: &server, journal: &[] },
+        ]);
+        // Async net span opens in pid 1 and closes in pid 2 with one id.
+        assert!(json.contains(
+            "{\"name\":\"net\",\"cat\":\"net\",\"ph\":\"b\",\"id\":7,\"ts\":1.000,\"pid\":1"
+        ));
+        assert!(json.contains(
+            "{\"name\":\"net\",\"cat\":\"net\",\"ph\":\"e\",\"id\":7,\"ts\":1.400,\"pid\":2"
+        ));
+        // Both processes are named and the tuple span lands under pid 2.
+        assert!(json.contains("\"args\":{\"name\":\"netgen\"}"));
+        assert!(json.contains("\"args\":{\"name\":\"serve\"}"));
+        assert!(json.contains(
+            "{\"name\":\"f\",\"cat\":\"tuple\",\"ph\":\"X\",\"ts\":2.000,\"dur\":0.300,\"pid\":2"
+        ));
+        let doc = crate::json::parse(&json).expect("valid JSON");
+        assert!(!doc.get("traceEvents").unwrap().as_arr().unwrap().is_empty());
     }
 
     #[test]

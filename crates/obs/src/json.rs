@@ -61,6 +61,14 @@ impl Json {
         }
     }
 
+    /// The key/value members if this is an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
     /// The numeric value as u64 if this is a non-negative integer number.
     pub fn as_u64(&self) -> Option<u64> {
         match self {

@@ -15,6 +15,7 @@
 //! paths cost nothing measurable when observability is off (see the
 //! `disabled_path_is_near_zero_cost` test).
 
+pub mod admin;
 pub mod export;
 pub mod journal;
 pub mod json;
@@ -26,10 +27,11 @@ use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+pub use admin::{AdminServer, StatusBoard};
 pub use journal::{EventJournal, EventRecord, SchedEvent};
 pub use registry::{Counter, Gauge, Histogram, Metric, MetricValue, MetricsRegistry};
 pub use sampler::{SamplePoint, SampleStore, Sampler};
-pub use trace::{HopKind, SpanEvent, TraceConfig, Tracer};
+pub use trace::{trace_id, HopKind, SpanEvent, TraceConfig, Tracer, NO_PARTITION};
 
 /// Configuration for an enabled [`Obs`] handle.
 #[derive(Clone, Debug, Default)]
@@ -192,6 +194,14 @@ impl Obs {
     pub fn clear_collectors(&self) {
         if let Some(core) = &self.0 {
             core.samples.clear_collectors();
+        }
+    }
+
+    /// Runs registered collectors to refresh derived gauges, without
+    /// recording a sample point (no-op when disabled).
+    pub fn run_collectors(&self) {
+        if let Some(core) = &self.0 {
+            core.samples.run_collectors();
         }
     }
 

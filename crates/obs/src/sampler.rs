@@ -50,11 +50,18 @@ impl SampleStore {
         self.collectors.lock().clear();
     }
 
-    /// Runs collectors and appends one snapshot of `registry`.
-    pub fn sample_now(&self, registry: &MetricsRegistry, elapsed: Duration) {
+    /// Runs every registered collector without recording a sample — used
+    /// by on-demand readers (the admin endpoint) that want fresh gauges
+    /// but must not grow the series on every scrape.
+    pub fn run_collectors(&self) {
         for c in self.collectors.lock().iter() {
             c();
         }
+    }
+
+    /// Runs collectors and appends one snapshot of `registry`.
+    pub fn sample_now(&self, registry: &MetricsRegistry, elapsed: Duration) {
+        self.run_collectors();
         let point = SamplePoint { elapsed, metrics: registry.snapshot() };
         self.series.lock().push(point);
     }

@@ -39,8 +39,9 @@ use crate::journal::thread_token;
 /// partition (source-side enqueues).
 pub const NO_PARTITION: u32 = u32::MAX;
 
-/// The four per-hop record kinds of a tuple's journey through one
-/// operator: waiting in the inbound queue, then being processed.
+/// The per-hop record kinds of a tuple's journey: waiting in a queue,
+/// being processed by an operator, or crossing a process boundary over
+/// the wire (protocol v2 carries the trace tag in `DataTraced` frames).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum HopKind {
     /// The element was pushed into an inter-partition queue.
@@ -51,6 +52,12 @@ pub enum HopKind {
     ProcessStart,
     /// The operator finished processing the element.
     ProcessEnd,
+    /// The element was written to a network socket (egress broadcast or a
+    /// load-generator send).
+    NetSend,
+    /// The element was read off a network socket (ingest receive or a
+    /// subscriber receive).
+    NetRecv,
 }
 
 impl HopKind {
@@ -61,7 +68,23 @@ impl HopKind {
             HopKind::QueueExit => "queue-exit",
             HopKind::ProcessStart => "process-start",
             HopKind::ProcessEnd => "process-end",
+            HopKind::NetSend => "net-send",
+            HopKind::NetRecv => "net-recv",
         }
+    }
+
+    /// Parses the [`HopKind::kind`] tag back (used by the spans.json
+    /// reader that merges multi-process exports).
+    pub fn from_kind(tag: &str) -> Option<HopKind> {
+        Some(match tag {
+            "queue-enter" => HopKind::QueueEnter,
+            "queue-exit" => HopKind::QueueExit,
+            "process-start" => HopKind::ProcessStart,
+            "process-end" => HopKind::ProcessEnd,
+            "net-send" => HopKind::NetSend,
+            "net-recv" => HopKind::NetRecv,
+            _ => return None,
+        })
     }
 }
 

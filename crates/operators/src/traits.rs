@@ -156,6 +156,15 @@ pub trait Source: Send {
     /// source is exhausted (the engine then injects end-of-stream).
     fn next(&mut self) -> Option<(Timestamp, Tuple)>;
 
+    /// The next element with its full metadata, in particular any trace
+    /// tag that arrived with it (cross-process tracing: a remote source
+    /// must surface the tag the wire frame carried so the engine keeps the
+    /// tuple's trace alive instead of minting a fresh one). The default
+    /// wraps [`next`](Source::next) with an untraced element.
+    fn next_element(&mut self) -> Option<Element> {
+        self.next().map(|(ts, tuple)| Element::new(tuple, ts))
+    }
+
     /// Total number of elements this source will deliver, if known in
     /// advance (used for progress reporting in the experiment harness).
     fn size_hint(&self) -> Option<u64> {

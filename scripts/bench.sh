@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Performance artifacts for the observability plane and the executor:
+#
+# 1. BENCH_6.json — the batch-size ablation sweep rerun on the *real*
+#    engine (Fig. 9 workload, two-VO HMTS placement): throughput plus
+#    p50/p99 admission→sink latency per batch size, machine-readable.
+# 2. The scrape-overhead bound: continuous `GET /metrics` polling while
+#    the served Fig. 9/10 chain runs under load must cost < 1%
+#    throughput (the bench asserts and exits non-zero otherwise).
+#
+# Usage: scripts/bench.sh [BENCH_6.json path]    (default: repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_6.json}"
+
+echo "==> bench6: batch-size sweep on the real engine -> $OUT"
+# The simulator ablations (sections A–D) run alongside and land their
+# CSV under target/bench; only the JSON artifact is kept in-tree.
+cargo run --release -p hmts-bench --bin ablation -- --out target/bench --bench6 "$OUT"
+
+echo "==> scrape overhead: /metrics polling vs served chain (< 1% budget)"
+cargo bench -p hmts-net --bench scrape_overhead
+
+echo "==> bench artifacts done ($OUT)"

@@ -52,4 +52,49 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> admin-plane smoke (/metrics + /healthz against a live serve)"
+# Boots the served Fig. 9/10 chain with the embedded admin endpoint and
+# scrapes it over raw /dev/tcp (no curl dependency): non-200 or an empty
+# body fails the gate.
+smoke_log=$(mktemp)
+target/release/serve --ingest 127.0.0.1:0 --egress 127.0.0.1:0 \
+  --admin 127.0.0.1:0 >"$smoke_log" 2>&1 &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -f "$smoke_log"' EXIT
+admin_addr=""
+for _ in $(seq 1 50); do
+  admin_addr=$(sed -n 's#^serve: admin endpoint on http://\([^/]*\)/.*#\1#p' "$smoke_log")
+  [ -n "$admin_addr" ] && break
+  sleep 0.1
+done
+if [ -z "$admin_addr" ]; then
+  echo "error: serve never announced its admin endpoint:"
+  cat "$smoke_log"
+  exit 1
+fi
+host=${admin_addr%:*}
+port=${admin_addr##*:}
+http_get() { # $1 = request target; prints the full HTTP response
+  exec 3<>"/dev/tcp/$host/$port"
+  printf 'GET %s HTTP/1.1\r\nHost: smoke\r\nConnection: close\r\n\r\n' "$1" >&3
+  cat <&3
+  exec 3<&- 3>&-
+}
+for target in /metrics /healthz; do
+  resp=$(http_get "$target")
+  status=$(printf '%s' "$resp" | head -n1 | awk '{print $2}')
+  body=$(printf '%s' "$resp" | sed -e '1,/^\r\{0,1\}$/d')
+  bytes=$(printf '%s' "$body" | wc -c)
+  if [ "$status" != 200 ] || [ "$bytes" -eq 0 ]; then
+    echo "error: GET $target -> status ${status:-none}, $bytes body bytes"
+    printf '%s\n' "$resp"
+    exit 1
+  fi
+  echo "    GET $target -> 200 ($bytes bytes)"
+done
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+trap - EXIT
+rm -f "$smoke_log"
+
 echo "==> all checks passed"
