@@ -23,7 +23,11 @@ use std::time::Instant;
 use criterion::{criterion_group, Criterion, Throughput};
 use hmts::chaos::{FaultAction, FaultPlan, OperatorFaultState};
 use hmts::checkpoint::CheckpointShared;
-use hmts::obs::{trace_id, Histogram, HopKind, Obs, SchedEvent, TraceConfig, Tracer, NO_PARTITION};
+use hmts::obs::alert::{AlertEngine, AlertRule};
+use hmts::obs::capacity::{self, CapacityConfig};
+use hmts::obs::{
+    trace_id, Histogram, HopKind, Obs, SchedEvent, StatusBoard, TraceConfig, Tracer, NO_PARTITION,
+};
 use hmts::streams::element::TraceTag;
 
 /// A pass-through allocator that counts allocation calls so the harness
@@ -228,6 +232,33 @@ fn assert_checkpoint_hook_allocates_nothing() {
     println!("checkpoint poll: 0 allocations over {N} disabled and {N} idle elements\n");
 }
 
+/// The capacity/alert analogue: with observability disabled, installing
+/// the analyzer and an alert engine wires nothing into the collector
+/// chain, so the recurring paths — `run_collectors` (which would drive
+/// both when enabled) and a direct `evaluate` round — must stay off the
+/// heap entirely. This is the "alerting costs nothing unless you turn
+/// observability on" bound of the capacity-analyzer tentpole.
+fn assert_disabled_alert_and_capacity_paths_allocate_nothing() {
+    const N: u64 = 100_000;
+    let obs = Obs::disabled();
+    let status = StatusBoard::default();
+    capacity::install(&obs, &status, CapacityConfig::default());
+    let engine = AlertEngine::install(
+        &obs,
+        vec![AlertRule::parse("rho > 0.9 for 5s").expect("rule parses")],
+    );
+
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    for _ in 0..N {
+        obs.run_collectors();
+        engine.evaluate();
+        black_box(&engine);
+    }
+    let allocs = ALLOC_CALLS.load(Ordering::Relaxed) - before;
+    assert_eq!(allocs, 0, "disabled capacity/alert evaluation must not allocate");
+    println!("capacity/alert disabled path: 0 allocations over {N} evaluation rounds\n");
+}
+
 /// The SLO-accounting analogue of the tracing bound: the egress
 /// delivery hook and the source admission-tag hook must stay off the
 /// heap when observability is disabled, and when enabled-but-unsampled.
@@ -422,5 +453,6 @@ fn main() {
     assert_slo_hooks_allocate_nothing();
     assert_chaos_hook_allocates_nothing();
     assert_checkpoint_hook_allocates_nothing();
+    assert_disabled_alert_and_capacity_paths_allocate_nothing();
     benches();
 }

@@ -1,0 +1,86 @@
+//! Compares two batch-sweep bench artifacts (`BENCH_*.json`) and prints
+//! per-configuration throughput and p99-latency deltas. Informational
+//! only: shared CI runners make absolute numbers advisory, so this tool
+//! always exits 0 on a successful comparison — it gates nothing.
+//!
+//! ```text
+//! bench_compare BENCH_6.json target/BENCH_7.json
+//! ```
+
+use std::process::exit;
+
+use hmts::obs::json::{self, Json};
+
+struct Config {
+    batch: u64,
+    throughput_tps: f64,
+    e2e_p99_ns: f64,
+}
+
+fn load(path: &str) -> Vec<Config> {
+    let raw = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_compare: cannot read {path}: {e}");
+        exit(2);
+    });
+    let doc = json::parse(&raw).unwrap_or_else(|e| {
+        eprintln!("bench_compare: {path} is not valid JSON: {e}");
+        exit(2);
+    });
+    let configs = doc.get("configs").and_then(Json::as_arr).unwrap_or_else(|| {
+        eprintln!("bench_compare: {path} has no configs array");
+        exit(2);
+    });
+    configs
+        .iter()
+        .filter_map(|c| {
+            Some(Config {
+                batch: c.get("batch")?.as_u64()?,
+                throughput_tps: c.get("throughput_tps")?.as_f64()?,
+                e2e_p99_ns: c.get("e2e_p99_ns")?.as_f64()?,
+            })
+        })
+        .collect()
+}
+
+fn pct(old: f64, new: f64) -> String {
+    if old <= 0.0 {
+        return "n/a".into();
+    }
+    format!("{:+.1}%", (new - old) / old * 100.0)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [old_path, new_path] = args.as_slice() else {
+        eprintln!("usage: bench_compare OLD.json NEW.json");
+        exit(2);
+    };
+    let old = load(old_path);
+    let new = load(new_path);
+
+    println!("bench compare: {old_path} -> {new_path} (informational, non-gating)");
+    println!(
+        "{:>6}  {:>14}  {:>12}  {:>14}  {:>10}",
+        "batch", "tput (el/s)", "tput Δ", "p99 (ms)", "p99 Δ"
+    );
+    for n in &new {
+        let prev = old.iter().find(|o| o.batch == n.batch);
+        let (tput_delta, p99_delta) = match prev {
+            Some(o) => (pct(o.throughput_tps, n.throughput_tps), pct(o.e2e_p99_ns, n.e2e_p99_ns)),
+            None => ("new".into(), "new".into()),
+        };
+        println!(
+            "{:>6}  {:>14.1}  {:>12}  {:>14.3}  {:>10}",
+            n.batch,
+            n.throughput_tps,
+            tput_delta,
+            n.e2e_p99_ns / 1e6,
+            p99_delta
+        );
+    }
+    for o in &old {
+        if !new.iter().any(|n| n.batch == o.batch) {
+            println!("{:>6}  (dropped from new artifact)", o.batch);
+        }
+    }
+}

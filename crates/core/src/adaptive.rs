@@ -76,6 +76,23 @@ pub fn adapt_once(engine: &mut Engine, cfg: &AdaptiveConfig) -> Result<Adaptatio
         return Ok(Adaptation::InsufficientData);
     }
     let cost_graph = engine.cost_graph();
+    // Feed the controller's own view of the paper cost model to the
+    // observability plane: per-VO utilization c(P)/d(P) for the *current*
+    // partitioning. The capacity analyzer computes measured ρ = λ·c
+    // independently; diverging gauges mean the EWMA model and the live
+    // rates disagree.
+    {
+        let d = cost_graph.interarrival_times();
+        let ppm = |u: f64| if u.is_finite() { (u * 1e6) as i64 } else { i64::MAX };
+        let mut max_u = 0.0f64;
+        for (i, group) in engine.plan().partitioning.groups().iter().enumerate() {
+            let idx: Vec<usize> = group.iter().map(|n| n.0).collect();
+            let u = cost_graph.utilization(&idx, &d);
+            max_u = max_u.max(u);
+            engine.obs().gauge(&format!("model.partition.{i}.utilization_ppm")).set(ppm(u));
+        }
+        engine.obs().gauge("model.max_utilization_ppm").set(ppm(max_u));
+    }
     let groups = stall_avoiding(&cost_graph);
     let partitioning = to_partitioning(&groups);
     if same_partitioning(&partitioning, &engine.plan().partitioning) {

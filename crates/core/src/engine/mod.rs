@@ -1011,12 +1011,21 @@ impl Engine {
         }
         if self.cfg.measure_stats {
             let mut nodes = Vec::new();
+            let mut sources = Vec::new();
             for i in 0..self.topo.node_count() {
                 let id = NodeId(i);
+                let name = self.topo.name(id);
                 if self.topo.is_source(id) {
+                    // Sources only emit; the driver feeds their arrival
+                    // estimator at emission time, so the measured rate is
+                    // the live ingest rate the capacity analyzer scales
+                    // everything from.
+                    sources.push((
+                        Arc::clone(&self.stats[i]),
+                        obs.gauge(&format!("source.{name}.rate")),
+                    ));
                     continue;
                 }
-                let name = self.topo.name(id);
                 nodes.push((
                     Arc::clone(&self.stats[i]),
                     obs.gauge(&format!("node.{name}.cost_ns")),
@@ -1039,8 +1048,42 @@ impl Engine {
                     }
                     processed.set(s.processed as i64);
                 }
+                for (stats, rate) in &sources {
+                    if let Some(r) = stats.lock().arrivals.rate() {
+                        rate.set(r as i64);
+                    }
+                }
             });
         }
+    }
+
+    /// Publishes the query shape onto a [`hmts_obs::StatusBoard`] in the
+    /// encoding the capacity analyzer
+    /// ([`hmts_obs::capacity::TopologySpec`]) parses: `topology.edges`
+    /// (`a->b;b->c`), `topology.sources` (`a,b`), and
+    /// `topology.partitions` (`b,c|d,e` — the current plan's virtual
+    /// operators). Call it after construction and again after any plan
+    /// switch so `/analyze` tracks the live partitioning. Node names
+    /// containing the separators (`;`, `,`, `|`, `->`) would corrupt the
+    /// encoding and are the host's responsibility to avoid.
+    pub fn publish_topology(&self, status: &hmts_obs::StatusBoard) {
+        let edges: Vec<String> = self
+            .topo
+            .edges()
+            .iter()
+            .map(|e| format!("{}->{}", self.topo.name(e.from), self.topo.name(e.to)))
+            .collect();
+        let sources: Vec<&str> = self.topo.sources().iter().map(|&s| self.topo.name(s)).collect();
+        let partitions: Vec<String> = self
+            .plan
+            .partitioning
+            .groups()
+            .iter()
+            .map(|g| g.iter().map(|&v| self.topo.name(v)).collect::<Vec<_>>().join(","))
+            .collect();
+        status.set("topology.edges", edges.join(";"));
+        status.set("topology.sources", sources.join(","));
+        status.set("topology.partitions", partitions.join("|"));
     }
 
     fn stall_threshold_effective(&self) -> usize {

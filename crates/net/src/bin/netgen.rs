@@ -232,6 +232,7 @@ fn main() {
                 .as_ref()
                 .and_then(|o| o.tracer())
                 .map(|tracer| LoadTrace { tracer, source: args.trace_source }),
+            ts_offset: std::time::Duration::ZERO,
         };
         eprintln!(
             "netgen: sending {} tuples ({}, {}) to {} stream {:?}",

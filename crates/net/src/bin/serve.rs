@@ -14,6 +14,8 @@
 use std::process::exit;
 use std::time::Duration;
 
+use hmts::obs::alert::{AlertEngine, AlertRule};
+use hmts::obs::capacity::{self, CapacityConfig};
 use hmts::obs::{export, AdminServer, StatusBoard};
 use hmts::prelude::*;
 use hmts_net::{
@@ -35,6 +37,7 @@ struct Args {
     checkpoint_interval_ms: u64,
     recover: bool,
     admin: Option<String>,
+    alerts: Vec<String>,
     trace_every: u64,
     spans_out: Option<std::path::PathBuf>,
 }
@@ -43,7 +46,7 @@ const USAGE: &str = "serve [--ingest HOST:PORT] [--egress HOST:PORT] [--stream N
 [--speedup K] [--queue-capacity N] [--producers N] [--workers N] \
 [--slow-consumer block|disconnect:MS] [--switch-after-ms N] [--metrics DIR] \
 [--checkpoint-dir DIR] [--checkpoint-interval-ms N] [--recover] [--admin HOST:PORT] \
-[--trace-every N] [--spans-out FILE]
+[--alert \"EXPR\"] [--trace-every N] [--spans-out FILE]
   --speedup K          divide the paper's operator costs by K (default 50000)
   --queue-capacity N   bound of the ingest queue; fullness becomes TCP backpressure
   --producers N        ingest connections expected before the stream ends
@@ -54,7 +57,12 @@ const USAGE: &str = "serve [--ingest HOST:PORT] [--egress HOST:PORT] [--stream N
   --recover            restore operator state + ingest offsets from the latest
                        complete checkpoint in --checkpoint-dir before serving
   --admin HOST:PORT    live observability plane: GET /metrics, /healthz,
-                       /snapshot, /trace?last=N while the engine runs
+                       /snapshot, /analyze, /trace?last=N while the engine runs
+  --alert EXPR         threshold alert rule `<metric> <op> <value> [for <dur>]`,
+                       e.g. \"rho > 0.9 for 5s\" or
+                       \"queue.proj->sel.occupancy > 1000 for 500ms\";
+                       repeatable; fires alert-raised/-cleared journal events
+                       and an active-alerts section in /healthz
   --trace-every N      sample every Nth tuple through the per-hop tracer
                        (also honours trace tags arriving on the wire)
   --spans-out FILE     write this process's trace spans as spans.json on
@@ -76,6 +84,7 @@ fn parse_args() -> Args {
         checkpoint_interval_ms: 500,
         recover: false,
         admin: None,
+        alerts: Vec::new(),
         trace_every: 0,
         spans_out: None,
     };
@@ -109,6 +118,7 @@ fn parse_args() -> Args {
             }
             "--recover" => args.recover = true,
             "--admin" => args.admin = Some(val("--admin")),
+            "--alert" => args.alerts.push(val("--alert")),
             "--trace-every" => {
                 args.trace_every = val("--trace-every").parse().expect("--trace-every")
             }
@@ -141,9 +151,24 @@ fn parse_policy(spec: &str) -> SlowConsumerPolicy {
 
 fn main() {
     let args = parse_args();
+    // Reject malformed alert rules before anything binds.
+    let alert_rules: Vec<AlertRule> = args
+        .alerts
+        .iter()
+        .map(|expr| {
+            AlertRule::parse(expr).unwrap_or_else(|e| {
+                eprintln!("serve: bad --alert rule: {e}\n{USAGE}");
+                exit(2);
+            })
+        })
+        .collect();
     // A journal big enough that the plan-switch record survives the
     // dispatch/yield flood of a multi-second serving run.
-    let obs = if args.metrics.is_some() || args.admin.is_some() || args.trace_every > 0 {
+    let obs = if args.metrics.is_some()
+        || args.admin.is_some()
+        || args.trace_every > 0
+        || !alert_rules.is_empty()
+    {
         Obs::with_config(ObsConfig {
             journal_capacity: 1 << 16,
             trace: (args.trace_every > 0)
@@ -238,6 +263,11 @@ fn main() {
     });
     let status = StatusBoard::default();
     publish_plan(&status, engine.plan());
+    engine.publish_topology(&status);
+    // Capacity analyzer + alert rules evaluate on every collector pass
+    // (admin scrape or sampler tick); both survive plan switches.
+    capacity::install(&obs, &status, CapacityConfig::default());
+    let _alerts = AlertEngine::install(&obs, alert_rules);
     let _admin = args.admin.as_ref().map(|addr| {
         let server = AdminServer::bind(addr, obs.clone(), status.clone()).unwrap_or_else(|e| {
             eprintln!("serve: cannot bind admin endpoint {addr}: {e}");
@@ -260,6 +290,7 @@ fn main() {
         println!("serve: switching GTS -> HMTS ({} workers) under load", args.workers.max(1));
         engine.switch_plan(hmts_plan()).expect("runtime plan switch");
         publish_plan(&status, engine.plan());
+        engine.publish_topology(&status);
     }
 
     // The engine finishes once all expected producers disconnected and the

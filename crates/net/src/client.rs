@@ -110,6 +110,14 @@ pub struct LoadConfig {
     /// Perfetto, after merging both span exports) can follow it end to
     /// end. `None` sends untraced v1-identical frames.
     pub trace: Option<LoadTrace>,
+    /// Added to every stamped stream timestamp. Stream time is normally
+    /// relative to the *client's* start, so a server-side
+    /// `egress.*.e2e_latency_ns` reading (taken against the server's obs
+    /// epoch) carries a constant client-start − server-epoch skew. An
+    /// in-process harness that knows both epochs can pass the difference
+    /// here to align them; the default of zero preserves the historical
+    /// client-relative stamping.
+    pub ts_offset: Duration,
 }
 
 /// Trace-sampling half of a [`LoadConfig`].
@@ -135,7 +143,15 @@ impl LoadConfig {
             mode: LoadMode::Open,
             ping_every: 0,
             trace: None,
+            ts_offset: Duration::ZERO,
         }
+    }
+
+    /// Same config with stamped stream timestamps shifted by `offset`
+    /// (epoch alignment for in-process harnesses).
+    pub fn with_ts_offset(mut self, offset: Duration) -> LoadConfig {
+        self.ts_offset = offset;
+        self
     }
 }
 
@@ -260,8 +276,10 @@ pub fn run_load(addr: impl ToSocketAddrs, cfg: &LoadConfig) -> Result<LoadReport
             }
         }
         let tuple = gen.generate(&mut rng);
-        // Stream time is the scheduled emission instant.
-        let ts = Timestamp::from_micros(due.as_micros().min(u64::MAX as u128) as u64);
+        // Stream time is the scheduled emission instant (plus any epoch
+        // alignment the harness asked for).
+        let ts =
+            Timestamp::from_micros((due + cfg.ts_offset).as_micros().min(u64::MAX as u128) as u64);
         let mut trace = TraceTag::NONE;
         if let Some(tr) = &cfg.trace {
             if tr.tracer.sampled(i) {

@@ -1,0 +1,200 @@
+//! The capacity analyzer against a *live* served Fig. 9/10 chain — the
+//! PR's acceptance scenario. Under steady Poisson load, `GET /analyze`
+//! must name the highest-utilization operator as the bottleneck and its
+//! predicted end-to-end latency must agree with the measured egress
+//! histogram within the tolerances documented in DESIGN.md §8.2: p50
+//! within a factor of 8, p99 within a factor of 64. (The p99 band is
+//! wide because this repository's host is single-core: every thread —
+//! workers, ingest, egress, the load client — shares one CPU, so the
+//! measured tail carries ~10 ms OS timeslice preemptions the operator
+//! queueing model deliberately excludes. The clean-room factor-2 p99
+//! bound is held by `crates/sim/tests/capacity_validation.rs`.) A
+//! subsequent overload burst must raise a queue-occupancy alert (visible
+//! in `/healthz` and the journal) that clears once the backlog drains.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use hmts::obs::alert::{AlertEngine, AlertRule};
+use hmts::obs::capacity::{self, CapacityConfig};
+use hmts::obs::{json, AdminServer, ObsConfig, SchedEvent, StatusBoard};
+use hmts::prelude::*;
+use hmts::workload::arrival::{ArrivalProcess, Phase};
+use hmts_net::{
+    fig9_served_chain, run_load, EgressServer, IngestConfig, IngestServer, LoadConfig,
+    SlowConsumerPolicy, StreamSpec, SubscriberClient,
+};
+
+fn http_get(addr: std::net::SocketAddr, target: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect admin endpoint");
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let code = raw.split_whitespace().nth(1).and_then(|c| c.parse().ok()).unwrap_or(0);
+    (code, raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default())
+}
+
+/// Polls `/healthz` (each scrape runs the collectors, driving alert
+/// evaluation) until the active-alert list matches `want_active`.
+fn poll_alerts(addr: std::net::SocketAddr, want_active: bool, deadline: Duration) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        let (code, body) = http_get(addr, "/healthz");
+        assert_eq!(code, 200, "{body}");
+        let health = json::parse(&body).expect("healthz is JSON");
+        let active = health
+            .get("alerts")
+            .and_then(|a| a.get("active"))
+            .and_then(|a| a.as_arr())
+            .map(|a| !a.is_empty())
+            .unwrap_or(false);
+        if active == want_active {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(40));
+    }
+    false
+}
+
+#[test]
+fn analyze_names_bottleneck_predicts_p99_and_alert_fires_and_clears() {
+    // speedup 20 000 makes sel_expensive cost ~100 µs; with values in
+    // [1, 10 000] the cheap selection passes ~0.9, so Poisson 6 000 el/s
+    // puts sel_expensive at rho ≈ 6 000 · 0.9 · 100 µs ≈ 0.54 and its
+    // partition (which also pays the egress sink's socket writes) around
+    // 0.7 — loaded enough to queue, stable enough not to build a backlog
+    // that would swamp the steady-state prediction.
+    const SPEEDUP: f64 = 20_000.0;
+    const RANGE: i64 = 10_000;
+    const RATE: f64 = 6_000.0;
+    const STEADY: u64 = 12_000; // 2 s of steady load: the /analyze scrape lands here
+    const BURST: u64 = 12_000; // then ~0.4 s at 30k el/s into ~9k el/s of capacity
+
+    // A roomy journal: under burst load the engine journals thousands of
+    // scheduling events per second, and the alert transitions must still
+    // be in the ring when the test snapshots it.
+    let obs = Obs::with_config(ObsConfig { journal_capacity: 65_536, ..ObsConfig::default() });
+    let ingest = IngestServer::bind(
+        "127.0.0.1:0",
+        vec![StreamSpec::new("bursty")],
+        IngestConfig { obs: obs.clone(), ..IngestConfig::default() },
+    )
+    .unwrap();
+    let egress = EgressServer::bind("127.0.0.1:0", SlowConsumerPolicy::Block, obs.clone()).unwrap();
+    let subscriber = SubscriberClient::connect(egress.local_addr(), "results").unwrap();
+    assert!(egress.wait_for_subscribers(1, Duration::from_secs(5)));
+    let subscriber = std::thread::spawn(move || subscriber.collect_all());
+
+    let chain = fig9_served_chain(
+        Box::new(ingest.source("bursty").unwrap()),
+        Box::new(egress.sink("egress")),
+        SPEEDUP,
+    );
+    let plan = ExecutionPlan::hmts(chain.partitioning.clone(), StrategyKind::Fifo, 2);
+    let cfg = EngineConfig { pace_sources: false, obs: obs.clone(), ..EngineConfig::default() };
+    let mut engine = Engine::with_config(chain.graph, plan, cfg).unwrap();
+    engine.start().unwrap();
+
+    // The analyzer's inputs: topology on the status board, the analyzer
+    // itself and an overload alert as pinned collectors.
+    let status = StatusBoard::default();
+    engine.publish_topology(&status);
+    capacity::install(&obs, &status, CapacityConfig::default());
+    let rule = AlertRule::parse("queue.sel_cheap->sel_expensive.occupancy > 150 for 150ms")
+        .expect("alert rule parses");
+    let _alerts = AlertEngine::install(&obs, vec![rule]);
+    let admin = AdminServer::bind("127.0.0.1:0", obs.clone(), status.clone()).unwrap();
+    let addr = admin.addr();
+
+    // One client run, two phases (a second connection would find the
+    // stream closed by the first run's Eos): steady load for the
+    // /analyze scrape, then an overload burst for the alert.
+    let ingest_addr = ingest.local_addr();
+    let ts_offset = obs.elapsed(); // align client stamps with the server epoch
+    let load = std::thread::spawn(move || {
+        let cfg = LoadConfig {
+            arrivals: ArrivalProcess::bursty(vec![
+                Phase::new(STEADY, RATE),
+                Phase::new(BURST, 30_000.0),
+            ]),
+            ..LoadConfig::constant("bursty", RATE, RANGE, STEADY + BURST, 42)
+        }
+        .with_ts_offset(ts_offset);
+        run_load(ingest_addr, &cfg).unwrap()
+    });
+
+    // ---- Steady phase: scrape /analyze mid-flight. ----
+    std::thread::sleep(Duration::from_millis(1_200));
+
+    let (code, body) = http_get(addr, "/analyze");
+    assert_eq!(code, 200, "{body}");
+    let report = json::parse(&body).expect("/analyze is JSON");
+
+    // Bottleneck attribution: the expensive selection dominates rho.
+    assert_eq!(report.get("bottleneck").and_then(|b| b.as_str()), Some("sel_expensive"), "{body}");
+    let max_rho = report.get("max_rho").and_then(|v| v.as_f64()).expect("max_rho");
+    assert!((0.25..1.0).contains(&max_rho), "expected loaded-but-stable rho: {max_rho} {body}");
+    let headroom = report.get("headroom").and_then(|v| v.as_f64()).expect("headroom");
+    assert!(headroom > 1.0, "stable system has headroom > 1: {headroom}");
+
+    let nodes = report.get("nodes").and_then(|n| n.as_arr()).expect("nodes");
+    let top = nodes.first().expect("ranked nodes");
+    assert_eq!(top.get("name").and_then(|v| v.as_str()), Some("sel_expensive"), "{body}");
+
+    // Latency prediction vs the measured egress histogram.
+    let drift = report.get("drift").and_then(|d| d.as_arr()).expect("drift");
+    let egress_drift = drift
+        .iter()
+        .find(|d| d.get("terminal").and_then(|t| t.as_str()) == Some("egress"))
+        .unwrap_or_else(|| panic!("no drift entry for egress: {body}"));
+    let measured =
+        egress_drift.get("measured_count").and_then(|v| v.as_f64()).expect("measured_count");
+    assert!(measured > 200.0, "egress histogram has samples: {measured}");
+    let field = |k: &str| egress_drift.get(k).and_then(|v| v.as_f64()).expect("drift field");
+    let p50_ratio = field("predicted_p50_ns") / field("measured_p50_ns");
+    assert!(
+        (1.0 / 8.0..=8.0).contains(&p50_ratio),
+        "predicted/measured p50 ratio {p50_ratio} outside DESIGN.md §8.2 tolerance: {body}"
+    );
+    let p99_ratio = field("p99_ratio");
+    assert!(
+        (1.0 / 64.0..=64.0).contains(&p99_ratio),
+        "predicted/measured p99 ratio {p99_ratio} outside DESIGN.md §8.2 tolerance: {body}"
+    );
+
+    // The capacity gauges are on /metrics too.
+    let (code, prom) = http_get(addr, "/metrics");
+    assert_eq!(code, 200);
+    assert!(prom.contains("capacity_max_rho_ppm"), "capacity gauges exported");
+
+    // ---- Burst phase: the occupancy alert fires, then clears. ----
+    assert!(!poll_alerts(addr, true, Duration::from_millis(1)), "no alert during steady load");
+    assert!(
+        poll_alerts(addr, true, Duration::from_secs(15)),
+        "occupancy alert must raise during a 30k el/s burst into ~9k el/s capacity"
+    );
+    // Snapshot right away: the ring still holds the raise record.
+    let raised = obs.journal_snapshot().iter().any(
+        |r| matches!(&r.event, SchedEvent::AlertRaised { rule, .. } if rule.contains("occupancy")),
+    );
+    assert!(raised, "journal records alert-raised");
+    // The backlog drains while the engine is still running; keep polling
+    // (each scrape re-evaluates the rule) until the alert clears.
+    assert!(
+        poll_alerts(addr, false, Duration::from_secs(15)),
+        "alert must clear once the backlog drains"
+    );
+    let cleared = obs.journal_snapshot().iter().any(
+        |r| matches!(&r.event, SchedEvent::AlertCleared { rule } if rule.contains("occupancy")),
+    );
+    assert!(cleared, "journal records alert-cleared");
+    let report1 = load.join().unwrap();
+    assert_eq!(report1.sent, STEADY + BURST);
+
+    let engine_report = engine.wait();
+    assert!(engine_report.errors.is_empty(), "{:?}", engine_report.errors);
+    subscriber.join().unwrap().unwrap();
+    ingest.shutdown();
+    egress.shutdown();
+}

@@ -14,6 +14,12 @@
 //!   estimates, checkpoint id and age, engine-level gauges, and
 //!   free-form status strings (plan shape, strategy mode, thread
 //!   assignments) published by the host through [`StatusBoard`].
+//! * `GET /analyze` — the capacity analyzer's report
+//!   ([`crate::capacity`]): per-node utilization table ranked by ρ,
+//!   per-partition utilization, bottleneck + headroom, predicted
+//!   end-to-end p50/p99 per source→terminal path, and model-vs-measured
+//!   drift. Requires the host to publish `topology.*` keys on the
+//!   [`StatusBoard`].
 //! * `GET /trace?last=N` — the most recent `N` completed tuple spans in
 //!   the same `spans.json` shape as [`export::spans_json`].
 //!
@@ -167,8 +173,20 @@ fn serve_connection(stream: TcpStream, obs: &Obs, status: &StatusBoard) {
             }
         }
         "/healthz" => {
+            // Refresh collectors so alert rules evaluate at scrape time
+            // and the active-alerts section is current.
+            obs.run_collectors();
             let body = healthz_json(obs);
             respond(&mut stream, 200, "application/json", &body);
+        }
+        "/analyze" => {
+            if obs.is_enabled() {
+                obs.run_collectors();
+                let body = analyze_json(obs, status);
+                respond(&mut stream, 200, "application/json", &body);
+            } else {
+                respond(&mut stream, 503, "text/plain; charset=utf-8", "observability disabled\n");
+            }
         }
         "/snapshot" => {
             obs.run_collectors();
@@ -237,13 +255,34 @@ fn healthz_json(obs: &Obs) -> String {
     let m = Metrics(obs.metrics_snapshot());
     let quarantined = m.gauge("supervisor_quarantined").unwrap_or(0);
     let status = if quarantined > 0 { "degraded" } else { "ok" };
+    // Active alerts are reconstructed from the `alert.<rule>.active`
+    // gauges the alert engine maintains, so /healthz needs no reference
+    // to the engine itself.
+    let active: Vec<String> =
+        m.0.iter()
+            .filter_map(|(name, value)| {
+                let rule = name.strip_prefix("alert.")?.strip_suffix(".active")?;
+                (value.as_f64() > 0.0).then(|| format!("\"{}\"", json_escape(rule)))
+            })
+            .collect();
     format!(
-        "{{\"status\":\"{status}\",\"uptime_ms\":{},\"supervisor\":{{\"restarts\":{},\"panics\":{},\"stalls\":{},\"quarantined\":{quarantined}}}}}\n",
+        "{{\"status\":\"{status}\",\"uptime_ms\":{},\"supervisor\":{{\"restarts\":{},\"panics\":{},\"stalls\":{},\"quarantined\":{quarantined}}},\"alerts\":{{\"active\":[{}]}}}}\n",
         obs.elapsed().as_millis(),
         m.counter("supervisor_restarts"),
         m.counter("supervisor_panics"),
         m.counter("supervisor_stalls"),
+        active.join(","),
     )
+}
+
+/// Body of `GET /analyze`: the capacity report, or a `topology:false`
+/// stub when the host has not published a `topology.*` shape yet.
+fn analyze_json(obs: &Obs, status: &StatusBoard) -> String {
+    let cfg = crate::capacity::CapacityConfig::default();
+    match crate::capacity::analyze_status(&obs.metrics_snapshot(), &status.snapshot(), &cfg) {
+        Some(report) => crate::capacity::report_json(&report, obs.elapsed().as_millis()),
+        None => "{\"topology\":false}\n".into(),
+    }
 }
 
 /// Groups `prefix.<name>.<field>` metrics into per-`<name>` field maps,
@@ -465,6 +504,115 @@ mod tests {
                 out.is_empty()
             }
         }
+    }
+
+    #[test]
+    fn analyze_reports_bottleneck_and_refreshes_collectors_per_scrape() {
+        use std::sync::atomic::AtomicI64;
+
+        let obs = Obs::enabled();
+        let status = StatusBoard::default();
+        status.set("topology.edges", "src->f;f->g");
+        status.set("topology.sources", "src");
+        obs.gauge("source.src.rate").set(1_000);
+        obs.gauge("node.g.cost_ns").set(800_000); // ρ = 0.8 — the bottleneck
+        obs.gauge("node.g.rate").set(1_000);
+        obs.gauge("node.f.cost_ns").set(1_000);
+
+        // Live rate source behind a regular collector: each scrape must
+        // re-run collectors, so back-to-back scrapes see advancing rates.
+        let live_rate = Arc::new(AtomicI64::new(1_000));
+        let rate_src = Arc::clone(&live_rate);
+        let rate_gauge = obs.gauge("node.f.rate");
+        obs.add_collector(move || rate_gauge.set(rate_src.load(Ordering::Relaxed)));
+
+        let server = AdminServer::bind("127.0.0.1:0", obs.clone(), status).expect("bind");
+        let addr = server.addr();
+
+        let (code, body) = get(addr, "/analyze");
+        assert_eq!(code, 200, "{body}");
+        let doc = crate::json::parse(&body).expect("analyze is JSON");
+        assert_eq!(doc.get("bottleneck").and_then(|b| b.as_str()), Some("g"), "{body}");
+        let nodes = doc.get("nodes").and_then(|x| x.as_arr()).expect("nodes");
+        assert_eq!(nodes[0].get("name").and_then(|v| v.as_str()), Some("g"));
+        assert!(nodes[0].get("rho").and_then(|v| v.as_f64()).unwrap() > 0.7, "{body}");
+        assert!(doc.get("headroom").and_then(|v| v.as_f64()).unwrap() > 1.0, "{body}");
+        let f_rate_1 = nodes
+            .iter()
+            .find(|x| x.get("name").and_then(|v| v.as_str()) == Some("f"))
+            .and_then(|x| x.get("rate"))
+            .and_then(|v| v.as_f64())
+            .expect("f rate");
+        assert!((f_rate_1 - 1_000.0).abs() < 1e-9, "{body}");
+
+        // The "load" advances; the very next scrape must see it.
+        live_rate.store(2_500, Ordering::Relaxed);
+        let (code, body) = get(addr, "/analyze");
+        assert_eq!(code, 200);
+        let doc = crate::json::parse(&body).expect("analyze is JSON");
+        let f_rate_2 = doc
+            .get("nodes")
+            .and_then(|x| x.as_arr())
+            .and_then(|nodes| {
+                nodes
+                    .iter()
+                    .find(|x| x.get("name").and_then(|v| v.as_str()) == Some("f"))
+                    .and_then(|x| x.get("rate"))
+                    .and_then(|v| v.as_f64())
+            })
+            .expect("f rate after advance");
+        assert!(f_rate_2 > f_rate_1, "second scrape saw stale rate: {f_rate_1} then {f_rate_2}");
+    }
+
+    #[test]
+    fn analyze_without_topology_or_obs_degrades_cleanly() {
+        let server =
+            AdminServer::bind("127.0.0.1:0", Obs::enabled(), StatusBoard::default()).unwrap();
+        let (code, body) = get(server.addr(), "/analyze");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"topology\":false"), "{body}");
+
+        let server =
+            AdminServer::bind("127.0.0.1:0", Obs::disabled(), StatusBoard::default()).unwrap();
+        let (code, _) = get(server.addr(), "/analyze");
+        assert_eq!(code, 503);
+    }
+
+    #[test]
+    fn healthz_lists_active_alerts_evaluated_at_scrape_time() {
+        use crate::alert::{AlertEngine, AlertRule};
+
+        let obs = Obs::enabled();
+        let depth = obs.gauge("queue.a->b.occupancy");
+        let _engine = AlertEngine::install(
+            &obs,
+            vec![AlertRule::parse("queue.a->b.occupancy > 100").expect("rule parses")],
+        );
+        let server = AdminServer::bind("127.0.0.1:0", obs.clone(), StatusBoard::default()).unwrap();
+
+        let (_, body) = get(server.addr(), "/healthz");
+        let health = crate::json::parse(&body).expect("healthz is JSON");
+        let active = |h: &crate::json::Json| {
+            h.get("alerts")
+                .and_then(|a| a.get("active"))
+                .and_then(|a| a.as_arr())
+                .map(|a| a.len())
+                .expect("alerts.active array")
+        };
+        assert_eq!(active(&health), 0, "{body}");
+
+        // Breach: the scrape itself evaluates the rule and reports it.
+        depth.set(500);
+        let (_, body) = get(server.addr(), "/healthz");
+        let health = crate::json::parse(&body).expect("healthz is JSON");
+        assert_eq!(active(&health), 1, "{body}");
+        assert!(body.contains("queue.a->b.occupancy > 100"), "{body}");
+
+        // Recovery clears it on the next scrape.
+        depth.set(0);
+        let (_, body) = get(server.addr(), "/healthz");
+        let health = crate::json::parse(&body).expect("healthz is JSON");
+        assert_eq!(active(&health), 0, "{body}");
     }
 
     #[test]

@@ -213,6 +213,13 @@ fn event_fields(event: &SchedEvent) -> Vec<(&'static str, String)> {
         SchedEvent::OperatorRollback { id, operator } => {
             vec![("id", id.to_string()), ("operator", format!("\"{}\"", json_escape(operator)))]
         }
+        SchedEvent::AlertRaised { rule, value } => {
+            let v = if value.is_finite() { format!("{value}") } else { "null".to_string() };
+            vec![("rule", format!("\"{}\"", json_escape(rule))), ("value", v)]
+        }
+        SchedEvent::AlertCleared { rule } => {
+            vec![("rule", format!("\"{}\"", json_escape(rule)))]
+        }
     }
 }
 
@@ -550,6 +557,10 @@ fn emit_process_events(events: &mut Vec<String>, p: &ProcessTrace<'_>) {
                     SchedEvent::NetReconnect { stream, resume_seq } => {
                         format!("net-reconnect {stream} @ {resume_seq}")
                     }
+                    SchedEvent::AlertRaised { rule, value } => {
+                        format!("alert-raised {rule} (value {value})")
+                    }
+                    SchedEvent::AlertCleared { rule } => format!("alert-cleared {rule}"),
                     SchedEvent::Dispatch { .. } | SchedEvent::Yield { .. } => unreachable!(),
                 };
                 events.push(format!(

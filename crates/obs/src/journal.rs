@@ -64,6 +64,12 @@ pub enum SchedEvent {
     /// everything it processed since that checkpoint is dropped from its
     /// state (downstream may already have observed the lost elements).
     OperatorRollback { id: u64, operator: String },
+    /// An alert rule's condition held for its hold duration; `value` is
+    /// the metric reading that tripped it.
+    AlertRaised { rule: String, value: f64 },
+    /// A previously raised alert rule's condition stopped holding for the
+    /// hold duration.
+    AlertCleared { rule: String },
 }
 
 impl SchedEvent {
@@ -92,6 +98,8 @@ impl SchedEvent {
             SchedEvent::CheckpointAbort { .. } => "checkpoint-abort",
             SchedEvent::OperatorSnapshot { .. } => "operator-snapshot",
             SchedEvent::OperatorRollback { .. } => "operator-rollback",
+            SchedEvent::AlertRaised { .. } => "alert-raised",
+            SchedEvent::AlertCleared { .. } => "alert-cleared",
         }
     }
 }

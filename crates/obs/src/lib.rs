@@ -16,6 +16,8 @@
 //! `disabled_path_is_near_zero_cost` test).
 
 pub mod admin;
+pub mod alert;
+pub mod capacity;
 pub mod export;
 pub mod journal;
 pub mod json;
@@ -28,6 +30,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 pub use admin::{AdminServer, StatusBoard};
+pub use alert::{AlertEngine, AlertRule};
+pub use capacity::{CapacityConfig, CapacityReport, TopologySpec};
 pub use journal::{EventJournal, EventRecord, SchedEvent};
 pub use registry::{Counter, Gauge, Histogram, Metric, MetricValue, MetricsRegistry};
 pub use sampler::{SamplePoint, SampleStore, Sampler};
@@ -190,7 +194,17 @@ impl Obs {
         }
     }
 
-    /// Drops all registered collectors.
+    /// Registers a collector that [`clear_collectors`](Obs::clear_collectors)
+    /// leaves intact and that runs after the regular ones — for derived
+    /// metrics (the capacity analyzer, alert rules) that outlive any one
+    /// engine wiring (no-op when disabled).
+    pub fn add_pinned_collector(&self, f: impl Fn() + Send + Sync + 'static) {
+        if let Some(core) = &self.0 {
+            core.samples.add_pinned_collector(f);
+        }
+    }
+
+    /// Drops all regular (non-pinned) collectors.
     pub fn clear_collectors(&self) {
         if let Some(core) = &self.0 {
             core.samples.clear_collectors();

@@ -26,6 +26,11 @@ pub struct SamplePoint {
 #[derive(Default)]
 pub struct SampleStore {
     collectors: Mutex<Vec<Box<dyn Fn() + Send + Sync>>>,
+    /// Collectors that survive [`clear_collectors`](Self::clear_collectors)
+    /// — analyzers and alert evaluators outlive any one engine wiring,
+    /// unlike the engine's own queue/node collectors which capture state
+    /// that a plan switch tears down.
+    pinned: Mutex<Vec<Box<dyn Fn() + Send + Sync>>>,
     series: Mutex<Vec<SamplePoint>>,
 }
 
@@ -33,6 +38,7 @@ impl std::fmt::Debug for SampleStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SampleStore")
             .field("collectors", &self.collectors.lock().len())
+            .field("pinned", &self.pinned.lock().len())
             .field("samples", &self.series.lock().len())
             .finish()
     }
@@ -44,17 +50,29 @@ impl SampleStore {
         self.collectors.lock().push(Box::new(f));
     }
 
-    /// Drops all collectors (e.g. when the engine wiring they capture is
-    /// torn down).
+    /// Registers a collector that [`clear_collectors`](Self::clear_collectors)
+    /// leaves intact. Pinned collectors run *after* the regular ones on
+    /// every pass, so derived-metric consumers (the capacity analyzer,
+    /// alert rules) always see gauges the regular collectors just wrote.
+    pub fn add_pinned_collector(&self, f: impl Fn() + Send + Sync + 'static) {
+        self.pinned.lock().push(Box::new(f));
+    }
+
+    /// Drops all regular collectors (e.g. when the engine wiring they
+    /// capture is torn down). Pinned collectors are kept.
     pub fn clear_collectors(&self) {
         self.collectors.lock().clear();
     }
 
     /// Runs every registered collector without recording a sample — used
     /// by on-demand readers (the admin endpoint) that want fresh gauges
-    /// but must not grow the series on every scrape.
+    /// but must not grow the series on every scrape. Regular collectors
+    /// run first, then pinned ones.
     pub fn run_collectors(&self) {
         for c in self.collectors.lock().iter() {
+            c();
+        }
+        for c in self.pinned.lock().iter() {
             c();
         }
     }
@@ -154,6 +172,29 @@ mod tests {
         assert_eq!(series[0].metrics[0].1, MetricValue::Gauge(42));
         assert_eq!(series[1].metrics[0].1, MetricValue::Gauge(7));
         assert!(series[0].elapsed < series[1].elapsed);
+    }
+
+    #[test]
+    fn pinned_collectors_survive_clear_and_run_after_regular() {
+        let registry = MetricsRegistry::new();
+        let gauge = registry.gauge("raw");
+        let derived = registry.gauge("derived");
+        let store = SampleStore::default();
+        let g = gauge.clone();
+        store.add_collector(move || g.set(10));
+        let r = registry.gauge("raw");
+        let d = derived.clone();
+        // Pinned collector reads what the regular collector just wrote.
+        store.add_pinned_collector(move || d.set(r.get() * 2));
+
+        store.run_collectors();
+        assert_eq!(derived.get(), 20, "pinned ran after regular");
+
+        gauge.set(0);
+        store.clear_collectors();
+        store.run_collectors();
+        assert_eq!(gauge.get(), 0, "regular collector was cleared");
+        assert_eq!(derived.get(), 0, "pinned collector still runs");
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! Property-based accuracy bound for histogram quantile estimation.
+//!
+//! The registry's histograms use power-of-two buckets and report a
+//! quantile as the *upper bound* of the bucket holding the rank-th
+//! sample. For any sample whose exact nearest-rank quantile is `x ≥ 1`,
+//! the estimate `e` therefore satisfies `x ≤ e < 2·x` (equality when `x`
+//! is itself a power of two). These tests pin that bound — the one
+//! documented in DESIGN.md §8 and relied on by the capacity analyzer's
+//! drift computation — across arbitrary, uniform, and heavy-tailed
+//! exponential samples at p50/p95/p99.
+
+use proptest::prelude::*;
+
+use hmts_obs::registry::{quantile_from_cumulative, MetricsRegistry};
+
+const QS: [f64; 3] = [0.50, 0.95, 0.99];
+
+/// Exact nearest-rank quantile of a sample (the definition the bucket
+/// walk approximates).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+/// Records `values` into a fresh histogram and checks the bound at each
+/// quantile of interest, both through the live handle and through the
+/// snapshot-based cumulative walk (they must agree).
+fn assert_bound(values: &[u64]) {
+    let registry = MetricsRegistry::new();
+    let h = registry.histogram("t");
+    for &v in values {
+        h.record(v);
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let buckets = h.cumulative_buckets();
+    for q in QS {
+        let exact = exact_quantile(&sorted, q);
+        let est = h.quantile(q);
+        assert_eq!(est, quantile_from_cumulative(h.count(), &buckets, q), "walks agree");
+        assert!(est >= exact, "q{q}: estimate {est} below exact {exact}");
+        // Values below 1 share the first bucket (bound 1): the relative
+        // bound only holds from 1 up, which is why latency histograms
+        // record nanoseconds.
+        assert!(est < 2 * exact.max(1), "q{q}: estimate {est} ≥ 2× exact {exact}");
+    }
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_samples_stay_within_factor_two(
+        values in proptest::collection::vec(1u64..(1 << 48), 1..500)
+    ) {
+        assert_bound(&values);
+    }
+
+    #[test]
+    fn uniform_samples_stay_within_factor_two(
+        values in proptest::collection::vec(1u64..1_000_000, 1..500)
+    ) {
+        assert_bound(&values);
+    }
+
+    #[test]
+    fn exponential_samples_stay_within_factor_two(
+        unit in proptest::collection::vec(0.0f64..1.0, 1..500),
+        scale in 100.0f64..1e9
+    ) {
+        // Inverse-CDF transform: heavy right tail, like real latencies.
+        let values: Vec<u64> = unit
+            .iter()
+            .map(|u| (-(1.0 - u).ln() * scale) as u64 + 1)
+            .collect();
+        assert_bound(&values);
+    }
+}
+
+#[test]
+fn powers_of_two_are_estimated_exactly() {
+    let values: Vec<u64> = (0..20).map(|i| 1u64 << i).collect();
+    let registry = MetricsRegistry::new();
+    let h = registry.histogram("t");
+    for &v in &values {
+        h.record(v);
+    }
+    let mut sorted = values.clone();
+    sorted.sort_unstable();
+    for q in QS {
+        assert_eq!(h.quantile(q), exact_quantile(&sorted, q));
+    }
+}

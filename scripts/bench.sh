@@ -1,22 +1,34 @@
 #!/usr/bin/env bash
 # Performance artifacts for the observability plane and the executor:
 #
-# 1. BENCH_6.json — the batch-size ablation sweep rerun on the *real*
+# 1. BENCH_7.json — the batch-size ablation sweep rerun on the *real*
 #    engine (Fig. 9 workload, two-VO HMTS placement): throughput plus
 #    p50/p99 admission→sink latency per batch size, machine-readable.
-# 2. The scrape-overhead bound: continuous `GET /metrics` polling while
+#    Same schema as the checked-in BENCH_6.json from the previous PR.
+# 2. A non-gating comparison against the newest checked-in BENCH_*.json:
+#    per-batch throughput and p99 deltas, informational only (shared CI
+#    runners make absolute numbers advisory).
+# 3. The scrape-overhead bound: continuous `GET /metrics` polling while
 #    the served Fig. 9/10 chain runs under load must cost < 1%
 #    throughput (the bench asserts and exits non-zero otherwise).
 #
-# Usage: scripts/bench.sh [BENCH_6.json path]    (default: repo root)
+# Usage: scripts/bench.sh [BENCH_7.json path]    (default: repo root)
 set -euo pipefail
 cd "$(dirname "$0")/.."
-OUT="${1:-BENCH_6.json}"
+OUT="${1:-BENCH_7.json}"
 
-echo "==> bench6: batch-size sweep on the real engine -> $OUT"
+echo "==> bench7: batch-size sweep on the real engine -> $OUT"
 # The simulator ablations (sections A–D) run alongside and land their
 # CSV under target/bench; only the JSON artifact is kept in-tree.
 cargo run --release -p hmts-bench --bin ablation -- --out target/bench --bench6 "$OUT"
+
+# Compare against the newest checked-in artifact that isn't the one we
+# just wrote. Informational: never fails the build.
+PREV=$(ls BENCH_*.json 2>/dev/null | grep -vFx "$OUT" | sort -V | tail -1 || true)
+if [ -n "$PREV" ]; then
+  echo "==> bench compare (non-gating): $PREV vs $OUT"
+  cargo run --release -p hmts-bench --bin bench_compare -- "$PREV" "$OUT" || true
+fi
 
 echo "==> scrape overhead: /metrics polling vs served chain (< 1% budget)"
 cargo bench -p hmts-net --bench scrape_overhead

@@ -52,10 +52,11 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> admin-plane smoke (/metrics + /healthz against a live serve)"
+echo "==> admin-plane smoke (/metrics + /healthz + /analyze against a live serve)"
 # Boots the served Fig. 9/10 chain with the embedded admin endpoint and
 # scrapes it over raw /dev/tcp (no curl dependency): non-200 or an empty
-# body fails the gate.
+# body fails the gate. JSON endpoints are additionally validated with the
+# repo's own strict parser (target/release/jsonv wraps hmts-obs::json).
 smoke_log=$(mktemp)
 target/release/serve --ingest 127.0.0.1:0 --egress 127.0.0.1:0 \
   --admin 127.0.0.1:0 >"$smoke_log" 2>&1 &
@@ -80,7 +81,7 @@ http_get() { # $1 = request target; prints the full HTTP response
   cat <&3
   exec 3<&- 3>&-
 }
-for target in /metrics /healthz; do
+for target in /metrics /healthz /analyze; do
   resp=$(http_get "$target")
   status=$(printf '%s' "$resp" | head -n1 | awk '{print $2}')
   body=$(printf '%s' "$resp" | sed -e '1,/^\r\{0,1\}$/d')
@@ -90,7 +91,19 @@ for target in /metrics /healthz; do
     printf '%s\n' "$resp"
     exit 1
   fi
-  echo "    GET $target -> 200 ($bytes bytes)"
+  case "$target" in
+    /healthz|/analyze)
+      if ! shape=$(printf '%s' "$body" | target/release/jsonv); then
+        echo "error: GET $target body is not valid JSON"
+        printf '%s\n' "$body"
+        exit 1
+      fi
+      echo "    GET $target -> 200 ($bytes bytes, $shape)"
+      ;;
+    *)
+      echo "    GET $target -> 200 ($bytes bytes)"
+      ;;
+  esac
 done
 kill "$serve_pid" 2>/dev/null || true
 wait "$serve_pid" 2>/dev/null || true
