@@ -6,6 +6,18 @@
 //! ```text
 //! bench_compare BENCH_6.json target/BENCH_7.json
 //! ```
+//!
+//! A second mode checks a scaling ratio *within* one artifact — used by
+//! the BENCH_8 shard sweep, where `batch` carries the shard count:
+//!
+//! ```text
+//! bench_compare --min-ratio BASE TARGET RATIO FILE.json
+//! ```
+//!
+//! warns (still exit 0) unless `throughput(batch=TARGET) >=
+//! RATIO * throughput(batch=BASE)`. The warning is expected on a
+//! single-core runner, where shard replicas serialize onto one thread
+//! and the ratio legitimately approaches 1.
 
 use std::process::exit;
 
@@ -49,10 +61,56 @@ fn pct(old: f64, new: f64) -> String {
     format!("{:+.1}%", (new - old) / old * 100.0)
 }
 
+/// `--min-ratio BASE TARGET RATIO FILE`: scaling assertion within one
+/// artifact. Non-gating by design — prints PASS or a warning, exits 0
+/// either way (exit 2 only for malformed invocations/artifacts).
+fn min_ratio(args: &[String]) {
+    let [base, target, ratio, path] = args else {
+        eprintln!("usage: bench_compare --min-ratio BASE_BATCH TARGET_BATCH RATIO FILE.json");
+        exit(2);
+    };
+    let parse_u64 = |s: &String| {
+        s.parse::<u64>().unwrap_or_else(|_| {
+            eprintln!("bench_compare: batch key {s:?} is not an integer");
+            exit(2);
+        })
+    };
+    let (base, target) = (parse_u64(base), parse_u64(target));
+    let ratio: f64 = ratio.parse().unwrap_or_else(|_| {
+        eprintln!("bench_compare: ratio {ratio:?} is not a number");
+        exit(2);
+    });
+    let configs = load(path);
+    let tput = |batch: u64| {
+        configs.iter().find(|c| c.batch == batch).map(|c| c.throughput_tps).unwrap_or_else(|| {
+            eprintln!("bench_compare: {path} has no config with batch = {batch}");
+            exit(2);
+        })
+    };
+    let (b, t) = (tput(base), tput(target));
+    let actual = if b > 0.0 { t / b } else { f64::INFINITY };
+    if actual >= ratio {
+        println!(
+            "bench scaling: PASS  batch={target} is {actual:.2}x batch={base} (>= {ratio}x) in {path}"
+        );
+    } else {
+        println!(
+            "bench scaling: WARN  batch={target} is only {actual:.2}x batch={base} (< {ratio}x) in {path}"
+        );
+        println!(
+            "bench scaling: non-gating — expected on 1-core runners where shard replicas serialize"
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--min-ratio") {
+        return min_ratio(&args[1..]);
+    }
     let [old_path, new_path] = args.as_slice() else {
         eprintln!("usage: bench_compare OLD.json NEW.json");
+        eprintln!("       bench_compare --min-ratio BASE_BATCH TARGET_BATCH RATIO FILE.json");
         exit(2);
     };
     let old = load(old_path);

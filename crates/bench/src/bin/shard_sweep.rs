@@ -1,0 +1,155 @@
+//! BENCH_8: the shard-count sweep — the keyed-aggregate hot path run on
+//! the real engine at N = 1, 2, 4 replicas via the `hmts-shard` graph
+//! rewrite (splitter → replicas → order-restoring merge), measuring
+//! delivered throughput per shard count.
+//!
+//! The `configs` array reuses the BENCH_* schema with `batch` carrying
+//! the shard count, so `bench_compare` works unchanged; its
+//! `--min-ratio` mode asserts (non-gating) that N=4 delivers at least
+//! 2× the N=1 throughput. On a single-core machine the replicas
+//! serialize onto one thread and the ratio approaches 1 — the check
+//! prints a warning but never fails the build (see scripts/bench.sh).
+//! The run is an unpaced drain, so the latency quantile columns are
+//! advisory (they measure drain depth, not steady-state waiting).
+//!
+//! ```text
+//! shard_sweep [BENCH_8.json]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use hmts::obs::Histogram;
+use hmts::operators::cost::{CostMode, Costed};
+use hmts::operators::traits::{Operator, Output};
+use hmts::prelude::*;
+use hmts::streams::element::Element;
+use hmts::streams::error::Result as StreamResult;
+use hmts_shard::{remap_partitioning, shard_by_name, ShardSpec};
+
+/// Shard counts the sweep covers (emitted as `batch` in the JSON).
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+/// Elements per run.
+const TUPLES: u64 = 40_000;
+/// Distinct aggregation keys (hashed across replicas).
+const KEYS: i64 = 1_024;
+/// Busy-work per element in the aggregate — the hot path the sweep
+/// parallelizes (25 µs ⇒ the unsharded aggregate caps at ~40k el/s).
+const COST: Duration = Duration::from_micros(25);
+
+struct LatencySink {
+    name: String,
+    obs: Obs,
+    e2e: Histogram,
+}
+
+impl Operator for LatencySink {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, _port: usize, element: &Element, _out: &mut Output) -> StreamResult<()> {
+        let now_ns = self.obs.elapsed().as_nanos();
+        let ts_ns = u128::from(element.ts.as_micros()) * 1_000;
+        self.e2e.record(now_ns.saturating_sub(ts_ns).min(u128::from(u64::MAX)) as u64);
+        Ok(())
+    }
+}
+
+struct ShardResult {
+    shards: usize,
+    tuples: u64,
+    elapsed_s: f64,
+    throughput_tps: f64,
+    e2e_p50_ns: u64,
+    e2e_p99_ns: u64,
+}
+
+fn keyed_tuples() -> Vec<(Timestamp, Tuple)> {
+    (0..TUPLES)
+        .map(|i| {
+            // Multiplicative spread so consecutive tuples hit different
+            // keys (and therefore different shards) — the worst case for
+            // the order-restoring merge, the best case for parallelism.
+            let key = ((i.wrapping_mul(2_654_435_761)) % KEYS as u64) as i64;
+            (Timestamp::from_micros(i), Tuple::pair(key, i as i64))
+        })
+        .collect()
+}
+
+fn run_shards(n: usize) -> ShardResult {
+    let obs = Obs::enabled();
+    let mut graph = QueryGraph::new();
+    let source = graph.add_source(Box::new(VecSource::new("src", keyed_tuples())));
+    let agg = graph.add_operator(Box::new(Costed::new(
+        WindowAggregate::new("agg", AggregateFunction::Sum(1), Duration::from_secs(3600))
+            .group_by(Expr::field(0)),
+        CostMode::Busy(COST),
+    )));
+    let sink = graph.add_operator(Box::new(LatencySink {
+        name: "results".into(),
+        obs: obs.clone(),
+        e2e: obs.histogram("sink.results.e2e_latency_ns"),
+    }));
+    graph.connect(source, agg);
+    graph.connect(agg, sink);
+
+    let partitioning = Partitioning::new(vec![vec![agg], vec![sink]]);
+    let (graph, partitioning) = if n > 1 {
+        let rw = shard_by_name(graph, "agg", &ShardSpec::auto(n)).expect("agg shards");
+        let p = remap_partitioning(&partitioning, &rw);
+        (rw.graph, p)
+    } else {
+        (graph, partitioning)
+    };
+
+    // One pool thread per VO up to the shard count + the split/merge
+    // stations; the level-3 scheduler multiplexes onto real cores.
+    let plan = ExecutionPlan::hmts(partitioning, StrategyKind::Fifo, n + 2);
+    let hist = obs.histogram("sink.results.e2e_latency_ns");
+    let cfg = EngineConfig { pace_sources: false, obs, ..EngineConfig::default() };
+    let report = Engine::run_with_config(graph, plan, cfg).expect("engine runs");
+    assert!(report.errors.is_empty(), "errors: {:?}", report.errors);
+
+    let elapsed_s = report.elapsed.as_secs_f64();
+    ShardResult {
+        shards: n,
+        tuples: TUPLES,
+        elapsed_s,
+        throughput_tps: TUPLES as f64 / elapsed_s.max(1e-9),
+        e2e_p50_ns: hist.quantile(0.50),
+        e2e_p99_ns: hist.quantile(0.99),
+    }
+}
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_8.json".into());
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("shard_sweep: {TUPLES} tuples, {KEYS} keys, {COST:?}/element, {cores} cores");
+
+    let mut configs = String::new();
+    for (i, n) in SHARD_COUNTS.iter().enumerate() {
+        let r = run_shards(*n);
+        println!(
+            "shard_sweep: N={:<2} -> {:>9.0} tuples/s ({:.3}s)",
+            r.shards, r.throughput_tps, r.elapsed_s
+        );
+        if i > 0 {
+            configs.push(',');
+        }
+        let _ = write!(
+            configs,
+            "\n    {{\"batch\": {}, \"shards\": {}, \"tuples\": {}, \"elapsed_s\": {:.6}, \
+             \"throughput_tps\": {:.1}, \"e2e_p50_ns\": {}, \"e2e_p99_ns\": {}}}",
+            r.shards, r.shards, r.tuples, r.elapsed_s, r.throughput_tps, r.e2e_p50_ns, r.e2e_p99_ns
+        );
+    }
+    let body = format!(
+        "{{\n  \"bench\": \"shard_count_sweep\",\n  \"workload\": \"keyed_aggregate\",\n  \
+         \"engine\": \"hmts, FIFO, workers = shards + 2\",\n  \"cost_us\": {},\n  \
+         \"keys\": {KEYS},\n  \"cores\": {cores},\n  \"configs\": [{configs}\n  ]\n}}\n",
+        COST.as_micros(),
+    );
+    std::fs::write(&path, &body).expect("write BENCH_8.json");
+    println!("shard_sweep: wrote {path}");
+}

@@ -594,8 +594,11 @@ impl DomainExecutor {
     }
 
     /// Replaces every pending output with a null-field tuple of the same
-    /// arity (the `FaultAction::Corrupt` silent-corruption model).
+    /// arity (the `FaultAction::Corrupt` silent-corruption model). Route
+    /// tags survive corruption — the fault model garbles payloads, not
+    /// the splitter's addressing.
     fn corrupt_outputs(&mut self) {
+        let routes = self.out.take_routes();
         let corrupted: Vec<Element> = self
             .out
             .drain()
@@ -604,8 +607,11 @@ impl DomainExecutor {
                 Element::new(hmts_streams::tuple::Tuple::new(nulls), e.ts)
             })
             .collect();
-        for e in corrupted {
-            self.out.push(e);
+        for (idx, e) in corrupted.into_iter().enumerate() {
+            match routes.get(idx) {
+                Some(&r) if r != Output::BROADCAST => self.out.push_routed(r, e),
+                _ => self.out.push(e),
+            }
         }
     }
 
@@ -683,6 +689,32 @@ impl DomainExecutor {
     }
 
     fn process_eos(&mut self, i: usize, port: usize) {
+        if !self.slots[i].closed {
+            // Give the operator a chance to release anything gated on this
+            // port's progress (the shard merge's held-back sequences)
+            // before the port is booked closed.
+            let result = {
+                let slot = &mut self.slots[i];
+                let out = &mut self.out;
+                catch_unwind(AssertUnwindSafe(|| slot.op.on_eos(port, out)))
+            };
+            match result {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    self.out.clear();
+                    if self.error.is_none() {
+                        self.error = Some(e);
+                    }
+                }
+                Err(payload) => {
+                    // Like flush/watermark handlers, on_eos is never
+                    // retried (there is no element to redeliver).
+                    self.out.clear();
+                    self.record_unretryable_panic(i, panic_message(payload.as_ref()));
+                }
+            }
+            self.deliver_outputs(i);
+        }
         if !self.slots[i].eos.close(port) {
             return;
         }
@@ -785,14 +817,28 @@ impl DomainExecutor {
     /// Routes everything in `self.out` to slot `i`'s targets: queue targets
     /// in forward order (FIFO), inline targets pushed in reverse so the
     /// LIFO stack realizes the paper's depth-first traversal.
+    ///
+    /// An element tagged with a route (see [`Output::push_routed`]) goes to
+    /// exactly one target — the one at the route's out-edge ordinal, which
+    /// is its index in `targets` because both follow graph edge order.
+    /// Untagged elements broadcast to every target, as ever.
     fn deliver_outputs(&mut self, i: usize) {
         if self.out.is_empty() {
             return;
         }
+        let routes = self.out.take_routes();
+        let takes = |idx: usize, ti: usize| match routes.get(idx) {
+            Some(&r) if r != Output::BROADCAST => r as usize == ti,
+            _ => true,
+        };
         let outputs: Vec<Element> = self.out.drain().collect();
-        for t in &self.slots[i].targets {
+        for (ti, t) in self.slots[i].targets.iter().enumerate() {
             if let Target::Queue { queue, wake } = t {
-                for el in &outputs {
+                let mut pushed = false;
+                for (idx, el) in outputs.iter().enumerate() {
+                    if !takes(idx, ti) {
+                        continue;
+                    }
                     if el.trace.is_sampled() {
                         if let Some(tc) = &self.trace {
                             tc.tracer.record_site(
@@ -806,16 +852,21 @@ impl DomainExecutor {
                     // A closed queue only happens during teardown; the
                     // element is intentionally dropped then.
                     let _ = queue.push(Message::Data(el.clone()));
+                    pushed = true;
                 }
-                if let Some(w) = wake {
-                    w.wake();
+                if pushed {
+                    if let Some(w) = wake {
+                        w.wake();
+                    }
                 }
             }
         }
-        for el in outputs.iter().rev() {
-            for t in self.slots[i].targets.iter().rev() {
+        for (idx, el) in outputs.iter().enumerate().rev() {
+            for (ti, t) in self.slots[i].targets.iter().enumerate().rev() {
                 if let Target::Inline { node, port } = t {
-                    self.stack.push((*node, *port, Message::Data(el.clone())));
+                    if takes(idx, ti) {
+                        self.stack.push((*node, *port, Message::Data(el.clone())));
+                    }
                 }
             }
         }

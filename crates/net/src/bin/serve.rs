@@ -21,6 +21,7 @@ use hmts::prelude::*;
 use hmts_net::{
     fig9_served_chain, EgressServer, IngestConfig, IngestServer, SlowConsumerPolicy, StreamSpec,
 };
+use hmts_shard::{remap_partitioning, shard_by_name, ShardSpec};
 
 struct Args {
     ingest: String,
@@ -40,13 +41,40 @@ struct Args {
     alerts: Vec<String>,
     trace_every: u64,
     spans_out: Option<std::path::PathBuf>,
+    shard: Vec<ShardArg>,
+}
+
+/// One `--shard NODE=N[:FIELD]` request: shard `node` into `n` replicas,
+/// keyed on tuple field `key_field` (falling back to the operator's own
+/// declared shard key when omitted).
+struct ShardArg {
+    node: String,
+    n: usize,
+    key_field: Option<usize>,
+}
+
+fn parse_shard(spec: &str) -> ShardArg {
+    let bad = || -> ! {
+        eprintln!("bad --shard {spec:?}: want NODE=N or NODE=N:FIELD\n{USAGE}");
+        exit(2);
+    };
+    let Some((node, rest)) = spec.split_once('=') else { bad() };
+    let (n, key_field) = match rest.split_once(':') {
+        Some((n, f)) => (n.parse().ok(), Some(f.parse().unwrap_or_else(|_| bad()))),
+        None => (rest.parse().ok(), None),
+    };
+    let Some(n) = n.filter(|&n| n >= 1) else { bad() };
+    if node.is_empty() {
+        bad()
+    }
+    ShardArg { node: node.to_string(), n, key_field }
 }
 
 const USAGE: &str = "serve [--ingest HOST:PORT] [--egress HOST:PORT] [--stream NAME] \
 [--speedup K] [--queue-capacity N] [--producers N] [--workers N] \
 [--slow-consumer block|disconnect:MS] [--switch-after-ms N] [--metrics DIR] \
 [--checkpoint-dir DIR] [--checkpoint-interval-ms N] [--recover] [--admin HOST:PORT] \
-[--alert \"EXPR\"] [--trace-every N] [--spans-out FILE]
+[--alert \"EXPR\"] [--trace-every N] [--spans-out FILE] [--shard NODE=N[:FIELD]]
   --speedup K          divide the paper's operator costs by K (default 50000)
   --queue-capacity N   bound of the ingest queue; fullness becomes TCP backpressure
   --producers N        ingest connections expected before the stream ends
@@ -66,7 +94,12 @@ const USAGE: &str = "serve [--ingest HOST:PORT] [--egress HOST:PORT] [--stream N
   --trace-every N      sample every Nth tuple through the per-hop tracer
                        (also honours trace tags arriving on the wire)
   --spans-out FILE     write this process's trace spans as spans.json on
-                       exit (mergeable with netgen's --spans-out)";
+                       exit (mergeable with netgen's --spans-out)
+  --shard NODE=N[:FIELD]  rewrite NODE into a hash-partitioning splitter,
+                       N parallel replicas, and an order-restoring merge
+                       (output stays identical to the unsharded plan);
+                       keys on tuple field FIELD, or the operator's own
+                       declared shard key when omitted; repeatable";
 
 fn parse_args() -> Args {
     let mut args = Args {
@@ -87,6 +120,7 @@ fn parse_args() -> Args {
         alerts: Vec::new(),
         trace_every: 0,
         spans_out: None,
+        shard: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -123,6 +157,7 @@ fn parse_args() -> Args {
                 args.trace_every = val("--trace-every").parse().expect("--trace-every")
             }
             "--spans-out" => args.spans_out = Some(val("--spans-out").into()),
+            "--shard" => args.shard.push(parse_shard(&val("--shard"))),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 exit(0);
@@ -239,9 +274,28 @@ fn main() {
 
     let source = ingest.source(&args.stream).expect("stream just registered");
     let chain = fig9_served_chain(Box::new(source), Box::new(egress.sink("egress")), args.speedup);
-    let topo = Topology::of(&chain.graph);
+    // Sharding rewrites must run before the topology and engine exist, on
+    // cold start and recovery alike: checkpoint blobs are keyed by node
+    // name, so a recovering run only finds per-replica state if the graph
+    // carries the same `node[i]`/`node.split`/`node.merge` nodes that
+    // wrote it.
+    let (mut graph, mut partitioning) = (chain.graph, chain.partitioning);
+    for s in &args.shard {
+        let spec = match s.key_field {
+            Some(f) => ShardSpec::on_key(s.n, Expr::field(f)),
+            None => ShardSpec::auto(s.n),
+        };
+        let rw = shard_by_name(graph, &s.node, &spec).unwrap_or_else(|e| {
+            eprintln!("serve: {e}\n(hint: --shard NODE=N:FIELD supplies an explicit key)");
+            exit(2);
+        });
+        partitioning = remap_partitioning(&partitioning, &rw);
+        graph = rw.graph;
+        println!("serve: sharded {:?} into {} replicas", s.node, s.n);
+    }
+    let topo = Topology::of(&graph);
     let hmts_plan =
-        || ExecutionPlan::hmts(chain.partitioning.clone(), StrategyKind::Fifo, args.workers.max(1));
+        || ExecutionPlan::hmts(partitioning.clone(), StrategyKind::Fifo, args.workers.max(1));
     let initial = if args.switch_after_ms > 0 {
         ExecutionPlan::gts(&topo, StrategyKind::Fifo)
     } else {
@@ -257,7 +311,7 @@ fn main() {
         }),
         ..EngineConfig::default()
     };
-    let mut engine = Engine::with_config(chain.graph, initial, cfg).unwrap_or_else(|e| {
+    let mut engine = Engine::with_config(graph, initial, cfg).unwrap_or_else(|e| {
         eprintln!("serve: invalid plan: {e}");
         exit(1);
     });

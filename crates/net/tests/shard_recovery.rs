@@ -1,0 +1,242 @@
+//! Sharded recovery acceptance (ISSUE 10 satellite): the served chain's
+//! stateful operator runs as a 2-way shard (splitter → `dedup[0]`,
+//! `dedup[1]` → order-restoring merge) under socket load, the engine is
+//! killed mid-stream after at least one aligned checkpoint, and recovery
+//! must restore *every* shard's state blob — split sequence counter,
+//! both replica dedup windows, and the merge cursor — so the resumed
+//! output combined with the pre-kill prefix is byte-identical to a
+//! fault-free run.
+
+use std::io::{self, Write};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use hmts::prelude::*;
+use hmts_net::{
+    send_with_resume, EgressServer, IngestConfig, IngestServer, ResumeConfig, SlowConsumerPolicy,
+    StreamSpec, SubscriberClient,
+};
+use hmts_shard::{names, shard_by_name, ShardSpec};
+
+const N: u64 = 5_000;
+const STREAM: &str = "bursty";
+const SHARDS: usize = 2;
+
+fn seq_tuples() -> Vec<(Timestamp, Tuple)> {
+    (0..N).map(|i| (Timestamp::from_micros(i), Tuple::single(i as i64))).collect()
+}
+
+/// ingest → sharded windowed dedup (2 replicas) → network egress. The
+/// dedup declares its own shard key (the dedup expression), so
+/// `ShardSpec::auto` suffices.
+fn sharded_dedup_chain(ingest: &IngestServer, egress: &EgressServer) -> QueryGraph {
+    let mut b = GraphBuilder::new();
+    let src = b.source(ingest.source(STREAM).expect("stream registered"));
+    let dd = b.op_after(Dedup::new("dedup", Expr::field(0), Duration::from_secs(3600)), src);
+    b.op_after(egress.sink("egress"), dd);
+    let graph = b.build().expect("valid graph");
+    shard_by_name(graph, "dedup", &ShardSpec::auto(SHARDS)).expect("dedup shards").graph
+}
+
+fn drain(mut sub: SubscriberClient) -> Vec<i64> {
+    let mut out = Vec::new();
+    while let Ok(Some(m)) = sub.next_message() {
+        if let Some(e) = m.as_data() {
+            out.push(e.tuple.field(0).as_int().unwrap());
+        }
+    }
+    out
+}
+
+struct PacedWriter<W> {
+    inner: W,
+    gap: Duration,
+}
+
+impl<W: Write> Write for PacedWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        std::thread::sleep(self.gap);
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+fn send_all(addr: SocketAddr, gap: Duration) -> Result<hmts_net::ResumeReport, hmts_net::NetError> {
+    let tuples = seq_tuples();
+    send_with_resume(
+        addr,
+        STREAM,
+        &tuples,
+        &ResumeConfig { base_backoff: Duration::from_millis(2), ..ResumeConfig::default() },
+        move |sock| {
+            if gap.is_zero() {
+                Box::new(sock) as Box<dyn Write + Send>
+            } else {
+                Box::new(PacedWriter { inner: sock, gap })
+            }
+        },
+    )
+}
+
+/// The uninterrupted sharded reference run.
+fn fault_free_output() -> Vec<i64> {
+    let ingest = IngestServer::bind(
+        "127.0.0.1:0",
+        vec![StreamSpec::new(STREAM)],
+        IngestConfig { queue_capacity: None, ..IngestConfig::default() },
+    )
+    .unwrap();
+    let egress =
+        EgressServer::bind("127.0.0.1:0", SlowConsumerPolicy::Block, Obs::disabled()).unwrap();
+    let sub = SubscriberClient::connect(egress.local_addr(), "results").unwrap();
+    assert!(egress.wait_for_subscribers(1, Duration::from_secs(5)));
+    let sub = std::thread::spawn(move || drain(sub));
+
+    let graph = sharded_dedup_chain(&ingest, &egress);
+    let plan = ExecutionPlan::di_decoupled(&Topology::of(&graph));
+    let cfg = EngineConfig { pace_sources: false, ..EngineConfig::default() };
+    let mut engine = Engine::with_config(graph, plan, cfg).unwrap();
+    engine.start().unwrap();
+    send_all(ingest.local_addr(), Duration::ZERO).expect("fault-free send");
+    let report = engine.wait();
+    assert!(report.errors.is_empty(), "baseline errors: {:?}", report.errors);
+    ingest.shutdown();
+    egress.shutdown();
+    drop(egress);
+    sub.join().unwrap()
+}
+
+#[test]
+fn killed_sharded_engine_recovers_every_shard_exactly_once() {
+    let dir = std::env::temp_dir().join(format!("hmts-shard-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // The sharded fault-free run is itself an ordering check: identical
+    // to the plain ascending sequence an unsharded dedup would emit.
+    let baseline = fault_free_output();
+    assert_eq!(baseline, (0..N as i64).collect::<Vec<_>>(), "sharded baseline in arrival order");
+
+    // ---- Phase 1: serve sharded with checkpointing, kill mid-stream. ----
+    let obs = Obs::enabled();
+    let ingest = IngestServer::bind(
+        "127.0.0.1:0",
+        vec![StreamSpec::new(STREAM)],
+        IngestConfig {
+            queue_capacity: None,
+            obs: obs.clone(),
+            resume: true,
+            reconnect_window: Duration::from_secs(30),
+            ..IngestConfig::default()
+        },
+    )
+    .unwrap();
+    let egress = EgressServer::bind("127.0.0.1:0", SlowConsumerPolicy::Block, obs.clone()).unwrap();
+    let sub1 = SubscriberClient::connect(egress.local_addr(), "results").unwrap();
+    assert!(egress.wait_for_subscribers(1, Duration::from_secs(5)));
+    let sub1 = std::thread::spawn(move || drain(sub1));
+
+    let graph = sharded_dedup_chain(&ingest, &egress);
+    let plan = ExecutionPlan::di_decoupled(&Topology::of(&graph));
+    let mut ckcfg = CheckpointConfig::new(&dir).with_interval(Duration::from_millis(10));
+    ckcfg.align_timeout = Duration::from_millis(500);
+    let cfg = EngineConfig {
+        pace_sources: false,
+        obs: obs.clone(),
+        checkpoint: Some(ckcfg),
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::with_config(graph, plan, cfg).unwrap();
+    engine.start().unwrap();
+
+    let addr = ingest.local_addr();
+    let client = std::thread::spawn(move || send_all(addr, Duration::from_micros(100)));
+
+    let store = CheckpointStore::new(&dir, 3);
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while store.latest_id().ok().flatten().unwrap_or(0) < 1 {
+        assert!(Instant::now() < deadline, "no completed checkpoint within 20 s");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    engine.abort();
+
+    ingest.shutdown();
+    egress.shutdown();
+    let _ = client.join().unwrap();
+    drop(ingest);
+    drop(egress);
+    let phase1 = sub1.join().unwrap();
+
+    // The aligned cut captured state for EVERY node of the shard trio:
+    // both replicas (keyed by their `dedup[i]` wrapper names), the
+    // splitter's sequence counter, and the merge's reorder cursor.
+    let ck = store.load_latest().expect("manifest readable").expect("a completed checkpoint");
+    let offset = ck.source_offset(STREAM).expect("ingest offset recorded");
+    assert!((1..N).contains(&offset), "cut strictly mid-stream: {offset}");
+    for i in 0..SHARDS {
+        assert!(
+            ck.operator_blob(&names::replica("dedup", i)).is_some(),
+            "replica {i} state captured"
+        );
+    }
+    assert!(ck.operator_blob(&names::split("dedup")).is_some(), "splitter seq captured");
+    assert!(ck.operator_blob(&names::merge("dedup")).is_some(), "merge cursor captured");
+
+    assert!(phase1.len() as u64 >= offset, "egress holds the prefix: {} < {offset}", phase1.len());
+    assert_eq!(phase1, (0..phase1.len() as i64).collect::<Vec<_>>(), "phase-1 prefix in order");
+
+    // ---- Phase 2: recover the sharded graph from the same dir. ----
+    let ingest2 = IngestServer::bind(
+        "127.0.0.1:0",
+        vec![StreamSpec::new(STREAM)],
+        IngestConfig {
+            queue_capacity: None,
+            resume: true,
+            initial_offsets: ck.sources.clone(),
+            ..IngestConfig::default()
+        },
+    )
+    .unwrap();
+    let egress2 =
+        EgressServer::bind("127.0.0.1:0", SlowConsumerPolicy::Block, Obs::disabled()).unwrap();
+    let sub2 = SubscriberClient::connect(egress2.local_addr(), "results").unwrap();
+    assert!(egress2.wait_for_subscribers(1, Duration::from_secs(5)));
+    let sub2 = std::thread::spawn(move || drain(sub2));
+
+    // The same rewrite runs again, so node names line up with the blobs.
+    let graph2 = sharded_dedup_chain(&ingest2, &egress2);
+    let plan2 = ExecutionPlan::di_decoupled(&Topology::of(&graph2));
+    let cfg2 = EngineConfig { pace_sources: false, ..EngineConfig::default() };
+    let (mut engine2, loaded) =
+        Engine::recover(graph2, plan2, cfg2, &dir).expect("recover from checkpoint dir");
+    assert_eq!(loaded.expect("checkpoint loaded").id, ck.id);
+    engine2.start().expect("recovered engine starts");
+
+    let report = send_all(ingest2.local_addr(), Duration::ZERO).expect("resumed send");
+    assert_eq!(report.connects, 1, "one clean connection after restart");
+    assert_eq!(report.resume_points, vec![offset], "replay from the checkpointed offset");
+
+    let report2 = engine2.wait();
+    assert!(report2.errors.is_empty(), "recovered run errors: {:?}", report2.errors);
+    ingest2.shutdown();
+    egress2.shutdown();
+    let phase2 = sub2.join().unwrap();
+
+    // Restored split/merge cursors keep global order: the recovered run
+    // emits exactly the post-checkpoint suffix, still in arrival order.
+    assert_eq!(
+        phase2,
+        (offset as i64..N as i64).collect::<Vec<_>>(),
+        "recovered sharded run emits exactly the post-checkpoint suffix"
+    );
+
+    // Acceptance: both phases together, dedup'd by sequence, are
+    // byte-identical to the fault-free run.
+    let mut combined: Vec<i64> = phase1.iter().chain(phase2.iter()).copied().collect();
+    combined.sort_unstable();
+    combined.dedup();
+    assert_eq!(combined, baseline, "exactly-once across the restart, N={SHARDS} shards");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -11,9 +11,11 @@
 //!   quarantine.
 //! * `GET /snapshot` — structured JSON runtime snapshot: per-queue
 //!   depth/high-water/drops, per-operator cost and selectivity
-//!   estimates, checkpoint id and age, engine-level gauges, and
-//!   free-form status strings (plan shape, strategy mode, thread
-//!   assignments) published by the host through [`StatusBoard`].
+//!   estimates, shard replicas grouped under their logical node
+//!   (`"shards":{"agg":{"display":"agg[0..3]",…}}`), checkpoint id and
+//!   age, engine-level gauges, and free-form status strings (plan
+//!   shape, strategy mode, thread assignments) published by the host
+//!   through [`StatusBoard`].
 //! * `GET /analyze` — the capacity analyzer's report
 //!   ([`crate::capacity`]): per-node utilization table ranked by ρ,
 //!   per-partition utilization, bottleneck + headroom, predicted
@@ -382,10 +384,43 @@ fn snapshot_json(obs: &Obs, status: &StatusBoard) -> String {
         .map(|(k, v)| format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)))
         .collect();
 
+    // Shard replicas (`agg[i]`) grouped under their logical node: the
+    // per-replica operator entries stay as-is above, and this section
+    // indexes them by base name with the summed arrival rate — names are
+    // parsed here, never constructed (see `capacity::parse_replica`).
+    let mut shard_groups: BTreeMap<&str, Vec<(usize, &str)>> = BTreeMap::new();
+    for entity in nodes.keys() {
+        if let Some((base, idx)) = crate::capacity::parse_replica(entity) {
+            shard_groups.entry(base).or_default().push((idx, entity));
+        }
+    }
+    let shards: Vec<String> = shard_groups
+        .iter()
+        .map(|(base, members)| {
+            let mut members = members.clone();
+            members.sort_unstable();
+            let replicas: Vec<String> =
+                members.iter().map(|(_, name)| format!("\"{}\"", json_escape(name))).collect();
+            let rate: f64 = members
+                .iter()
+                .filter_map(|(_, name)| nodes.get(name).and_then(|f| f.get("rate")))
+                .sum();
+            format!(
+                "\"{}\":{{\"display\":\"{}[0..{}]\",\"replicas\":[{}],\"rate\":{}}}",
+                json_escape(base),
+                json_escape(base),
+                members.len(),
+                replicas.join(","),
+                fmt_f64(rate),
+            )
+        })
+        .collect();
+
     format!(
-        "{{\"enabled\":true,\"uptime_ms\":{uptime_ms},\"queues\":{},\"operators\":{},\"sources\":{},\"engine\":{{{}}},\"checkpoint\":{},\"e2e_latency\":{{{}}},\"status\":{{{}}}}}\n",
+        "{{\"enabled\":true,\"uptime_ms\":{uptime_ms},\"queues\":{},\"operators\":{},\"shards\":{{{}}},\"sources\":{},\"engine\":{{{}}},\"checkpoint\":{},\"e2e_latency\":{{{}}},\"status\":{{{}}}}}\n",
         json_group(&queues),
         json_group(&nodes),
+        shards.join(","),
         json_group(&sources),
         engine.join(","),
         checkpoint,
@@ -562,6 +597,46 @@ mod tests {
             })
             .expect("f rate after advance");
         assert!(f_rate_2 > f_rate_1, "second scrape saw stale rate: {f_rate_1} then {f_rate_2}");
+    }
+
+    /// `/snapshot` groups shard replicas under the logical node and
+    /// `/analyze` carries the per-shard utilization table, so a sharded
+    /// station stays legible on the admin plane.
+    #[test]
+    fn snapshot_and_analyze_group_shard_replicas() {
+        let obs = Obs::enabled();
+        obs.gauge("source.src.rate").set(1_000);
+        obs.gauge("node.agg.split.rate").set(1_000);
+        for (name, rate) in [("agg[0]", 700), ("agg[1]", 300)] {
+            obs.gauge(&format!("node.{name}.cost_ns")).set(400_000);
+            obs.gauge(&format!("node.{name}.rate")).set(rate);
+        }
+        let status = StatusBoard::default();
+        status.set(
+            "topology.edges",
+            "src->agg.split;agg.split->agg[0];agg.split->agg[1];agg[0]->agg.merge;agg[1]->agg.merge",
+        );
+        status.set("topology.sources", "src");
+        let server = AdminServer::bind("127.0.0.1:0", obs.clone(), status).expect("bind");
+
+        let (code, body) = get(server.addr(), "/snapshot");
+        assert_eq!(code, 200, "{body}");
+        let snap = crate::json::parse(&body).expect("snapshot is JSON");
+        let agg = snap.get("shards").and_then(|s| s.get("agg")).expect("agg shard group");
+        assert_eq!(agg.get("display").and_then(|v| v.as_str()), Some("agg[0..2]"));
+        let replicas = agg.get("replicas").and_then(|r| r.as_arr()).expect("replicas");
+        assert_eq!(replicas.len(), 2);
+        assert_eq!(replicas[0].as_str(), Some("agg[0]"));
+        assert_eq!(agg.get("rate").and_then(|v| v.as_f64()), Some(1_000.0));
+
+        let (code, body) = get(server.addr(), "/analyze");
+        assert_eq!(code, 200, "{body}");
+        let doc = crate::json::parse(&body).expect("analyze is JSON");
+        let shards = doc.get("shards").and_then(|s| s.as_arr()).expect("shards array");
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].get("logical").and_then(|v| v.as_str()), Some("agg"));
+        let rho = shards[0].get("max_rho").and_then(|v| v.as_f64()).expect("max_rho");
+        assert!((rho - 0.28).abs() < 1e-6, "hottest replica ρ 700×400µs: {rho}");
     }
 
     #[test]

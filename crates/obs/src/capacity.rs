@@ -124,6 +124,28 @@ impl TopologySpec {
     }
 }
 
+/// Parses a shard-replica node name, `base[i]` → `(base, i)`.
+///
+/// Parsing only: replica names are *constructed* solely by
+/// `hmts-shard`'s `names` module (a repo check gate keeps it that way);
+/// the observability plane recognizes them to group replicas under
+/// their logical operator without depending on the shard crate.
+pub fn parse_replica(name: &str) -> Option<(&str, usize)> {
+    let rest = name.strip_suffix(']')?;
+    let (base, idx) = rest.rsplit_once('[')?;
+    if base.is_empty() || idx.is_empty() || !idx.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    Some((base, idx.parse().ok()?))
+}
+
+/// Whether a node is a shard splitter (`base.split` by the same naming
+/// scheme). Splitters *route* rather than copy: their output rate divides
+/// across their out-edges instead of duplicating onto each.
+fn is_splitter(name: &str) -> bool {
+    name.ends_with(".split")
+}
+
 /// One node's capacity picture.
 #[derive(Clone, Debug)]
 pub struct NodeCapacity {
@@ -160,6 +182,31 @@ pub struct PartitionCapacity {
     pub nodes: Vec<String>,
     /// Aggregate utilization of the partition's serving thread.
     pub rho: f64,
+}
+
+/// One sharded logical operator: its replicas' utilizations rolled up
+/// under the pre-rewrite node name, so dashboards and `rho(<logical>)`
+/// alert rules keep working after the sharding rewrite.
+#[derive(Clone, Debug)]
+pub struct ShardCapacity {
+    /// Logical operator name (the pre-rewrite node, e.g. `agg`).
+    pub logical: String,
+    /// Display form grouping the replicas, e.g. `agg[0..3]`.
+    pub display: String,
+    /// Replica node names in shard-index order.
+    pub replicas: Vec<String>,
+    /// Per-replica utilization, aligned with `replicas`.
+    pub rho: Vec<f64>,
+    /// The hottest replica's ρ — the logical node saturates when any one
+    /// replica does, so this is what `rho(<logical>)` resolves to.
+    pub max_rho: f64,
+    /// The hottest replica's predicted queueing wait (ns).
+    pub max_wait_ns: f64,
+    /// Combined arrival rate over all replicas (elements/second).
+    pub rate: f64,
+    /// `max ρ / mean ρ` — 1.0 means perfectly balanced keys; large values
+    /// flag key skew concentrating load on one replica.
+    pub imbalance: f64,
 }
 
 /// Predicted end-to-end latency along one source→terminal path.
@@ -210,6 +257,9 @@ pub struct CapacityReport {
     pub nodes: Vec<NodeCapacity>,
     /// Per-partition utilization (empty when no partitioning published).
     pub partitions: Vec<PartitionCapacity>,
+    /// Sharded logical operators (replica names grouped by base; empty
+    /// when no node of the graph is sharded).
+    pub shards: Vec<ShardCapacity>,
     /// Name of the operator with the highest measured ρ.
     pub bottleneck: Option<String>,
     /// The highest saturation fraction in the graph: max partition ρ when
@@ -313,7 +363,16 @@ pub fn analyze(
         };
         rate[i] = match measured {
             Some(r) if r > 0.0 => r,
-            _ => preds[i].iter().map(|&u| rate[u] * sel[u]).sum(),
+            _ => preds[i]
+                .iter()
+                .map(|&u| {
+                    // A shard splitter routes, it does not copy: its
+                    // output divides across its out-edges (uniformly, as
+                    // the model's best guess absent measured rates).
+                    let fan = if is_splitter(&names[u]) { succs[u].len().max(1) } else { 1 };
+                    rate[u] * sel[u] / fan as f64
+                })
+                .sum(),
         };
     }
 
@@ -379,6 +438,34 @@ pub fn analyze(
         .collect();
     nodes.sort_by(|a, b| b.rho.total_cmp(&a.rho));
     let bottleneck = nodes.first().filter(|x| x.rho > 0.0).map(|x| x.name.clone());
+
+    // Roll shard replicas up under their logical (pre-rewrite) node.
+    let mut by_base: BTreeMap<String, Vec<(usize, &NodeCapacity)>> = BTreeMap::new();
+    for x in &nodes {
+        if let Some((base, idx)) = parse_replica(&x.name) {
+            by_base.entry(base.to_string()).or_default().push((idx, x));
+        }
+    }
+    let shards: Vec<ShardCapacity> = by_base
+        .into_iter()
+        .map(|(logical, mut members)| {
+            members.sort_by_key(|m| m.0);
+            let count = members.len();
+            let rho: Vec<f64> = members.iter().map(|m| m.1.rho).collect();
+            let max_rho = rho.iter().copied().fold(0.0, f64::max);
+            let mean = rho.iter().sum::<f64>() / count as f64;
+            ShardCapacity {
+                display: format!("{logical}[0..{count}]"),
+                replicas: members.iter().map(|m| m.1.name.clone()).collect(),
+                max_rho,
+                max_wait_ns: members.iter().map(|m| m.1.wait_ns).fold(0.0, f64::max),
+                rate: members.iter().map(|m| m.1.rate).sum(),
+                imbalance: if mean > 0.0 { max_rho / mean } else { 1.0 },
+                rho,
+                logical,
+            }
+        })
+        .collect();
 
     let partitions: Vec<PartitionCapacity> = topo
         .partitions
@@ -472,6 +559,7 @@ pub fn analyze(
     CapacityReport {
         nodes,
         partitions,
+        shards,
         bottleneck,
         max_rho,
         headroom,
@@ -537,6 +625,26 @@ pub fn report_json(report: &CapacityReport, uptime_ms: u128) -> String {
             )
         })
         .collect();
+    let shards: Vec<String> = report
+        .shards
+        .iter()
+        .map(|s| {
+            let replicas: Vec<String> =
+                s.replicas.iter().map(|x| format!("\"{}\"", json_escape(x))).collect();
+            let rho: Vec<String> = s.rho.iter().map(|r| num(*r)).collect();
+            format!(
+                "{{\"logical\":\"{}\",\"display\":\"{}\",\"replicas\":[{}],\"rho\":[{}],\"max_rho\":{},\"max_wait_ns\":{},\"rate\":{},\"imbalance\":{}}}",
+                json_escape(&s.logical),
+                json_escape(&s.display),
+                replicas.join(","),
+                rho.join(","),
+                num(s.max_rho),
+                num(s.max_wait_ns),
+                num(s.rate),
+                num(s.imbalance),
+            )
+        })
+        .collect();
     let paths: Vec<String> = report
         .paths
         .iter()
@@ -573,7 +681,7 @@ pub fn report_json(report: &CapacityReport, uptime_ms: u128) -> String {
         })
         .collect();
     format!(
-        "{{\"uptime_ms\":{uptime_ms},\"bottleneck\":{},\"max_rho\":{},\"headroom\":{},\"ingest_rate\":{},\"max_sustainable_rate\":{},\"nodes\":[{}],\"partitions\":[{}],\"paths\":[{}],\"drift\":[{}]}}\n",
+        "{{\"uptime_ms\":{uptime_ms},\"bottleneck\":{},\"max_rho\":{},\"headroom\":{},\"ingest_rate\":{},\"max_sustainable_rate\":{},\"nodes\":[{}],\"partitions\":[{}],\"shards\":[{}],\"paths\":[{}],\"drift\":[{}]}}\n",
         report
             .bottleneck
             .as_ref()
@@ -585,6 +693,7 @@ pub fn report_json(report: &CapacityReport, uptime_ms: u128) -> String {
         num(report.max_sustainable_rate),
         nodes.join(","),
         partitions.join(","),
+        shards.join(","),
         paths.join(","),
         drift.join(","),
     )
@@ -596,6 +705,10 @@ pub fn report_json(report: &CapacityReport, uptime_ms: u128) -> String {
 ///
 /// * `capacity.node.<name>.rho_ppm`, `capacity.node.<name>.wait_ns`
 /// * `capacity.partition.<i>.rho_ppm`
+/// * for sharded nodes, `capacity.node.<logical>.rho_ppm` /
+///   `.wait_ns` (hottest replica, keeping `rho(<logical>)` alert rules
+///   live) plus `capacity.shard.<logical>.replicas` and
+///   `capacity.shard.<logical>.imbalance_ppm`
 /// * `capacity.max_rho_ppm`, `capacity.headroom_ppm`,
 ///   `capacity.max_sustainable_rate`
 /// * `capacity.path.<terminal>.predicted_{p50,p99,mean}_ns`
@@ -620,6 +733,17 @@ pub fn install(obs: &Obs, status: &StatusBoard, cfg: CapacityConfig) {
         }
         for p in &report.partitions {
             obs2.gauge(&format!("capacity.partition.{}.rho_ppm", p.index)).set(ppm(p.rho));
+        }
+        // Sharded logical nodes: re-publish the hottest replica under the
+        // pre-rewrite name so existing `rho(<name>)` alert rules and
+        // dashboards keep working across a sharding rewrite.
+        for s in &report.shards {
+            obs2.gauge(&format!("capacity.node.{}.rho_ppm", s.logical)).set(ppm(s.max_rho));
+            obs2.gauge(&format!("capacity.node.{}.wait_ns", s.logical)).set(s.max_wait_ns as i64);
+            obs2.gauge(&format!("capacity.shard.{}.replicas", s.logical))
+                .set(s.replicas.len() as i64);
+            obs2.gauge(&format!("capacity.shard.{}.imbalance_ppm", s.logical))
+                .set(ppm(s.imbalance));
         }
         obs2.gauge("capacity.max_rho_ppm").set(ppm(report.max_rho));
         obs2.gauge("capacity.headroom_ppm").set(ppm(report.headroom));
@@ -804,6 +928,99 @@ mod tests {
         assert!(gauge("capacity.max_rho_ppm").is_some());
         assert!(gauge("capacity.headroom_ppm").unwrap() > 1_000_000);
         assert!(gauge("capacity.max_sustainable_rate").unwrap() > 100);
+    }
+
+    /// Shard replicas (`agg[i]`) roll up under the logical node: the
+    /// report gains a `shards` entry, and `install` re-publishes the
+    /// hottest replica's ρ as `capacity.node.agg.rho_ppm` so a
+    /// `rho(agg)` alert rule survives the sharding rewrite unchanged.
+    #[test]
+    fn shard_replicas_roll_up_under_logical_node() {
+        let obs = Obs::enabled();
+        obs.gauge("source.src.rate").set(1_000);
+        obs.gauge("node.agg.split.cost_ns").set(100);
+        obs.gauge("node.agg.split.rate").set(1_000);
+        for (name, rate) in [("agg[0]", 600), ("agg[1]", 400)] {
+            obs.gauge(&format!("node.{name}.cost_ns")).set(500_000);
+            obs.gauge(&format!("node.{name}.rate")).set(rate);
+        }
+        obs.gauge("node.agg.merge.cost_ns").set(100);
+        let status = board(
+            "src->agg.split;agg.split->agg[0];agg.split->agg[1];agg[0]->agg.merge;agg[1]->agg.merge",
+            "src",
+            "",
+        );
+        let report =
+            analyze_status(&obs.metrics_snapshot(), &status, &CapacityConfig::default()).unwrap();
+
+        assert_eq!(report.shards.len(), 1);
+        let s = &report.shards[0];
+        assert_eq!(s.logical, "agg");
+        assert_eq!(s.display, "agg[0..2]");
+        assert_eq!(s.replicas, vec!["agg[0]".to_string(), "agg[1]".to_string()]);
+        assert!((s.max_rho - 0.3).abs() < 1e-9, "hottest replica ρ: {}", s.max_rho);
+        assert!((s.rate - 1_000.0).abs() < 1e-9);
+        assert!((s.imbalance - 0.3 / 0.25).abs() < 1e-9, "imbalance: {}", s.imbalance);
+        // The hot replica — not the logical rollup — is the bottleneck row.
+        assert_eq!(report.bottleneck.as_deref(), Some("agg[0]"));
+
+        // The JSON body carries the shards table.
+        let body = report_json(&report, 1);
+        let doc = crate::json::parse(&body).expect("valid JSON");
+        let shards = doc.get("shards").and_then(|x| x.as_arr()).expect("shards array");
+        assert_eq!(shards[0].get("display").and_then(|v| v.as_str()), Some("agg[0..2]"));
+
+        // install() republishes under the logical name.
+        let status_board = StatusBoard::default();
+        for (k, v) in board(
+            "src->agg.split;agg.split->agg[0];agg.split->agg[1];agg[0]->agg.merge;agg[1]->agg.merge",
+            "src",
+            "",
+        ) {
+            status_board.set(k, v);
+        }
+        install(&obs, &status_board, CapacityConfig::default());
+        obs.run_collectors();
+        let m = obs.metrics_snapshot();
+        let gauge = |name: &str| {
+            m.iter().find_map(|(n, v)| match v {
+                MetricValue::Gauge(g) if n == name => Some(*g),
+                _ => None,
+            })
+        };
+        let rho = gauge("capacity.node.agg.rho_ppm").expect("logical rho gauge");
+        assert!((rho - 300_000).abs() < 3_000, "max replica ρ=0.3 → {rho} ppm");
+        assert_eq!(gauge("capacity.shard.agg.replicas"), Some(2));
+        assert!(gauge("capacity.shard.agg.imbalance_ppm").unwrap() > 1_000_000);
+    }
+
+    /// A splitter's propagated rate divides across its out-edges (it
+    /// routes, it does not broadcast), so un-measured replicas get the
+    /// uniform share rather than the full input rate each.
+    #[test]
+    fn split_fanout_divides_propagated_rate() {
+        let obs = Obs::enabled();
+        obs.gauge("source.src.rate").set(1_000);
+        obs.gauge("node.f.split.rate").set(1_000);
+        for name in ["f[0]", "f[1]"] {
+            obs.gauge(&format!("node.{name}.cost_ns")).set(100_000);
+        }
+        let status = board("src->f.split;f.split->f[0];f.split->f[1]", "src", "");
+        let report =
+            analyze_status(&obs.metrics_snapshot(), &status, &CapacityConfig::default()).unwrap();
+        for name in ["f[0]", "f[1]"] {
+            let x = report.nodes.iter().find(|x| x.name == name).unwrap();
+            assert!((x.rate - 500.0).abs() < 1e-9, "{name} rate: {}", x.rate);
+        }
+    }
+
+    #[test]
+    fn replica_name_parsing_is_strict() {
+        assert_eq!(parse_replica("agg[0]"), Some(("agg", 0)));
+        assert_eq!(parse_replica("a.b[12]"), Some(("a.b", 12)));
+        for bad in ["agg", "agg[]", "agg[x]", "[3]", "agg[1", "agg1]"] {
+            assert_eq!(parse_replica(bad), None, "{bad}");
+        }
     }
 
     #[test]

@@ -262,6 +262,25 @@ impl Operator for WindowAggregate {
     fn stateful(&mut self) -> Option<&mut dyn StatefulOperator> {
         Some(self)
     }
+
+    fn shard_key(&self, _port: usize) -> Option<Expr> {
+        // Grouped aggregates partition cleanly on the group key: every
+        // element of a group lands on one shard, which then owns that
+        // group's whole state. Ungrouped aggregates fold all elements into
+        // one state cell and cannot be key-partitioned.
+        self.group_by.clone()
+    }
+
+    fn replicate(&self) -> Option<Box<dyn Operator>> {
+        Some(Box::new(WindowAggregate {
+            name: self.name.clone(),
+            func: self.func,
+            group_by: self.group_by.clone(),
+            window: WindowBuffer::new(self.window.extent()),
+            groups: HashMap::new(),
+            cost_hint: self.cost_hint,
+        }))
+    }
 }
 
 /// Snapshot format v1: the live window contents only. Group states are

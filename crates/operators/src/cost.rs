@@ -114,6 +114,21 @@ impl<O: Operator> Operator for Costed<O> {
     fn stateful(&mut self) -> Option<&mut dyn hmts_state::StatefulOperator> {
         self.inner.stateful()
     }
+
+    fn shard_key(&self, port: usize) -> Option<crate::expr::Expr> {
+        self.inner.shard_key(port)
+    }
+
+    fn replicate(&self) -> Option<Box<dyn Operator>> {
+        // A replica of a costed operator must charge the same cost, or the
+        // sharding speedup would be an artifact of dropping the wrapper.
+        let inner = self.inner.replicate()?;
+        Some(Box::new(Costed::new(inner, self.mode)))
+    }
+
+    fn on_eos(&mut self, port: usize, out: &mut Output) -> Result<()> {
+        self.inner.on_eos(port, out)
+    }
 }
 
 /// A stand-alone pass-through operator with artificial cost — the simplest

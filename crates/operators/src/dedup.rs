@@ -82,6 +82,15 @@ impl Operator for Dedup {
     fn stateful(&mut self) -> Option<&mut dyn StatefulOperator> {
         Some(self)
     }
+
+    fn shard_key(&self, _port: usize) -> Option<Expr> {
+        // All occurrences of a dedup key must meet in one suppression map.
+        Some(self.key.clone())
+    }
+
+    fn replicate(&self) -> Option<Box<dyn Operator>> {
+        Some(Box::new(Dedup::new(self.name.clone(), self.key.clone(), self.window)))
+    }
 }
 
 /// Snapshot format v1: the `(ts, key)` suppression log in arrival order.

@@ -94,6 +94,21 @@ impl Operator for Filter {
     fn selectivity_hint(&self) -> Option<f64> {
         self.selectivity_hint
     }
+
+    fn replicate(&self) -> Option<Box<dyn Operator>> {
+        // Fn predicates may carry hidden state (see the every-other test
+        // below) and cannot be cloned; expression predicates replicate.
+        let predicate = match &self.predicate {
+            Predicate::Expr(e) => Predicate::Expr(e.clone()),
+            Predicate::Fn(_) => return None,
+        };
+        Some(Box::new(Filter {
+            name: self.name.clone(),
+            predicate,
+            selectivity_hint: self.selectivity_hint,
+            cost_hint: self.cost_hint,
+        }))
+    }
 }
 
 #[cfg(test)]

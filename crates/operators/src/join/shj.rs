@@ -206,6 +206,30 @@ impl Operator for SymmetricHashJoin {
     fn stateful(&mut self) -> Option<&mut dyn StatefulOperator> {
         Some(self)
     }
+
+    fn shard_key(&self, port: usize) -> Option<Expr> {
+        // Equi-joins partition on the join key: both sides of a match hash
+        // to the same shard when each input is split on its own key
+        // expression. (The rewrite currently shards unary operators only;
+        // this is the key-extraction surface it will use once multi-input
+        // splitting lands.)
+        match port {
+            0 => Some(self.left.key.clone()),
+            1 => Some(self.right.key.clone()),
+            _ => None,
+        }
+    }
+
+    fn replicate(&self) -> Option<Box<dyn Operator>> {
+        Some(Box::new(SymmetricHashJoin {
+            name: self.name.clone(),
+            window: self.window,
+            left: Side::new(self.left.key.clone()),
+            right: Side::new(self.right.key.clone()),
+            cost_hint: self.cost_hint,
+            selectivity_hint: self.selectivity_hint,
+        }))
+    }
 }
 
 /// Snapshot format v1: left then right side, each as an ordered element

@@ -134,6 +134,36 @@ impl Operator for SymmetricNestedLoopsJoin {
     fn stateful(&mut self) -> Option<&mut dyn StatefulOperator> {
         Some(self)
     }
+
+    fn shard_key(&self, port: usize) -> Option<crate::expr::Expr> {
+        // Only equi-joins have a partitioning key; a theta condition can
+        // match any pair, so its state cannot be split.
+        match (&self.condition, port) {
+            (JoinCondition::KeyEquality { left, .. }, 0) => Some(left.clone()),
+            (JoinCondition::KeyEquality { right, .. }, 1) => Some(right.clone()),
+            _ => None,
+        }
+    }
+
+    fn replicate(&self) -> Option<Box<dyn Operator>> {
+        // Theta conditions close over an arbitrary function and cannot be
+        // cloned; key-equality conditions replicate structurally.
+        let condition = match &self.condition {
+            JoinCondition::KeyEquality { left, right } => {
+                JoinCondition::KeyEquality { left: left.clone(), right: right.clone() }
+            }
+            JoinCondition::Theta(_) => return None,
+        };
+        Some(Box::new(SymmetricNestedLoopsJoin {
+            name: self.name.clone(),
+            window: self.window,
+            condition,
+            left: WindowBuffer::new(self.window),
+            right: WindowBuffer::new(self.window),
+            cost_hint: self.cost_hint,
+            selectivity_hint: self.selectivity_hint,
+        }))
+    }
 }
 
 /// Snapshot format v1: the left then right window buffers.

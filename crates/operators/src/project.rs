@@ -53,6 +53,14 @@ impl Operator for Project {
         // A projection is 1:1.
         Some(1.0)
     }
+
+    fn replicate(&self) -> Option<Box<dyn Operator>> {
+        Some(Box::new(Project {
+            name: self.name.clone(),
+            indices: self.indices.clone(),
+            cost_hint: self.cost_hint,
+        }))
+    }
 }
 
 /// A generalized projection that computes each output field from an

@@ -26,9 +26,19 @@ use hmts_streams::tuple::Tuple;
 #[derive(Debug, Default)]
 pub struct Output {
     elements: Vec<Element>,
+    /// Per-element route tags, maintained lazily: empty means *every*
+    /// element is broadcast to all successors (the overwhelmingly common
+    /// case, and free). The first [`Output::push_routed`] call back-fills
+    /// [`Output::BROADCAST`] for earlier elements, after which the vector
+    /// stays parallel to `elements`.
+    routes: Vec<u32>,
 }
 
 impl Output {
+    /// Route tag meaning "deliver to every successor" (the default for
+    /// [`Output::push`] / [`Output::emit`]).
+    pub const BROADCAST: u32 = u32::MAX;
+
     /// An empty output buffer.
     pub fn new() -> Output {
         Output::default()
@@ -37,6 +47,21 @@ impl Output {
     /// Emits an element.
     pub fn push(&mut self, e: Element) {
         self.elements.push(e);
+        if !self.routes.is_empty() {
+            self.routes.push(Self::BROADCAST);
+        }
+    }
+
+    /// Emits an element addressed to a single successor, identified by its
+    /// out-edge ordinal (the position of the edge among the producing
+    /// node's out-edges, in graph edge order). Used by partitioning
+    /// splitters; everything else broadcasts.
+    pub fn push_routed(&mut self, route: u32, e: Element) {
+        if self.routes.is_empty() {
+            self.routes.resize(self.elements.len(), Self::BROADCAST);
+        }
+        self.elements.push(e);
+        self.routes.push(route);
     }
 
     /// Emits a tuple with the given timestamp.
@@ -55,8 +80,19 @@ impl Output {
     }
 
     /// Drains the buffered elements in emission order.
+    ///
+    /// Callers that honour routing must call [`Output::take_routes`]
+    /// *before* draining; `drain` itself resets the route tags so a
+    /// route-oblivious caller never sees stale tags on the next batch.
     pub fn drain(&mut self) -> std::vec::Drain<'_, Element> {
+        self.routes.clear();
         self.elements.drain(..)
+    }
+
+    /// Takes the per-element route tags (parallel to the buffered
+    /// elements). Empty means every element is broadcast.
+    pub fn take_routes(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.routes)
     }
 
     /// Read-only view of the buffered elements.
@@ -67,6 +103,7 @@ impl Output {
     /// Discards all buffered elements.
     pub fn clear(&mut self) {
         self.elements.clear();
+        self.routes.clear();
     }
 
     /// Stamps every buffered element with the given trace tag.
@@ -139,6 +176,32 @@ pub trait Operator: Send {
     fn stateful(&mut self) -> Option<&mut dyn StatefulOperator> {
         None
     }
+
+    /// The expression whose value partitions this operator's state on the
+    /// given input port, if the operator is key-partitionable: two elements
+    /// whose key values are equal must land in the same state cell (group,
+    /// dedup key, join bucket). The sharding rewrite uses it as the default
+    /// hash key. `None` (the default) means the operator cannot be sharded
+    /// without an explicit key.
+    fn shard_key(&self, _port: usize) -> Option<crate::expr::Expr> {
+        None
+    }
+
+    /// A fresh, empty-state copy of this operator for data-parallel
+    /// replication. `None` (the default) means the operator is not
+    /// replicable — e.g. it closes over a non-cloneable function.
+    fn replicate(&self) -> Option<Box<dyn Operator>> {
+        None
+    }
+
+    /// Called by the executor when `port` delivers end-of-stream, *before*
+    /// the all-ports-closed check that triggers [`Operator::flush`].
+    /// Multi-input operators that gate emission on per-port progress (the
+    /// shard merge) release anything the dead port was holding back here.
+    /// Default: nothing to release.
+    fn on_eos(&mut self, _port: usize, _out: &mut Output) -> Result<()> {
+        Ok(())
+    }
 }
 
 /// A data source: the autonomous origin of a stream (paper §2.1: "sources
@@ -204,6 +267,18 @@ impl Operator for Box<dyn Operator> {
 
     fn stateful(&mut self) -> Option<&mut dyn StatefulOperator> {
         (**self).stateful()
+    }
+
+    fn shard_key(&self, port: usize) -> Option<crate::expr::Expr> {
+        (**self).shard_key(port)
+    }
+
+    fn replicate(&self) -> Option<Box<dyn Operator>> {
+        (**self).replicate()
+    }
+
+    fn on_eos(&mut self, port: usize, out: &mut Output) -> Result<()> {
+        (**self).on_eos(port, out)
     }
 }
 
@@ -342,6 +417,39 @@ mod tests {
         assert!(out.is_empty());
         out.emit(Tuple::single(3), Timestamp::ZERO);
         out.clear();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn output_routing_is_lazy_and_parallel() {
+        let mut out = Output::new();
+        out.emit(Tuple::single(1), Timestamp::ZERO);
+        // No push_routed yet: the routes vector stays empty (all-broadcast).
+        assert!(out.take_routes().is_empty());
+        out.push_routed(2, Element::single(2, Timestamp::ZERO));
+        out.push(Element::single(3, Timestamp::ZERO));
+        assert_eq!(out.len(), 3);
+        let routes = out.take_routes();
+        assert_eq!(routes, vec![Output::BROADCAST, 2, Output::BROADCAST]);
+        // drain() resets any leftover tags for route-oblivious callers.
+        out.push_routed(1, Element::single(4, Timestamp::ZERO));
+        let _ = out.drain();
+        out.push(Element::single(5, Timestamp::ZERO));
+        assert!(out.take_routes().is_empty());
+        // clear() likewise discards tags alongside elements.
+        out.push_routed(0, Element::single(6, Timestamp::ZERO));
+        out.clear();
+        assert!(out.is_empty());
+        assert!(out.take_routes().is_empty());
+    }
+
+    #[test]
+    fn default_shard_surface_is_inert() {
+        let mut op: Box<dyn Operator> = Box::new(Echo);
+        assert!(op.shard_key(0).is_none());
+        assert!(op.replicate().is_none());
+        let mut out = Output::new();
+        op.on_eos(0, &mut out).unwrap();
         assert!(out.is_empty());
     }
 

@@ -1,0 +1,426 @@
+//! The order-restoring merge behind an operator's replicas.
+
+use std::collections::BTreeMap;
+
+use hmts_operators::traits::{Operator, Output};
+use hmts_state::{StateBlob, StateError, StatefulOperator};
+use hmts_streams::element::Element;
+use hmts_streams::error::{Result, StreamError};
+use hmts_streams::tuple::Tuple;
+
+use crate::split::SEQ_FLUSH;
+
+/// One sequence number's worth of replica output.
+#[derive(Debug)]
+struct SeqGroup {
+    /// Number of elements the replica announced for this sequence number
+    /// (0 for a marker: the input produced nothing).
+    expected: u32,
+    elements: Vec<Element>,
+}
+
+/// Restores the splitter's arrival order across N replica streams.
+///
+/// Every replica output carries a `(seq, count)` tag; the merge holds a
+/// cursor (`next_seq`) over the splitter's dense sequence and emits a
+/// group only when it is complete *and* every earlier sequence number has
+/// been emitted. The result is a deterministic interleaving — byte-
+/// identical to what the unsharded operator would have produced — no
+/// matter how the scheduler interleaves the replicas.
+///
+/// A sequence number routed to a crashed-and-quarantined replica would
+/// stall the cursor forever; the *dead-shard skip rule* advances past
+/// `next_seq` once every port has either closed or progressed beyond it,
+/// trading completeness (that data is lost anyway) for liveness.
+pub struct OrderedMerge {
+    name: String,
+    arity: usize,
+    next_seq: u64,
+    pending: BTreeMap<u64, SeqGroup>,
+    /// Highest sequence number seen per port — the per-shard progress that
+    /// powers the skip rule.
+    last_seen: Vec<Option<u64>>,
+    /// Ports that delivered end-of-stream (not checkpointed: recovery
+    /// reopens every port).
+    eos: Vec<bool>,
+    /// Flush-channel output (tagged [`SEQ_FLUSH`]) held until [`flush`],
+    /// then emitted in port order for determinism.
+    flush_buf: Vec<Vec<Element>>,
+}
+
+impl OrderedMerge {
+    /// A merge over `n ≥ 1` replica input ports.
+    pub fn new(name: impl Into<String>, n: usize) -> OrderedMerge {
+        let n = n.max(1);
+        OrderedMerge {
+            name: name.into(),
+            arity: n,
+            next_seq: 0,
+            pending: BTreeMap::new(),
+            last_seen: vec![None; n],
+            eos: vec![false; n],
+            flush_buf: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of sequence groups currently held back.
+    pub fn pending_groups(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The next sequence number the cursor will release.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Emits every releasable group: complete groups at the cursor, and
+    /// cursor positions no live port can still supply.
+    fn advance(&mut self, out: &mut Output) {
+        loop {
+            if let Some(g) = self.pending.get(&self.next_seq) {
+                if g.elements.len() as u32 >= g.expected {
+                    let g = self.pending.remove(&self.next_seq).expect("present");
+                    for e in g.elements {
+                        out.push(e);
+                    }
+                    self.next_seq += 1;
+                    continue;
+                }
+                // Group present but incomplete: its remaining elements are
+                // in flight on the same port and will arrive.
+                return;
+            }
+            // Nothing for the cursor yet. Skip only if later data is
+            // already waiting AND no open port can still deliver it (each
+            // port feeds the merge in sequence order, so a port past
+            // `next_seq` will never revisit it).
+            let undeliverable = !self.pending.is_empty()
+                && self
+                    .last_seen
+                    .iter()
+                    .zip(&self.eos)
+                    .all(|(seen, dead)| *dead || matches!(seen, Some(s) if *s > self.next_seq));
+            if undeliverable {
+                self.next_seq += 1;
+                continue;
+            }
+            return;
+        }
+    }
+}
+
+impl Operator for OrderedMerge {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn input_arity(&self) -> usize {
+        self.arity
+    }
+
+    fn process(&mut self, port: usize, element: &Element, out: &mut Output) -> Result<()> {
+        if port >= self.arity {
+            return Err(StreamError::InvalidPort { port, arity: self.arity });
+        }
+        let a = element.tuple.arity();
+        if a < 2 {
+            return Err(StreamError::Other(format!(
+                "merge '{}' received an untagged tuple (arity {a})",
+                self.name
+            )));
+        }
+        let seq = element.tuple.field(a - 2).as_int()?;
+        let count = element.tuple.field(a - 1).as_int()?;
+        let payload = Element {
+            tuple: Tuple::new(element.tuple.values()[..a - 2].iter().cloned()),
+            ts: element.ts,
+            trace: element.trace,
+        };
+        if seq == SEQ_FLUSH {
+            self.flush_buf[port].push(payload);
+            return Ok(());
+        }
+        let seq = u64::try_from(seq).map_err(|_| {
+            StreamError::Other(format!("merge '{}' received negative seq {seq}", self.name))
+        })?;
+        if seq < self.next_seq {
+            return Err(StreamError::Other(format!(
+                "merge '{}' received seq {seq} behind cursor {} (duplicate delivery?)",
+                self.name, self.next_seq
+            )));
+        }
+        match &mut self.last_seen[port] {
+            s @ None => *s = Some(seq),
+            Some(s) => *s = (*s).max(seq),
+        }
+        let group = self
+            .pending
+            .entry(seq)
+            .or_insert_with(|| SeqGroup { expected: count.max(0) as u32, elements: Vec::new() });
+        if group.expected != count.max(0) as u32 {
+            return Err(StreamError::Other(format!(
+                "merge '{}' saw conflicting counts for seq {seq}",
+                self.name
+            )));
+        }
+        if count > 0 {
+            group.elements.push(payload);
+        }
+        self.advance(out);
+        Ok(())
+    }
+
+    fn on_eos(&mut self, port: usize, out: &mut Output) -> Result<()> {
+        if let Some(flag) = self.eos.get_mut(port) {
+            *flag = true;
+        }
+        // A dead port may have been the only thing holding the cursor.
+        self.advance(out);
+        Ok(())
+    }
+
+    fn flush(&mut self, out: &mut Output) -> Result<()> {
+        // Best effort on shutdown: whatever is still pending goes out in
+        // sequence order (incomplete groups included — their missing
+        // elements can no longer arrive), then the flush channel in port
+        // order.
+        let pending = std::mem::take(&mut self.pending);
+        for (_, g) in pending {
+            for e in g.elements {
+                out.push(e);
+            }
+        }
+        for buf in &mut self.flush_buf {
+            for e in buf.drain(..) {
+                out.push(e);
+            }
+        }
+        Ok(())
+    }
+
+    fn selectivity_hint(&self) -> Option<f64> {
+        // Markers are dropped; data passes 1:1.
+        Some(1.0)
+    }
+
+    fn stateful(&mut self) -> Option<&mut dyn StatefulOperator> {
+        Some(self)
+    }
+}
+
+/// Snapshot format v1: cursor, per-port progress, flush buffers, and the
+/// held-back groups. EOS flags are deliberately not persisted — recovery
+/// restarts every replica, so all ports reopen.
+const MERGE_STATE_V1: u16 = 1;
+
+impl StatefulOperator for OrderedMerge {
+    fn snapshot(&self) -> StateBlob {
+        StateBlob::build(MERGE_STATE_V1, |w| {
+            w.put_u64(self.next_seq);
+            w.put_u32(self.arity as u32);
+            for seen in &self.last_seen {
+                match seen {
+                    None => w.put_u8(0),
+                    Some(s) => {
+                        w.put_u8(1);
+                        w.put_u64(*s);
+                    }
+                }
+            }
+            for buf in &self.flush_buf {
+                w.put_u32(buf.len() as u32);
+                for e in buf {
+                    w.put_element(e);
+                }
+            }
+            w.put_u32(self.pending.len() as u32);
+            for (seq, g) in &self.pending {
+                w.put_u64(*seq);
+                w.put_u32(g.expected);
+                w.put_u32(g.elements.len() as u32);
+                for e in &g.elements {
+                    w.put_element(e);
+                }
+            }
+        })
+    }
+
+    fn restore(&mut self, blob: StateBlob) -> std::result::Result<(), StateError> {
+        let mut r = blob.reader_for(MERGE_STATE_V1)?;
+        let next_seq = r.u64()?;
+        let arity = r.u32()? as usize;
+        if arity != self.arity {
+            return Err(StateError::Incompatible("merge arity changed across recovery"));
+        }
+        let mut last_seen = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            last_seen.push(match r.u8()? {
+                0 => None,
+                _ => Some(r.u64()?),
+            });
+        }
+        let mut flush_buf = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            let n = r.len_prefix()?;
+            let mut buf = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                buf.push(r.element()?);
+            }
+            flush_buf.push(buf);
+        }
+        let groups = r.len_prefix()?;
+        let mut pending = BTreeMap::new();
+        for _ in 0..groups {
+            let seq = r.u64()?;
+            let expected = r.u32()?;
+            let n = r.len_prefix()?;
+            let mut elements = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                elements.push(r.element()?);
+            }
+            pending.insert(seq, SeqGroup { expected, elements });
+        }
+        r.expect_end()?;
+        self.next_seq = next_seq;
+        self.last_seen = last_seen;
+        self.flush_buf = flush_buf;
+        self.pending = pending;
+        self.eos = vec![false; self.arity];
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmts_streams::time::Timestamp;
+    use hmts_streams::value::Value;
+
+    fn tagged(v: i64, seq: i64, count: i64) -> Element {
+        Element::new(
+            Tuple::new([Value::Int(v), Value::Int(seq), Value::Int(count)]),
+            Timestamp::from_micros(seq.unsigned_abs()),
+        )
+    }
+
+    fn marker(seq: i64) -> Element {
+        Element::new(
+            Tuple::new([Value::Int(seq), Value::Int(0)]),
+            Timestamp::from_micros(seq as u64),
+        )
+    }
+
+    fn vals(out: &mut Output) -> Vec<i64> {
+        out.drain().map(|e| e.tuple.field(0).as_int().unwrap()).collect()
+    }
+
+    #[test]
+    fn restores_sequence_order_across_ports() {
+        let mut m = OrderedMerge::new("m", 2);
+        let mut out = Output::new();
+        // Seq 1 arrives on port 1 before seq 0 on port 0.
+        m.process(1, &tagged(11, 1, 1), &mut out).unwrap();
+        assert!(out.is_empty());
+        m.process(0, &tagged(10, 0, 1), &mut out).unwrap();
+        assert_eq!(vals(&mut out), vec![10, 11]);
+        assert_eq!(m.next_seq(), 2);
+    }
+
+    #[test]
+    fn markers_unblock_without_emitting() {
+        let mut m = OrderedMerge::new("m", 2);
+        let mut out = Output::new();
+        m.process(1, &tagged(11, 1, 1), &mut out).unwrap();
+        m.process(0, &marker(0), &mut out).unwrap();
+        assert_eq!(vals(&mut out), vec![11]);
+    }
+
+    #[test]
+    fn multi_element_groups_wait_for_completion() {
+        let mut m = OrderedMerge::new("m", 2);
+        let mut out = Output::new();
+        m.process(0, &tagged(1, 0, 2), &mut out).unwrap();
+        assert!(out.is_empty(), "half a group must not emit");
+        m.process(0, &tagged(2, 0, 2), &mut out).unwrap();
+        assert_eq!(vals(&mut out), vec![1, 2]);
+    }
+
+    #[test]
+    fn dead_port_skips_lost_sequences() {
+        let mut m = OrderedMerge::new("m", 2);
+        let mut out = Output::new();
+        // Seq 0 was routed to port 0, which dies without delivering it.
+        m.process(1, &tagged(11, 1, 1), &mut out).unwrap();
+        assert!(out.is_empty());
+        m.on_eos(0, &mut out).unwrap();
+        assert_eq!(vals(&mut out), vec![11]);
+        assert_eq!(m.next_seq(), 2);
+    }
+
+    #[test]
+    fn live_port_behind_cursor_blocks_skip() {
+        let mut m = OrderedMerge::new("m", 3);
+        let mut out = Output::new();
+        m.process(1, &tagged(11, 1, 1), &mut out).unwrap();
+        m.on_eos(0, &mut out).unwrap();
+        // Port 2 is alive and has shown no progress: seq 0 might still be
+        // in flight there, so nothing may be emitted yet.
+        assert!(out.is_empty());
+        m.process(2, &tagged(12, 2, 1), &mut out).unwrap();
+        // Now every port is past seq 0: release 1 and 2 in order.
+        assert_eq!(vals(&mut out), vec![11, 12]);
+    }
+
+    #[test]
+    fn flush_channel_is_held_until_flush_in_port_order() {
+        let mut m = OrderedMerge::new("m", 2);
+        let mut out = Output::new();
+        m.process(1, &tagged(21, SEQ_FLUSH, 1), &mut out).unwrap();
+        m.process(0, &tagged(20, SEQ_FLUSH, 1), &mut out).unwrap();
+        m.process(0, &tagged(1, 0, 1), &mut out).unwrap();
+        assert_eq!(vals(&mut out), vec![1]);
+        m.flush(&mut out).unwrap();
+        assert_eq!(vals(&mut out), vec![20, 21]);
+    }
+
+    #[test]
+    fn malformed_input_is_a_typed_error() {
+        let mut m = OrderedMerge::new("m", 2);
+        let mut out = Output::new();
+        assert!(m.process(5, &tagged(1, 0, 1), &mut out).is_err());
+        assert!(m.process(0, &Element::single(1, Timestamp::ZERO), &mut out).is_err());
+        m.process(0, &tagged(1, 0, 1), &mut out).unwrap();
+        // Stale sequence number (cursor already passed it).
+        assert!(m.process(1, &tagged(2, 0, 1), &mut out).is_err());
+        // Conflicting counts for one group.
+        m.process(0, &tagged(3, 2, 2), &mut out).unwrap();
+        assert!(m.process(0, &tagged(4, 2, 3), &mut out).is_err());
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_held_state() {
+        let mut m = OrderedMerge::new("m", 2);
+        let mut out = Output::new();
+        m.process(1, &tagged(11, 1, 1), &mut out).unwrap();
+        m.process(1, &tagged(12, 2, 2), &mut out).unwrap();
+        m.process(0, &tagged(20, SEQ_FLUSH, 1), &mut out).unwrap();
+        assert!(out.is_empty());
+        let blob = m.snapshot();
+
+        let mut fresh = OrderedMerge::new("m", 2);
+        fresh.restore(blob).unwrap();
+        assert_eq!(fresh.pending_groups(), 2);
+        assert_eq!(fresh.next_seq(), 0);
+        // The restored merge completes exactly like the original would.
+        fresh.process(0, &marker(0), &mut out).unwrap();
+        assert_eq!(vals(&mut out), vec![11]);
+        fresh.process(1, &tagged(13, 2, 2), &mut out).unwrap();
+        assert_eq!(vals(&mut out), vec![12, 13]);
+        fresh.flush(&mut out).unwrap();
+        assert_eq!(vals(&mut out), vec![20]);
+
+        // Arity mismatch is a typed incompatibility.
+        let mut wrong = OrderedMerge::new("m", 3);
+        assert!(matches!(wrong.restore(m.snapshot()), Err(StateError::Incompatible(_))));
+    }
+}

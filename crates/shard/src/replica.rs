@@ -1,0 +1,198 @@
+//! The replica wrapper: one data-parallel copy of the sharded operator.
+
+use hmts_operators::traits::{Operator, Output};
+use hmts_state::StatefulOperator;
+use hmts_streams::element::Element;
+use hmts_streams::error::{Result, StreamError};
+use hmts_streams::time::Timestamp;
+use hmts_streams::tuple::Tuple;
+use hmts_streams::value::Value;
+
+use crate::split::SEQ_FLUSH;
+
+/// Wraps one replica of the sharded operator, translating between the
+/// splitter's tagged stream and the inner operator's untagged world.
+///
+/// Inbound, the trailing sequence field is stripped before the inner
+/// operator sees the tuple. Outbound, every result is tagged with
+/// `(seq, count)` — the input's sequence number and the number of results
+/// it produced — so the merge knows when a sequence group is complete. An
+/// input that produced *nothing* still announces itself with a two-field
+/// `(seq, 0)` marker tuple; without it, a filtered-out element would stall
+/// the merge's cursor forever.
+pub struct ShardReplica {
+    name: String,
+    inner: Box<dyn Operator>,
+    scratch: Output,
+}
+
+impl ShardReplica {
+    /// Wraps `inner` as the replica named `name` (conventionally
+    /// `base[i]`, minted by [`crate::names::replica`]).
+    pub fn new(name: impl Into<String>, inner: Box<dyn Operator>) -> ShardReplica {
+        ShardReplica { name: name.into(), inner, scratch: Output::new() }
+    }
+
+    /// The wrapped operator.
+    pub fn inner(&self) -> &dyn Operator {
+        &*self.inner
+    }
+
+    /// Drains `scratch`, re-tagging each result with `(seq, count)` and
+    /// pushing it to `out`; emits the `(seq, 0)` marker when empty.
+    fn retag(&mut self, seq: i64, marker_ts: Timestamp, out: &mut Output, marker_on_empty: bool) {
+        let count = self.scratch.len() as i64;
+        if count == 0 {
+            if marker_on_empty {
+                out.push(Element::new(Tuple::new([Value::Int(seq), Value::Int(0)]), marker_ts));
+            }
+            return;
+        }
+        for e in self.scratch.drain() {
+            out.push(Element {
+                tuple: e.tuple.append(Value::Int(seq)).append(Value::Int(count)),
+                ts: e.ts,
+                trace: e.trace,
+            });
+        }
+    }
+}
+
+impl Operator for ShardReplica {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, _port: usize, element: &Element, out: &mut Output) -> Result<()> {
+        let arity = element.tuple.arity();
+        if arity == 0 {
+            return Err(StreamError::Other(format!(
+                "shard replica '{}' received an untagged empty tuple",
+                self.name
+            )));
+        }
+        let seq = element.tuple.field(arity - 1).as_int()?;
+        let stripped = Element {
+            tuple: Tuple::new(element.tuple.values()[..arity - 1].iter().cloned()),
+            ts: element.ts,
+            trace: element.trace,
+        };
+        self.scratch.clear();
+        let result = self.inner.process(0, &stripped, &mut self.scratch);
+        if let Err(e) = result {
+            // All-or-nothing per sequence number: a failed element
+            // contributes no partial group at the merge.
+            self.scratch.clear();
+            return Err(e);
+        }
+        self.retag(seq, element.ts, out, true);
+        Ok(())
+    }
+
+    fn on_watermark(&mut self, port: usize, watermark: Timestamp, out: &mut Output) -> Result<()> {
+        self.scratch.clear();
+        let result = self.inner.on_watermark(port, watermark, &mut self.scratch);
+        if let Err(e) = result {
+            self.scratch.clear();
+            return Err(e);
+        }
+        // Watermark-triggered output has no arrival sequence; it rides the
+        // flush channel (none of the currently shardable operators emit
+        // here — expiry only — so this is future-proofing, not a hot path).
+        self.retag(SEQ_FLUSH, watermark, out, false);
+        Ok(())
+    }
+
+    fn flush(&mut self, out: &mut Output) -> Result<()> {
+        self.scratch.clear();
+        let result = self.inner.flush(&mut self.scratch);
+        if let Err(e) = result {
+            self.scratch.clear();
+            return Err(e);
+        }
+        self.retag(SEQ_FLUSH, Timestamp::ZERO, out, false);
+        Ok(())
+    }
+
+    fn cost_hint(&self) -> Option<std::time::Duration> {
+        self.inner.cost_hint()
+    }
+
+    fn selectivity_hint(&self) -> Option<f64> {
+        // Markers for empty groups push the tagged selectivity to at least
+        // one output per input.
+        self.inner.selectivity_hint().map(|s| s.max(1.0))
+    }
+
+    fn stateful(&mut self) -> Option<&mut dyn StatefulOperator> {
+        // Checkpoint blobs are keyed by the executor under this wrapper's
+        // name (`base[i]`), so each replica's state round-trips
+        // independently.
+        self.inner.stateful()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmts_operators::expr::Expr;
+    use hmts_operators::filter::Filter;
+    use std::time::Duration;
+
+    fn tagged(v: i64, seq: i64) -> Element {
+        Element::new(Tuple::pair(v, seq), Timestamp::from_micros(seq as u64))
+    }
+
+    fn seq_count(e: &Element) -> (i64, i64) {
+        let a = e.tuple.arity();
+        (e.tuple.field(a - 2).as_int().unwrap(), e.tuple.field(a - 1).as_int().unwrap())
+    }
+
+    #[test]
+    fn strips_tag_and_retags_outputs() {
+        let inner = Filter::new("f", Expr::field(0).lt(Expr::int(5)));
+        let mut r = ShardReplica::new("f[0]", Box::new(inner));
+        let mut out = Output::new();
+        // Passing element: one output tagged (seq, 1).
+        r.process(0, &tagged(3, 42), &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        let e = &out.elements()[0];
+        assert_eq!(e.tuple.arity(), 3); // payload + seq + count
+        assert_eq!(e.tuple.field(0).as_int().unwrap(), 3);
+        assert_eq!(seq_count(e), (42, 1));
+        out.clear();
+        // Filtered element: a (seq, 0) marker so the merge never stalls.
+        r.process(0, &tagged(9, 43), &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        let m = &out.elements()[0];
+        assert_eq!(m.tuple.arity(), 2);
+        assert_eq!(seq_count(m), (43, 0));
+        assert_eq!(m.ts, Timestamp::from_micros(43));
+    }
+
+    #[test]
+    fn inner_error_emits_nothing() {
+        let inner = Filter::new("f", Expr::field(7).lt(Expr::int(1)));
+        let mut r = ShardReplica::new("f[0]", Box::new(inner));
+        let mut out = Output::new();
+        assert!(r.process(0, &tagged(1, 0), &mut out).is_err());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn flush_outputs_ride_the_flush_channel() {
+        use hmts_operators::aggregate::{AggregateFunction, WindowAggregate};
+        let inner = WindowAggregate::new("a", AggregateFunction::Count, Duration::from_secs(1000));
+        let mut r = ShardReplica::new("a[0]", Box::new(inner));
+        let mut out = Output::new();
+        r.process(0, &tagged(1, 0), &mut out).unwrap();
+        out.clear();
+        r.flush(&mut out).unwrap();
+        // The window aggregate emits nothing at flush; no marker either.
+        assert!(out.is_empty());
+        // Hints delegate; the stateful surface reaches the inner operator.
+        assert!(r.stateful().is_some());
+        assert_eq!(r.selectivity_hint(), Some(1.0));
+        assert_eq!(r.name(), "a[0]");
+    }
+}

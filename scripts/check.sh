@@ -40,6 +40,25 @@ if [ -n "$violations" ]; then
   exit 1
 fi
 
+echo "==> replica-name grep gate (no \"base[i]\" construction outside crates/shard)"
+# Shard replica node IDs ("agg[0]", "agg[1].split", ...) are a protocol:
+# checkpoint blobs are keyed by them and the obs plane parses them back
+# into logical groups. The ONLY constructor is hmts-shard's names
+# module; everything else must parse via obs::capacity::parse_replica.
+# The gate rejects the construction idiom `format!("...{x}[{i}]...")`.
+violations=$(
+  for f in crates/*/src/*.rs crates/*/src/**/*.rs; do
+    [ -e "$f" ] || continue
+    case "$f" in crates/shard/src/*) continue ;; esac
+    grep -Hn '}\[{' "$f" || true
+  done
+)
+if [ -n "$violations" ]; then
+  echo "error: replica node IDs constructed outside crates/shard (use hmts_shard::names):"
+  echo "$violations"
+  exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
@@ -109,5 +128,8 @@ kill "$serve_pid" 2>/dev/null || true
 wait "$serve_pid" 2>/dev/null || true
 trap - EXIT
 rm -f "$smoke_log"
+
+echo "==> sharded recovery smoke (kill + recover with sel_expensive split 2-way)"
+scripts/recovery.sh --shard
 
 echo "==> all checks passed"

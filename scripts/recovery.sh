@@ -8,9 +8,21 @@
 # Asserts: a checkpoint lands on disk, the restarted server reports
 # recovering from it, the producer reconnects at the checkpointed offset,
 # and the resumed run drains to a clean exit.
-# Usage: scripts/recovery.sh
+#
+# With --shard the same scenario runs with the expensive selection
+# sharded 2-way (splitter → sel_expensive[0..2] → order-restoring
+# merge, keyed on field 0): the kill and recovery then cover the whole
+# shard trio's state — split sequence counter, both replica blobs, and
+# the merge cursor.
+# Usage: scripts/recovery.sh [--shard]
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+SHARD_OPTS=""
+if [ "${1:-}" = "--shard" ]; then
+  SHARD_OPTS="--shard sel_expensive=2:0"
+  echo "==> sharded mode: sel_expensive split into 2 replicas"
+fi
 
 INGEST=127.0.0.1:7181
 EGRESS=127.0.0.1:7182
@@ -33,7 +45,10 @@ echo "==> build serve + netgen"
 cargo build --release -p hmts-net --bins
 
 echo "==> phase 1: serve with 50 ms checkpoints into $dir"
-target/release/serve --ingest "$INGEST" --egress "$EGRESS" \
+# $SHARD_OPTS is deliberately unquoted: empty in the plain run, three
+# whitespace-separated words in the sharded one.
+# shellcheck disable=SC2086
+target/release/serve --ingest "$INGEST" --egress "$EGRESS" $SHARD_OPTS \
   --checkpoint-dir "$dir" --checkpoint-interval-ms 50 >"$serve1_log" 2>&1 &
 serve1_pid=$!
 sleep 0.5
@@ -59,7 +74,10 @@ kill -9 "$serve1_pid"
 wait "$serve1_pid" 2>/dev/null || true
 
 echo "==> phase 2: restart with --recover on the same ports"
-target/release/serve --ingest "$INGEST" --egress "$EGRESS" \
+# The recovering process applies the *same* shard rewrite before the
+# engine boots, so the replica blob names line up with the manifest.
+# shellcheck disable=SC2086
+target/release/serve --ingest "$INGEST" --egress "$EGRESS" $SHARD_OPTS \
   --checkpoint-dir "$dir" --checkpoint-interval-ms 50 --recover \
   >"$serve2_log" 2>&1 &
 serve2_pid=$!
@@ -79,6 +97,15 @@ fi
 serve2_pid=""
 
 echo "==> verifying recovery evidence"
+if [ -n "$SHARD_OPTS" ]; then
+  for log in "$serve1_log" "$serve2_log"; do
+    grep -q 'sharded "sel_expensive" into 2 replicas' "$log" || {
+      echo "error: serve did not apply the shard rewrite ($log)"
+      cat "$log"
+      exit 1
+    }
+  done
+fi
 grep -q "recovering from checkpoint" "$serve2_log" || {
   echo "error: restarted serve did not load the checkpoint"
   cat "$serve2_log"
